@@ -1,0 +1,302 @@
+//! Offline dictionary-attack curves (Figures 7 and 8).
+//!
+//! For each scheme parameterization, every field-study password is enrolled
+//! under the scheme and attacked with the human-seeded dictionary built from
+//! the lab-study passwords of the same image (§5.1).  The reported quantity
+//! is the percentage of field passwords cracked, per image — the y-axis of
+//! Figures 7 and 8; the x-axis is the grid-square size (Figure 7) or the
+//! guaranteed tolerance `r` (Figure 8).
+
+use crate::false_rates::ComparisonMode;
+use gp_attacks::{parallel::evaluate_population_parallel, ClickPointPool, OfflineKnownGridAttack};
+use gp_geometry::{ImageDims, Point};
+use gp_passwords::{DiscretizationConfig, GraphicalPasswordSystem, PasswordPolicy, StoredPassword};
+use gp_study::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Which discretization scheme a curve point belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CurveScheme {
+    /// Centered Discretization.
+    Centered,
+    /// Robust Discretization.
+    Robust,
+}
+
+impl CurveScheme {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CurveScheme::Centered => "centered",
+            CurveScheme::Robust => "robust",
+        }
+    }
+}
+
+/// One point of Figure 7 / Figure 8: a scheme, an image, a parameter value
+/// and the resulting crack percentage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackCurvePoint {
+    /// Scheme the passwords were enrolled under.
+    pub scheme: CurveScheme,
+    /// Image the passwords belong to ("cars" / "pool").
+    pub image: String,
+    /// Parameter label (grid size for Figure 7, r for Figure 8).
+    pub parameter: String,
+    /// Grid-square size used by the scheme at this point (pixels).
+    pub grid_size: f64,
+    /// Guaranteed tolerance of the scheme at this point (pixels).
+    pub guaranteed_r: f64,
+    /// Number of target passwords evaluated.
+    pub targets: usize,
+    /// Number of targets cracked by the dictionary.
+    pub cracked: usize,
+    /// Percentage of targets cracked.
+    pub percent_cracked: f64,
+}
+
+fn config_for(mode: &ComparisonMode, scheme: CurveScheme) -> DiscretizationConfig {
+    match (mode, scheme) {
+        (ComparisonMode::EqualGridSize { size }, CurveScheme::Centered) => {
+            // Centered with grid squares of the given size: r = (size-1)/2
+            // whole pixels (odd sizes) — expressed via the pixel-tolerance
+            // constructor to keep the +0.5 convention.
+            DiscretizationConfig::Centered {
+                tolerance_px: ((size - 1.0) / 2.0).round() as u32,
+            }
+        }
+        (ComparisonMode::EqualGridSize { size }, CurveScheme::Robust) => DiscretizationConfig::Robust {
+            r: size / 6.0,
+            policy: gp_discretization::GridSelectionPolicy::MostCentered,
+        },
+        (ComparisonMode::EqualR { r }, CurveScheme::Centered) => DiscretizationConfig::Centered {
+            tolerance_px: *r,
+        },
+        (ComparisonMode::EqualR { r }, CurveScheme::Robust) => DiscretizationConfig::Robust {
+            r: *r as f64,
+            policy: gp_discretization::GridSelectionPolicy::MostCentered,
+        },
+    }
+}
+
+/// Evaluate one curve point: enroll every field password of `image` under
+/// the scheme and attack it with the lab-seeded dictionary for that image.
+pub fn curve_point(
+    field: &Dataset,
+    lab: &Dataset,
+    image: &str,
+    image_dims: ImageDims,
+    mode: &ComparisonMode,
+    scheme: CurveScheme,
+    threads: usize,
+) -> AttackCurvePoint {
+    let config = config_for(mode, scheme);
+    // One hash iteration: enrollment hashing is not what the experiment
+    // measures, and the attack evaluation itself is hash-free (matching).
+    let system = GraphicalPasswordSystem::new(PasswordPolicy::new(image_dims, 5), config, 1);
+
+    let pool = ClickPointPool::from_dataset(lab, image, 5);
+    let attack = OfflineKnownGridAttack::new(pool);
+
+    let targets: Vec<(StoredPassword, Vec<Point>)> = field
+        .password_indices_for_image(image)
+        .into_iter()
+        .filter_map(|idx| {
+            let record = &field.passwords[idx];
+            let username = format!("{}-{}", record.image, idx);
+            system
+                .enroll(&username, &record.clicks)
+                .ok()
+                .map(|stored| (stored, record.clicks.clone()))
+        })
+        .collect();
+
+    let summary = evaluate_population_parallel(&attack, &targets, threads);
+    let built = config.build();
+    AttackCurvePoint {
+        scheme,
+        image: image.to_string(),
+        parameter: mode.label(),
+        grid_size: built.grid_square_size(),
+        guaranteed_r: built.guaranteed_tolerance(),
+        targets: summary.targets,
+        cracked: summary.cracked,
+        percent_cracked: summary.percent_cracked(),
+    }
+}
+
+fn curve(
+    field: &Dataset,
+    lab: &Dataset,
+    image_dims: ImageDims,
+    modes: &[ComparisonMode],
+    threads: usize,
+) -> Vec<AttackCurvePoint> {
+    let mut points = Vec::new();
+    for image in field.images() {
+        for mode in modes {
+            for scheme in [CurveScheme::Robust, CurveScheme::Centered] {
+                points.push(curve_point(
+                    field, lab, &image, image_dims, mode, scheme, threads,
+                ));
+            }
+        }
+    }
+    points
+}
+
+/// Grid-square sizes swept by Figure 7.
+pub const FIGURE7_GRID_SIZES: [f64; 3] = [9.0, 13.0, 19.0];
+
+/// Tolerance values swept by Figure 8.
+pub const FIGURE8_R_VALUES: [u32; 3] = [4, 6, 9];
+
+/// Reproduce Figure 7: offline dictionary attack with known grid
+/// identifiers, equal grid-square sizes for both schemes.
+pub fn figure7(field: &Dataset, lab: &Dataset, threads: usize) -> Vec<AttackCurvePoint> {
+    let modes: Vec<ComparisonMode> = FIGURE7_GRID_SIZES
+        .iter()
+        .map(|&size| ComparisonMode::EqualGridSize { size })
+        .collect();
+    curve(field, lab, ImageDims::STUDY, &modes, threads)
+}
+
+/// Reproduce Figure 8: offline dictionary attack with known grid
+/// identifiers, equal guaranteed tolerance r for both schemes.
+pub fn figure8(field: &Dataset, lab: &Dataset, threads: usize) -> Vec<AttackCurvePoint> {
+    let modes: Vec<ComparisonMode> = FIGURE8_R_VALUES
+        .iter()
+        .map(|&r| ComparisonMode::EqualR { r })
+        .collect();
+    curve(field, lab, ImageDims::STUDY, &modes, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_study::{FieldStudyConfig, LabStudyConfig};
+
+    fn datasets() -> (Dataset, Dataset) {
+        (
+            FieldStudyConfig::test_scale().generate(),
+            LabStudyConfig::paper_scale().generate(),
+        )
+    }
+
+    #[test]
+    fn figure7_produces_a_point_per_image_scheme_and_size() {
+        let (field, lab) = datasets();
+        let points = figure7(&field, &lab, 2);
+        // 2 images × 3 sizes × 2 schemes.
+        assert_eq!(points.len(), 12);
+        for p in &points {
+            assert!(p.targets > 0);
+            assert!(p.percent_cracked >= 0.0 && p.percent_cracked <= 100.0);
+        }
+    }
+
+    #[test]
+    fn figure7_equal_grid_sizes_give_similar_crack_rates() {
+        // §5.1: "As expected, they performed similarly under this condition
+        // since having grid-squares of similar size means that roughly the
+        // same number of guesses would be accepted as correct."
+        let (field, lab) = datasets();
+        let points = figure7(&field, &lab, 2);
+        for size in FIGURE7_GRID_SIZES {
+            for image in field.images() {
+                let find = |scheme: CurveScheme| {
+                    points
+                        .iter()
+                        .find(|p| {
+                            p.scheme == scheme
+                                && p.image == image
+                                && (p.grid_size - size).abs() < 0.6
+                        })
+                        .unwrap()
+                        .percent_cracked
+                };
+                let robust = find(CurveScheme::Robust);
+                let centered = find(CurveScheme::Centered);
+                assert!(
+                    (robust - centered).abs() <= 25.0,
+                    "equal-size crack rates should be in the same ballpark: \
+                     {image} {size}: robust {robust:.1}% vs centered {centered:.1}%"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_robust_is_cracked_substantially_more_than_centered() {
+        // The paper's headline security result (r = 6: 45.1% vs 14.8% on
+        // Cars; r = 9: up to 79% vs 26%).
+        let (field, lab) = datasets();
+        let points = figure8(&field, &lab, 2);
+        for image in field.images() {
+            for r in [6u32, 9] {
+                let find = |scheme: CurveScheme| {
+                    points
+                        .iter()
+                        .find(|p| p.scheme == scheme && p.image == image && p.parameter == format!("r={r}"))
+                        .unwrap()
+                        .percent_cracked
+                };
+                let robust = find(CurveScheme::Robust);
+                let centered = find(CurveScheme::Centered);
+                assert!(
+                    robust > centered,
+                    "{image} r={r}: robust ({robust:.1}%) must be cracked more than centered ({centered:.1}%)"
+                );
+            }
+            // And the gap at r = 9 should be large in absolute terms.
+            let robust9 = points
+                .iter()
+                .find(|p| p.scheme == CurveScheme::Robust && p.image == image && p.parameter == "r=9")
+                .unwrap()
+                .percent_cracked;
+            let centered9 = points
+                .iter()
+                .find(|p| p.scheme == CurveScheme::Centered && p.image == image && p.parameter == "r=9")
+                .unwrap()
+                .percent_cracked;
+            assert!(
+                robust9 >= centered9 + 10.0,
+                "{image} r=9: expected a substantial gap, got robust {robust9:.1}% vs centered {centered9:.1}%"
+            );
+        }
+    }
+
+    #[test]
+    fn crack_rate_grows_with_tolerance_for_both_schemes() {
+        let (field, lab) = datasets();
+        let points = figure8(&field, &lab, 2);
+        for scheme in [CurveScheme::Robust, CurveScheme::Centered] {
+            for image in field.images() {
+                let rate = |r: u32| {
+                    points
+                        .iter()
+                        .find(|p| p.scheme == scheme && p.image == image && p.parameter == format!("r={r}"))
+                        .unwrap()
+                        .percent_cracked
+                };
+                assert!(
+                    rate(9) >= rate(4),
+                    "{image} {:?}: larger tolerance must not reduce crack rate",
+                    scheme
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_for_matches_mode_parameters() {
+        let c = config_for(&ComparisonMode::EqualGridSize { size: 13.0 }, CurveScheme::Centered);
+        assert_eq!(c.grid_square_size(), 13.0);
+        let r = config_for(&ComparisonMode::EqualGridSize { size: 13.0 }, CurveScheme::Robust);
+        assert!((r.guaranteed_tolerance() - 13.0 / 6.0).abs() < 1e-9);
+        let c = config_for(&ComparisonMode::EqualR { r: 9 }, CurveScheme::Centered);
+        assert_eq!(c.guaranteed_tolerance(), 9.5);
+        let r = config_for(&ComparisonMode::EqualR { r: 9 }, CurveScheme::Robust);
+        assert_eq!(r.grid_square_size(), 54.0);
+    }
+}

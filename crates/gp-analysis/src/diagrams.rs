@@ -1,0 +1,182 @@
+//! ASCII renderings of the tolerance-region geometry (Figures 1, 5 and 6).
+//!
+//! These are illustrative rather than quantitative: they draw, to scale on a
+//! character grid, the worst-case Robust Discretization square around a
+//! click-point next to the centered-tolerance square a user would expect,
+//! making the false-accept / false-reject regions visible in a terminal.
+
+use gp_discretization::{DiscretizationScheme, GridSelectionPolicy, RobustDiscretization};
+use gp_geometry::{Point, Rect};
+
+/// The worst-case geometry of Figure 1: a click-point exactly `r` from two
+/// edges of its Robust grid square, with the centered-tolerance square of
+/// half-width `3r` (same area as the Robust square) overlaid.
+pub fn figure1_worst_case(r: f64) -> WorstCaseGeometry {
+    assert!(r > 0.0, "tolerance must be positive");
+    // Construct the canonical worst case directly: robust square [0, 6r)²,
+    // click at (r, r).
+    let robust_square = Rect::new(0.0, 0.0, 6.0 * r, 6.0 * r);
+    let click = Point::new(r, r);
+    let centered_square = Rect::centered_square(click, 3.0 * r);
+    WorstCaseGeometry {
+        r,
+        click,
+        robust_square,
+        centered_square,
+    }
+}
+
+/// The realized geometry for an arbitrary click-point under a real Robust
+/// Discretization instance (used by Figures 5/6-style comparisons).
+pub fn realized_geometry(r: f64, click: Point) -> WorstCaseGeometry {
+    let robust = RobustDiscretization::with_policy(r, GridSelectionPolicy::MostCentered)
+        .expect("positive tolerance");
+    WorstCaseGeometry {
+        r,
+        click,
+        robust_square: robust.acceptance_region(&click),
+        centered_square: Rect::centered_square(click, robust.guaranteed_tolerance()),
+    }
+}
+
+/// Geometry underlying the diagrams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorstCaseGeometry {
+    /// Guaranteed tolerance.
+    pub r: f64,
+    /// The original click-point.
+    pub click: Point,
+    /// The Robust Discretization grid square that would be hashed.
+    pub robust_square: Rect,
+    /// The centered-tolerance square the user likely expects.
+    pub centered_square: Rect,
+}
+
+impl WorstCaseGeometry {
+    /// Area where false rejects occur: inside the centered square, outside
+    /// the Robust square.
+    pub fn false_reject_area(&self) -> f64 {
+        self.centered_square.area() - self.centered_square.overlap_area(&self.robust_square)
+    }
+
+    /// Area where false accepts occur: inside the Robust square, outside
+    /// the centered square.
+    pub fn false_accept_area(&self) -> f64 {
+        self.robust_square.area() - self.robust_square.overlap_area(&self.centered_square)
+    }
+
+    /// Render the two squares on a character canvas.
+    ///
+    /// Legend: `o` = original click-point, `#` = false-accept region (Robust
+    /// only), `.` = false-reject region (centered only), `=` = accepted by
+    /// both, space = accepted by neither.
+    pub fn render(&self, columns: usize) -> String {
+        let min_x = self.robust_square.x0.min(self.centered_square.x0);
+        let max_x = self.robust_square.x1.max(self.centered_square.x1);
+        let min_y = self.robust_square.y0.min(self.centered_square.y0);
+        let max_y = self.robust_square.y1.max(self.centered_square.y1);
+        let columns = columns.max(10);
+        let rows = (columns as f64 * (max_y - min_y) / (max_x - min_x) / 2.0).ceil() as usize;
+        let rows = rows.max(5);
+
+        let mut out = String::new();
+        for row in 0..rows {
+            let y = min_y + (row as f64 + 0.5) * (max_y - min_y) / rows as f64;
+            for col in 0..columns {
+                let x = min_x + (col as f64 + 0.5) * (max_x - min_x) / columns as f64;
+                let p = Point::new(x, y);
+                let in_robust = self.robust_square.contains(&p);
+                let in_centered = self.centered_square.contains(&p);
+                let is_click = self.click.chebyshev(&p)
+                    <= (max_x - min_x) / columns as f64;
+                let ch = if is_click {
+                    'o'
+                } else {
+                    match (in_robust, in_centered) {
+                        (true, true) => '=',
+                        (true, false) => '#',
+                        (false, true) => '.',
+                        (false, false) => ' ',
+                    }
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A complete Figure-1-style diagram with legend, for terminal display.
+pub fn figure1_diagram(r: f64, columns: usize) -> String {
+    let geometry = figure1_worst_case(r);
+    let robust = RobustDiscretization::new(r).expect("positive tolerance");
+    format!(
+        "Worst-case Robust Discretization vs centered tolerance (r = {r})\n\
+         Robust square: {:.0}x{:.0}  guaranteed tolerance: {:.0}  max accepted distance: {:.0}\n\
+         false-accept area: {:.0} px^2   false-reject area: {:.0} px^2\n\
+         legend: o original click, = accepted by both, # false accept (Robust only), . false reject (centered only)\n\n{}",
+        robust.grid_square_size(),
+        robust.grid_square_size(),
+        robust.guaranteed_tolerance(),
+        robust.maximum_accepted_distance(),
+        geometry.false_accept_area(),
+        geometry.false_reject_area(),
+        geometry.render(columns)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_areas_match_figure1_arithmetic() {
+        // Robust square 6r x 6r = 36r²; overlap with the 6r x 6r centered
+        // square shifted so the click is r from two edges is 4r x 4r = 16r²
+        // per axis pair → false regions of 20r² each.
+        let g = figure1_worst_case(1.0);
+        assert!((g.false_accept_area() - 20.0).abs() < 1e-9);
+        assert!((g.false_reject_area() - 20.0).abs() < 1e-9);
+        let g6 = figure1_worst_case(6.0);
+        assert!((g6.false_accept_area() - 20.0 * 36.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_contains_all_region_markers() {
+        let g = figure1_worst_case(6.0);
+        let canvas = g.render(60);
+        assert!(canvas.contains('#'), "false-accept region missing");
+        assert!(canvas.contains('.'), "false-reject region missing");
+        assert!(canvas.contains('='), "shared region missing");
+        assert!(canvas.contains('o'), "click-point missing");
+        // Rectangular canvas: all lines same length.
+        let lines: Vec<&str> = canvas.lines().collect();
+        assert!(lines.len() >= 5);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn realized_geometry_contains_the_click_in_both_squares() {
+        let g = realized_geometry(6.0, Point::new(123.0, 217.0));
+        assert!(g.robust_square.contains(&g.click));
+        assert!(g.centered_square.contains(&g.click));
+        // The centered square is centered on the click; the robust square
+        // generally is not.
+        assert_eq!(g.centered_square.center(), g.click);
+    }
+
+    #[test]
+    fn figure1_diagram_mentions_key_parameters() {
+        let text = figure1_diagram(6.0, 60);
+        assert!(text.contains("36x36"));
+        assert!(text.contains("max accepted distance: 30"));
+        assert!(text.contains("legend"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_tolerance_rejected() {
+        figure1_worst_case(0.0);
+    }
+}

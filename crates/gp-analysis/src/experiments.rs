@@ -1,0 +1,331 @@
+//! Experiment registry: one entry per table/figure of the paper, with a
+//! uniform "generate data → run → render report" interface used by the
+//! examples and the benchmark harness.
+
+use crate::attack_curves::{figure7, figure8, AttackCurvePoint, CurveScheme};
+use crate::diagrams::figure1_diagram;
+use crate::false_rates::{table1, table2, FalseRateRow};
+use crate::information_revealed::identifier_information;
+use crate::password_space_table::table3;
+use crate::report::{bits, pct, TextTable};
+use gp_study::{Dataset, FieldStudyConfig, LabStudyConfig};
+use serde::{Deserialize, Serialize};
+
+/// How much data to generate and how many threads to use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Field-study configuration (targets of the usability and attack
+    /// analysis).
+    pub field: FieldStudyConfig,
+    /// Lab-study configuration (dictionary source).
+    pub lab: LabStudyConfig,
+    /// Worker threads for the attack evaluation.
+    pub threads: usize,
+}
+
+impl ExperimentScale {
+    /// The paper's dataset dimensions (191 participants / 481 passwords /
+    /// 3339 logins, 30 lab passwords per image).
+    pub fn paper() -> Self {
+        Self {
+            field: FieldStudyConfig::paper_scale(),
+            lab: LabStudyConfig::paper_scale(),
+            threads: 4,
+        }
+    }
+
+    /// A reduced scale for quick runs and CI.
+    pub fn quick() -> Self {
+        Self {
+            field: FieldStudyConfig::test_scale(),
+            lab: LabStudyConfig::paper_scale(),
+            threads: 2,
+        }
+    }
+
+    /// Generate the field dataset.
+    pub fn field_dataset(&self) -> Dataset {
+        self.field.generate()
+    }
+
+    /// Generate the lab dataset.
+    pub fn lab_dataset(&self) -> Dataset {
+        self.lab.generate()
+    }
+}
+
+/// The experiments of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Experiment {
+    /// Table 1 — false accept/reject rates at equal grid-square size.
+    Table1,
+    /// Table 2 — false accept/reject rates at equal guaranteed tolerance.
+    Table2,
+    /// Table 3 — theoretical full password space.
+    Table3,
+    /// Figure 7 — offline dictionary attack, equal grid-square sizes.
+    Figure7,
+    /// Figure 8 — offline dictionary attack, equal guaranteed tolerance.
+    Figure8,
+    /// §5.2 — information revealed by the stored grid identifiers.
+    InformationRevealed,
+    /// Figure 1 — worst-case tolerance-region geometry (illustrative).
+    Figure1,
+}
+
+impl Experiment {
+    /// All experiments in paper order.
+    pub fn all() -> [Experiment; 7] {
+        [
+            Experiment::Figure1,
+            Experiment::Table1,
+            Experiment::Table2,
+            Experiment::Table3,
+            Experiment::Figure7,
+            Experiment::Figure8,
+            Experiment::InformationRevealed,
+        ]
+    }
+
+    /// Stable identifier (used for bench names and CSV files).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Experiment::Table1 => "table1",
+            Experiment::Table2 => "table2",
+            Experiment::Table3 => "table3",
+            Experiment::Figure7 => "figure7",
+            Experiment::Figure8 => "figure8",
+            Experiment::InformationRevealed => "information_revealed",
+            Experiment::Figure1 => "figure1",
+        }
+    }
+
+    /// One-line description shown in reports.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Experiment::Table1 => {
+                "False accept/reject rates for Robust Discretization, equal grid-square sizes"
+            }
+            Experiment::Table2 => {
+                "False accept/reject rates for Robust Discretization, equal guaranteed tolerance r"
+            }
+            Experiment::Table3 => "Bitsize of the theoretical full password space (5 clicks)",
+            Experiment::Figure7 => {
+                "Offline dictionary attack with known grid identifiers, equal grid-square sizes"
+            }
+            Experiment::Figure8 => {
+                "Offline dictionary attack with known grid identifiers, equal r values"
+            }
+            Experiment::InformationRevealed => {
+                "Bits of clear-text information revealed by stored grid identifiers"
+            }
+            Experiment::Figure1 => "Worst-case tolerance-region geometry (illustrative diagram)",
+        }
+    }
+
+    /// Run the experiment and render its report.
+    pub fn run(&self, scale: &ExperimentScale) -> String {
+        match self {
+            Experiment::Table1 => {
+                let dataset = scale.field_dataset();
+                render_false_rates("Table 1", "Grid Size", &table1(&dataset))
+            }
+            Experiment::Table2 => {
+                let dataset = scale.field_dataset();
+                render_false_rates("Table 2", "r", &table2(&dataset))
+            }
+            Experiment::Table3 => render_table3(),
+            Experiment::Figure7 => {
+                let field = scale.field_dataset();
+                let lab = scale.lab_dataset();
+                render_attack_curve("Figure 7", &figure7(&field, &lab, scale.threads))
+            }
+            Experiment::Figure8 => {
+                let field = scale.field_dataset();
+                let lab = scale.lab_dataset();
+                render_attack_curve("Figure 8", &figure8(&field, &lab, scale.threads))
+            }
+            Experiment::InformationRevealed => render_information_revealed(),
+            Experiment::Figure1 => figure1_diagram(6.0, 66),
+        }
+    }
+}
+
+fn render_false_rates(title: &str, key_column: &str, rows: &[FalseRateRow]) -> String {
+    let mut table = TextTable::new(&[
+        key_column,
+        "Robust r",
+        "Robust grid",
+        "Centered grid",
+        "Logins",
+        "Robust false accept",
+        "Robust false reject",
+        "Centered false accept",
+        "Centered false reject",
+    ]);
+    for row in rows {
+        table.push_row(vec![
+            row.label.clone(),
+            format!("{:.2}", row.robust_r),
+            format!("{:.0}x{:.0}", row.robust_grid_size, row.robust_grid_size),
+            format!("{:.0}x{:.0}", row.centered_grid_size, row.centered_grid_size),
+            row.logins.to_string(),
+            pct(row.false_accept_pct),
+            pct(row.false_reject_pct),
+            pct(row.centered_false_accept_pct),
+            pct(row.centered_false_reject_pct),
+        ]);
+    }
+    format!("{title}: false accept and reject rates\n{}", table.render())
+}
+
+fn render_table3() -> String {
+    let mut table = TextTable::new(&[
+        "Image",
+        "Grid Size",
+        "Centered r",
+        "Robust r",
+        "Squares/Grid",
+        "Pswd Space (bits)",
+    ]);
+    for row in table3() {
+        table.push_row(vec![
+            row.image.to_string(),
+            format!("{:.0}x{:.0}", row.grid_size, row.grid_size),
+            format!("{:.1}", row.centered_r),
+            format!("{:.2}", row.robust_r),
+            row.squares_per_grid.to_string(),
+            bits(row.password_space_bits),
+        ]);
+    }
+    format!(
+        "Table 3: bitsize of full theoretical password space for 5-click passwords\n{}",
+        table.render()
+    )
+}
+
+fn render_attack_curve(title: &str, points: &[AttackCurvePoint]) -> String {
+    let mut table = TextTable::new(&[
+        "Image",
+        "Parameter",
+        "Scheme",
+        "Grid",
+        "Guaranteed r",
+        "Targets",
+        "Cracked",
+        "% cracked",
+    ]);
+    for p in points {
+        table.push_row(vec![
+            p.image.clone(),
+            p.parameter.clone(),
+            p.scheme.label().to_string(),
+            format!("{:.0}x{:.0}", p.grid_size, p.grid_size),
+            format!("{:.1}", p.guaranteed_r),
+            p.targets.to_string(),
+            p.cracked.to_string(),
+            pct(p.percent_cracked),
+        ]);
+    }
+    format!(
+        "{title}: offline dictionary attack with known grid identifiers\n{}",
+        table.render()
+    )
+}
+
+fn render_information_revealed() -> String {
+    let rows = identifier_information(&[4, 6, 8, 9, 12]);
+    let mut table = TextTable::new(&[
+        "r",
+        "Robust identifier bits",
+        "Centered identifier bits",
+        "Centered identifiers",
+    ]);
+    for row in rows {
+        table.push_row(vec![
+            row.r.to_string(),
+            format!("{:.2}", row.robust_bits),
+            format!("{:.2}", row.centered_bits),
+            row.centered_identifiers.to_string(),
+        ]);
+    }
+    format!(
+        "Information revealed by clear-text grid identifiers (section 5.2)\n{}",
+        table.render()
+    )
+}
+
+/// Extract the robust-vs-centered crack percentages for one image and
+/// parameter from a set of curve points (convenience for EXPERIMENTS.md and
+/// tests).
+pub fn crack_percentages(
+    points: &[AttackCurvePoint],
+    image: &str,
+    parameter: &str,
+) -> Option<(f64, f64)> {
+    let robust = points
+        .iter()
+        .find(|p| p.scheme == CurveScheme::Robust && p.image == image && p.parameter == parameter)?
+        .percent_cracked;
+    let centered = points
+        .iter()
+        .find(|p| p.scheme == CurveScheme::Centered && p.image == image && p.parameter == parameter)?
+        .percent_cracked;
+    Some((robust, centered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_has_id_and_description() {
+        for e in Experiment::all() {
+            assert!(!e.id().is_empty());
+            assert!(!e.description().is_empty());
+        }
+        // Identifiers are unique.
+        let ids: std::collections::BTreeSet<_> =
+            Experiment::all().iter().map(|e| e.id()).collect();
+        assert_eq!(ids.len(), Experiment::all().len());
+    }
+
+    #[test]
+    fn table3_and_information_reports_render_without_data() {
+        let scale = ExperimentScale::quick();
+        let t3 = Experiment::Table3.run(&scale);
+        assert!(t3.contains("451x331"));
+        assert!(t3.contains("640x480"));
+        assert!(t3.contains("54.4"));
+        let info = Experiment::InformationRevealed.run(&scale);
+        assert!(info.contains("Robust identifier bits"));
+        let fig1 = Experiment::Figure1.run(&scale);
+        assert!(fig1.contains("legend"));
+    }
+
+    #[test]
+    fn table1_and_table2_reports_render_at_quick_scale() {
+        let scale = ExperimentScale::quick();
+        let t1 = Experiment::Table1.run(&scale);
+        assert!(t1.contains("Table 1"));
+        assert!(t1.contains("9x9"));
+        assert!(t1.contains("19x19"));
+        let t2 = Experiment::Table2.run(&scale);
+        assert!(t2.contains("r=4"));
+        assert!(t2.contains("54x54"));
+    }
+
+    #[test]
+    fn figure8_report_renders_and_exposes_percentages() {
+        let scale = ExperimentScale::quick();
+        let field = scale.field_dataset();
+        let lab = scale.lab_dataset();
+        let points = figure8(&field, &lab, scale.threads);
+        let (robust, centered) = crack_percentages(&points, "cars", "r=9").unwrap();
+        assert!(robust >= centered);
+        let rendered = render_attack_curve("Figure 8", &points);
+        assert!(rendered.contains("% cracked"));
+        assert!(rendered.contains("cars"));
+        assert!(rendered.contains("pool"));
+    }
+}

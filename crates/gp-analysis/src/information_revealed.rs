@@ -1,0 +1,72 @@
+//! Information revealed by the clear-text grid identifiers (§5.2).
+//!
+//! Robust Discretization stores one of three grid indices (2 bits); Centered
+//! Discretization stores the per-axis offsets, `log2((2r)²)` bits.  The
+//! paper argues this extra clear-text information does not enable better
+//! attacks than those already analyzed, but quantifies it; this module
+//! reproduces that quantification across a sweep of tolerances.
+
+use gp_discretization::{identifier_bits, SchemeKind};
+use serde::{Deserialize, Serialize};
+
+/// One row of the information-revealed comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdentifierInfoRow {
+    /// Guaranteed tolerance (whole pixels).
+    pub r: u32,
+    /// Bits of clear information stored per click by Robust Discretization.
+    pub robust_bits: f64,
+    /// Bits of clear information stored per click by Centered Discretization.
+    pub centered_bits: f64,
+    /// Number of distinct grid identifiers Centered can emit (`(2r+1)²` at
+    /// whole-pixel granularity).
+    pub centered_identifiers: u64,
+}
+
+/// Compute the comparison for a sweep of tolerance values.
+pub fn identifier_information(r_values: &[u32]) -> Vec<IdentifierInfoRow> {
+    r_values
+        .iter()
+        .map(|&r| {
+            let real_r = r as f64 + 0.5;
+            let side = (2.0 * real_r).round() as u64;
+            IdentifierInfoRow {
+                r,
+                robust_bits: identifier_bits(SchemeKind::Robust, real_r),
+                centered_bits: identifier_bits(SchemeKind::Centered, real_r),
+                centered_identifiers: side * side,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robust_always_reveals_about_two_bits() {
+        for row in identifier_information(&[4, 6, 8, 9, 12]) {
+            assert!((row.robust_bits - 3f64.log2()).abs() < 1e-9);
+            assert!(row.robust_bits < 2.0);
+        }
+    }
+
+    #[test]
+    fn centered_reveals_more_bits_as_r_grows() {
+        let rows = identifier_information(&[4, 6, 9]);
+        assert!(rows[0].centered_bits < rows[1].centered_bits);
+        assert!(rows[1].centered_bits < rows[2].centered_bits);
+        // Paper example: r = 8 ⇒ about 8 bits.
+        let r8 = &identifier_information(&[8])[0];
+        assert!((r8.centered_bits - (2.0 * 8.5f64).powi(2).log2()).abs() < 1e-9);
+        assert!(r8.centered_bits > 7.5 && r8.centered_bits < 8.6);
+    }
+
+    #[test]
+    fn centered_identifier_count_matches_grid_square_area() {
+        // r = 9 ⇒ 19×19 = 361 identifiers, the §3.2 example.
+        let row = &identifier_information(&[9])[0];
+        assert_eq!(row.centered_identifiers, 361);
+    }
+}

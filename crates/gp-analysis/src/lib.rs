@@ -1,0 +1,33 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation from the synthetic study data.
+//!
+//! | Paper artifact | Module / entry point |
+//! |---|---|
+//! | Table 1 — false accept/reject rates, equal grid-square size | [`false_rates::table1`] |
+//! | Table 2 — false accept/reject rates, equal `r` | [`false_rates::table2`] |
+//! | Table 3 — theoretical password-space bits | [`password_space_table::table3`] |
+//! | Figure 7 — offline dictionary attack, equal grid-square size | [`attack_curves::figure7`] |
+//! | Figure 8 — offline dictionary attack, equal `r` | [`attack_curves::figure8`] |
+//! | §5.2 — information revealed by stored grid identifiers | [`information_revealed`] |
+//! | Figures 1/5/6 — tolerance-region geometry | [`diagrams`] |
+//!
+//! [`experiments::Experiment`] wraps all of the above behind a uniform
+//! `run()` interface used by the examples and the bench harness, and
+//! [`report`] renders rows as aligned text tables or CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack_curves;
+pub mod diagrams;
+pub mod experiments;
+pub mod false_rates;
+pub mod information_revealed;
+pub mod password_space_table;
+pub mod report;
+
+pub use attack_curves::{figure7, figure8, AttackCurvePoint};
+pub use experiments::{crack_percentages, Experiment, ExperimentScale};
+pub use false_rates::{table1, table2, ComparisonMode, FalseRateRow};
+pub use information_revealed::{identifier_information, IdentifierInfoRow};
+pub use password_space_table::{table3, PasswordSpaceRow};

@@ -1,0 +1,122 @@
+//! Theoretical password-space table (Table 3).
+
+use gp_discretization::{PasswordSpace, SchemeKind};
+use gp_geometry::ImageDims;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PasswordSpaceRow {
+    /// Image dimensions this row refers to.
+    pub image: ImageDims,
+    /// Grid-square side length in pixels.
+    pub grid_size: f64,
+    /// Guaranteed tolerance under Centered Discretization for this grid size.
+    pub centered_r: f64,
+    /// Guaranteed tolerance under Robust Discretization for this grid size.
+    pub robust_r: f64,
+    /// Number of grid squares per grid on this image.
+    pub squares_per_grid: u64,
+    /// Theoretical full password space for 5-click passwords, in bits.
+    pub password_space_bits: f64,
+}
+
+/// Grid sizes listed in Table 3.
+pub const TABLE3_GRID_SIZES: [f64; 6] = [9.0, 13.0, 19.0, 24.0, 36.0, 54.0];
+
+/// Image sizes listed in Table 3.
+pub const TABLE3_IMAGES: [ImageDims; 2] = [ImageDims::STUDY, ImageDims::VGA];
+
+/// Number of clicks per password used in Table 3.
+pub const TABLE3_CLICKS: u32 = 5;
+
+/// Reproduce Table 3: bitsize of the full theoretical password space for
+/// 5-click passwords over both image sizes and all listed grid sizes.
+pub fn table3() -> Vec<PasswordSpaceRow> {
+    let mut rows = Vec::new();
+    for image in TABLE3_IMAGES {
+        for grid_size in TABLE3_GRID_SIZES {
+            let space = PasswordSpace::new(image, grid_size, TABLE3_CLICKS);
+            rows.push(PasswordSpaceRow {
+                image,
+                grid_size,
+                centered_r: SchemeKind::Centered.r_for_grid_size(grid_size),
+                robust_r: SchemeKind::Robust.r_for_grid_size(grid_size),
+                squares_per_grid: space.squares_per_grid(),
+                password_space_bits: space.bits(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(image: ImageDims, grid: f64) -> PasswordSpaceRow {
+        table3()
+            .into_iter()
+            .find(|r| r.image == image && r.grid_size == grid)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn has_twelve_rows() {
+        assert_eq!(table3().len(), 12);
+    }
+
+    #[test]
+    fn matches_paper_values_451x331() {
+        let expectations = [
+            (9.0, 4.0, 1.50, 1887, 54.4),
+            (13.0, 6.0, 13.0 / 6.0, 910, 49.1),
+            (19.0, 9.0, 19.0 / 6.0, 432, 43.8),
+            (24.0, 11.5, 4.0, 266, 40.3),
+            (36.0, 17.5, 6.0, 130, 35.1),
+            (54.0, 26.5, 9.0, 63, 29.9),
+        ];
+        for (grid, c_r, r_r, squares, bits) in expectations {
+            let row = row(ImageDims::STUDY, grid);
+            assert_eq!(row.centered_r, c_r, "grid {grid}");
+            assert!((row.robust_r - r_r).abs() < 0.01, "grid {grid}");
+            assert_eq!(row.squares_per_grid, squares, "grid {grid}");
+            assert!(
+                ((row.password_space_bits * 10.0).round() / 10.0 - bits).abs() < 1e-9,
+                "grid {grid}: {} vs {}",
+                row.password_space_bits,
+                bits
+            );
+        }
+    }
+
+    #[test]
+    fn matches_paper_values_640x480() {
+        let expectations = [
+            (9.0, 3888, 59.6),
+            (13.0, 1850, 54.3),
+            (19.0, 884, 48.9),
+            (24.0, 540, 45.4),
+            (36.0, 252, 39.9),
+            (54.0, 108, 33.8),
+        ];
+        for (grid, squares, bits) in expectations {
+            let row = row(ImageDims::VGA, grid);
+            assert_eq!(row.squares_per_grid, squares, "grid {grid}");
+            assert!(
+                ((row.password_space_bits * 10.0).round() / 10.0 - bits).abs() < 1e-9,
+                "grid {grid}"
+            );
+        }
+    }
+
+    #[test]
+    fn bits_shrink_as_grid_size_grows() {
+        for image in TABLE3_IMAGES {
+            let rows: Vec<_> = table3().into_iter().filter(|r| r.image == image).collect();
+            for pair in rows.windows(2) {
+                assert!(pair[0].password_space_bits > pair[1].password_space_bits);
+            }
+        }
+    }
+}

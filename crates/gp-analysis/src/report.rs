@@ -1,0 +1,145 @@
+//! Rendering of experiment results as aligned text tables and CSV.
+
+/// A simple column-aligned text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.  The cell count must match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header));
+        out.push('\n');
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total_width));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (comma-separated; cells containing commas are quoted).
+    pub fn render_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a floating-point percentage with one decimal, as the paper does.
+pub fn pct(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+/// Format a bit count with one decimal, as the paper does.
+pub fn bits(value: f64) -> String {
+    format!("{value:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["Grid", "False Accept", "False Reject"]);
+        t.push_row(vec!["9x9".into(), "3.5%".into(), "21.8%".into()]);
+        t.push_row(vec!["13x13".into(), "1.7%".into(), "21.1%".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Grid"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "False Accept" starts at the same offset in header
+        // and data rows.
+        let col = lines[0].find("False Accept").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "3.5%");
+        assert_eq!(&lines[3][col..col + 4], "1.7%");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.push_row(vec!["x,y".into(), "say \"hi\"".into()]);
+        let csv = t.render_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(21.07), "21.1%");
+        assert_eq!(bits(54.32), "54.3");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_length_rejected() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the analysis layer: the paper's qualitative
+//! claims must hold for *any* synthetic population, not just the default
+//! calibration.
+
+use gp_analysis::{table1, table2, ComparisonMode};
+use gp_study::{ClickAccuracy, FieldStudyConfig, UserModel};
+use proptest::prelude::*;
+
+fn small_study(seed: u64, tight: f64, sloppy: f64, fraction: f64, affinity: f64) -> gp_study::Dataset {
+    FieldStudyConfig {
+        participants: 10,
+        total_passwords: 20,
+        total_logins: 120,
+        user_model: UserModel {
+            hotspot_affinity: affinity,
+            min_separation: 10.0,
+            accuracy: ClickAccuracy {
+                tight_sigma: tight,
+                sloppy_sigma: sloppy,
+                sloppy_fraction: fraction,
+            },
+            clicks_per_password: 5,
+        },
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Centered Discretization records zero false accepts and rejects for
+    /// every population, accuracy mixture and comparison mode.
+    #[test]
+    fn centered_false_rates_are_always_zero(
+        seed in any::<u64>(),
+        tight in 0.5..4.0f64,
+        sloppy in 4.0..15.0f64,
+        fraction in 0.0..0.5f64,
+        affinity in 0.0..1.0f64,
+    ) {
+        let dataset = small_study(seed, tight, sloppy, fraction, affinity);
+        for row in table1(&dataset).into_iter().chain(table2(&dataset)) {
+            prop_assert_eq!(row.centered_false_accept_pct, 0.0);
+            prop_assert_eq!(row.centered_false_reject_pct, 0.0);
+        }
+    }
+
+    /// At equal r, Robust's false rejects stay (essentially) zero and all
+    /// reported percentages are valid percentages, for any population.
+    #[test]
+    fn equal_r_false_rejects_stay_negligible(
+        seed in any::<u64>(),
+        tight in 0.5..4.0f64,
+        sloppy in 4.0..15.0f64,
+        fraction in 0.0..0.5f64,
+    ) {
+        let dataset = small_study(seed, tight, sloppy, fraction, 0.8);
+        for row in table2(&dataset) {
+            // Only the exact-boundary pixel case can produce a false reject
+            // at equal r, so the rate stays a small residual regardless of
+            // how sloppy the population is (false accepts, by contrast,
+            // routinely reach tens of percent).
+            prop_assert!(row.false_reject_pct <= 5.0,
+                "{}: unexpected false-reject rate {:.2}%", row.label, row.false_reject_pct);
+            prop_assert!((0.0..=100.0).contains(&row.false_accept_pct));
+            prop_assert!((0.0..=100.0).contains(&row.false_reject_pct));
+        }
+    }
+
+    /// The comparison-mode constructors keep the defining relationship
+    /// between grid size and tolerance for arbitrary parameters.
+    #[test]
+    fn comparison_mode_parameter_relationships(size in 3.0..120.0f64, r in 1u32..40) {
+        let equal_grid = ComparisonMode::EqualGridSize { size };
+        prop_assert!((equal_grid.robust().grid_square_size() - size).abs() < 1e-9);
+        prop_assert!((equal_grid.centered().grid_square_size() - size).abs() < 1e-9);
+
+        let equal_r = ComparisonMode::EqualR { r };
+        prop_assert!((equal_r.robust().grid_square_size() - 6.0 * r as f64).abs() < 1e-9);
+        prop_assert!((equal_r.centered().grid_square_size() - (2.0 * r as f64 + 1.0)).abs() < 1e-9);
+        // Robust's squares are always larger at equal r — the security cost.
+        prop_assert!(equal_r.robust().grid_square_size() > equal_r.centered().grid_square_size());
+    }
+}

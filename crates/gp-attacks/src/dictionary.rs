@@ -1,0 +1,321 @@
+//! Human-seeded attack dictionaries.
+//!
+//! §5.1: "We used the click-points collected in the lab study and generated
+//! a dictionary containing all possible 5-click-point permutations as
+//! entries.  Thirty lab passwords were used for each image, giving
+//! dictionaries with ≈ 2³⁶ entries."  Thirty passwords × five clicks give a
+//! pool of 150 points; the dictionary is every ordered arrangement of five
+//! *distinct* pool points, so its size is `150·149·148·147·146 ≈ 6.9·10¹⁰`.
+//!
+//! Materializing 2³⁶ entries is neither possible nor necessary:
+//! [`ClickPointPool`] stores only the pool and exposes
+//!
+//! * exact entry counting,
+//! * lazy enumeration (for brute-force validation on reduced pools), and
+//! * deterministic sampling (for online-attack simulations),
+//!
+//! while the offline attack in [`crate::offline`] answers "does any entry
+//! crack this target?" by matching pool points against the target's grid
+//! squares, which is exact and avoids enumeration entirely.
+
+use gp_geometry::Point;
+use gp_study::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The pool of candidate click-points harvested from a source dataset, from
+/// which dictionary entries (ordered k-permutations) are drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClickPointPool {
+    /// Candidate click-points (deduplicated exact coordinates, order
+    /// preserved from harvesting).
+    points: Vec<Point>,
+    /// Number of click-points per dictionary entry (5 for PassPoints).
+    clicks_per_entry: usize,
+}
+
+impl ClickPointPool {
+    /// Build a pool from explicit points.
+    pub fn new(points: Vec<Point>, clicks_per_entry: usize) -> Self {
+        assert!(clicks_per_entry > 0, "entries need at least one click");
+        let mut deduped: Vec<Point> = Vec::with_capacity(points.len());
+        for p in points {
+            if !deduped.iter().any(|q| q == &p) {
+                deduped.push(p);
+            }
+        }
+        Self {
+            points: deduped,
+            clicks_per_entry,
+        }
+    }
+
+    /// Harvest every click-point of every password created on `image` in
+    /// the source dataset (the paper's lab study).
+    pub fn from_dataset(source: &Dataset, image: &str, clicks_per_entry: usize) -> Self {
+        let points: Vec<Point> = source
+            .password_indices_for_image(image)
+            .into_iter()
+            .flat_map(|i| source.passwords[i].clicks.iter().copied())
+            .collect();
+        Self::new(points, clicks_per_entry)
+    }
+
+    /// The candidate points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of candidate points in the pool.
+    pub fn pool_size(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Clicks per dictionary entry.
+    pub fn clicks_per_entry(&self) -> usize {
+        self.clicks_per_entry
+    }
+
+    /// Exact number of dictionary entries: the number of ordered
+    /// `clicks_per_entry`-permutations of the pool, `n·(n−1)·…`.
+    pub fn entry_count(&self) -> u128 {
+        let n = self.points.len() as u128;
+        let k = self.clicks_per_entry as u128;
+        if n < k {
+            return 0;
+        }
+        let mut count: u128 = 1;
+        for i in 0..k {
+            count = count.saturating_mul(n - i);
+        }
+        count
+    }
+
+    /// Dictionary size in bits (`log2(entry_count)`), the figure the paper
+    /// quotes ("a 36-bit dictionary").
+    pub fn entry_bits(&self) -> f64 {
+        let count = self.entry_count();
+        if count == 0 {
+            0.0
+        } else {
+            (count as f64).log2()
+        }
+    }
+
+    /// Lazily enumerate every dictionary entry in lexicographic index
+    /// order.  Only usable for small pools (the iterator is exact but the
+    /// full paper-scale dictionary has ~7·10¹⁰ entries).
+    pub fn enumerate(&self) -> PermutationIter<'_> {
+        PermutationIter::new(&self.points, self.clicks_per_entry)
+    }
+
+    /// Draw `count` dictionary entries uniformly at random (with
+    /// replacement across entries, without replacement within an entry),
+    /// deterministically for a given RNG.
+    pub fn sample_entries<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Vec<Point>> {
+        let mut out = Vec::with_capacity(count);
+        if self.points.len() < self.clicks_per_entry {
+            return out;
+        }
+        for _ in 0..count {
+            let mut entry: Vec<Point> = self
+                .points
+                .choose_multiple(rng, self.clicks_per_entry)
+                .copied()
+                .collect();
+            entry.shuffle(rng);
+            out.push(entry);
+        }
+        out
+    }
+
+    /// A reduced pool containing only the first `n` points — used to keep
+    /// brute-force validation runs tractable.
+    pub fn truncated(&self, n: usize) -> Self {
+        Self {
+            points: self.points.iter().take(n).copied().collect(),
+            clicks_per_entry: self.clicks_per_entry,
+        }
+    }
+}
+
+/// Iterator over all ordered k-permutations of a point slice.
+#[derive(Debug)]
+pub struct PermutationIter<'a> {
+    points: &'a [Point],
+    k: usize,
+    /// Current selection as indices into `points`; empty once exhausted.
+    indices: Vec<usize>,
+    /// Scratch: which indices are currently used.
+    used: Vec<bool>,
+    started: bool,
+    done: bool,
+}
+
+impl<'a> PermutationIter<'a> {
+    fn new(points: &'a [Point], k: usize) -> Self {
+        let done = points.len() < k;
+        Self {
+            points,
+            k,
+            indices: Vec::with_capacity(k),
+            used: vec![false; points.len()],
+            started: false,
+            done,
+        }
+    }
+
+    /// Advance to the next permutation (simple backtracking over index
+    /// vectors in lexicographic order).
+    fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if !self.started {
+            self.started = true;
+            // First permutation: indices 0, 1, …, k-1.
+            for i in 0..self.k {
+                self.indices.push(i);
+                self.used[i] = true;
+            }
+            return true;
+        }
+        // Increment the last position to the next unused index, backtracking
+        // when exhausted.
+        loop {
+            let Some(&last) = self.indices.last() else {
+                self.done = true;
+                return false;
+            };
+            self.used[last] = false;
+            self.indices.pop();
+            // Find the next unused index greater than `last`.
+            let mut candidate = last + 1;
+            while candidate < self.points.len() && self.used[candidate] {
+                candidate += 1;
+            }
+            if candidate < self.points.len() {
+                self.indices.push(candidate);
+                self.used[candidate] = true;
+                // Fill the remaining positions with the smallest unused indices.
+                while self.indices.len() < self.k {
+                    let next = (0..self.points.len())
+                        .find(|&i| !self.used[i])
+                        .expect("pool is at least k large");
+                    self.indices.push(next);
+                    self.used[next] = true;
+                }
+                return true;
+            }
+            // Otherwise keep backtracking; loop continues.
+        }
+    }
+}
+
+impl<'a> Iterator for PermutationIter<'a> {
+    type Item = Vec<Point>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.advance() {
+            Some(self.indices.iter().map(|&i| self.points[i]).collect())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_study::LabStudyConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    fn small_pool(n: usize, k: usize) -> ClickPointPool {
+        let points = (0..n).map(|i| Point::new(i as f64 * 10.0, 5.0)).collect();
+        ClickPointPool::new(points, k)
+    }
+
+    #[test]
+    fn entry_count_matches_permutation_formula() {
+        assert_eq!(small_pool(5, 3).entry_count(), 60);
+        assert_eq!(small_pool(4, 4).entry_count(), 24);
+        assert_eq!(small_pool(3, 4).entry_count(), 0);
+        assert_eq!(small_pool(150, 5).entry_count(), 150 * 149 * 148 * 147 * 146);
+    }
+
+    #[test]
+    fn paper_scale_dictionary_is_about_36_bits() {
+        // 30 lab passwords × 5 clicks = 150 points (minus any exact-duplicate
+        // coordinates), ~2^36 entries.
+        let lab = LabStudyConfig::paper_scale().generate();
+        for image in ["cars", "pool"] {
+            let pool = ClickPointPool::from_dataset(&lab, image, 5);
+            assert!(pool.pool_size() >= 140, "pool size {}", pool.pool_size());
+            assert!(pool.pool_size() <= 150);
+            let bits = pool.entry_bits();
+            assert!((35.0..37.0).contains(&bits), "{image} dictionary is {bits:.1} bits");
+        }
+    }
+
+    #[test]
+    fn enumeration_yields_exactly_the_permutations() {
+        let pool = small_pool(4, 2);
+        let entries: Vec<Vec<Point>> = pool.enumerate().collect();
+        assert_eq!(entries.len(), 12);
+        // All entries distinct, all points within an entry distinct.
+        let as_keys: BTreeSet<String> = entries
+            .iter()
+            .map(|e| format!("{:?}", e))
+            .collect();
+        assert_eq!(as_keys.len(), 12);
+        for e in &entries {
+            assert_ne!(e[0], e[1]);
+        }
+    }
+
+    #[test]
+    fn enumeration_count_matches_formula_for_k5() {
+        let pool = small_pool(7, 5);
+        assert_eq!(pool.enumerate().count() as u128, pool.entry_count());
+    }
+
+    #[test]
+    fn sampling_produces_valid_entries() {
+        let pool = small_pool(10, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let entries = pool.sample_entries(&mut rng, 100);
+        assert_eq!(entries.len(), 100);
+        for e in &entries {
+            assert_eq!(e.len(), 5);
+            let set: BTreeSet<String> = e.iter().map(|p| format!("{p}")).collect();
+            assert_eq!(set.len(), 5, "points within an entry must be distinct");
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_deduplicated() {
+        let pool = ClickPointPool::new(
+            vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+            2,
+        );
+        assert_eq!(pool.pool_size(), 2);
+    }
+
+    #[test]
+    fn truncated_pool_shrinks() {
+        let pool = small_pool(20, 5).truncated(8);
+        assert_eq!(pool.pool_size(), 8);
+        assert_eq!(pool.clicks_per_entry(), 5);
+    }
+
+    #[test]
+    fn empty_or_undersized_pools_are_harmless() {
+        let pool = small_pool(3, 5);
+        assert_eq!(pool.entry_count(), 0);
+        assert_eq!(pool.entry_bits(), 0.0);
+        assert_eq!(pool.enumerate().count(), 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(pool.sample_entries(&mut rng, 5).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Cost model for the offline attack **without** known grid identifiers.
+//!
+//! §5.1: "in the unusual case where only the hashed passwords are known,
+//! the size of attack dictionaries to have the same attack efficacy would
+//! have to increase significantly.  For each dictionary entry, attackers
+//! would need to compute a hash for each possible grid identifier
+//! combination.  This would require significantly more work for Centered
+//! Discretization since the number of grids is proportional to the size of
+//! the grid-squares (13×13 grid-squares implies 13² = 169 grid identifiers).
+//! Conversely, Robust Discretization has only 3 possible grids."
+//!
+//! This module quantifies that work factor, and — because the paper also
+//! notes iterated hashing as a mitigation — folds the iteration count into
+//! the per-guess cost.
+
+use crate::dictionary::ClickPointPool;
+use gp_discretization::DiscretizationScheme;
+use serde::{Deserialize, Serialize};
+
+/// Work-factor model for a hash-only offline attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HashOnlyCostModel {
+    /// Number of dictionary entries the attacker will try.
+    pub dictionary_entries: u128,
+    /// Number of possible clear grid identifiers per click
+    /// (3 for Robust, `(2r)²` for Centered).
+    pub grid_identifiers_per_click: u64,
+    /// Clicks per password.
+    pub clicks: u32,
+    /// Hash iterations per guess (the `h^1000` hardening).
+    pub hash_iterations: u32,
+}
+
+impl HashOnlyCostModel {
+    /// Build the model for a scheme and dictionary.
+    pub fn for_scheme(
+        scheme: &dyn DiscretizationScheme,
+        pool: &ClickPointPool,
+        hash_iterations: u32,
+    ) -> Self {
+        Self {
+            dictionary_entries: pool.entry_count(),
+            grid_identifiers_per_click: scheme.num_grid_identifiers(),
+            clicks: pool.clicks_per_entry() as u32,
+            hash_iterations: hash_iterations.max(1),
+        }
+    }
+
+    /// Number of grid-identifier combinations that must be tried per
+    /// dictionary entry: `identifiers ^ clicks`.
+    pub fn grid_combinations(&self) -> f64 {
+        (self.grid_identifiers_per_click as f64).powi(self.clicks as i32)
+    }
+
+    /// Total number of SHA-256 compressions (guesses × grid combinations ×
+    /// iterations), as a floating-point work factor.
+    pub fn total_hash_operations(&self) -> f64 {
+        self.dictionary_entries as f64 * self.grid_combinations() * self.hash_iterations as f64
+    }
+
+    /// The work factor in bits (`log2` of the hash-operation count).
+    pub fn work_bits(&self) -> f64 {
+        let ops = self.total_hash_operations();
+        if ops <= 0.0 {
+            0.0
+        } else {
+            ops.log2()
+        }
+    }
+
+    /// Extra work, in bits, relative to the known-grid-identifier attack on
+    /// the same dictionary (which needs one grid combination per entry).
+    pub fn extra_bits_vs_known_grid(&self) -> f64 {
+        self.grid_combinations().log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_discretization::{CenteredDiscretization, RobustDiscretization};
+    use gp_geometry::Point;
+
+    fn pool() -> ClickPointPool {
+        ClickPointPool::new(
+            (0..150).map(|i| Point::new(i as f64, (i % 37) as f64)).collect(),
+            5,
+        )
+    }
+
+    #[test]
+    fn robust_needs_only_3_to_the_5_combinations() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let model = HashOnlyCostModel::for_scheme(&scheme, &pool(), 1);
+        assert_eq!(model.grid_identifiers_per_click, 3);
+        assert_eq!(model.grid_combinations(), 243.0);
+        assert!((model.extra_bits_vs_known_grid() - 243f64.log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centered_combinations_grow_with_grid_size() {
+        // 13x13 squares (r = 6) ⇒ 169 identifiers per click, per the paper.
+        let scheme = CenteredDiscretization::from_grid_square_size(13.0).unwrap();
+        let model = HashOnlyCostModel::for_scheme(&scheme, &pool(), 1);
+        assert_eq!(model.grid_identifiers_per_click, 169);
+        assert!((model.grid_combinations() - 169f64.powi(5)).abs() < 1.0);
+        // Centered makes the hash-only attack much harder than Robust.
+        let robust = HashOnlyCostModel::for_scheme(&RobustDiscretization::new(6.0).unwrap(), &pool(), 1);
+        assert!(model.work_bits() > robust.work_bits() + 25.0);
+    }
+
+    #[test]
+    fn iterated_hashing_adds_about_ten_bits_at_1000_iterations() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let base = HashOnlyCostModel::for_scheme(&scheme, &pool(), 1);
+        let hardened = HashOnlyCostModel::for_scheme(&scheme, &pool(), 1000);
+        let delta = hardened.work_bits() - base.work_bits();
+        assert!((delta - 1000f64.log2()).abs() < 1e-9);
+        assert!(delta > 9.9 && delta < 10.0, "1000 iterations ≈ +10 bits, got {delta}");
+    }
+
+    #[test]
+    fn dictionary_size_drives_base_cost() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let model = HashOnlyCostModel::for_scheme(&scheme, &pool(), 1);
+        // Dictionary is ~2^36; with 3^5 combinations the total is ~2^43.9.
+        assert!((model.work_bits() - (pool().entry_bits() + 243f64.log2())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_entry_dictionary_costs_nothing() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let empty = ClickPointPool::new(vec![], 5);
+        let model = HashOnlyCostModel::for_scheme(&scheme, &empty, 1000);
+        assert_eq!(model.total_hash_operations(), 0.0);
+        assert_eq!(model.work_bits(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Automated hotspot-based dictionary construction.
+//!
+//! §2.1 cites two attack families: human-seeded dictionaries (harvested
+//! passwords) and automated image-processing attacks (Dirik et al.), which
+//! predict likely click-points directly from the image.  With the synthetic
+//! image substrate the "image processing" step reduces to reading the
+//! hotspot map; the resulting candidate points feed the same offline /
+//! online attack machinery as the human-seeded pool, letting the analysis
+//! crate compare both dictionary sources.
+
+use crate::dictionary::ClickPointPool;
+use gp_study::SyntheticImage;
+
+/// A dictionary pool derived from an image's hotspot map rather than from
+/// harvested passwords.
+#[derive(Debug, Clone)]
+pub struct HotspotDictionary {
+    pool: ClickPointPool,
+    /// How many of the image's hotspots (most popular first) were used.
+    pub hotspots_used: usize,
+}
+
+impl HotspotDictionary {
+    /// Build a pool from the `top_n` most popular hotspots of an image.
+    /// Each hotspot contributes its center point.
+    pub fn from_image(image: &SyntheticImage, top_n: usize, clicks_per_entry: usize) -> Self {
+        let mut hotspots: Vec<_> = image.hotspots.iter().collect();
+        hotspots.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("finite weights"));
+        let used = top_n.min(hotspots.len());
+        let points = hotspots[..used].iter().map(|h| h.center).collect();
+        Self {
+            pool: ClickPointPool::new(points, clicks_per_entry),
+            hotspots_used: used,
+        }
+    }
+
+    /// The candidate-point pool, usable with
+    /// [`OfflineKnownGridAttack`](crate::offline::OfflineKnownGridAttack).
+    pub fn pool(&self) -> &ClickPointPool {
+        &self.pool
+    }
+
+    /// Consume into the underlying pool.
+    pub fn into_pool(self) -> ClickPointPool {
+        self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineKnownGridAttack;
+    use gp_geometry::ImageDims;
+    use gp_passwords::{DiscretizationConfig, GraphicalPasswordSystem, PasswordPolicy};
+    use gp_study::UserModel;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn pool_uses_most_popular_hotspots_first() {
+        let image = SyntheticImage::cars();
+        let d = HotspotDictionary::from_image(&image, 10, 5);
+        assert_eq!(d.hotspots_used, 10);
+        assert_eq!(d.pool().pool_size(), 10);
+        // Every point is one of the image's hotspot centers.
+        for p in d.pool().points() {
+            assert!(image.hotspots.iter().any(|h| h.center == *p));
+        }
+        // Requesting more hotspots than exist is clamped.
+        let all = HotspotDictionary::from_image(&image, 999, 5);
+        assert_eq!(all.hotspots_used, image.hotspots.len());
+    }
+
+    #[test]
+    fn hotspot_dictionary_cracks_hotspot_clicking_users() {
+        // Users with maximal hotspot affinity are vulnerable to the
+        // automated dictionary; this is the Dirik-style result.
+        let image = SyntheticImage::cars();
+        let model = UserModel {
+            hotspot_affinity: 1.0,
+            ..UserModel::study_default()
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 5),
+            DiscretizationConfig::robust(9.0),
+            1,
+        );
+        let attack = OfflineKnownGridAttack::new(
+            HotspotDictionary::from_image(&image, 30, 5).into_pool(),
+        );
+        let mut cracked = 0;
+        let trials = 40;
+        for i in 0..trials {
+            let clicks = model.choose_password(&mut rng, &image);
+            let stored = system.enroll(&format!("u{i}"), &clicks).unwrap();
+            if attack.cracks(&stored, &clicks) {
+                cracked += 1;
+            }
+        }
+        assert!(
+            cracked > trials / 4,
+            "hotspot dictionary should crack a substantial share, got {cracked}/{trials}"
+        );
+    }
+
+    #[test]
+    fn uniform_clicking_users_resist_the_hotspot_dictionary() {
+        let image = SyntheticImage::cars();
+        let model = UserModel {
+            hotspot_affinity: 0.0,
+            ..UserModel::study_default()
+        };
+        let mut rng = StdRng::seed_from_u64(78);
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 5),
+            DiscretizationConfig::centered(9),
+            1,
+        );
+        let attack = OfflineKnownGridAttack::new(
+            HotspotDictionary::from_image(&image, 30, 5).into_pool(),
+        );
+        let mut cracked = 0;
+        let trials = 40;
+        for i in 0..trials {
+            let clicks = model.choose_password(&mut rng, &image);
+            let stored = system.enroll(&format!("u{i}"), &clicks).unwrap();
+            if attack.cracks(&stored, &clicks) {
+                cracked += 1;
+            }
+        }
+        assert!(
+            cracked <= trials / 10,
+            "uniform clickers should mostly resist the hotspot dictionary, got {cracked}/{trials}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Attack suite for click-based graphical passwords.
+//!
+//! Reproduces the security analysis of §5 of the paper:
+//!
+//! * [`dictionary`] — the **human-seeded dictionary**: all ordered
+//!   5-point permutations of the click-points harvested from the lab study
+//!   (30 passwords × 5 clicks = 150 points per image ⇒ ≈ 2³⁶ entries),
+//!   the construction of Thorpe & van Oorschot that the paper adopts.
+//! * [`offline`] — the **offline dictionary attack with known grid
+//!   identifiers** (Figures 7 and 8): the attacker holds the password file
+//!   (clear grid identifiers + hashes) and tests every dictionary entry.
+//!   Both an exact evaluation shortcut (set-membership matching, used for
+//!   the full-scale experiments) and an honest brute-force mode (hash every
+//!   entry, used to validate the shortcut on small pools) are provided.
+//! * [`hash_only`] — the cost model for the attack **without** known grid
+//!   identifiers (§5.1): every entry must be hashed under every possible
+//!   grid identifier combination, multiplying the work by `3^clicks` for
+//!   Robust but `((2r)²)^clicks` for Centered.
+//! * [`online`] — the **online dictionary attack** against the login
+//!   interface, throttled by an account-lockout policy.
+//! * [`hotspot`] — an automated (image-processing style) attack that builds
+//!   its dictionary from the image's hotspot map instead of harvested
+//!   passwords, in the spirit of Dirik et al.
+//! * [`metrics`] — aggregation of attack outcomes (fraction of passwords
+//!   cracked, per image and overall).
+//! * [`parallel`] — multi-threaded evaluation of an attack over a large
+//!   target population.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dictionary;
+pub mod hash_only;
+pub mod hotspot;
+pub mod metrics;
+pub mod offline;
+pub mod online;
+pub mod parallel;
+
+pub use dictionary::ClickPointPool;
+pub use hash_only::HashOnlyCostModel;
+pub use hotspot::HotspotDictionary;
+pub use metrics::{AttackOutcome, AttackSummary};
+pub use offline::OfflineKnownGridAttack;
+pub use online::{LockoutPolicy, OnlineAttack, OnlineOutcome};

@@ -1,0 +1,101 @@
+//! Aggregation of attack outcomes.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of attacking one target password.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Index of the target in the evaluated population.
+    pub target_index: usize,
+    /// Whether the attack recovered (an equivalent of) the password.
+    pub cracked: bool,
+}
+
+/// Aggregate results of an attack over a population of targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AttackSummary {
+    /// Number of targets evaluated.
+    pub targets: usize,
+    /// Number of targets cracked.
+    pub cracked: usize,
+}
+
+impl AttackSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one outcome.
+    pub fn record(&mut self, cracked: bool) {
+        self.targets += 1;
+        if cracked {
+            self.cracked += 1;
+        }
+    }
+
+    /// Merge another summary into this one (used by the parallel runner).
+    pub fn merge(&mut self, other: &AttackSummary) {
+        self.targets += other.targets;
+        self.cracked += other.cracked;
+    }
+
+    /// Fraction of targets cracked (0 when no targets were evaluated).
+    pub fn fraction_cracked(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            self.cracked as f64 / self.targets as f64
+        }
+    }
+
+    /// Percentage of targets cracked.
+    pub fn percent_cracked(&self) -> f64 {
+        100.0 * self.fraction_cracked()
+    }
+}
+
+impl core::fmt::Display for AttackSummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}/{} cracked ({:.1}%)",
+            self.cracked,
+            self.targets,
+            self.percent_cracked()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_fraction() {
+        let mut s = AttackSummary::new();
+        assert_eq!(s.fraction_cracked(), 0.0);
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.targets, 4);
+        assert_eq!(s.cracked, 2);
+        assert_eq!(s.fraction_cracked(), 0.5);
+        assert_eq!(s.percent_cracked(), 50.0);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = AttackSummary { targets: 10, cracked: 3 };
+        let b = AttackSummary { targets: 5, cracked: 5 };
+        a.merge(&b);
+        assert_eq!(a, AttackSummary { targets: 15, cracked: 8 });
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = AttackSummary { targets: 8, cracked: 2 };
+        assert_eq!(s.to_string(), "2/8 cracked (25.0%)");
+    }
+}

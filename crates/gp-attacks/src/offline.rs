@@ -1,0 +1,380 @@
+//! Offline dictionary attack with known grid identifiers (§5.1, Figures 7–8).
+//!
+//! Threat model: the attacker has obtained the server's password file, so
+//! for each account they hold the clear grid identifiers and the salted
+//! hash.  Every dictionary entry can therefore be discretized against the
+//! *target's own* grids before hashing, which is what makes the attack
+//! cheap ("each guess can be mapped directly to the user's stored grid
+//! identifiers to compute the hash rather than having to iterate through
+//! all possible grid combinations").
+//!
+//! Two evaluation modes are provided:
+//!
+//! * [`OfflineKnownGridAttack::cracks`] — the exact *evaluation shortcut*
+//!   used for the paper-scale experiments.  Because the dictionary consists
+//!   of all ordered permutations of a point pool, a target is cracked iff
+//!   distinct pool points can be assigned to the five click positions such
+//!   that each lands in the target's grid square for that position — a
+//!   bipartite matching question answered without enumerating the ≈ 2³⁶
+//!   entries.  (This uses the experimenter's knowledge of the target's true
+//!   grid squares, exactly as the paper's own post-hoc analysis did.)
+//! * [`OfflineKnownGridAttack::brute_force`] — the honest attacker: walk
+//!   the dictionary, hash every candidate, compare against the stored hash.
+//!   Used to validate the shortcut on reduced pools and to measure
+//!   per-guess cost in the benchmarks.
+
+use crate::dictionary::ClickPointPool;
+use crate::metrics::AttackSummary;
+use gp_geometry::{GridCell, Point};
+use gp_passwords::{GraphicalPasswordSystem, StoredPassword};
+
+/// Offline dictionary attack against password files with clear grid
+/// identifiers.
+#[derive(Debug, Clone)]
+pub struct OfflineKnownGridAttack {
+    pool: ClickPointPool,
+}
+
+/// Result of a brute-force dictionary walk against one target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BruteForceOutcome {
+    /// Index (0-based) of the first dictionary entry that matched, if any.
+    pub success_at: Option<u64>,
+    /// Number of entries hashed and compared.
+    pub guesses: u64,
+}
+
+impl OfflineKnownGridAttack {
+    /// Build the attack from a dictionary pool.
+    pub fn new(pool: ClickPointPool) -> Self {
+        Self { pool }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &ClickPointPool {
+        &self.pool
+    }
+
+    /// The target's grid squares, recovered from its stored clear
+    /// identifiers and the original click-points (experimenter knowledge
+    /// used only for evaluation).
+    fn target_cells(stored: &StoredPassword, original: &[Point]) -> Option<Vec<GridCell>> {
+        if original.len() != stored.clicks.len() {
+            return None;
+        }
+        let scheme = stored.config.build();
+        stored
+            .clicks
+            .iter()
+            .zip(original.iter())
+            .map(|(record, click)| scheme.try_locate(&record.grid_id, click).ok())
+            .collect()
+    }
+
+    /// Exact evaluation: does the dictionary contain at least one entry the
+    /// system would accept for this stored record?
+    ///
+    /// Equivalent to running [`brute_force`](Self::brute_force) over the
+    /// full dictionary (see the `shortcut_agrees_with_brute_force` test),
+    /// but runs in `O(pool × clicks)` instead of `O(pool^clicks)`.
+    pub fn cracks(&self, stored: &StoredPassword, original: &[Point]) -> bool {
+        let Some(cells) = Self::target_cells(stored, original) else {
+            return false;
+        };
+        if self.pool.pool_size() < stored.clicks.len() {
+            return false;
+        }
+        let scheme = stored.config.build();
+        // candidates[i] = pool indices whose point falls in the target's
+        // grid square for click position i.
+        let candidates: Vec<Vec<usize>> = stored
+            .clicks
+            .iter()
+            .zip(cells.iter())
+            .map(|(record, cell)| {
+                self.pool
+                    .points()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| {
+                        scheme
+                            .try_locate(&record.grid_id, p)
+                            .map(|c| c == *cell)
+                            .unwrap_or(false)
+                    })
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        distinct_assignment_exists(&candidates)
+    }
+
+    /// Evaluate the attack over a population of `(stored, original clicks)`
+    /// targets.
+    pub fn evaluate_population(
+        &self,
+        targets: &[(StoredPassword, Vec<Point>)],
+    ) -> AttackSummary {
+        let mut summary = AttackSummary::new();
+        for (stored, original) in targets {
+            summary.record(self.cracks(stored, original));
+        }
+        summary
+    }
+
+    /// Honest brute force: hash every dictionary entry (in enumeration
+    /// order) against the stored record until a match is found or `limit`
+    /// entries have been tried.
+    pub fn brute_force(
+        &self,
+        system: &GraphicalPasswordSystem,
+        stored: &StoredPassword,
+        limit: u64,
+    ) -> BruteForceOutcome {
+        let mut guesses = 0u64;
+        for entry in self.pool.enumerate() {
+            if guesses >= limit {
+                break;
+            }
+            guesses += 1;
+            if system.verify(stored, &entry).unwrap_or(false) {
+                return BruteForceOutcome {
+                    success_at: Some(guesses - 1),
+                    guesses,
+                };
+            }
+        }
+        BruteForceOutcome {
+            success_at: None,
+            guesses,
+        }
+    }
+}
+
+/// Whether a system of distinct representatives exists: one pool index per
+/// position, all distinct, each drawn from that position's candidate list.
+/// Positions are processed scarcest-first with backtracking; with ≤ 5
+/// positions this is effectively constant time.
+fn distinct_assignment_exists(candidates: &[Vec<usize>]) -> bool {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+    let mut used = std::collections::HashSet::new();
+    fn backtrack(
+        order: &[usize],
+        pos: usize,
+        candidates: &[Vec<usize>],
+        used: &mut std::collections::HashSet<usize>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let slot = order[pos];
+        for &candidate in &candidates[slot] {
+            if used.insert(candidate) {
+                if backtrack(order, pos + 1, candidates, used) {
+                    return true;
+                }
+                used.remove(&candidate);
+            }
+        }
+        false
+    }
+    backtrack(&order, 0, candidates, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_geometry::ImageDims;
+    use gp_passwords::{DiscretizationConfig, PasswordPolicy};
+
+    fn system(config: DiscretizationConfig, clicks: usize) -> GraphicalPasswordSystem {
+        GraphicalPasswordSystem::new(PasswordPolicy::new(ImageDims::STUDY, clicks), config, 1)
+    }
+
+    fn original_clicks() -> Vec<Point> {
+        vec![
+            Point::new(50.0, 60.0),
+            Point::new(150.0, 90.0),
+            Point::new(250.0, 160.0),
+            Point::new(350.0, 230.0),
+            Point::new(120.0, 300.0),
+        ]
+    }
+
+    #[test]
+    fn distinct_assignment_basic_cases() {
+        assert!(distinct_assignment_exists(&[vec![0], vec![1]]));
+        assert!(!distinct_assignment_exists(&[vec![0], vec![0]]));
+        assert!(distinct_assignment_exists(&[vec![0, 1], vec![0]]));
+        assert!(!distinct_assignment_exists(&[vec![], vec![1]]));
+        // Classic Hall violation: three positions sharing two candidates.
+        assert!(!distinct_assignment_exists(&[vec![0, 1], vec![0, 1], vec![0, 1]]));
+        assert!(distinct_assignment_exists(&[vec![0, 1], vec![0, 1], vec![2]]));
+    }
+
+    #[test]
+    fn dictionary_containing_the_password_cracks_it() {
+        let sys = system(DiscretizationConfig::centered(9), 5);
+        let original = original_clicks();
+        let stored = sys.enroll("victim", &original).unwrap();
+        // Pool = the victim's own points plus noise: attack must succeed.
+        let mut points = original.clone();
+        points.push(Point::new(400.0, 20.0));
+        points.push(Point::new(40.0, 200.0));
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(points, 5));
+        assert!(attack.cracks(&stored, &original));
+    }
+
+    #[test]
+    fn near_miss_pool_within_tolerance_also_cracks() {
+        // Pool points a few pixels off the victim's clicks still land in the
+        // same grid squares, so the attack succeeds — the essence of
+        // hotspot-driven guessing.
+        let sys = system(DiscretizationConfig::centered(9), 5);
+        let original = original_clicks();
+        let stored = sys.enroll("victim", &original).unwrap();
+        let points: Vec<Point> = original.iter().map(|p| p.offset(4.0, -3.0)).collect();
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(points, 5));
+        assert!(attack.cracks(&stored, &original));
+    }
+
+    #[test]
+    fn far_pool_does_not_crack() {
+        let sys = system(DiscretizationConfig::centered(9), 5);
+        let original = original_clicks();
+        let stored = sys.enroll("victim", &original).unwrap();
+        let points: Vec<Point> = original.iter().map(|p| p.offset(60.0, 45.0)).collect();
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(points, 5));
+        assert!(!attack.cracks(&stored, &original));
+    }
+
+    #[test]
+    fn robust_larger_squares_crack_more_than_centered_at_equal_r() {
+        // A pool offset just beyond r from the victim's points: always
+        // outside Centered's acceptance region (which is exactly ±r), but
+        // inside Robust's much larger 6r squares for these targets — the
+        // false-accept surface Figure 8 exploits.
+        let original = original_clicks();
+        let offset: Vec<Point> = original.iter().map(|p| p.offset(7.0, 7.0)).collect();
+        let pool = ClickPointPool::new(offset, 5);
+        let attack = OfflineKnownGridAttack::new(pool);
+
+        let sys_c = system(DiscretizationConfig::centered(6), 5);
+        let stored_c = sys_c.enroll("victim", &original).unwrap();
+        let sys_r = system(DiscretizationConfig::robust(6.0), 5);
+        let stored_r = sys_r.enroll("victim", &original).unwrap();
+
+        assert!(!attack.cracks(&stored_c, &original), "centered should resist a 7px-off pool at r=6");
+        assert!(attack.cracks(&stored_r, &original), "robust's 36px squares should admit a 7px-off pool");
+    }
+
+    #[test]
+    fn shortcut_agrees_with_brute_force_on_small_pools() {
+        // Exhaustively compare the matching shortcut with honest hashing on
+        // a reduced problem (3 clicks, pools of 6 points).
+        let clicks = 3usize;
+        let sys = system(DiscretizationConfig::centered(6), clicks);
+        let original = vec![
+            Point::new(60.0, 60.0),
+            Point::new(200.0, 120.0),
+            Point::new(320.0, 250.0),
+        ];
+        let stored = sys.enroll("victim", &original).unwrap();
+
+        for (label, pool_points) in [
+            (
+                "contains the password",
+                vec![
+                    Point::new(61.0, 58.0),
+                    Point::new(199.0, 123.0),
+                    Point::new(322.0, 247.0),
+                    Point::new(10.0, 10.0),
+                    Point::new(400.0, 300.0),
+                    Point::new(90.0, 200.0),
+                ],
+            ),
+            (
+                "misses one click",
+                vec![
+                    Point::new(61.0, 58.0),
+                    Point::new(199.0, 123.0),
+                    Point::new(10.0, 10.0),
+                    Point::new(400.0, 300.0),
+                    Point::new(90.0, 200.0),
+                    Point::new(250.0, 50.0),
+                ],
+            ),
+            (
+                "single shared point for two positions",
+                vec![
+                    // One point inside the grid square of click 0 AND click 1
+                    // is impossible (they are far apart), so emulate scarcity:
+                    // only one candidate each for clicks 0 and 1, distinct.
+                    Point::new(60.0, 60.0),
+                    Point::new(200.0, 120.0),
+                    Point::new(320.0, 250.0),
+                    Point::new(440.0, 20.0),
+                    Point::new(30.0, 300.0),
+                    Point::new(380.0, 80.0),
+                ],
+            ),
+        ] {
+            let attack = OfflineKnownGridAttack::new(ClickPointPool::new(pool_points, clicks));
+            let shortcut = attack.cracks(&stored, &original);
+            let brute = attack
+                .brute_force(&sys, &stored, u64::MAX)
+                .success_at
+                .is_some();
+            assert_eq!(shortcut, brute, "disagreement on case {label:?}");
+        }
+    }
+
+    #[test]
+    fn brute_force_respects_the_guess_limit() {
+        let clicks = 3usize;
+        let sys = system(DiscretizationConfig::centered(6), clicks);
+        let original = vec![
+            Point::new(60.0, 60.0),
+            Point::new(200.0, 120.0),
+            Point::new(320.0, 250.0),
+        ];
+        let stored = sys.enroll("victim", &original).unwrap();
+        let pool = ClickPointPool::new(
+            (0..8).map(|i| Point::new(10.0 + i as f64 * 30.0, 15.0)).collect(),
+            clicks,
+        );
+        let attack = OfflineKnownGridAttack::new(pool);
+        let outcome = attack.brute_force(&sys, &stored, 10);
+        assert_eq!(outcome.guesses, 10);
+        assert!(outcome.success_at.is_none());
+    }
+
+    #[test]
+    fn evaluate_population_counts_cracked_targets() {
+        let sys = system(DiscretizationConfig::centered(9), 5);
+        let original = original_clicks();
+        let stored = sys.enroll("victim", &original).unwrap();
+        let far: Vec<Point> = original.iter().map(|p| p.offset(80.0, -40.0)).collect();
+        let stored_far = sys.enroll("other", &far).unwrap();
+        let attack =
+            OfflineKnownGridAttack::new(ClickPointPool::new(original.clone(), 5));
+        let summary = attack.evaluate_population(&[
+            (stored, original.clone()),
+            (stored_far, far),
+        ]);
+        assert_eq!(summary.targets, 2);
+        assert_eq!(summary.cracked, 1);
+        assert_eq!(summary.fraction_cracked(), 0.5);
+    }
+
+    #[test]
+    fn undersized_pool_cannot_crack() {
+        let sys = system(DiscretizationConfig::centered(9), 5);
+        let original = original_clicks();
+        let stored = sys.enroll("victim", &original).unwrap();
+        let attack =
+            OfflineKnownGridAttack::new(ClickPointPool::new(original[..3].to_vec(), 5));
+        assert!(!attack.cracks(&stored, &original));
+    }
+}

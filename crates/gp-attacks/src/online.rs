@@ -1,0 +1,193 @@
+//! Online dictionary attack against the login interface (§5.1, "ONLINE
+//! DICTIONARY ATTACK").
+//!
+//! The attacker has no access to the password file.  Grid identifiers are
+//! irrelevant — "the system will automatically use the correct grids when
+//! interpreting the login attempt" — so the attacker simply submits guessed
+//! click sequences through the normal login path.  The defence is
+//! throttling: the account locks after a bounded number of failures.
+
+use gp_geometry::Point;
+use gp_passwords::{GraphicalPasswordSystem, StoredPassword};
+use serde::{Deserialize, Serialize};
+
+/// Account-lockout policy applied by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockoutPolicy {
+    /// Number of consecutive failed attempts after which the account locks.
+    /// `None` disables lockout (used to measure raw guess counts).
+    pub max_failures: Option<u32>,
+}
+
+impl LockoutPolicy {
+    /// A typical deployment: three strikes.
+    pub fn three_strikes() -> Self {
+        Self {
+            max_failures: Some(3),
+        }
+    }
+
+    /// No lockout at all.
+    pub fn unlimited() -> Self {
+        Self { max_failures: None }
+    }
+}
+
+/// Result of an online attack against a single account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// Whether a guess was accepted before lockout.
+    pub succeeded: bool,
+    /// Number of guesses submitted (including the successful one, if any).
+    pub attempts: u64,
+    /// Whether the account ended up locked.
+    pub locked_out: bool,
+}
+
+/// An online guessing campaign: an ordered list of guesses (highest priority
+/// first) submitted through the login interface.
+#[derive(Debug, Clone)]
+pub struct OnlineAttack {
+    guesses: Vec<Vec<Point>>,
+}
+
+impl OnlineAttack {
+    /// Build an attack from an ordered guess list.
+    pub fn new(guesses: Vec<Vec<Point>>) -> Self {
+        Self { guesses }
+    }
+
+    /// Number of prepared guesses.
+    pub fn guess_count(&self) -> usize {
+        self.guesses.len()
+    }
+
+    /// Run the campaign against one account.
+    pub fn run(
+        &self,
+        system: &GraphicalPasswordSystem,
+        stored: &StoredPassword,
+        policy: LockoutPolicy,
+    ) -> OnlineOutcome {
+        let mut failures = 0u32;
+        let mut attempts = 0u64;
+        for guess in &self.guesses {
+            if let Some(max) = policy.max_failures {
+                if failures >= max {
+                    return OnlineOutcome {
+                        succeeded: false,
+                        attempts,
+                        locked_out: true,
+                    };
+                }
+            }
+            attempts += 1;
+            // Structurally invalid guesses (wrong count, outside the image)
+            // are still counted as failed attempts by the server.
+            let accepted = system.verify(stored, guess).unwrap_or(false);
+            if accepted {
+                return OnlineOutcome {
+                    succeeded: true,
+                    attempts,
+                    locked_out: false,
+                };
+            }
+            failures += 1;
+        }
+        let locked_out = policy
+            .max_failures
+            .map(|max| failures >= max)
+            .unwrap_or(false);
+        OnlineOutcome {
+            succeeded: false,
+            attempts,
+            locked_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_geometry::ImageDims;
+    use gp_passwords::{DiscretizationConfig, PasswordPolicy};
+
+    fn setup() -> (GraphicalPasswordSystem, StoredPassword, Vec<Point>) {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 5),
+            DiscretizationConfig::centered(9),
+            1,
+        );
+        let original = vec![
+            Point::new(44.0, 55.0),
+            Point::new(140.0, 95.0),
+            Point::new(260.0, 170.0),
+            Point::new(360.0, 240.0),
+            Point::new(110.0, 310.0),
+        ];
+        let stored = system.enroll("victim", &original).unwrap();
+        (system, stored, original)
+    }
+
+    fn wrong_guess(i: f64) -> Vec<Point> {
+        (0..5)
+            .map(|j| Point::new(5.0 + i * 13.0 + j as f64, 5.0 + i * 7.0))
+            .collect()
+    }
+
+    #[test]
+    fn lockout_stops_the_attack_after_max_failures() {
+        let (system, stored, original) = setup();
+        // Correct guess hidden behind 10 wrong ones.
+        let mut guesses: Vec<Vec<Point>> = (0..10).map(|i| wrong_guess(i as f64)).collect();
+        guesses.push(original);
+        let attack = OnlineAttack::new(guesses);
+        let outcome = attack.run(&system, &stored, LockoutPolicy::three_strikes());
+        assert!(!outcome.succeeded);
+        assert!(outcome.locked_out);
+        assert_eq!(outcome.attempts, 3);
+    }
+
+    #[test]
+    fn early_correct_guess_succeeds_before_lockout() {
+        let (system, stored, original) = setup();
+        let guesses = vec![wrong_guess(1.0), original.clone(), wrong_guess(2.0)];
+        let attack = OnlineAttack::new(guesses);
+        let outcome = attack.run(&system, &stored, LockoutPolicy::three_strikes());
+        assert!(outcome.succeeded);
+        assert!(!outcome.locked_out);
+        assert_eq!(outcome.attempts, 2);
+    }
+
+    #[test]
+    fn unlimited_policy_walks_the_whole_list() {
+        let (system, stored, original) = setup();
+        let mut guesses: Vec<Vec<Point>> = (0..20).map(|i| wrong_guess(i as f64)).collect();
+        guesses.push(original);
+        let attack = OnlineAttack::new(guesses);
+        let outcome = attack.run(&system, &stored, LockoutPolicy::unlimited());
+        assert!(outcome.succeeded);
+        assert_eq!(outcome.attempts, 21);
+    }
+
+    #[test]
+    fn exhausted_guess_list_without_success() {
+        let (system, stored, _) = setup();
+        let attack = OnlineAttack::new((0..5).map(|i| wrong_guess(i as f64)).collect());
+        let outcome = attack.run(&system, &stored, LockoutPolicy::unlimited());
+        assert!(!outcome.succeeded);
+        assert!(!outcome.locked_out);
+        assert_eq!(outcome.attempts, 5);
+    }
+
+    #[test]
+    fn structurally_invalid_guesses_count_as_failures() {
+        let (system, stored, _) = setup();
+        // Guesses with the wrong click count.
+        let attack = OnlineAttack::new(vec![vec![Point::new(1.0, 1.0)]; 5]);
+        let outcome = attack.run(&system, &stored, LockoutPolicy::three_strikes());
+        assert!(!outcome.succeeded);
+        assert!(outcome.locked_out);
+        assert_eq!(outcome.attempts, 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Multi-threaded evaluation of an offline attack over a target population.
+//!
+//! The Figure 7/8 experiments evaluate the dictionary against hundreds of
+//! target passwords for a sweep of scheme parameters; each target is
+//! independent, so the work fans out over a scoped thread pool
+//! (crossbeam), merging per-thread [`AttackSummary`] values at the end.
+
+use crate::metrics::AttackSummary;
+use crate::offline::OfflineKnownGridAttack;
+use gp_geometry::Point;
+use gp_passwords::StoredPassword;
+
+/// Evaluate `attack` against every `(stored, original clicks)` target,
+/// splitting the population across `threads` worker threads.
+///
+/// `threads == 0` or `1`, or a population smaller than the thread count,
+/// falls back to the single-threaded path.
+pub fn evaluate_population_parallel(
+    attack: &OfflineKnownGridAttack,
+    targets: &[(StoredPassword, Vec<Point>)],
+    threads: usize,
+) -> AttackSummary {
+    if threads <= 1 || targets.len() <= threads {
+        return attack.evaluate_population(targets);
+    }
+    let chunk_size = targets.len().div_ceil(threads);
+    let mut total = AttackSummary::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in targets.chunks(chunk_size) {
+            handles.push(scope.spawn(move |_| attack.evaluate_population(chunk)));
+        }
+        for handle in handles {
+            let partial = handle.join().expect("attack worker panicked");
+            total.merge(&partial);
+        }
+    })
+    .expect("crossbeam scope failed");
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::ClickPointPool;
+    use gp_geometry::ImageDims;
+    use gp_passwords::{DiscretizationConfig, GraphicalPasswordSystem, PasswordPolicy};
+
+    fn build_targets(count: usize) -> (OfflineKnownGridAttack, Vec<(StoredPassword, Vec<Point>)>) {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 5),
+            DiscretizationConfig::centered(9),
+            1,
+        );
+        let mut targets = Vec::new();
+        let mut pool_points = Vec::new();
+        for i in 0..count {
+            // Even-indexed targets live in the left half of the image and
+            // their exact click-points are put in the pool; odd-indexed
+            // targets live in the right half, far (>> tolerance) from every
+            // pool point, so exactly half the population is crackable.
+            let base_x = if i % 2 == 0 { 20.0 + i as f64 } else { 250.0 + i as f64 };
+            let base_y = 15.0 + i as f64 * 2.0;
+            let clicks: Vec<Point> = (0..5)
+                .map(|j| Point::new(base_x + j as f64 * 30.0, base_y + j as f64 * 40.0))
+                .collect();
+            if i % 2 == 0 {
+                pool_points.extend(clicks.iter().copied());
+            }
+            let stored = system.enroll(&format!("user{i}"), &clicks).unwrap();
+            targets.push((stored, clicks));
+        }
+        (
+            OfflineKnownGridAttack::new(ClickPointPool::new(pool_points, 5)),
+            targets,
+        )
+    }
+
+    #[test]
+    fn parallel_result_matches_sequential() {
+        let (attack, targets) = build_targets(40);
+        let sequential = attack.evaluate_population(&targets);
+        for threads in [2, 4, 8] {
+            let parallel = evaluate_population_parallel(&attack, &targets, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+        assert_eq!(sequential.targets, 40);
+        assert_eq!(sequential.cracked, 20);
+    }
+
+    #[test]
+    fn degenerate_thread_counts_fall_back_to_sequential() {
+        let (attack, targets) = build_targets(6);
+        let s0 = evaluate_population_parallel(&attack, &targets, 0);
+        let s1 = evaluate_population_parallel(&attack, &targets, 1);
+        let s100 = evaluate_population_parallel(&attack, &targets, 100);
+        assert_eq!(s0, s1);
+        assert_eq!(s1, s100);
+        assert_eq!(s1.targets, 6);
+    }
+
+    #[test]
+    fn empty_population_is_empty_summary() {
+        let (attack, _) = build_targets(2);
+        let summary = evaluate_population_parallel(&attack, &[], 4);
+        assert_eq!(summary, AttackSummary::new());
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * Robust grid-selection policy — "first r-safe grid" (the literal
+//!   specification) versus "most centered" (the paper's optimal
+//!   implementation choice): enrollment cost and resulting false-accept
+//!   exposure.
+//! * Iterated-hashing depth — verification latency at h^1, h^1000, h^10000
+//!   (the paper's +10-bits-per-1000-iterations hardening).
+//! * Dictionary evaluation strategy — the exact matching shortcut versus
+//!   honest brute-force enumeration on a reduced pool.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gp_attacks::{ClickPointPool, OfflineKnownGridAttack};
+use gp_bench::{bench_field_dataset, example_clicks};
+use gp_discretization::prelude::*;
+use gp_geometry::{ImageDims, Point};
+use gp_passwords::prelude::*;
+
+fn ablation_robust_grid_policy(c: &mut Criterion) {
+    let dataset = bench_field_dataset();
+    // Quantify the effect of the policy on false accepts (printed once).
+    for (label, policy) in [
+        ("first-safe", GridSelectionPolicy::FirstSafe),
+        ("most-centered", GridSelectionPolicy::MostCentered),
+    ] {
+        let scheme = RobustDiscretization::with_policy(6.0, policy).unwrap();
+        let mut false_accepts = 0usize;
+        let mut logins = 0usize;
+        for login in &dataset.logins {
+            let original = &dataset.passwords[login.password_index].clicks;
+            logins += 1;
+            let within = original
+                .iter()
+                .zip(&login.clicks)
+                .all(|(o, a)| o.chebyshev(a) <= 6.5);
+            let accepted = original
+                .iter()
+                .zip(&login.clicks)
+                .all(|(o, a)| scheme.accepts(o, a));
+            if accepted && !within {
+                false_accepts += 1;
+            }
+        }
+        eprintln!(
+            "[ablation:grid-policy] {label:>13}: false accepts {:.1}% of {} logins (r = 6)",
+            100.0 * false_accepts as f64 / logins as f64,
+            logins
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_robust_grid_policy");
+    let p = Point::new(233.0, 187.0);
+    for (label, policy) in [
+        ("first_safe", GridSelectionPolicy::FirstSafe),
+        ("most_centered", GridSelectionPolicy::MostCentered),
+    ] {
+        let scheme = RobustDiscretization::with_policy(6.0, policy).unwrap();
+        group.bench_function(format!("enroll_{label}"), |b| {
+            b.iter(|| scheme.enroll(black_box(&p)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_iterated_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_iterated_hashing");
+    group.sample_size(20);
+    let clicks = example_clicks();
+    let attempt: Vec<Point> = clicks.iter().map(|p| p.offset(3.0, -3.0)).collect();
+    for iterations in [1u32, 1000, 10_000] {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 5),
+            DiscretizationConfig::centered(9),
+            iterations,
+        );
+        let stored = system.enroll("bench-user", &clicks).unwrap();
+        group.bench_function(format!("verify_h{iterations}"), |b| {
+            b.iter(|| system.verify(black_box(&stored), black_box(&attempt)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_dictionary_strategy(c: &mut Criterion) {
+    // Small pool so the brute-force side stays tractable: 8 points, 3 clicks
+    // → 336 hashed guesses per evaluation.
+    let clicks = vec![
+        Point::new(60.0, 60.0),
+        Point::new(200.0, 120.0),
+        Point::new(320.0, 250.0),
+    ];
+    let system = GraphicalPasswordSystem::new(
+        PasswordPolicy::new(ImageDims::STUDY, 3),
+        DiscretizationConfig::centered(6),
+        1,
+    );
+    let stored = system.enroll("victim", &clicks).unwrap();
+    let mut pool_points: Vec<Point> = clicks.iter().map(|p| p.offset(2.0, -2.0)).collect();
+    pool_points.extend((0..5).map(|i| Point::new(20.0 + i as f64 * 70.0, 300.0)));
+    let attack = OfflineKnownGridAttack::new(ClickPointPool::new(pool_points, 3));
+
+    let shortcut = attack.cracks(&stored, &clicks);
+    let brute = attack.brute_force(&system, &stored, u64::MAX);
+    eprintln!(
+        "[ablation:dictionary] shortcut cracked = {shortcut}, brute force cracked = {} after {} hashed guesses",
+        brute.success_at.is_some(),
+        brute.guesses
+    );
+    assert_eq!(shortcut, brute.success_at.is_some());
+
+    let mut group = c.benchmark_group("ablation_dictionary_strategy");
+    group.sample_size(20);
+    group.bench_function("matching_shortcut", |b| {
+        b.iter(|| attack.cracks(black_box(&stored), black_box(&clicks)))
+    });
+    group.bench_function("brute_force_enumeration", |b| {
+        b.iter(|| attack.brute_force(black_box(&system), black_box(&stored), u64::MAX))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_robust_grid_policy,
+    ablation_iterated_hashing,
+    ablation_dictionary_strategy
+);
+criterion_main!(benches);

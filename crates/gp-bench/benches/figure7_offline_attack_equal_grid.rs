@@ -1,0 +1,29 @@
+//! Figure 7 regeneration bench: offline human-seeded dictionary attack with
+//! known grid identifiers, both schemes at equal grid-square sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gp_analysis::figure7;
+use gp_bench::{bench_field_dataset, bench_lab_dataset};
+
+fn bench_figure7(c: &mut Criterion) {
+    let field = bench_field_dataset();
+    let lab = bench_lab_dataset();
+
+    eprintln!("\n[figure7] offline dictionary attack, equal grid-square sizes:");
+    for p in figure7(field, lab, 2) {
+        eprintln!(
+            "[figure7] {:>5}  {:>6}  {:>9}  cracked {:>3}/{:<3}  {:>5.1}%",
+            p.image, p.parameter, p.scheme.label(), p.cracked, p.targets, p.percent_cracked
+        );
+    }
+
+    let mut group = c.benchmark_group("figure7_offline_attack");
+    group.sample_size(10);
+    group.bench_function("equal_grid_sizes_full_sweep", |b| {
+        b.iter(|| figure7(black_box(field), black_box(lab), 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure7);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 8 regeneration bench: offline human-seeded dictionary attack with
+//! known grid identifiers, both schemes at equal guaranteed tolerance r —
+//! the paper's headline security comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gp_analysis::{crack_percentages, figure8};
+use gp_bench::{bench_field_dataset, bench_lab_dataset};
+
+fn bench_figure8(c: &mut Criterion) {
+    let field = bench_field_dataset();
+    let lab = bench_lab_dataset();
+
+    let points = figure8(field, lab, 2);
+    eprintln!("\n[figure8] offline dictionary attack, equal r:");
+    for p in &points {
+        eprintln!(
+            "[figure8] {:>5}  {:>4}  {:>9}  cracked {:>3}/{:<3}  {:>5.1}%",
+            p.image, p.parameter, p.scheme.label(), p.cracked, p.targets, p.percent_cracked
+        );
+    }
+    for image in ["cars", "pool"] {
+        if let Some((robust, centered)) = crack_percentages(&points, image, "r=6") {
+            eprintln!(
+                "[figure8] headline r=6 {image}: robust {robust:.1}% vs centered {centered:.1}% \
+                 (paper: 45.1% vs 14.8% on Cars)"
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("figure8_offline_attack");
+    group.sample_size(10);
+    group.bench_function("equal_r_full_sweep", |b| {
+        b.iter(|| figure8(black_box(field), black_box(lab), 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the primitives on the login hot path: SHA-256,
+//! iterated hashing, per-click discretization and full password
+//! verification under both schemes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gp_bench::example_clicks;
+use gp_crypto::{iterated_hash, Sha256};
+use gp_discretization::prelude::*;
+use gp_geometry::{ImageDims, Point};
+use gp_passwords::prelude::*;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    let small = vec![0xabu8; 64];
+    let large = vec![0xcdu8; 4096];
+    group.bench_function("64B", |b| b.iter(|| Sha256::digest(black_box(&small))));
+    group.bench_function("4KiB", |b| b.iter(|| Sha256::digest(black_box(&large))));
+    group.finish();
+}
+
+fn bench_iterated_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterated_hash");
+    for iterations in [1u32, 100, 1000] {
+        group.bench_function(format!("h^{iterations}"), |b| {
+            b.iter(|| iterated_hash(black_box(b"salt"), black_box(b"discretized password"), iterations))
+        });
+    }
+    group.finish();
+}
+
+fn bench_discretization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discretize_click");
+    let centered = CenteredDiscretization::from_pixel_tolerance(9);
+    let robust = RobustDiscretization::new(9.0).unwrap();
+    let p = Point::new(233.0, 187.0);
+    group.bench_function("centered_enroll", |b| b.iter(|| centered.enroll(black_box(&p))));
+    group.bench_function("robust_enroll", |b| b.iter(|| robust.enroll(black_box(&p))));
+    let centered_enrolled = centered.enroll(&p);
+    let robust_enrolled = robust.enroll(&p);
+    let login = Point::new(238.0, 181.0);
+    group.bench_function("centered_locate", |b| {
+        b.iter(|| centered.locate(black_box(&centered_enrolled.grid_id), black_box(&login)))
+    });
+    group.bench_function("robust_locate", |b| {
+        b.iter(|| robust.locate(black_box(&robust_enrolled.grid_id), black_box(&login)))
+    });
+    group.finish();
+}
+
+fn bench_password_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("password_verify_5_clicks");
+    group.sample_size(30);
+    let clicks = example_clicks();
+    let attempt: Vec<Point> = clicks.iter().map(|p| p.offset(4.0, -4.0)).collect();
+    for (label, config) in [
+        ("centered_r9", DiscretizationConfig::centered(9)),
+        ("robust_r9", DiscretizationConfig::robust(9.0)),
+    ] {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 5),
+            config,
+            1000,
+        );
+        let stored = system.enroll("bench-user", &clicks).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| system.verify(black_box(&stored), black_box(&attempt)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_iterated_hash,
+    bench_discretization,
+    bench_password_verification
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 1 regeneration bench: false accept/reject rates for Robust
+//! Discretization when both schemes use equal grid-square sizes.
+//!
+//! The reproduced rows are printed once (visible in `cargo bench` output /
+//! `bench_output.txt`); the benchmark then measures the cost of the full
+//! replay over the bench-scale dataset.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gp_analysis::{table1, false_rates::TABLE1_GRID_SIZES};
+use gp_bench::bench_field_dataset;
+
+fn bench_table1(c: &mut Criterion) {
+    let dataset = bench_field_dataset();
+
+    // Print the reproduced table once.
+    eprintln!("\n[table1] grid sizes {:?} on {} logins:", TABLE1_GRID_SIZES, dataset.login_count());
+    for row in table1(dataset) {
+        eprintln!(
+            "[table1] {:>6}  robust r={:<5.2} false accept {:>5.1}%  false reject {:>5.1}%  (centered: {:.1}% / {:.1}%)",
+            row.label,
+            row.robust_r,
+            row.false_accept_pct,
+            row.false_reject_pct,
+            row.centered_false_accept_pct,
+            row.centered_false_reject_pct,
+        );
+    }
+
+    let mut group = c.benchmark_group("table1_false_rates");
+    group.sample_size(10);
+    group.bench_function("replay_equal_grid_sizes", |b| {
+        b.iter(|| table1(black_box(dataset)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

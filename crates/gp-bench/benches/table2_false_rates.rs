@@ -1,0 +1,31 @@
+//! Table 2 regeneration bench: false accept/reject rates for Robust
+//! Discretization when both schemes guarantee the same tolerance r.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gp_analysis::{false_rates::TABLE2_R_VALUES, table2};
+use gp_bench::bench_field_dataset;
+
+fn bench_table2(c: &mut Criterion) {
+    let dataset = bench_field_dataset();
+
+    eprintln!("\n[table2] r values {:?} on {} logins:", TABLE2_R_VALUES, dataset.login_count());
+    for row in table2(dataset) {
+        eprintln!(
+            "[table2] {:>4}  robust grid {:>5}  false accept {:>5.1}%  false reject {:>4.1}%  (centered: {:.1}% / {:.1}%)",
+            row.label,
+            format!("{:.0}x{:.0}", row.robust_grid_size, row.robust_grid_size),
+            row.false_accept_pct,
+            row.false_reject_pct,
+            row.centered_false_accept_pct,
+            row.centered_false_reject_pct,
+        );
+    }
+
+    let mut group = c.benchmark_group("table2_false_rates");
+    group.sample_size(10);
+    group.bench_function("replay_equal_r", |b| b.iter(|| table2(black_box(dataset))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 3 regeneration bench: theoretical full password space for 5-click
+//! passwords across image and grid sizes.  This table is pure arithmetic,
+//! so the reproduced values are exact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gp_analysis::table3;
+
+fn bench_table3(c: &mut Criterion) {
+    eprintln!("\n[table3] image  grid   centered r  robust r  squares  bits");
+    for row in table3() {
+        eprintln!(
+            "[table3] {:>7}  {:>5}  {:>10.1}  {:>8.2}  {:>7}  {:>5.1}",
+            row.image.to_string(),
+            format!("{:.0}x{:.0}", row.grid_size, row.grid_size),
+            row.centered_r,
+            row.robust_r,
+            row.squares_per_grid,
+            row.password_space_bits,
+        );
+    }
+
+    c.bench_function("table3_password_space", |b| b.iter(table3));
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Constant-time comparison helpers.
+//!
+//! Login verification compares the hash of the candidate discretized
+//! password with the stored hash.  A naive early-exit comparison leaks, via
+//! timing, how long a matching prefix an attacker's guess has; [`ct_eq`]
+//! always inspects every byte.
+
+/// Compare two byte slices in constant time with respect to their contents.
+///
+/// Returns `false` immediately when the lengths differ (length is not
+/// secret here: all stored digests have the same, public, length).
+///
+/// ```
+/// assert!(gp_crypto::ct_eq(b"abc", b"abc"));
+/// assert!(!gp_crypto::ct_eq(b"abc", b"abd"));
+/// assert!(!gp_crypto::ct_eq(b"abc", b"abcd"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff: u8 = 0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"x", b"x"));
+        assert!(ct_eq(&[0u8; 32], &[0u8; 32]));
+    }
+
+    #[test]
+    fn differing_in_first_byte() {
+        assert!(!ct_eq(b"Aaaa", b"Baaa"));
+    }
+
+    #[test]
+    fn differing_in_last_byte() {
+        assert!(!ct_eq(b"aaaA", b"aaaB"));
+    }
+
+    #[test]
+    fn differing_lengths() {
+        assert!(!ct_eq(b"aa", b"aaa"));
+        assert!(!ct_eq(b"aaa", b"aa"));
+    }
+
+    #[test]
+    fn all_single_bit_flips_detected() {
+        let base = [0x5au8; 16];
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let mut other = base;
+                other[byte] ^= 1 << bit;
+                assert!(!ct_eq(&base, &other), "flip byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), built on the in-crate SHA-256.
+//!
+//! The networked authentication substrate uses HMAC to authenticate protocol
+//! frames in tests, and the iterated password hasher optionally uses it to
+//! bind a server-side secret ("pepper") into stored hashes.
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Incremental HMAC-SHA-256 computation.
+///
+/// ```
+/// use gp_crypto::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"The quick brown fox jumps over the lazy dog");
+/// let tag = mac.finalize();
+/// assert_eq!(
+///     gp_crypto::hex::encode(&tag),
+///     "f7bc83f430538424b13298e6aa6fb143ef4d59a14946175997479dbc2d1a3cd8"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Key XORed with `OPAD`, retained for the outer hash.
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl core::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HmacSha256").finish_non_exhaustive()
+    }
+}
+
+impl HmacSha256 {
+    /// Start a MAC computation with the given key (any length).
+    pub fn new(key: &[u8]) -> Self {
+        // Keys longer than one block are hashed first; shorter keys are
+        // zero-padded to the block length.
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner_key = [0u8; BLOCK_LEN];
+        let mut outer_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_key[i] = key_block[i] ^ IPAD;
+            outer_key[i] = key_block[i] ^ OPAD;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&inner_key);
+        Self { inner, outer_key }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finish and return the 32-byte authentication tag.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience: `HMAC(key, message)`.
+    pub fn mac(key: &[u8], message: &[u8]) -> Digest {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Verify a tag in constant time.
+    pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+        crate::ct::ct_eq(&Self::mac(key, message), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors for HMAC-SHA-256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex::encode(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_short_key() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex::encode(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_binary_data() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex::encode(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = HmacSha256::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex::encode(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let msg = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = HmacSha256::mac(&key, msg);
+        assert_eq!(
+            hex::encode(&tag),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"some key";
+        let msg = b"message split over several updates";
+        let mut mac = HmacSha256::new(key);
+        for chunk in msg.chunks(5) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), HmacSha256::mac(key, msg));
+    }
+
+    #[test]
+    fn verify_accepts_correct_and_rejects_tampered() {
+        let tag = HmacSha256::mac(b"k", b"payload");
+        assert!(HmacSha256::verify(b"k", b"payload", &tag));
+        assert!(!HmacSha256::verify(b"k", b"payload!", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"payload", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(b"k", b"payload", &bad));
+    }
+
+    #[test]
+    fn different_keys_give_different_tags() {
+        assert_ne!(HmacSha256::mac(b"a", b"m"), HmacSha256::mac(b"b", b"m"));
+    }
+}

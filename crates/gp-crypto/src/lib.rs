@@ -1,0 +1,47 @@
+//! From-scratch cryptographic primitives used by the graphical password
+//! system described in *Centered Discretization with Application to
+//! Graphical Passwords* (Chiasson et al., UPSEC 2008).
+//!
+//! The paper requires that discretized click-points (grid-square
+//! identifiers) be stored only in cryptographically hashed form, optionally
+//! salted with a user identifier and strengthened with iterated hashing
+//! ("using h^1000 effectively adds 10 bits of security").  This crate
+//! provides everything needed for that storage layer, implemented from
+//! scratch so that the reproduction has no external cryptographic
+//! dependencies:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 with an incremental [`Sha256`] hasher.
+//! * [`hmac`] — HMAC-SHA-256 (RFC 2104) used for keyed integrity checks in
+//!   the networked authentication substrate.
+//! * [`iterated`] — iterated ("stretched") hashing `h^k` and a convenience
+//!   [`PasswordHasher`](iterated::PasswordHasher) combining salt,
+//!   personalization and iteration count.
+//! * [`hex`] — lower-case hexadecimal encoding/decoding for serialized
+//!   password files.
+//! * [`ct`] — constant-time equality for hash comparison during login.
+//!
+//! # Example
+//!
+//! ```
+//! use gp_crypto::{sha256::Sha256, hex};
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(
+//!     hex::encode(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ct;
+pub mod hex;
+pub mod hmac;
+pub mod iterated;
+pub mod sha256;
+
+pub use ct::ct_eq;
+pub use hmac::HmacSha256;
+pub use iterated::{iterated_hash, PasswordHash, PasswordHasher};
+pub use sha256::{Digest, Sha256, DIGEST_LEN};

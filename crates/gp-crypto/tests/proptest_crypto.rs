@@ -1,0 +1,88 @@
+//! Property-based tests for the crypto substrate.
+
+use gp_crypto::{ct_eq, hex, iterated_hash, HmacSha256, PasswordHasher, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing over arbitrary chunk boundaries must equal the
+    /// one-shot digest.
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                          split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// Hex encoding round-trips arbitrary byte strings.
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = hex::encode(&data);
+        prop_assert_eq!(encoded.len(), data.len() * 2);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
+    }
+
+    /// Constant-time equality agrees with `==`.
+    #[test]
+    fn ct_eq_matches_slice_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                              b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    /// ct_eq is reflexive.
+    #[test]
+    fn ct_eq_reflexive(a in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert!(ct_eq(&a, &a));
+    }
+
+    /// HMAC verification accepts the genuine tag and rejects a flipped bit.
+    #[test]
+    fn hmac_verify_and_tamper(key in proptest::collection::vec(any::<u8>(), 0..128),
+                              msg in proptest::collection::vec(any::<u8>(), 0..256),
+                              flip_byte in 0usize..32, flip_bit in 0u8..8) {
+        let tag = HmacSha256::mac(&key, &msg);
+        prop_assert!(HmacSha256::verify(&key, &msg, &tag));
+        let mut bad = tag;
+        bad[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(!HmacSha256::verify(&key, &msg, &bad));
+    }
+
+    /// The password hasher verifies exactly the message it hashed.
+    #[test]
+    fn password_hash_round_trip(user in proptest::collection::vec(any::<u8>(), 0..32),
+                                msg in proptest::collection::vec(any::<u8>(), 0..128),
+                                iterations in 1u32..64) {
+        let hasher = PasswordHasher::new("prop", iterations);
+        let stored = hasher.hash(&user, &msg);
+        prop_assert!(stored.verify(&msg));
+        prop_assert!(stored.verify_with(&hasher, &user, &msg));
+        // A different message of the same length must not verify.
+        if !msg.is_empty() {
+            let mut other = msg.clone();
+            other[0] = other[0].wrapping_add(1);
+            prop_assert!(!stored.verify(&other));
+        }
+    }
+
+    /// Password-hash records survive serialization.
+    #[test]
+    fn password_record_round_trip(user in proptest::collection::vec(any::<u8>(), 0..16),
+                                  msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let hasher = PasswordHasher::new("prop", 3);
+        let stored = hasher.hash(&user, &msg);
+        let parsed = gp_crypto::PasswordHash::from_record(&stored.to_record()).unwrap();
+        prop_assert_eq!(parsed, stored);
+    }
+
+    /// Iterated hashing with distinct iteration counts never collides on the
+    /// same (salt, message) pair — a regression guard against accidentally
+    /// ignoring the iteration parameter.
+    #[test]
+    fn iterations_matter(salt in proptest::collection::vec(any::<u8>(), 0..16),
+                         msg in proptest::collection::vec(any::<u8>(), 0..64),
+                         k in 2u32..32) {
+        prop_assert_ne!(iterated_hash(&salt, &msg, 1), iterated_hash(&salt, &msg, k));
+    }
+}

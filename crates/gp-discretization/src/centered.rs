@@ -1,0 +1,356 @@
+//! Centered Discretization (§3 of the paper).
+//!
+//! The 1-D construction: pick a tolerance `r`, partition the line into
+//! segments of length `2r`, and shift the partition by an offset `d` chosen
+//! per original point `x` so that `x` sits exactly in the middle of its
+//! segment:
+//!
+//! ```text
+//! i = ⌊(x − r) / 2r⌋          (segment index, hashed)
+//! d = (x − r) mod 2r          (offset, stored in the clear)
+//! ```
+//!
+//! At login, the candidate `x′` is mapped to `i′ = ⌊(x′ − d) / 2r⌋` using the
+//! stored offset; `i′ = i` exactly when `x′` falls in `[x − r, x + r)`, i.e.
+//! within the centered tolerance.  The 2-D scheme applies the construction
+//! independently per axis.
+//!
+//! For pixel images, the paper adds `0.5` to the desired whole-pixel
+//! tolerance so the grid square has odd width `2t + 1` with the original
+//! pixel at its center; [`CenteredDiscretization::from_pixel_tolerance`]
+//! encodes that convention.
+
+use crate::error::DiscretizationError;
+use crate::scheme::{DiscretizationScheme, DiscretizedClick, GridId};
+use gp_geometry::{GridCell, Point, Rect, Segment};
+use serde::{Deserialize, Serialize};
+
+/// One-dimensional Centered Discretization with tolerance `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Centered1D {
+    r: f64,
+}
+
+impl Centered1D {
+    /// Create a 1-D discretizer with tolerance `r > 0`.
+    pub fn new(r: f64) -> Result<Self, DiscretizationError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(DiscretizationError::InvalidTolerance { r });
+        }
+        Ok(Self { r })
+    }
+
+    /// The tolerance `r`.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// Segment length `2r`.
+    pub fn segment_length(&self) -> f64 {
+        2.0 * self.r
+    }
+
+    /// Discretize an original coordinate: returns `(i, d)` with
+    /// `i = ⌊(x − r)/2r⌋` and `d = (x − r) mod 2r ∈ [0, 2r)`.
+    pub fn discretize(&self, x: f64) -> (i64, f64) {
+        let len = self.segment_length();
+        let shifted = x - self.r;
+        let i = (shifted / len).floor() as i64;
+        let d = shifted.rem_euclid(len);
+        (i, d)
+    }
+
+    /// Map a login coordinate to a segment index using a stored offset:
+    /// `i′ = ⌊(x′ − d)/2r⌋`.
+    pub fn locate(&self, d: f64, x_login: f64) -> i64 {
+        ((x_login - d) / self.segment_length()).floor() as i64
+    }
+
+    /// The segment `[d + 2r·i, d + 2r·(i+1))` identified by `(i, d)`.
+    ///
+    /// For the `(i, d)` pair produced by [`discretize`](Self::discretize) on
+    /// `x`, this is exactly `[x − r, x + r)`.
+    pub fn segment(&self, i: i64, d: f64) -> Segment {
+        let len = self.segment_length();
+        let start = d + i as f64 * len;
+        Segment::new(start, start + len)
+    }
+
+    /// Whether a login coordinate is accepted for an original coordinate
+    /// (same segment under the original's offset).
+    pub fn accepts(&self, x_original: f64, x_login: f64) -> bool {
+        let (i, d) = self.discretize(x_original);
+        self.locate(d, x_login) == i
+    }
+
+    /// Validate an offset loaded from a password file.
+    pub fn validate_offset(&self, d: f64) -> Result<(), DiscretizationError> {
+        if d.is_finite() && (0.0..self.segment_length()).contains(&d) {
+            Ok(())
+        } else {
+            Err(DiscretizationError::CorruptGridId {
+                reason: format!("offset {d} outside [0, {})", self.segment_length()),
+            })
+        }
+    }
+}
+
+/// Two-dimensional Centered Discretization: the paper's scheme for
+/// click-based graphical passwords, applying [`Centered1D`] independently to
+/// the x and y axes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CenteredDiscretization {
+    axis: Centered1D,
+}
+
+impl CenteredDiscretization {
+    /// Create a scheme with real-valued tolerance `r > 0`.
+    pub fn new(r: f64) -> Result<Self, DiscretizationError> {
+        Ok(Self {
+            axis: Centered1D::new(r)?,
+        })
+    }
+
+    /// Create a scheme guaranteeing a whole-pixel tolerance of `t` pixels.
+    ///
+    /// Following the paper's footnote, `r = t + 0.5` so that the grid square
+    /// is `2t + 1` pixels wide with the original pixel at its exact center.
+    pub fn from_pixel_tolerance(t: u32) -> Self {
+        Self::new(t as f64 + 0.5).expect("t + 0.5 is always positive")
+    }
+
+    /// Create a scheme whose grid squares have the given side length
+    /// (`r = size / 2`).  Used when comparing against Robust Discretization
+    /// at equal grid-square size (Table 1 / Figure 7).
+    pub fn from_grid_square_size(size: f64) -> Result<Self, DiscretizationError> {
+        Self::new(size / 2.0)
+    }
+
+    /// The tolerance `r`.
+    pub fn r(&self) -> f64 {
+        self.axis.r()
+    }
+
+    /// The per-axis discretizer.
+    pub fn axis(&self) -> &Centered1D {
+        &self.axis
+    }
+
+    /// The acceptance region around an original click-point: exactly the
+    /// centered-tolerance square `[x−r, x+r) × [y−r, y+r)`.
+    pub fn acceptance_region(&self, original: &Point) -> Rect {
+        let (ix, dx) = self.axis.discretize(original.x);
+        let (iy, dy) = self.axis.discretize(original.y);
+        Rect::from_segments(self.axis.segment(ix, dx), self.axis.segment(iy, dy))
+    }
+}
+
+impl DiscretizationScheme for CenteredDiscretization {
+    fn name(&self) -> &'static str {
+        "centered"
+    }
+
+    fn guaranteed_tolerance(&self) -> f64 {
+        self.r()
+    }
+
+    fn maximum_accepted_distance(&self) -> f64 {
+        // The acceptance region is the centered square itself.
+        self.r()
+    }
+
+    fn grid_square_size(&self) -> f64 {
+        2.0 * self.r()
+    }
+
+    fn num_grid_identifiers(&self) -> u64 {
+        // (2r)² possible (dx, dy) offsets at whole-pixel granularity; the
+        // paper's example: r = 9.5 ⇒ 19² = 361 grids.
+        let side = self.grid_square_size().round().max(1.0) as u64;
+        side * side
+    }
+
+    fn enroll(&self, original: &Point) -> DiscretizedClick {
+        assert!(original.is_finite(), "click-point must be finite");
+        let (ix, dx) = self.axis.discretize(original.x);
+        let (iy, dy) = self.axis.discretize(original.y);
+        DiscretizedClick {
+            grid_id: GridId::Centered { dx, dy },
+            cell: GridCell::new(ix, iy),
+        }
+    }
+
+    fn try_locate(&self, grid_id: &GridId, login: &Point) -> Result<GridCell, DiscretizationError> {
+        if !login.is_finite() {
+            return Err(DiscretizationError::NonFinitePoint);
+        }
+        match grid_id {
+            GridId::Centered { dx, dy } => {
+                self.axis.validate_offset(*dx)?;
+                self.axis.validate_offset(*dy)?;
+                Ok(GridCell::new(
+                    self.axis.locate(*dx, login.x),
+                    self.axis.locate(*dy, login.y),
+                ))
+            }
+            other => Err(DiscretizationError::MismatchedGridId {
+                scheme: self.name(),
+                got: *other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // §3.1: x = 13, r = 5.5 ⇒ i = 0, d = 7.5; login x' = 10 ⇒ i' = 0.
+        let c = Centered1D::new(5.5).unwrap();
+        let (i, d) = c.discretize(13.0);
+        assert_eq!(i, 0);
+        assert!((d - 7.5).abs() < 1e-12);
+        assert_eq!(c.locate(d, 10.0), 0);
+        assert!(c.accepts(13.0, 10.0));
+    }
+
+    #[test]
+    fn original_point_is_centered_in_its_segment() {
+        let c = Centered1D::new(4.5).unwrap();
+        for &x in &[0.0, 1.0, 4.4, 9.0, 13.7, 100.0, 12345.6] {
+            let (i, d) = c.discretize(x);
+            let seg = c.segment(i, d);
+            assert!((seg.center() - x).abs() < 1e-9, "x = {x}, segment {seg}");
+            assert!((seg.length() - 9.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn acceptance_interval_is_exactly_x_minus_r_to_x_plus_r() {
+        let c = Centered1D::new(6.5).unwrap();
+        let x = 200.0;
+        assert!(c.accepts(x, x - 6.5)); // closed at the lower end
+        assert!(c.accepts(x, x + 6.4999));
+        assert!(!c.accepts(x, x + 6.5)); // half-open at the upper end
+        assert!(!c.accepts(x, x - 6.5001));
+    }
+
+    #[test]
+    fn pixel_tolerance_is_symmetric_on_integer_clicks() {
+        // With r = t + 0.5, integer logins up to t pixels away on either
+        // side are accepted and t+1 is rejected — no boundary asymmetry.
+        let scheme = CenteredDiscretization::from_pixel_tolerance(9);
+        let original = Point::new(100.0, 80.0);
+        for dx in -9i32..=9 {
+            for dy in [-9i32, 0, 9] {
+                let login = Point::new(100.0 + dx as f64, 80.0 + dy as f64);
+                assert!(scheme.accepts(&original, &login), "offset ({dx},{dy})");
+            }
+        }
+        assert!(!scheme.accepts(&original, &Point::new(110.0, 80.0)));
+        assert!(!scheme.accepts(&original, &Point::new(90.0 - 0.5, 80.0)));
+        assert!(!scheme.accepts(&original, &Point::new(100.0, 90.0)));
+    }
+
+    #[test]
+    fn offset_is_always_in_range() {
+        let c = Centered1D::new(9.5).unwrap();
+        for &x in &[0.0, 0.1, 5.0, 9.5, 18.9, 19.0, 450.0, 0.0001] {
+            let (_, d) = c.discretize(x);
+            assert!((0.0..19.0).contains(&d), "x = {x}, d = {d}");
+        }
+    }
+
+    #[test]
+    fn points_near_origin_may_use_segment_minus_one() {
+        // The paper: i = -1 occurs when x is within r of the origin.
+        let c = Centered1D::new(5.5).unwrap();
+        let (i, d) = c.discretize(2.0);
+        assert_eq!(i, -1);
+        assert!((0.0..11.0).contains(&d));
+        // And the acceptance interval still behaves correctly.
+        assert!(c.accepts(2.0, 0.0));
+        assert!(c.accepts(2.0, 7.4));
+        assert!(!c.accepts(2.0, 7.5));
+    }
+
+    #[test]
+    fn enroll_and_locate_are_consistent() {
+        let scheme = CenteredDiscretization::from_pixel_tolerance(6);
+        let original = Point::new(241.0, 97.0);
+        let enrolled = scheme.enroll(&original);
+        // The original itself always maps back to its own cell.
+        assert_eq!(scheme.locate(&enrolled.grid_id, &original), enrolled.cell);
+        // A point within tolerance maps to the same cell.
+        assert_eq!(
+            scheme.locate(&enrolled.grid_id, &Point::new(247.0, 91.0)),
+            enrolled.cell
+        );
+        // A point outside does not.
+        assert_ne!(
+            scheme.locate(&enrolled.grid_id, &Point::new(248.0, 97.0)),
+            enrolled.cell
+        );
+    }
+
+    #[test]
+    fn acceptance_region_is_centered_square() {
+        let scheme = CenteredDiscretization::new(9.5).unwrap();
+        let p = Point::new(123.0, 45.0);
+        let region = scheme.acceptance_region(&p);
+        assert_eq!(region.center(), p);
+        assert!((region.width() - 19.0).abs() < 1e-9);
+        assert!((region.height() - 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheme_metadata() {
+        let scheme = CenteredDiscretization::from_pixel_tolerance(9);
+        assert_eq!(scheme.name(), "centered");
+        assert_eq!(scheme.guaranteed_tolerance(), 9.5);
+        assert_eq!(scheme.maximum_accepted_distance(), 9.5);
+        assert_eq!(scheme.grid_square_size(), 19.0);
+        assert_eq!(scheme.num_grid_identifiers(), 361); // paper: 19² = 361
+        assert!((scheme.identifier_bits() - 361f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_grid_square_size_matches_table_pairs() {
+        // Table 1/3 pairings: a 13×13 square corresponds to centered r = 6
+        // whole pixels (real-valued r = 6.5).
+        let scheme = CenteredDiscretization::from_grid_square_size(13.0).unwrap();
+        assert_eq!(scheme.r(), 6.5);
+        assert_eq!(scheme.grid_square_size(), 13.0);
+    }
+
+    #[test]
+    fn locate_rejects_foreign_and_corrupt_grid_ids() {
+        let scheme = CenteredDiscretization::from_pixel_tolerance(6);
+        let p = Point::new(10.0, 10.0);
+        assert!(matches!(
+            scheme.try_locate(&GridId::Robust { grid_index: 1 }, &p),
+            Err(DiscretizationError::MismatchedGridId { .. })
+        ));
+        assert!(matches!(
+            scheme.try_locate(&GridId::Centered { dx: 99.0, dy: 1.0 }, &p),
+            Err(DiscretizationError::CorruptGridId { .. })
+        ));
+        assert!(matches!(
+            scheme.try_locate(
+                &GridId::Centered { dx: 1.0, dy: 1.0 },
+                &Point::new(f64::NAN, 1.0)
+            ),
+            Err(DiscretizationError::NonFinitePoint)
+        ));
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        assert!(CenteredDiscretization::new(0.0).is_err());
+        assert!(CenteredDiscretization::new(-3.0).is_err());
+        assert!(CenteredDiscretization::new(f64::NAN).is_err());
+        assert!(CenteredDiscretization::new(f64::INFINITY).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Centered Discretization in arbitrary dimension.
+//!
+//! Section 3.2 of the paper notes that the construction extends beyond 2-D:
+//! "Centered Discretization may be expanded to n-dimensional objects for
+//! n ≥ 3 by computing results for each dimension separately and then
+//! combining them to form an n-dimensional grid", enabling 3-D graphical
+//! password schemes to discretize an entire volume instead of a fixed set of
+//! clickable objects.  [`CenteredNd`] implements exactly that: the 1-D
+//! scheme applied independently per coordinate.
+
+use crate::centered::Centered1D;
+use crate::error::DiscretizationError;
+use serde::{Deserialize, Serialize};
+
+/// The result of discretizing an n-dimensional point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NdDiscretizedPoint {
+    /// Per-axis segment indices (the hashed part).
+    pub indices: Vec<i64>,
+    /// Per-axis offsets (stored in the clear).
+    pub offsets: Vec<f64>,
+}
+
+/// Centered Discretization over `n` axes, all sharing the same tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CenteredNd {
+    axis: Centered1D,
+    dimension: usize,
+}
+
+impl CenteredNd {
+    /// Create an n-dimensional scheme with tolerance `r > 0`.
+    pub fn new(dimension: usize, r: f64) -> Result<Self, DiscretizationError> {
+        if dimension == 0 {
+            return Err(DiscretizationError::CorruptGridId {
+                reason: "dimension must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            axis: Centered1D::new(r)?,
+            dimension,
+        })
+    }
+
+    /// Number of axes.
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The tolerance `r`.
+    pub fn r(&self) -> f64 {
+        self.axis.r()
+    }
+
+    /// Discretize an original point.
+    ///
+    /// # Panics
+    /// Panics if the coordinate count does not match the configured
+    /// dimension.
+    pub fn enroll(&self, coords: &[f64]) -> NdDiscretizedPoint {
+        assert_eq!(
+            coords.len(),
+            self.dimension,
+            "expected {} coordinates, got {}",
+            self.dimension,
+            coords.len()
+        );
+        let mut indices = Vec::with_capacity(self.dimension);
+        let mut offsets = Vec::with_capacity(self.dimension);
+        for &x in coords {
+            let (i, d) = self.axis.discretize(x);
+            indices.push(i);
+            offsets.push(d);
+        }
+        NdDiscretizedPoint { indices, offsets }
+    }
+
+    /// Map a login point to per-axis segment indices using stored offsets.
+    pub fn locate(&self, offsets: &[f64], coords: &[f64]) -> Result<Vec<i64>, DiscretizationError> {
+        if offsets.len() != self.dimension || coords.len() != self.dimension {
+            return Err(DiscretizationError::CorruptGridId {
+                reason: format!(
+                    "expected {} offsets/coordinates, got {}/{}",
+                    self.dimension,
+                    offsets.len(),
+                    coords.len()
+                ),
+            });
+        }
+        for &d in offsets {
+            self.axis.validate_offset(d)?;
+        }
+        Ok(offsets
+            .iter()
+            .zip(coords.iter())
+            .map(|(&d, &x)| self.axis.locate(d, x))
+            .collect())
+    }
+
+    /// Whether a login point is accepted for an original point: every axis
+    /// must fall within the centered tolerance.
+    pub fn accepts(&self, original: &[f64], login: &[f64]) -> bool {
+        let enrolled = self.enroll(original);
+        match self.locate(&enrolled.offsets, login) {
+            Ok(indices) => indices == enrolled.indices,
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_d_acceptance_matches_per_axis_tolerance() {
+        let scheme = CenteredNd::new(3, 4.5).unwrap();
+        let original = [100.0, 50.0, 200.0];
+        assert!(scheme.accepts(&original, &[104.0, 46.0, 204.0]));
+        assert!(scheme.accepts(&original, &[95.5, 54.4, 200.0]));
+        assert!(!scheme.accepts(&original, &[105.0, 50.0, 200.0]));
+        assert!(!scheme.accepts(&original, &[100.0, 50.0, 194.0]));
+    }
+
+    #[test]
+    fn one_dimensional_case_matches_centered_1d() {
+        let nd = CenteredNd::new(1, 5.5).unwrap();
+        let c1 = Centered1D::new(5.5).unwrap();
+        for &x in &[0.0, 2.0, 13.0, 99.9] {
+            let e = nd.enroll(&[x]);
+            let (i, d) = c1.discretize(x);
+            assert_eq!(e.indices, vec![i]);
+            assert_eq!(e.offsets, vec![d]);
+        }
+    }
+
+    #[test]
+    fn enrolled_point_is_always_accepted() {
+        let scheme = CenteredNd::new(5, 2.5).unwrap();
+        let original = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(scheme.accepts(&original, &original));
+    }
+
+    #[test]
+    fn locate_validates_offsets_and_lengths() {
+        let scheme = CenteredNd::new(2, 4.5).unwrap();
+        assert!(scheme.locate(&[0.0], &[1.0, 2.0]).is_err());
+        assert!(scheme.locate(&[0.0, 100.0], &[1.0, 2.0]).is_err()); // offset ≥ 2r
+        assert!(scheme.locate(&[0.0, 3.0], &[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(CenteredNd::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 coordinates")]
+    fn enroll_panics_on_wrong_arity() {
+        CenteredNd::new(3, 1.0).unwrap().enroll(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for discretization operations.
+
+use crate::scheme::GridId;
+
+/// Errors produced by discretization schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiscretizationError {
+    /// The tolerance parameter `r` must be strictly positive and finite.
+    InvalidTolerance {
+        /// The offending value.
+        r: f64,
+    },
+    /// A click-point coordinate was NaN or infinite.
+    NonFinitePoint,
+    /// A clear grid identifier produced by one scheme was passed to another
+    /// scheme's `locate` (e.g. a Robust grid index handed to Centered
+    /// Discretization).
+    MismatchedGridId {
+        /// Name of the scheme that received the identifier.
+        scheme: &'static str,
+        /// The identifier that was rejected.
+        got: GridId,
+    },
+    /// A stored grid identifier is internally inconsistent (e.g. a Centered
+    /// offset outside `[0, 2r)`, or a Robust grid index ≥ 3).
+    CorruptGridId {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for DiscretizationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DiscretizationError::InvalidTolerance { r } => {
+                write!(f, "tolerance r must be positive and finite, got {r}")
+            }
+            DiscretizationError::NonFinitePoint => {
+                write!(f, "click-point coordinates must be finite")
+            }
+            DiscretizationError::MismatchedGridId { scheme, got } => {
+                write!(f, "{scheme} received a grid identifier of the wrong kind: {got:?}")
+            }
+            DiscretizationError::CorruptGridId { reason } => {
+                write!(f, "corrupt grid identifier: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscretizationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DiscretizationError::InvalidTolerance { r: -1.0 };
+        assert!(e.to_string().contains("positive"));
+        let e = DiscretizationError::NonFinitePoint;
+        assert!(e.to_string().contains("finite"));
+        let e = DiscretizationError::CorruptGridId {
+            reason: "offset 12 not below 2r=10".into(),
+        };
+        assert!(e.to_string().contains("offset 12"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Discretization schemes for click-based graphical passwords.
+//!
+//! This crate is the core of the reproduction of *Centered Discretization
+//! with Application to Graphical Passwords* (Chiasson, Srinivasan, Biddle,
+//! van Oorschot — USENIX UPSEC 2008).  A click-based graphical password
+//! system must hash the user's click-points, yet accept approximately
+//! correct re-entries; a *discretization scheme* maps a click-point to a
+//! grid-square identifier so that nearby clicks map to the same (hashable)
+//! identifier.
+//!
+//! Three schemes are implemented behind the common
+//! [`DiscretizationScheme`](scheme::DiscretizationScheme) trait:
+//!
+//! * [`CenteredDiscretization`](centered::CenteredDiscretization) — the
+//!   paper's contribution.  Each coordinate is discretized into segments of
+//!   length `2r` with a per-click offset `d = (x − r) mod 2r` chosen so the
+//!   original click is exactly centered in its segment.  Acceptance region =
+//!   the centered-tolerance square; false accepts and false rejects are zero
+//!   by construction, and grid squares are only `2r` wide.
+//!
+//! * [`RobustDiscretization`](robust::RobustDiscretization) — the prior
+//!   scheme of Birget, Hong and Memon (2006), reproduced as the baseline.
+//!   Three diagonally offset grids of square size `6r` guarantee that every
+//!   point is *r-safe* in at least one grid, but the tolerance region is not
+//!   centered on the click-point, producing false accepts (up to `5r`) and
+//!   false rejects (from `r` upward).
+//!
+//! * [`StaticGridDiscretization`](static_grid::StaticGridDiscretization) —
+//!   the naive single fixed grid, exhibiting the "edge problem" that
+//!   motivated Robust Discretization in the first place.
+//!
+//! [`password_space`] reproduces the theoretical password-space analysis of
+//! the paper's Table 3, and [`centered_nd`] generalizes Centered
+//! Discretization to arbitrary dimension as sketched in §3.2 for 3-D
+//! graphical password schemes.
+//!
+//! # Quick example
+//!
+//! ```
+//! use gp_discretization::prelude::*;
+//! use gp_geometry::Point;
+//!
+//! // Guarantee a 9-pixel tolerance around each click-point.
+//! let centered = CenteredDiscretization::from_pixel_tolerance(9);
+//! let original = Point::new(123.0, 210.0);
+//! let enrolled = centered.enroll(&original);
+//!
+//! // A click 9 pixels away is accepted …
+//! assert!(centered.accepts(&original, &Point::new(132.0, 210.0)));
+//! // … a click 10 pixels away is not.
+//! assert!(!centered.accepts(&original, &Point::new(133.0, 210.0)));
+//!
+//! // The same decision can be made from the stored clear data alone,
+//! // exactly as a server holding only {grid id, hash} would:
+//! let login_cell = centered.locate(&enrolled.grid_id, &Point::new(132.0, 210.0));
+//! assert_eq!(login_cell, enrolled.cell);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centered;
+pub mod centered_nd;
+pub mod error;
+pub mod password_space;
+pub mod robust;
+pub mod scheme;
+pub mod static_grid;
+
+pub use centered::{Centered1D, CenteredDiscretization};
+pub use centered_nd::CenteredNd;
+pub use error::DiscretizationError;
+pub use password_space::{identifier_bits, squares_per_grid, text_password_bits, PasswordSpace, SchemeKind};
+pub use robust::{GridSelectionPolicy, RobustDiscretization, ROBUST_GRID_COUNT};
+pub use scheme::{DiscretizationScheme, DiscretizedClick, GridId};
+pub use static_grid::StaticGridDiscretization;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::centered::CenteredDiscretization;
+    pub use crate::password_space::{PasswordSpace, SchemeKind};
+    pub use crate::robust::{GridSelectionPolicy, RobustDiscretization};
+    pub use crate::scheme::{DiscretizationScheme, DiscretizedClick, GridId};
+    pub use crate::static_grid::StaticGridDiscretization;
+}

@@ -1,0 +1,276 @@
+//! Theoretical full password-space analysis (Table 3 of the paper).
+//!
+//! The size of the theoretical password space of a click-based graphical
+//! password depends on the image size, the grid-square size and the number
+//! of click-points: with `N` distinguishable squares per grid and `c`
+//! clicks, the space is `N^c`, i.e. `c · log2(N)` bits.  Because Robust
+//! Discretization needs `6r × 6r` squares to guarantee a tolerance of `r`
+//! while Centered Discretization needs only `(2r+1) × (2r+1)`, Centered
+//! yields a much larger space at equal usability (equal `r`).
+
+use crate::centered::CenteredDiscretization;
+use crate::robust::RobustDiscretization;
+use gp_geometry::ImageDims;
+use serde::{Deserialize, Serialize};
+
+/// Which discretization scheme a password-space figure refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Centered Discretization (grid square `2r`).
+    Centered,
+    /// Robust Discretization (grid square `6r`).
+    Robust,
+}
+
+impl SchemeKind {
+    /// The guaranteed whole-pixel tolerance `r` offered by a scheme whose
+    /// grid squares have side `grid_size` pixels, as reported in the paper's
+    /// tables (e.g. a 9×9 square gives Centered `r = 4` but Robust
+    /// `r = 1.50`).
+    pub fn r_for_grid_size(&self, grid_size: f64) -> f64 {
+        match self {
+            SchemeKind::Centered => (grid_size - 1.0) / 2.0,
+            SchemeKind::Robust => grid_size / 6.0,
+        }
+    }
+
+    /// The grid-square side needed to guarantee tolerance `r`
+    /// (`2r + 1` for Centered, `6r` for Robust).
+    pub fn grid_size_for_r(&self, r: f64) -> f64 {
+        match self {
+            SchemeKind::Centered => 2.0 * r + 1.0,
+            SchemeKind::Robust => 6.0 * r,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchemeKind::Centered => "Centered Discretization",
+            SchemeKind::Robust => "Robust Discretization",
+        }
+    }
+
+    /// Construct the corresponding scheme object for a given guaranteed
+    /// tolerance `r` (whole pixels).
+    pub fn scheme_for_r(&self, r: u32) -> Box<dyn crate::scheme::DiscretizationScheme> {
+        match self {
+            SchemeKind::Centered => Box::new(CenteredDiscretization::from_pixel_tolerance(r)),
+            SchemeKind::Robust => {
+                Box::new(RobustDiscretization::new(r as f64).expect("positive tolerance"))
+            }
+        }
+    }
+
+    /// Construct the corresponding scheme object for a given grid-square
+    /// size in pixels.
+    pub fn scheme_for_grid_size(&self, grid_size: f64) -> Box<dyn crate::scheme::DiscretizationScheme> {
+        match self {
+            SchemeKind::Centered => Box::new(
+                CenteredDiscretization::from_grid_square_size(grid_size)
+                    .expect("positive grid size"),
+            ),
+            SchemeKind::Robust => Box::new(
+                RobustDiscretization::from_grid_square_size(grid_size).expect("positive grid size"),
+            ),
+        }
+    }
+}
+
+/// Number of distinguishable grid squares covering an image, counting
+/// partial squares at the right/bottom edges (they are distinct identifiers
+/// even when clipped), which is the convention the paper's Table 3 follows.
+pub fn squares_per_grid(image: ImageDims, grid_size: f64) -> u64 {
+    assert!(grid_size > 0.0, "grid size must be positive");
+    let nx = (image.width as f64 / grid_size).ceil() as u64;
+    let ny = (image.height as f64 / grid_size).ceil() as u64;
+    nx.max(1) * ny.max(1)
+}
+
+/// Theoretical full password space for a click-based graphical password.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PasswordSpace {
+    /// Image dimensions.
+    pub image: ImageDims,
+    /// Grid-square side length in pixels.
+    pub grid_size: f64,
+    /// Number of click-points per password (the paper uses 5).
+    pub clicks: u32,
+}
+
+impl PasswordSpace {
+    /// Construct a password-space descriptor.
+    pub fn new(image: ImageDims, grid_size: f64, clicks: u32) -> Self {
+        assert!(clicks > 0, "a password needs at least one click");
+        assert!(grid_size > 0.0, "grid size must be positive");
+        Self {
+            image,
+            grid_size,
+            clicks,
+        }
+    }
+
+    /// Number of squares per grid on this image.
+    pub fn squares_per_grid(&self) -> u64 {
+        squares_per_grid(self.image, self.grid_size)
+    }
+
+    /// Size of the theoretical full password space in bits:
+    /// `clicks · log2(squares)`.
+    pub fn bits(&self) -> f64 {
+        self.clicks as f64 * (self.squares_per_grid() as f64).log2()
+    }
+
+    /// Total number of passwords (`squares^clicks`) as a floating-point
+    /// value (it overflows u64 for realistic parameters).
+    pub fn total_passwords(&self) -> f64 {
+        (self.squares_per_grid() as f64).powi(self.clicks as i32)
+    }
+}
+
+/// Theoretical password space of a uniformly random text password over an
+/// alphabet of the given size — the paper's comparison point ("52.5 bits for
+/// a standard 95-letter alphabet" at 8 characters).
+pub fn text_password_bits(alphabet_size: u32, length: u32) -> f64 {
+    length as f64 * (alphabet_size as f64).log2()
+}
+
+/// Bits of clear-text information revealed by the stored grid identifier
+/// (§5.2): `log2(3)` (stored as 2 bits) for Robust, `log2((2r)²)` for
+/// Centered with real-valued tolerance `r`.
+pub fn identifier_bits(kind: SchemeKind, r: f64) -> f64 {
+    match kind {
+        SchemeKind::Robust => (3f64).log2(),
+        SchemeKind::Centered => (2.0 * r).powi(2).log2(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper asserting a value rounds to the paper's reported one decimal.
+    fn assert_rounds_to(value: f64, expected: f64) {
+        assert!(
+            ((value * 10.0).round() / 10.0 - expected).abs() < 1e-9,
+            "value {value:.3} does not round to {expected}"
+        );
+    }
+
+    #[test]
+    fn table3_squares_per_grid_451x331() {
+        let img = ImageDims::STUDY;
+        assert_eq!(squares_per_grid(img, 9.0), 1887);
+        assert_eq!(squares_per_grid(img, 13.0), 910);
+        assert_eq!(squares_per_grid(img, 19.0), 432);
+        assert_eq!(squares_per_grid(img, 24.0), 266);
+        assert_eq!(squares_per_grid(img, 36.0), 130);
+        assert_eq!(squares_per_grid(img, 54.0), 63);
+    }
+
+    #[test]
+    fn table3_squares_per_grid_640x480() {
+        let img = ImageDims::VGA;
+        assert_eq!(squares_per_grid(img, 9.0), 3888);
+        assert_eq!(squares_per_grid(img, 13.0), 1850);
+        assert_eq!(squares_per_grid(img, 19.0), 884);
+        assert_eq!(squares_per_grid(img, 24.0), 540);
+        assert_eq!(squares_per_grid(img, 36.0), 252);
+        assert_eq!(squares_per_grid(img, 54.0), 108);
+    }
+
+    #[test]
+    fn table3_bits_451x331() {
+        let img = ImageDims::STUDY;
+        assert_rounds_to(PasswordSpace::new(img, 9.0, 5).bits(), 54.4);
+        assert_rounds_to(PasswordSpace::new(img, 13.0, 5).bits(), 49.1);
+        assert_rounds_to(PasswordSpace::new(img, 19.0, 5).bits(), 43.8);
+        assert_rounds_to(PasswordSpace::new(img, 24.0, 5).bits(), 40.3);
+        assert_rounds_to(PasswordSpace::new(img, 36.0, 5).bits(), 35.1);
+        assert_rounds_to(PasswordSpace::new(img, 54.0, 5).bits(), 29.9);
+    }
+
+    #[test]
+    fn table3_bits_640x480() {
+        let img = ImageDims::VGA;
+        assert_rounds_to(PasswordSpace::new(img, 9.0, 5).bits(), 59.6);
+        assert_rounds_to(PasswordSpace::new(img, 13.0, 5).bits(), 54.3);
+        assert_rounds_to(PasswordSpace::new(img, 19.0, 5).bits(), 48.9);
+        assert_rounds_to(PasswordSpace::new(img, 24.0, 5).bits(), 45.4);
+        assert_rounds_to(PasswordSpace::new(img, 36.0, 5).bits(), 39.9);
+        assert_rounds_to(PasswordSpace::new(img, 54.0, 5).bits(), 33.8);
+    }
+
+    #[test]
+    fn section_2_2_2_example_gap() {
+        // §2.2.2: on 640×480, Robust with r = 6 (36×36 squares) gives 39.9
+        // bits versus 54.3 bits for centered-tolerance 13×13 squares.
+        let robust = PasswordSpace::new(ImageDims::VGA, 36.0, 5);
+        let centered = PasswordSpace::new(ImageDims::VGA, 13.0, 5);
+        assert_rounds_to(robust.bits(), 39.9);
+        assert_rounds_to(centered.bits(), 54.3);
+    }
+
+    #[test]
+    fn section_5_example_r4_gap() {
+        // §5: "on a 640x480 image the full theoretical password space is
+        // 59.6 bits for r = 4 using Centered Discretization but only 45.4
+        // bits for Robust Discretization".
+        let centered_grid = SchemeKind::Centered.grid_size_for_r(4.0);
+        let robust_grid = SchemeKind::Robust.grid_size_for_r(4.0);
+        assert_eq!(centered_grid, 9.0);
+        assert_eq!(robust_grid, 24.0);
+        assert_rounds_to(PasswordSpace::new(ImageDims::VGA, centered_grid, 5).bits(), 59.6);
+        assert_rounds_to(PasswordSpace::new(ImageDims::VGA, robust_grid, 5).bits(), 45.4);
+    }
+
+    #[test]
+    fn r_for_grid_size_matches_table_columns() {
+        assert_eq!(SchemeKind::Centered.r_for_grid_size(9.0), 4.0);
+        assert_eq!(SchemeKind::Centered.r_for_grid_size(13.0), 6.0);
+        assert_eq!(SchemeKind::Centered.r_for_grid_size(19.0), 9.0);
+        assert_eq!(SchemeKind::Centered.r_for_grid_size(24.0), 11.5);
+        assert_eq!(SchemeKind::Centered.r_for_grid_size(36.0), 17.5);
+        assert_eq!(SchemeKind::Centered.r_for_grid_size(54.0), 26.5);
+        assert!((SchemeKind::Robust.r_for_grid_size(9.0) - 1.5).abs() < 1e-9);
+        assert!((SchemeKind::Robust.r_for_grid_size(13.0) - 2.1666).abs() < 1e-3);
+        assert!((SchemeKind::Robust.r_for_grid_size(19.0) - 3.1666).abs() < 1e-3);
+        assert_eq!(SchemeKind::Robust.r_for_grid_size(24.0), 4.0);
+        assert_eq!(SchemeKind::Robust.r_for_grid_size(36.0), 6.0);
+        assert_eq!(SchemeKind::Robust.r_for_grid_size(54.0), 9.0);
+    }
+
+    #[test]
+    fn text_password_comparison_point() {
+        // 8-character password over 95 printable characters ≈ 52.5 bits.
+        let bits = text_password_bits(95, 8);
+        assert!((bits - 52.56).abs() < 0.1);
+    }
+
+    #[test]
+    fn identifier_bits_section_5_2() {
+        // Robust reveals ~2 bits; Centered with r = 8 reveals 8 bits.
+        assert!((identifier_bits(SchemeKind::Robust, 8.0) - 1.585).abs() < 1e-3);
+        assert_eq!(identifier_bits(SchemeKind::Centered, 8.0), 8.0);
+    }
+
+    #[test]
+    fn scheme_factories_agree_with_kind() {
+        let c = SchemeKind::Centered.scheme_for_r(9);
+        assert_eq!(c.name(), "centered");
+        assert_eq!(c.grid_square_size(), 19.0);
+        let r = SchemeKind::Robust.scheme_for_r(9);
+        assert_eq!(r.name(), "robust");
+        assert_eq!(r.grid_square_size(), 54.0);
+        let cg = SchemeKind::Centered.scheme_for_grid_size(13.0);
+        assert_eq!(cg.grid_square_size(), 13.0);
+        let rg = SchemeKind::Robust.scheme_for_grid_size(13.0);
+        assert!((rg.guaranteed_tolerance() - 13.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one click")]
+    fn zero_clicks_rejected() {
+        PasswordSpace::new(ImageDims::VGA, 9.0, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Robust Discretization (Birget, Hong, Memon 2006) — the baseline scheme
+//! the paper analyzes and improves upon.
+//!
+//! Three grids of square size `6r`, diagonally offset from one another by
+//! `2r`, guarantee that every point of the plane is *r-safe* (at Chebyshev
+//! distance at least `r` from every edge of its square) in at least one
+//! grid.  At enrollment the system picks such a grid, stores the grid index
+//! in the clear (2 bits), and hashes the grid-square coordinates.  At login
+//! the pre-selected grid is overlaid again and the candidate click-point is
+//! accepted iff it falls in the same square.
+//!
+//! Because the original click-point is only guaranteed to be at least `r`
+//! from the square's edges — not centered — a login may be rejected as
+//! little as just over `r` away (a **false reject** relative to the user's
+//! centered mental model) or accepted as far as `5r` away (a **false
+//! accept**).  Section 4 of the paper implements an "optimal" variant that
+//! selects, among the r-safe grids, the one whose square the point is most
+//! centered in; [`GridSelectionPolicy::MostCentered`] reproduces that
+//! choice and [`GridSelectionPolicy::FirstSafe`] the literal specification.
+
+use crate::error::DiscretizationError;
+use crate::scheme::{DiscretizationScheme, DiscretizedClick, GridId};
+use gp_geometry::{GridCell, Point, Rect, UniformGrid};
+use serde::{Deserialize, Serialize};
+
+/// Number of offset grids used by Robust Discretization (shown by Birget et
+/// al. to be both necessary and sufficient in 2-D).
+pub const ROBUST_GRID_COUNT: u8 = 3;
+
+/// How the enrolling system chooses among the grids in which the original
+/// click-point is r-safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum GridSelectionPolicy {
+    /// Select the lowest-indexed grid in which the point is r-safe — the
+    /// literal reading of the original specification.
+    FirstSafe,
+    /// Select the grid in which the point is closest to the center of its
+    /// square (maximum distance to the nearest edge), breaking ties by the
+    /// lower index.  This is the implementation choice the paper made to
+    /// minimize false accepts and rejects ("we calculated the distance from
+    /// the click-point to the grid edges and selected the grid where the
+    /// point was closest to the center", §4) and is the default.
+    #[default]
+    MostCentered,
+}
+
+/// Robust Discretization with minimum guaranteed tolerance `r`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustDiscretization {
+    r: f64,
+    policy: GridSelectionPolicy,
+}
+
+impl RobustDiscretization {
+    /// Create a scheme with minimum tolerance `r > 0` and the default
+    /// ([`GridSelectionPolicy::MostCentered`]) grid-selection policy.
+    pub fn new(r: f64) -> Result<Self, DiscretizationError> {
+        Self::with_policy(r, GridSelectionPolicy::default())
+    }
+
+    /// Create a scheme with an explicit grid-selection policy.
+    pub fn with_policy(r: f64, policy: GridSelectionPolicy) -> Result<Self, DiscretizationError> {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(DiscretizationError::InvalidTolerance { r });
+        }
+        Ok(Self { r, policy })
+    }
+
+    /// Create a scheme whose grid squares have the given side length
+    /// (`r = size / 6`), as used when comparing against Centered
+    /// Discretization at equal grid-square size (Table 1 / Figure 7).
+    pub fn from_grid_square_size(size: f64) -> Result<Self, DiscretizationError> {
+        Self::new(size / 6.0)
+    }
+
+    /// The minimum guaranteed tolerance `r`.
+    pub fn r(&self) -> f64 {
+        self.r
+    }
+
+    /// The grid-selection policy in use.
+    pub fn policy(&self) -> GridSelectionPolicy {
+        self.policy
+    }
+
+    /// The three candidate grids: square size `6r`, grid `k` offset
+    /// diagonally by `k·2r`.
+    pub fn grids(&self) -> [UniformGrid; ROBUST_GRID_COUNT as usize] {
+        let cell = 6.0 * self.r;
+        let step = 2.0 * self.r;
+        [
+            UniformGrid::new(cell, 0.0, 0.0),
+            UniformGrid::new(cell, step, step),
+            UniformGrid::new(cell, 2.0 * step, 2.0 * step),
+        ]
+    }
+
+    /// The grid with a given index.
+    ///
+    /// Returns an error for indices ≥ [`ROBUST_GRID_COUNT`], which can only
+    /// arise from a corrupt password file.
+    pub fn grid(&self, index: u8) -> Result<UniformGrid, DiscretizationError> {
+        if index >= ROBUST_GRID_COUNT {
+            return Err(DiscretizationError::CorruptGridId {
+                reason: format!("robust grid index {index} out of range"),
+            });
+        }
+        Ok(self.grids()[index as usize])
+    }
+
+    /// Distance from `p` to the nearest edge of its square in each grid.
+    pub fn safety_distances(&self, p: &Point) -> [f64; ROBUST_GRID_COUNT as usize] {
+        let grids = self.grids();
+        [
+            grids[0].distance_to_cell_edge(p),
+            grids[1].distance_to_cell_edge(p),
+            grids[2].distance_to_cell_edge(p),
+        ]
+    }
+
+    /// The grid index the enrolling system selects for `p`, together with
+    /// the point's distance to the nearest edge in that grid.
+    ///
+    /// At least one grid is always r-safe (the central guarantee of Birget
+    /// et al.); if floating-point boundary effects ever leave none strictly
+    /// r-safe, the safest available grid is returned.
+    pub fn select_grid(&self, p: &Point) -> (u8, f64) {
+        let safety = self.safety_distances(p);
+        match self.policy {
+            GridSelectionPolicy::FirstSafe => {
+                for (k, &s) in safety.iter().enumerate() {
+                    if s >= self.r {
+                        return (k as u8, s);
+                    }
+                }
+            }
+            GridSelectionPolicy::MostCentered => {
+                let mut best = 0usize;
+                for k in 1..safety.len() {
+                    if safety[k] > safety[best] {
+                        best = k;
+                    }
+                }
+                if safety[best] >= self.r {
+                    return (best as u8, safety[best]);
+                }
+            }
+        }
+        // Fallback: no strictly r-safe grid (possible only through rounding
+        // at exact square boundaries) — take the safest one.
+        let mut best = 0usize;
+        for k in 1..safety.len() {
+            if safety[k] > safety[best] {
+                best = k;
+            }
+        }
+        (best as u8, safety[best])
+    }
+
+    /// The acceptance region for an original click-point: the full grid
+    /// square of the selected grid (side `6r`, generally *not* centered on
+    /// the click-point).
+    pub fn acceptance_region(&self, original: &Point) -> Rect {
+        let (k, _) = self.select_grid(original);
+        let grid = self.grids()[k as usize];
+        grid.cell_rect(&grid.cell_of(original))
+    }
+}
+
+impl DiscretizationScheme for RobustDiscretization {
+    fn name(&self) -> &'static str {
+        "robust"
+    }
+
+    fn guaranteed_tolerance(&self) -> f64 {
+        self.r
+    }
+
+    fn maximum_accepted_distance(&self) -> f64 {
+        // Worst case: the original point is exactly r from one edge, so a
+        // login 5r away towards the opposite edge still shares the square.
+        5.0 * self.r
+    }
+
+    fn grid_square_size(&self) -> f64 {
+        6.0 * self.r
+    }
+
+    fn num_grid_identifiers(&self) -> u64 {
+        ROBUST_GRID_COUNT as u64
+    }
+
+    fn enroll(&self, original: &Point) -> DiscretizedClick {
+        assert!(original.is_finite(), "click-point must be finite");
+        let (k, _) = self.select_grid(original);
+        let grid = self.grids()[k as usize];
+        DiscretizedClick {
+            grid_id: GridId::Robust { grid_index: k },
+            cell: grid.cell_of(original),
+        }
+    }
+
+    fn try_locate(&self, grid_id: &GridId, login: &Point) -> Result<GridCell, DiscretizationError> {
+        if !login.is_finite() {
+            return Err(DiscretizationError::NonFinitePoint);
+        }
+        match grid_id {
+            GridId::Robust { grid_index } => {
+                let grid = self.grid(*grid_index)?;
+                Ok(grid.cell_of(login))
+            }
+            other => Err(DiscretizationError::MismatchedGridId {
+                scheme: self.name(),
+                got: *other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn every_point_is_r_safe_in_at_least_one_grid() {
+        // The theorem of Birget et al. that the whole construction rests on.
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let p = Point::new(rng.gen_range(0.0..640.0), rng.gen_range(0.0..480.0));
+            let safety = scheme.safety_distances(&p);
+            assert!(
+                safety.iter().any(|&s| s >= 6.0 - 1e-9),
+                "point {p} unsafe in all grids: {safety:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grids_are_offset_diagonally_by_2r() {
+        let scheme = RobustDiscretization::new(5.0).unwrap();
+        let grids = scheme.grids();
+        assert_eq!(grids[0].cell, 30.0);
+        assert_eq!((grids[1].offset_x, grids[1].offset_y), (10.0, 10.0));
+        assert_eq!((grids[2].offset_x, grids[2].offset_y), (20.0, 20.0));
+    }
+
+    #[test]
+    fn guaranteed_tolerance_always_accepted() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let original = Point::new(rng.gen_range(0.0..451.0), rng.gen_range(0.0..331.0));
+            let dx = rng.gen_range(-6.0..6.0);
+            let dy = rng.gen_range(-6.0..6.0);
+            let login = original.offset(dx, dy);
+            assert!(
+                scheme.accepts(&original, &login),
+                "login at ({dx:.2},{dy:.2}) from {original} rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn false_accepts_exist_beyond_centered_tolerance() {
+        // A point r-safe but near one edge of its square accepts logins far
+        // beyond r in the opposite direction.
+        let r = 6.0;
+        let scheme = RobustDiscretization::with_policy(r, GridSelectionPolicy::FirstSafe).unwrap();
+        // Click at exactly (r, r) inside grid 0's square [0,36)²: r-safe in
+        // grid 0 under FirstSafe.
+        let original = Point::new(r, r);
+        let enrolled = scheme.enroll(&original);
+        assert_eq!(enrolled.grid_id, GridId::Robust { grid_index: 0 });
+        // A login 4.9r away (well outside centered tolerance) is accepted.
+        let far_login = Point::new(r + 4.9 * r, r + 4.9 * r);
+        assert!(scheme.accepts(&original, &far_login));
+        assert!(original.chebyshev(&far_login) > r);
+    }
+
+    #[test]
+    fn false_rejects_exist_within_3r_of_original() {
+        // With 6r squares a user might expect a 3r buffer; Robust can reject
+        // clicks just over r away.
+        let r = 6.0;
+        let scheme = RobustDiscretization::with_policy(r, GridSelectionPolicy::FirstSafe).unwrap();
+        let original = Point::new(r, r); // r from the left edge of its square
+        let login = Point::new(r - (r + 0.5), r); // r + 0.5 to the left
+        assert!(original.chebyshev(&login) < 3.0 * r);
+        assert!(!scheme.accepts(&original, &login));
+    }
+
+    #[test]
+    fn most_centered_policy_maximizes_safety() {
+        let scheme = RobustDiscretization::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let p = Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0));
+            let (k, safety) = scheme.select_grid(&p);
+            let all = scheme.safety_distances(&p);
+            let max = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(safety, all[k as usize]);
+            assert!(
+                (safety - max).abs() < 1e-12,
+                "policy picked grid {k} with safety {safety}, max is {max}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_safe_policy_picks_lowest_safe_index() {
+        let scheme =
+            RobustDiscretization::with_policy(5.0, GridSelectionPolicy::FirstSafe).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..2_000 {
+            let p = Point::new(rng.gen_range(0.0..500.0), rng.gen_range(0.0..500.0));
+            let (k, _) = scheme.select_grid(&p);
+            let all = scheme.safety_distances(&p);
+            for earlier in 0..k {
+                assert!(
+                    all[earlier as usize] < 5.0,
+                    "grid {earlier} was already safe for {p} but policy picked {k}"
+                );
+            }
+            assert!(all[k as usize] >= 5.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn acceptance_region_is_a_6r_square_containing_the_point() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let p = Point::new(123.4, 210.7);
+        let region = scheme.acceptance_region(&p);
+        assert!((region.width() - 36.0).abs() < 1e-9);
+        assert!(region.contains(&p));
+        // The point is r-safe inside the region.
+        assert!(region.distance_to_nearest_edge(&p) >= 6.0 - 1e-9);
+    }
+
+    #[test]
+    fn locate_uses_the_stored_grid_only() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let original = Point::new(100.0, 100.0);
+        let enrolled = scheme.enroll(&original);
+        // Whatever grid was selected, locating the original again matches.
+        assert_eq!(scheme.locate(&enrolled.grid_id, &original), enrolled.cell);
+    }
+
+    #[test]
+    fn locate_rejects_bad_identifiers() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        let p = Point::new(1.0, 1.0);
+        assert!(matches!(
+            scheme.try_locate(&GridId::Robust { grid_index: 3 }, &p),
+            Err(DiscretizationError::CorruptGridId { .. })
+        ));
+        assert!(matches!(
+            scheme.try_locate(&GridId::Centered { dx: 0.0, dy: 0.0 }, &p),
+            Err(DiscretizationError::MismatchedGridId { .. })
+        ));
+        assert!(matches!(
+            scheme.try_locate(&GridId::Robust { grid_index: 0 }, &Point::new(f64::NAN, 0.0)),
+            Err(DiscretizationError::NonFinitePoint)
+        ));
+    }
+
+    #[test]
+    fn scheme_metadata_matches_paper() {
+        let scheme = RobustDiscretization::new(6.0).unwrap();
+        assert_eq!(scheme.name(), "robust");
+        assert_eq!(scheme.guaranteed_tolerance(), 6.0);
+        assert_eq!(scheme.maximum_accepted_distance(), 30.0); // 5r
+        assert_eq!(scheme.grid_square_size(), 36.0); // 6r
+        assert_eq!(scheme.num_grid_identifiers(), 3);
+        assert_eq!(scheme.identifier_bits(), 3f64.log2()); // ≈ 1.58, stored as 2 bits
+    }
+
+    #[test]
+    fn from_grid_square_size_matches_table1_r_values() {
+        // Table 1: 9×9 ⇒ r = 1.50, 13×13 ⇒ r ≈ 2.17, 19×19 ⇒ r ≈ 3.17.
+        assert!((RobustDiscretization::from_grid_square_size(9.0).unwrap().r() - 1.5).abs() < 1e-9);
+        assert!(
+            (RobustDiscretization::from_grid_square_size(13.0).unwrap().r() - 13.0 / 6.0).abs()
+                < 1e-9
+        );
+        assert!(
+            (RobustDiscretization::from_grid_square_size(19.0).unwrap().r() - 19.0 / 6.0).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        assert!(RobustDiscretization::new(0.0).is_err());
+        assert!(RobustDiscretization::new(-2.0).is_err());
+        assert!(RobustDiscretization::new(f64::NAN).is_err());
+    }
+}

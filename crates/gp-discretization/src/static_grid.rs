@@ -1,0 +1,137 @@
+//! The naive single-grid baseline and its "edge problem".
+//!
+//! Section 2 of the paper describes the simplest possible discretization: a
+//! single static grid overlaid on the image; a login is accepted iff it
+//! falls in the same grid square as the original click.  Its flaw is the
+//! *edge problem*: an original click next to a grid line can be rejected for
+//! logins only one pixel away, because the neighbouring pixel falls in the
+//! adjacent square.  Robust Discretization was invented to fix this, and
+//! Centered Discretization fixes it without Robust's false accepts/rejects.
+//!
+//! The scheme is included as a baseline for tests, examples and ablation
+//! benches.
+
+use crate::error::DiscretizationError;
+use crate::scheme::{DiscretizationScheme, DiscretizedClick, GridId};
+use gp_geometry::{GridCell, Point, UniformGrid};
+use serde::{Deserialize, Serialize};
+
+/// A single fixed grid anchored at the image origin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticGridDiscretization {
+    grid: UniformGrid,
+}
+
+impl StaticGridDiscretization {
+    /// Create a static grid with the given square size.
+    pub fn new(square_size: f64) -> Result<Self, DiscretizationError> {
+        if !(square_size.is_finite() && square_size > 0.0) {
+            return Err(DiscretizationError::InvalidTolerance { r: square_size });
+        }
+        Ok(Self {
+            grid: UniformGrid::anchored_at_origin(square_size),
+        })
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+}
+
+impl DiscretizationScheme for StaticGridDiscretization {
+    fn name(&self) -> &'static str {
+        "static-grid"
+    }
+
+    fn guaranteed_tolerance(&self) -> f64 {
+        // The edge problem: a click exactly on a grid line has zero
+        // guaranteed tolerance.
+        0.0
+    }
+
+    fn maximum_accepted_distance(&self) -> f64 {
+        // A click in a square corner can be matched by the opposite corner.
+        self.grid.cell
+    }
+
+    fn grid_square_size(&self) -> f64 {
+        self.grid.cell
+    }
+
+    fn num_grid_identifiers(&self) -> u64 {
+        1
+    }
+
+    fn enroll(&self, original: &Point) -> DiscretizedClick {
+        assert!(original.is_finite(), "click-point must be finite");
+        DiscretizedClick {
+            grid_id: GridId::Static,
+            cell: self.grid.cell_of(original),
+        }
+    }
+
+    fn try_locate(&self, grid_id: &GridId, login: &Point) -> Result<GridCell, DiscretizationError> {
+        if !login.is_finite() {
+            return Err(DiscretizationError::NonFinitePoint);
+        }
+        match grid_id {
+            GridId::Static => Ok(self.grid.cell_of(login)),
+            other => Err(DiscretizationError::MismatchedGridId {
+                scheme: self.name(),
+                got: *other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_points_in_same_square() {
+        let scheme = StaticGridDiscretization::new(20.0).unwrap();
+        let original = Point::new(10.0, 10.0);
+        assert!(scheme.accepts(&original, &Point::new(19.0, 0.5)));
+        assert!(!scheme.accepts(&original, &Point::new(20.5, 10.0)));
+    }
+
+    #[test]
+    fn edge_problem_demonstrated() {
+        // A click just left of the grid line at x = 20 is rejected for a
+        // login one pixel to the right, even though the user was only one
+        // pixel off.
+        let scheme = StaticGridDiscretization::new(20.0).unwrap();
+        let original = Point::new(19.5, 10.0);
+        let login = Point::new(20.5, 10.0);
+        assert!(original.chebyshev(&login) <= 1.0);
+        assert!(!scheme.accepts(&original, &login));
+        assert_eq!(scheme.guaranteed_tolerance(), 0.0);
+    }
+
+    #[test]
+    fn metadata() {
+        let scheme = StaticGridDiscretization::new(13.0).unwrap();
+        assert_eq!(scheme.name(), "static-grid");
+        assert_eq!(scheme.grid_square_size(), 13.0);
+        assert_eq!(scheme.num_grid_identifiers(), 1);
+        assert_eq!(scheme.identifier_bits(), 0.0);
+        assert_eq!(scheme.maximum_accepted_distance(), 13.0);
+    }
+
+    #[test]
+    fn locate_rejects_foreign_grid_id() {
+        let scheme = StaticGridDiscretization::new(10.0).unwrap();
+        assert!(matches!(
+            scheme.try_locate(&GridId::Robust { grid_index: 0 }, &Point::new(1.0, 1.0)),
+            Err(DiscretizationError::MismatchedGridId { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_square_size_rejected() {
+        assert!(StaticGridDiscretization::new(0.0).is_err());
+        assert!(StaticGridDiscretization::new(-1.0).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Image dimensions and containment helpers.
+
+use crate::point::{PixelPoint, Point};
+use serde::{Deserialize, Serialize};
+
+/// The pixel dimensions of a background image.
+///
+/// The paper's user study used two 451×331-pixel images ("Cars" and "Pool");
+/// its password-space analysis (Table 3) additionally considers 640×480.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ImageDims {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+}
+
+impl ImageDims {
+    /// Construct image dimensions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero: a zero-area image cannot host
+    /// click-points and would poison later division.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self { width, height }
+    }
+
+    /// The 451×331 image size used in the paper's field and lab studies.
+    pub const STUDY: ImageDims = ImageDims {
+        width: 451,
+        height: 331,
+    };
+
+    /// The 640×480 image size used in the paper's password-space table.
+    pub const VGA: ImageDims = ImageDims {
+        width: 640,
+        height: 480,
+    };
+
+    /// Total number of pixels.
+    pub fn area(&self) -> u64 {
+        self.width as u64 * self.height as u64
+    }
+
+    /// Whether a pixel coordinate lies on the image.
+    pub fn contains_pixel(&self, p: &PixelPoint) -> bool {
+        p.x < self.width && p.y < self.height
+    }
+
+    /// Whether a continuous coordinate lies within `[0, width) × [0, height)`.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x < self.width as f64 && p.y < self.height as f64
+    }
+
+    /// Clamp a continuous point into the image (inclusive of the far edge
+    /// minus one pixel, so the result is always a valid click location).
+    pub fn clamp_point(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(0.0, (self.width - 1) as f64),
+            p.y.clamp(0.0, (self.height - 1) as f64),
+        )
+    }
+
+    /// Clamp a pixel point into the image.
+    pub fn clamp_pixel(&self, p: &PixelPoint) -> PixelPoint {
+        PixelPoint::new(p.x.min(self.width - 1), p.y.min(self.height - 1))
+    }
+
+    /// Center of the image.
+    pub fn center(&self) -> Point {
+        Point::new(self.width as f64 / 2.0, self.height as f64 / 2.0)
+    }
+}
+
+impl core::fmt::Display for ImageDims {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_and_vga_constants_match_paper() {
+        assert_eq!(ImageDims::STUDY.to_string(), "451x331");
+        assert_eq!(ImageDims::VGA.to_string(), "640x480");
+    }
+
+    #[test]
+    fn area() {
+        assert_eq!(ImageDims::new(10, 20).area(), 200);
+        assert_eq!(ImageDims::VGA.area(), 307_200);
+    }
+
+    #[test]
+    fn pixel_containment_is_half_open() {
+        let d = ImageDims::new(100, 50);
+        assert!(d.contains_pixel(&PixelPoint::new(0, 0)));
+        assert!(d.contains_pixel(&PixelPoint::new(99, 49)));
+        assert!(!d.contains_pixel(&PixelPoint::new(100, 0)));
+        assert!(!d.contains_pixel(&PixelPoint::new(0, 50)));
+    }
+
+    #[test]
+    fn point_containment_is_half_open() {
+        let d = ImageDims::new(100, 50);
+        assert!(d.contains_point(&Point::new(0.0, 0.0)));
+        assert!(d.contains_point(&Point::new(99.999, 49.999)));
+        assert!(!d.contains_point(&Point::new(100.0, 10.0)));
+        assert!(!d.contains_point(&Point::new(-0.001, 10.0)));
+    }
+
+    #[test]
+    fn clamping_puts_points_inside() {
+        let d = ImageDims::new(100, 50);
+        let clamped = d.clamp_point(&Point::new(150.0, -3.0));
+        assert!(d.contains_point(&clamped));
+        assert_eq!(clamped, Point::new(99.0, 0.0));
+        assert_eq!(
+            d.clamp_pixel(&PixelPoint::new(1000, 2)),
+            PixelPoint::new(99, 2)
+        );
+    }
+
+    #[test]
+    fn center_is_midpoint() {
+        assert_eq!(ImageDims::new(100, 50).center(), Point::new(50.0, 25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_rejected() {
+        ImageDims::new(0, 10);
+    }
+}

@@ -1,0 +1,41 @@
+//! Geometry substrate for click-based graphical passwords.
+//!
+//! Click-based graphical password schemes (PassPoints, Cued Click-Points,
+//! Persuasive Cued Click-Points) operate on pixel coordinates of one or more
+//! background images.  This crate provides the small, dependency-free
+//! geometric vocabulary shared by the rest of the workspace:
+//!
+//! * [`point`] — continuous ([`Point`]) and pixel ([`PixelPoint`]) 2-D
+//!   points with the distance metrics relevant to tolerance analysis
+//!   (Chebyshev for square tolerance regions, Euclidean and Manhattan for
+//!   diagnostics).
+//! * [`dims`] — image dimensions ([`ImageDims`]) with containment and
+//!   clamping helpers.
+//! * [`segment`] — 1-D half-open intervals used when reasoning about the
+//!   per-axis behaviour of discretization.
+//! * [`rect`] — axis-aligned rectangles (grid squares, tolerance squares,
+//!   persuasive viewports).
+//! * [`grid`] — uniform offset grids overlaid on an image, the geometric
+//!   object both Robust and Centered Discretization manipulate.
+//! * [`tolerance`] — centered square tolerance regions ("centered-tolerance"
+//!   in the paper's terminology).
+//!
+//! All types are plain data with `serde` derives so datasets and experiment
+//! results can be persisted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dims;
+pub mod grid;
+pub mod point;
+pub mod rect;
+pub mod segment;
+pub mod tolerance;
+
+pub use dims::ImageDims;
+pub use grid::{GridCell, UniformGrid};
+pub use point::{PixelPoint, Point};
+pub use rect::Rect;
+pub use segment::Segment;
+pub use tolerance::ToleranceSquare;

@@ -1,0 +1,220 @@
+//! Continuous and pixel-valued 2-D points, with the distance metrics used in
+//! tolerance analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// A point with continuous (real-valued) coordinates.
+///
+/// The discretization mathematics in the paper is defined over the reals and
+/// only then specialized to pixels ("We used real numbers for our
+/// computations and comparisons to minimize rounding errors", §4), so the
+/// continuous type is the primary one; [`PixelPoint`] converts losslessly
+/// into it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate, increasing rightwards.
+    pub x: f64,
+    /// Vertical coordinate, increasing downwards (image convention).
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Chebyshev (L∞) distance: `max(|Δx|, |Δy|)`.
+    ///
+    /// A login click is inside a centered square tolerance of half-width `r`
+    /// exactly when its Chebyshev distance from the original click is ≤ `r`,
+    /// which makes this the canonical metric of the paper.
+    pub fn chebyshev(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Euclidean (L2) distance.
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Manhattan (L1) distance.
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Componentwise translation.
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Round to the nearest pixel, clamping negative coordinates to zero.
+    pub fn to_pixel(&self) -> PixelPoint {
+        PixelPoint::new(
+            self.x.round().max(0.0) as u32,
+            self.y.round().max(0.0) as u32,
+        )
+    }
+
+    /// True when both coordinates are finite (not NaN / infinite).
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<PixelPoint> for Point {
+    fn from(p: PixelPoint) -> Self {
+        Point::new(p.x as f64, p.y as f64)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl core::fmt::Display for Point {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A point on a discrete pixel raster, as produced by a mouse click.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PixelPoint {
+    /// Horizontal pixel coordinate (column).
+    pub x: u32,
+    /// Vertical pixel coordinate (row).
+    pub y: u32,
+}
+
+impl PixelPoint {
+    /// Construct a pixel point.
+    pub const fn new(x: u32, y: u32) -> Self {
+        Self { x, y }
+    }
+
+    /// Chebyshev (L∞) distance in whole pixels.
+    pub fn chebyshev(&self, other: &PixelPoint) -> u32 {
+        let dx = self.x.abs_diff(other.x);
+        let dy = self.y.abs_diff(other.y);
+        dx.max(dy)
+    }
+
+    /// Euclidean distance (as a float, since it is generally not integral).
+    pub fn euclidean(&self, other: &PixelPoint) -> f64 {
+        Point::from(*self).euclidean(&Point::from(*other))
+    }
+
+    /// Manhattan distance in whole pixels.
+    pub fn manhattan(&self, other: &PixelPoint) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Translate by a signed offset, saturating at the raster boundary
+    /// (coordinates never go negative).
+    pub fn saturating_offset(&self, dx: i64, dy: i64) -> PixelPoint {
+        let clamp = |v: i64| -> u32 {
+            if v < 0 {
+                0
+            } else if v > u32::MAX as i64 {
+                u32::MAX
+            } else {
+                v as u32
+            }
+        };
+        PixelPoint::new(clamp(self.x as i64 + dx), clamp(self.y as i64 + dy))
+    }
+}
+
+impl From<(u32, u32)> for PixelPoint {
+    fn from((x, y): (u32, u32)) -> Self {
+        PixelPoint::new(x, y)
+    }
+}
+
+impl core::fmt::Display for PixelPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_is_max_of_axis_distances() {
+        let a = Point::new(10.0, 20.0);
+        let b = Point::new(13.0, 27.0);
+        assert_eq!(a.chebyshev(&b), 7.0);
+        assert_eq!(b.chebyshev(&a), 7.0);
+    }
+
+    #[test]
+    fn euclidean_345_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.euclidean(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_sums_axes() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, -1.0);
+        assert_eq!(a.manhattan(&b), 5.0);
+    }
+
+    #[test]
+    fn distances_are_zero_for_identical_points() {
+        let p = Point::new(5.5, 7.25);
+        assert_eq!(p.chebyshev(&p), 0.0);
+        assert_eq!(p.euclidean(&p), 0.0);
+        assert_eq!(p.manhattan(&p), 0.0);
+    }
+
+    #[test]
+    fn pixel_chebyshev_symmetric() {
+        let a = PixelPoint::new(3, 10);
+        let b = PixelPoint::new(8, 4);
+        assert_eq!(a.chebyshev(&b), 6);
+        assert_eq!(b.chebyshev(&a), 6);
+    }
+
+    #[test]
+    fn pixel_to_point_round_trip() {
+        let px = PixelPoint::new(123, 456);
+        let p: Point = px.into();
+        assert_eq!(p.to_pixel(), px);
+    }
+
+    #[test]
+    fn to_pixel_rounds_to_nearest_and_clamps_negative() {
+        assert_eq!(Point::new(1.4, 2.6).to_pixel(), PixelPoint::new(1, 3));
+        assert_eq!(Point::new(-3.0, 0.2).to_pixel(), PixelPoint::new(0, 0));
+    }
+
+    #[test]
+    fn saturating_offset_clamps_at_zero() {
+        let p = PixelPoint::new(2, 2);
+        assert_eq!(p.saturating_offset(-5, 1), PixelPoint::new(0, 3));
+        assert_eq!(p.saturating_offset(3, -10), PixelPoint::new(5, 0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PixelPoint::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.00, 2.50)");
+    }
+
+    #[test]
+    fn is_finite_rejects_nan() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY).is_finite());
+    }
+}

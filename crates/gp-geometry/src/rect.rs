@@ -1,0 +1,207 @@
+//! Axis-aligned rectangles: grid squares, tolerance squares and persuasive
+//! viewports are all expressed as [`Rect`]s.
+
+use crate::point::Point;
+use crate::segment::Segment;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle, half-open on both axes:
+/// `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Inclusive left edge.
+    pub x0: f64,
+    /// Inclusive top edge.
+    pub y0: f64,
+    /// Exclusive right edge.
+    pub x1: f64,
+    /// Exclusive bottom edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Construct a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is inverted or any coordinate is non-finite.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(
+            x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite(),
+            "rectangle coordinates must be finite"
+        );
+        assert!(x0 <= x1 && y0 <= y1, "rectangle must not be inverted");
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Construct from two 1-D segments.
+    pub fn from_segments(x: Segment, y: Segment) -> Self {
+        Self::new(x.start, y.start, x.end, y.end)
+    }
+
+    /// Square of side `2r` centered on `center` — the paper's
+    /// "centered-tolerance" square.
+    pub fn centered_square(center: Point, r: f64) -> Self {
+        assert!(r >= 0.0, "half-width must be non-negative");
+        Self::new(center.x - r, center.y - r, center.x + r, center.y + r)
+    }
+
+    /// Horizontal extent as a segment.
+    pub fn x_segment(&self) -> Segment {
+        Segment::new(self.x0, self.x1)
+    }
+
+    /// Vertical extent as a segment.
+    pub fn y_segment(&self) -> Segment {
+        Segment::new(self.y0, self.y1)
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Whether `p` lies inside (half-open semantics).
+    pub fn contains(&self, p: &Point) -> bool {
+        self.x_segment().contains(p.x) && self.y_segment().contains(p.y)
+    }
+
+    /// Whether `p` lies inside or on the boundary (closed semantics).
+    pub fn contains_closed(&self, p: &Point) -> bool {
+        self.x_segment().contains_closed(p.x) && self.y_segment().contains_closed(p.y)
+    }
+
+    /// Chebyshev distance from `p` to the nearest edge; 0 when outside.
+    ///
+    /// For a click-point inside a grid square this is the paper's notion of
+    /// how "safe" the point is: Robust Discretization requires it to be at
+    /// least `r`.
+    pub fn distance_to_nearest_edge(&self, p: &Point) -> f64 {
+        if !self.contains_closed(p) {
+            return 0.0;
+        }
+        self.x_segment()
+            .distance_to_nearest_edge(p.x)
+            .min(self.y_segment().distance_to_nearest_edge(p.y))
+    }
+
+    /// Intersection with another rectangle, or `None` when disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let x = self.x_segment().intersect(&other.x_segment())?;
+        let y = self.y_segment().intersect(&other.y_segment())?;
+        Some(Rect::from_segments(x, y))
+    }
+
+    /// Area of overlap with another rectangle.
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        self.intersect(other).map_or(0.0, |r| r.area())
+    }
+
+    /// Translate the rectangle.
+    pub fn offset(&self, dx: f64, dy: f64) -> Rect {
+        Rect::new(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+    }
+}
+
+impl core::fmt::Display for Rect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "[{:.2}, {:.2}) x [{:.2}, {:.2})",
+            self.x0, self.x1, self.y0, self.y1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_square_geometry() {
+        let r = Rect::centered_square(Point::new(10.0, 20.0), 4.5);
+        assert_eq!(r.width(), 9.0);
+        assert_eq!(r.height(), 9.0);
+        assert_eq!(r.center(), Point::new(10.0, 20.0));
+        assert_eq!(r.area(), 81.0);
+    }
+
+    #[test]
+    fn containment_half_open_vs_closed() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(!r.contains(&Point::new(10.0, 2.0)));
+        assert!(r.contains_closed(&Point::new(10.0, 5.0)));
+        assert!(!r.contains_closed(&Point::new(10.1, 5.0)));
+    }
+
+    #[test]
+    fn edge_distance_is_min_over_axes() {
+        let r = Rect::new(0.0, 0.0, 10.0, 20.0);
+        assert_eq!(r.distance_to_nearest_edge(&Point::new(3.0, 10.0)), 3.0);
+        assert_eq!(r.distance_to_nearest_edge(&Point::new(5.0, 1.0)), 1.0);
+        assert_eq!(r.distance_to_nearest_edge(&Point::new(-1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn intersection_and_overlap_area() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Rect::new(5.0, 5.0, 10.0, 10.0));
+        assert_eq!(a.overlap_area(&b), 25.0);
+        let c = Rect::new(20.0, 20.0, 30.0, 30.0);
+        assert!(a.intersect(&c).is_none());
+        assert_eq!(a.overlap_area(&c), 0.0);
+    }
+
+    #[test]
+    fn worst_case_robust_vs_centered_overlap() {
+        // Figure 1 of the paper: original point at distance r from one edge
+        // of a 6r x 6r robust square.  The centered-tolerance square of
+        // half-width 3r then sticks out by 2r on two sides.
+        let r = 1.0;
+        let robust = Rect::new(0.0, 0.0, 6.0 * r, 6.0 * r);
+        let click = Point::new(r, r); // worst case: r from left and top edges
+        let centered = Rect::centered_square(click, 3.0 * r);
+        let overlap = robust.overlap_area(&centered);
+        // Overlap is a 4r x 4r region.
+        assert_eq!(overlap, 16.0 * r * r);
+        // False-reject region: centered-tolerance area not covered by robust.
+        assert_eq!(centered.area() - overlap, 36.0 - 16.0);
+        // False-accept region: robust area not covered by centered-tolerance.
+        assert_eq!(robust.area() - overlap, 36.0 - 16.0);
+    }
+
+    #[test]
+    fn offset_translates() {
+        let r = Rect::new(0.0, 0.0, 2.0, 3.0).offset(1.0, -1.0);
+        assert_eq!(r, Rect::new(1.0, -1.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn from_segments_matches_new() {
+        let r = Rect::from_segments(Segment::new(1.0, 2.0), Segment::new(3.0, 5.0));
+        assert_eq!(r, Rect::new(1.0, 3.0, 2.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_rejected() {
+        Rect::new(5.0, 0.0, 1.0, 2.0);
+    }
+}

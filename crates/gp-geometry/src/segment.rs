@@ -1,0 +1,145 @@
+//! 1-D intervals.
+//!
+//! Centered Discretization is defined one axis at a time (§3.1 of the
+//! paper): a continuous line is partitioned into segments of length `2r`
+//! starting from a per-password offset `d`.  [`Segment`] is the half-open
+//! interval `[start, end)` used to express and test that partition.
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open interval `[start, end)` on the real line.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Inclusive lower endpoint.
+    pub start: f64,
+    /// Exclusive upper endpoint.
+    pub end: f64,
+}
+
+impl Segment {
+    /// Construct a segment.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or either endpoint is non-finite.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(start.is_finite() && end.is_finite(), "segment endpoints must be finite");
+        assert!(start <= end, "segment start must not exceed end");
+        Self { start, end }
+    }
+
+    /// Construct the segment of half-width `r` centered on `center`.
+    pub fn centered(center: f64, r: f64) -> Self {
+        assert!(r >= 0.0, "half-width must be non-negative");
+        Self::new(center - r, center + r)
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Midpoint of the segment.
+    pub fn center(&self) -> f64 {
+        (self.start + self.end) / 2.0
+    }
+
+    /// Whether `x` lies in `[start, end)`.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.start && x < self.end
+    }
+
+    /// Whether `x` lies in the closed interval `[start, end]`.
+    pub fn contains_closed(&self, x: f64) -> bool {
+        x >= self.start && x <= self.end
+    }
+
+    /// Distance from `x` to the nearer endpoint; 0 when outside.
+    pub fn distance_to_nearest_edge(&self, x: f64) -> f64 {
+        if !self.contains_closed(x) {
+            return 0.0;
+        }
+        (x - self.start).min(self.end - x)
+    }
+
+    /// Intersection with another segment, or `None` when disjoint.
+    pub fn intersect(&self, other: &Segment) -> Option<Segment> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Segment::new(start, end))
+        } else {
+            None
+        }
+    }
+}
+
+impl core::fmt::Display for Segment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{:.2}, {:.2})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn centered_construction() {
+        let s = Segment::centered(13.0, 5.5);
+        assert_eq!(s.start, 7.5);
+        assert_eq!(s.end, 18.5);
+        assert_eq!(s.length(), 11.0);
+        assert_eq!(s.center(), 13.0);
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let s = Segment::new(2.0, 4.0);
+        assert!(s.contains(2.0));
+        assert!(s.contains(3.999));
+        assert!(!s.contains(4.0));
+        assert!(s.contains_closed(4.0));
+        assert!(!s.contains(1.999));
+    }
+
+    #[test]
+    fn edge_distance() {
+        let s = Segment::new(0.0, 10.0);
+        assert_eq!(s.distance_to_nearest_edge(3.0), 3.0);
+        assert_eq!(s.distance_to_nearest_edge(8.0), 2.0);
+        assert_eq!(s.distance_to_nearest_edge(5.0), 5.0);
+        assert_eq!(s.distance_to_nearest_edge(-1.0), 0.0);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Segment::new(0.0, 5.0);
+        let b = Segment::new(3.0, 8.0);
+        assert_eq!(a.intersect(&b), Some(Segment::new(3.0, 5.0)));
+        let c = Segment::new(6.0, 7.0);
+        assert_eq!(a.intersect(&c), None);
+        // Touching intervals have empty interior intersection.
+        let d = Segment::new(5.0, 9.0);
+        assert_eq!(a.intersect(&d), None);
+    }
+
+    #[test]
+    fn zero_length_segment_is_allowed_and_empty() {
+        let s = Segment::new(1.0, 1.0);
+        assert_eq!(s.length(), 0.0);
+        assert!(!s.contains(1.0));
+        assert!(s.contains_closed(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "start must not exceed end")]
+    fn inverted_segment_rejected() {
+        Segment::new(2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_endpoint_rejected() {
+        Segment::new(f64::NAN, 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Centered tolerance regions.
+//!
+//! The paper defines the *centered-tolerance* square as "an evenly
+//! distributed buffer" of half-width `r` around the original click-point —
+//! the region a user most plausibly expects to be accepted.  Centered
+//! Discretization accepts exactly this region; Robust Discretization accepts
+//! a different (larger, off-center) region, which is what produces false
+//! accepts and false rejects.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use serde::{Deserialize, Serialize};
+
+/// A square tolerance region of half-width `r` centered on an original
+/// click-point, using the Chebyshev metric (so the region is an axis-aligned
+/// square of side `2r`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ToleranceSquare {
+    /// The original click-point at the center of the region.
+    pub center: Point,
+    /// Half-width of the square (the guaranteed tolerance `r`).
+    pub r: f64,
+}
+
+impl ToleranceSquare {
+    /// Construct a tolerance square.
+    ///
+    /// # Panics
+    /// Panics if `r` is negative or non-finite.
+    pub fn new(center: Point, r: f64) -> Self {
+        assert!(r.is_finite() && r >= 0.0, "tolerance must be non-negative");
+        Self { center, r }
+    }
+
+    /// Whether a login click-point is accepted under centered tolerance,
+    /// i.e. its Chebyshev distance from the original point is at most `r`.
+    pub fn accepts(&self, login: &Point) -> bool {
+        self.center.chebyshev(login) <= self.r
+    }
+
+    /// The region as a rectangle (closed square of side `2r`).
+    pub fn as_rect(&self) -> Rect {
+        Rect::centered_square(self.center, self.r)
+    }
+
+    /// Area of the tolerance region (`(2r)^2`).
+    pub fn area(&self) -> f64 {
+        (2.0 * self.r).powi(2)
+    }
+
+    /// The effective pixel width of the tolerance square when `r` encodes a
+    /// whole-pixel tolerance: `2*r + 1` pixels (the `+1` is the original
+    /// click-point's own pixel, footnote 1/2 of the paper).
+    pub fn pixel_width(&self) -> f64 {
+        2.0 * self.r + 1.0
+    }
+}
+
+impl core::fmt::Display for ToleranceSquare {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "±{:.2} around {}", self.r, self.center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_within_r_in_both_axes() {
+        let t = ToleranceSquare::new(Point::new(100.0, 100.0), 6.0);
+        assert!(t.accepts(&Point::new(100.0, 100.0)));
+        assert!(t.accepts(&Point::new(106.0, 94.0)));
+        assert!(t.accepts(&Point::new(94.0, 106.0)));
+        assert!(!t.accepts(&Point::new(107.0, 100.0)));
+        assert!(!t.accepts(&Point::new(100.0, 93.0)));
+        // Corner case: both axes at exactly r.
+        assert!(t.accepts(&Point::new(106.0, 106.0)));
+        // Diagonal beyond r in one axis only.
+        assert!(!t.accepts(&Point::new(106.5, 100.0)));
+    }
+
+    #[test]
+    fn zero_tolerance_accepts_only_exact_point() {
+        let t = ToleranceSquare::new(Point::new(5.0, 5.0), 0.0);
+        assert!(t.accepts(&Point::new(5.0, 5.0)));
+        assert!(!t.accepts(&Point::new(5.0, 5.000001)));
+    }
+
+    #[test]
+    fn rect_and_area() {
+        let t = ToleranceSquare::new(Point::new(10.0, 10.0), 4.5);
+        let r = t.as_rect();
+        assert_eq!(r.width(), 9.0);
+        assert_eq!(r.center(), Point::new(10.0, 10.0));
+        assert_eq!(t.area(), 81.0);
+    }
+
+    #[test]
+    fn pixel_width_matches_paper_footnote() {
+        // "if the desired tolerance is 9, we need the width of the
+        //  grid-square to be (r + 1 + r)" = 19 pixels.
+        let t = ToleranceSquare::new(Point::ORIGIN, 9.0);
+        assert_eq!(t.pixel_width(), 19.0);
+        // r = 6 -> 13x13 (the paper's "13x13 pixel centered-tolerance
+        // square" for a guaranteed 6-pixel tolerance).
+        let t6 = ToleranceSquare::new(Point::ORIGIN, 6.0);
+        assert_eq!(t6.pixel_width(), 13.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tolerance_rejected() {
+        ToleranceSquare::new(Point::ORIGIN, -1.0);
+    }
+}

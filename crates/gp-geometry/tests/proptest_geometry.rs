@@ -1,0 +1,121 @@
+//! Property-based tests for the geometry substrate.
+
+use gp_geometry::{GridCell, ImageDims, PixelPoint, Point, Rect, Segment, ToleranceSquare, UniformGrid};
+use proptest::prelude::*;
+
+fn finite_coord() -> impl Strategy<Value = f64> {
+    -10_000.0..10_000.0f64
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (finite_coord(), finite_coord()).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// Chebyshev distance is a metric: symmetric, zero iff equal (on the
+    /// sampled domain), and satisfies the triangle inequality.
+    #[test]
+    fn chebyshev_is_a_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!((a.chebyshev(&b) - b.chebyshev(&a)).abs() < 1e-9);
+        prop_assert_eq!(a.chebyshev(&a), 0.0);
+        prop_assert!(a.chebyshev(&c) <= a.chebyshev(&b) + b.chebyshev(&c) + 1e-9);
+    }
+
+    /// Chebyshev <= Euclidean <= Manhattan for any pair of points.
+    #[test]
+    fn metric_ordering(a in arb_point(), b in arb_point()) {
+        let ch = a.chebyshev(&b);
+        let eu = a.euclidean(&b);
+        let ma = a.manhattan(&b);
+        prop_assert!(ch <= eu + 1e-9);
+        prop_assert!(eu <= ma + 1e-9);
+    }
+
+    /// Every point lies in the rectangle of the grid cell it maps to.
+    #[test]
+    fn grid_cell_rect_contains_point(
+        cell in 0.5..200.0f64,
+        ox in -500.0..500.0f64,
+        oy in -500.0..500.0f64,
+        p in arb_point(),
+    ) {
+        let grid = UniformGrid::new(cell, ox, oy);
+        let c = grid.cell_of(&p);
+        let rect = grid.cell_rect(&c);
+        prop_assert!(rect.contains(&p), "{p} not in {rect}");
+        // And the cell is unique: neighbouring cells do not contain it.
+        let right = grid.cell_rect(&GridCell::new(c.ix + 1, c.iy));
+        prop_assert!(!right.contains(&p));
+    }
+
+    /// The r-safety distance never exceeds half the cell size.
+    #[test]
+    fn cell_edge_distance_bounded_by_half_cell(
+        cell in 0.5..200.0f64,
+        ox in -500.0..500.0f64,
+        oy in -500.0..500.0f64,
+        p in arb_point(),
+    ) {
+        let grid = UniformGrid::new(cell, ox, oy);
+        let d = grid.distance_to_cell_edge(&p);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= cell / 2.0 + 1e-9);
+    }
+
+    /// Tolerance-square acceptance agrees with rectangle containment
+    /// (closed semantics) of the corresponding centered square.
+    #[test]
+    fn tolerance_square_matches_rect(center in arb_point(), r in 0.0..100.0f64, login in arb_point()) {
+        let t = ToleranceSquare::new(center, r);
+        prop_assert_eq!(t.accepts(&login), t.as_rect().contains_closed(&login));
+    }
+
+    /// Rectangle intersection area is symmetric and bounded by each operand.
+    #[test]
+    fn overlap_area_symmetric_and_bounded(
+        ax in finite_coord(), ay in finite_coord(), aw in 0.0..500.0f64, ah in 0.0..500.0f64,
+        bx in finite_coord(), by in finite_coord(), bw in 0.0..500.0f64, bh in 0.0..500.0f64,
+    ) {
+        let a = Rect::new(ax, ay, ax + aw, ay + ah);
+        let b = Rect::new(bx, by, bx + bw, by + bh);
+        let ab = a.overlap_area(&b);
+        let ba = b.overlap_area(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!(ab <= a.area() + 1e-6);
+        prop_assert!(ab <= b.area() + 1e-6);
+    }
+
+    /// Segment intersection is contained in both operands.
+    #[test]
+    fn segment_intersection_contained(
+        s1 in finite_coord(), l1 in 0.0..500.0f64,
+        s2 in finite_coord(), l2 in 0.0..500.0f64,
+        probe in 0.0..1.0f64,
+    ) {
+        let a = Segment::new(s1, s1 + l1);
+        let b = Segment::new(s2, s2 + l2);
+        if let Some(i) = a.intersect(&b) {
+            let x = i.start + probe * i.length();
+            prop_assert!(a.contains_closed(x));
+            prop_assert!(b.contains_closed(x));
+        }
+    }
+
+    /// Clamped points are always contained in the image.
+    #[test]
+    fn clamp_point_lands_inside(w in 1u32..2000, h in 1u32..2000, p in arb_point()) {
+        let dims = ImageDims::new(w, h);
+        prop_assert!(dims.contains_point(&dims.clamp_point(&p)));
+    }
+
+    /// Pixel Chebyshev distance equals the continuous Chebyshev distance of
+    /// the converted points.
+    #[test]
+    fn pixel_and_continuous_chebyshev_agree(ax in 0u32..5000, ay in 0u32..5000,
+                                            bx in 0u32..5000, by in 0u32..5000) {
+        let a = PixelPoint::new(ax, ay);
+        let b = PixelPoint::new(bx, by);
+        let cont = Point::from(a).chebyshev(&Point::from(b));
+        prop_assert_eq!(a.chebyshev(&b) as f64, cont);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the networked authentication substrate.
+
+use gp_passwords::PasswordError;
+
+/// Errors produced by the protocol, framing and server/client layers.
+#[derive(Debug)]
+pub enum NetAuthError {
+    /// An I/O error on the underlying transport.
+    Io(std::io::Error),
+    /// A frame exceeded the maximum allowed length.
+    FrameTooLarge {
+        /// Length declared in the frame header.
+        len: usize,
+    },
+    /// A frame failed its integrity check (corrupted in transit).
+    IntegrityFailure,
+    /// A message could not be decoded.
+    Malformed {
+        /// Human-readable description of the decoding failure.
+        reason: String,
+    },
+    /// The peer closed the connection mid-frame.
+    UnexpectedEof,
+    /// The server rejected the request at the password layer.
+    Password(PasswordError),
+    /// The protocol version in a frame is unsupported.
+    UnsupportedVersion {
+        /// The version byte that was received.
+        got: u8,
+    },
+}
+
+impl core::fmt::Display for NetAuthError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetAuthError::Io(e) => write!(f, "i/o error: {e}"),
+            NetAuthError::FrameTooLarge { len } => write!(f, "frame of {len} bytes exceeds limit"),
+            NetAuthError::IntegrityFailure => write!(f, "frame integrity check failed"),
+            NetAuthError::Malformed { reason } => write!(f, "malformed message: {reason}"),
+            NetAuthError::UnexpectedEof => write!(f, "connection closed mid-frame"),
+            NetAuthError::Password(e) => write!(f, "password error: {e}"),
+            NetAuthError::UnsupportedVersion { got } => {
+                write!(f, "unsupported protocol version {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetAuthError {}
+
+impl From<std::io::Error> for NetAuthError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetAuthError::UnexpectedEof
+        } else {
+            NetAuthError::Io(e)
+        }
+    }
+}
+
+impl From<PasswordError> for NetAuthError {
+    fn from(e: PasswordError) -> Self {
+        NetAuthError::Password(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetAuthError::IntegrityFailure.to_string().contains("integrity"));
+        assert!(NetAuthError::FrameTooLarge { len: 9999 }
+            .to_string()
+            .contains("9999"));
+        assert!(NetAuthError::UnsupportedVersion { got: 9 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn eof_io_errors_map_to_unexpected_eof() {
+        let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(NetAuthError::from(io), NetAuthError::UnexpectedEof));
+        let other = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        assert!(matches!(NetAuthError::from(other), NetAuthError::Io(_)));
+    }
+}

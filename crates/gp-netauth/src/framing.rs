@@ -1,0 +1,246 @@
+//! Length-prefixed, integrity-checked frames over any `Read`/`Write`.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! | version: u8 | length: u32 BE | payload: length bytes | check: u32 BE |
+//! ```
+//!
+//! The check word is the first four bytes of the SHA-256 digest of
+//! `version || payload`.  It is an *integrity* check against accidental
+//! corruption (and a convenient hook for the fault-injection tests), not an
+//! authentication tag — the threat model for confidentiality/authenticity
+//! of the channel is out of scope here, as it is in the paper.
+
+use crate::error::NetAuthError;
+use bytes::Bytes;
+use gp_crypto::Sha256;
+use std::io::{Read, Write};
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Maximum payload length accepted (defensive bound, well above any real
+/// message in this protocol).
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+fn checksum(version: u8, payload: &[u8]) -> u32 {
+    let mut h = Sha256::new();
+    h.update(&[version]);
+    h.update(payload);
+    let digest = h.finalize();
+    u32::from_be_bytes([digest[0], digest[1], digest[2], digest[3]])
+}
+
+/// Writes frames to an underlying `Write`.
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wrap a writer.
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+
+    /// Write one frame containing `payload`.
+    pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), NetAuthError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(NetAuthError::FrameTooLarge { len: payload.len() });
+        }
+        self.inner.write_all(&[PROTOCOL_VERSION])?;
+        self.inner.write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.inner.write_all(payload)?;
+        self.inner
+            .write_all(&checksum(PROTOCOL_VERSION, payload).to_be_bytes())?;
+        self.inner.flush()?;
+        Ok(())
+    }
+
+    /// Access the underlying writer.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+/// Reads frames from an underlying `Read`.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap a reader.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Read one frame, verifying version, length bound and integrity.
+    pub fn read_frame(&mut self) -> Result<Bytes, NetAuthError> {
+        let mut header = [0u8; 5];
+        self.inner.read_exact(&mut header)?;
+        let version = header[0];
+        if version != PROTOCOL_VERSION {
+            return Err(NetAuthError::UnsupportedVersion { got: version });
+        }
+        let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(NetAuthError::FrameTooLarge { len });
+        }
+        let mut payload = vec![0u8; len];
+        self.inner.read_exact(&mut payload)?;
+        let mut check = [0u8; 4];
+        self.inner.read_exact(&mut check)?;
+        if u32::from_be_bytes(check) != checksum(version, &payload) {
+            return Err(NetAuthError::IntegrityFailure);
+        }
+        Ok(Bytes::from(payload))
+    }
+
+    /// Access the underlying reader.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+}
+
+/// A fault-injecting byte transport for tests: corrupts or drops whole
+/// frames written through it before handing bytes to the wrapped buffer.
+#[derive(Debug, Default)]
+pub struct FaultyBuffer {
+    /// Bytes visible to the reader side.
+    pub bytes: Vec<u8>,
+    /// Corrupt (flip one bit of) every n-th write, 0 = never.
+    pub corrupt_every: usize,
+    writes: usize,
+}
+
+impl FaultyBuffer {
+    /// A buffer that corrupts every `n`-th write call (0 disables).
+    pub fn corrupting(n: usize) -> Self {
+        Self {
+            corrupt_every: n,
+            ..Self::default()
+        }
+    }
+}
+
+impl Write for FaultyBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.writes += 1;
+        let mut data = buf.to_vec();
+        if self.corrupt_every != 0 && self.writes % self.corrupt_every == 0 && !data.is_empty() {
+            let idx = data.len() / 2;
+            data[idx] ^= 0x40;
+        }
+        self.bytes.extend_from_slice(&data);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut buf);
+            writer.write_frame(b"hello").unwrap();
+            writer.write_frame(b"").unwrap();
+            writer.write_frame(&[0u8; 1000]).unwrap();
+        }
+        let mut reader = FrameReader::new(Cursor::new(buf));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"hello");
+        assert_eq!(reader.read_frame().unwrap().len(), 0);
+        assert_eq!(reader.read_frame().unwrap().len(), 1000);
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_rejected_on_write_and_read() {
+        let mut writer = FrameWriter::new(Vec::new());
+        let big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            writer.write_frame(&big),
+            Err(NetAuthError::FrameTooLarge { .. })
+        ));
+        // Hand-craft a header that claims an enormous length.
+        let mut bytes = vec![PROTOCOL_VERSION];
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut reader = FrameReader::new(Cursor::new(bytes));
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::FrameTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).write_frame(b"payload").unwrap();
+        buf[0] = 9;
+        let mut reader = FrameReader::new(Cursor::new(buf));
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::UnsupportedVersion { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_integrity_check() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).write_frame(b"click data").unwrap();
+        // Flip a bit inside the payload region (after the 5-byte header).
+        buf[7] ^= 0x01;
+        let mut reader = FrameReader::new(Cursor::new(buf));
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::IntegrityFailure)
+        ));
+    }
+
+    #[test]
+    fn truncated_frame_reports_eof() {
+        let mut buf = Vec::new();
+        FrameWriter::new(&mut buf).write_frame(b"click data").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut reader = FrameReader::new(Cursor::new(buf));
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn faulty_buffer_corrupts_selected_writes() {
+        // Each write_frame issues 4 writes (version, length, payload, check);
+        // corrupting every 3rd write hits the payload of the first frame.
+        let mut faulty = FaultyBuffer::corrupting(3);
+        {
+            let mut writer = FrameWriter::new(&mut faulty);
+            writer.write_frame(b"frame one payload").unwrap();
+            writer.write_frame(b"frame two payload").unwrap();
+        }
+        let mut reader = FrameReader::new(Cursor::new(faulty.bytes));
+        let first = reader.read_frame();
+        assert!(matches!(first, Err(NetAuthError::IntegrityFailure)), "{first:?}");
+    }
+
+    #[test]
+    fn clean_faulty_buffer_passes_frames_through() {
+        let mut clean = FaultyBuffer::corrupting(0);
+        FrameWriter::new(&mut clean).write_frame(b"data").unwrap();
+        let mut reader = FrameReader::new(Cursor::new(clean.bytes));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"data");
+    }
+}

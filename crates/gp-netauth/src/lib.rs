@@ -1,0 +1,44 @@
+//! Networked authentication substrate.
+//!
+//! The paper's deployment model is a client that captures click coordinates
+//! and a server that holds only `(clear grid identifiers, hash)` per
+//! account and decides logins — including throttling online guessing
+//! attacks (§5.1).  This crate provides that substrate as a small,
+//! synchronous TCP service so the rest of the workspace can be exercised
+//! end-to-end:
+//!
+//! * [`protocol`] — the wire messages (enroll, login, result) with a
+//!   versioned binary encoding built on [`bytes`].
+//! * [`framing`] — length-prefixed frames with an integrity tag over any
+//!   `Read`/`Write` transport, plus a fault-injecting wrapper used in tests
+//!   (dropping and corrupting frames, in the spirit of smoltcp's fault
+//!   injection options).
+//! * [`lockout`] — per-account consecutive-failure tracking implementing
+//!   the online-attack countermeasure.
+//! * [`server`] — a threaded TCP server wrapping a
+//!   [`GraphicalPasswordSystem`](gp_passwords::GraphicalPasswordSystem)
+//!   and a [`PasswordStore`](gp_passwords::PasswordStore).
+//! * [`client`] — a blocking client used by the examples and integration
+//!   tests.
+//!
+//! The protocol is deliberately simple (single request / single response
+//! per frame, no TLS): it exists to demonstrate and test the password
+//! subsystem under its intended deployment shape, not to be an
+//! internet-facing service.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod framing;
+pub mod lockout;
+pub mod protocol;
+pub mod server;
+
+pub use client::AuthClient;
+pub use error::NetAuthError;
+pub use framing::{FrameReader, FrameWriter, MAX_FRAME_LEN};
+pub use lockout::LockoutTracker;
+pub use protocol::{ClientMessage, LoginDecision, ServerMessage};
+pub use server::{AuthServer, ServerConfig, ServerHandle};

@@ -1,0 +1,134 @@
+//! Per-account consecutive-failure tracking (the online-attack throttle).
+//!
+//! §5.1: "The system may limit the number of incorrect login attempts for
+//! individual accounts, slowing or stopping the attack."  The tracker
+//! counts consecutive failures per account; once the limit is reached the
+//! account is locked until an administrator (or test) resets it.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Thread-safe per-account failure counter with a lockout threshold.
+#[derive(Debug)]
+pub struct LockoutTracker {
+    max_failures: u32,
+    failures: Mutex<HashMap<String, u32>>,
+}
+
+impl LockoutTracker {
+    /// Create a tracker that locks accounts after `max_failures` consecutive
+    /// failed attempts.  `max_failures == 0` disables lockout.
+    pub fn new(max_failures: u32) -> Self {
+        Self {
+            max_failures,
+            failures: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured threshold (0 = disabled).
+    pub fn max_failures(&self) -> u32 {
+        self.max_failures
+    }
+
+    /// Whether the account is currently locked.
+    pub fn is_locked(&self, username: &str) -> bool {
+        if self.max_failures == 0 {
+            return false;
+        }
+        self.failures
+            .lock()
+            .get(username)
+            .map(|&f| f >= self.max_failures)
+            .unwrap_or(false)
+    }
+
+    /// Current consecutive-failure count for an account.
+    pub fn failures(&self, username: &str) -> u32 {
+        *self.failures.lock().get(username).unwrap_or(&0)
+    }
+
+    /// Record a failed attempt; returns the new failure count.
+    pub fn record_failure(&self, username: &str) -> u32 {
+        let mut failures = self.failures.lock();
+        let count = failures.entry(username.to_string()).or_insert(0);
+        *count = count.saturating_add(1);
+        *count
+    }
+
+    /// Record a successful login, clearing the failure count.
+    pub fn record_success(&self, username: &str) {
+        self.failures.lock().remove(username);
+    }
+
+    /// Administrative unlock.
+    pub fn reset(&self, username: &str) {
+        self.failures.lock().remove(username);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locks_after_threshold() {
+        let tracker = LockoutTracker::new(3);
+        assert!(!tracker.is_locked("alice"));
+        tracker.record_failure("alice");
+        tracker.record_failure("alice");
+        assert!(!tracker.is_locked("alice"));
+        tracker.record_failure("alice");
+        assert!(tracker.is_locked("alice"));
+        assert_eq!(tracker.failures("alice"), 3);
+        // Other accounts are unaffected.
+        assert!(!tracker.is_locked("bob"));
+    }
+
+    #[test]
+    fn success_clears_failures() {
+        let tracker = LockoutTracker::new(3);
+        tracker.record_failure("alice");
+        tracker.record_failure("alice");
+        tracker.record_success("alice");
+        assert_eq!(tracker.failures("alice"), 0);
+        assert!(!tracker.is_locked("alice"));
+    }
+
+    #[test]
+    fn reset_unlocks() {
+        let tracker = LockoutTracker::new(1);
+        tracker.record_failure("alice");
+        assert!(tracker.is_locked("alice"));
+        tracker.reset("alice");
+        assert!(!tracker.is_locked("alice"));
+    }
+
+    #[test]
+    fn zero_threshold_disables_lockout() {
+        let tracker = LockoutTracker::new(0);
+        for _ in 0..100 {
+            tracker.record_failure("alice");
+        }
+        assert!(!tracker.is_locked("alice"));
+        assert_eq!(tracker.failures("alice"), 100);
+    }
+
+    #[test]
+    fn concurrent_failures_are_counted() {
+        use std::sync::Arc;
+        let tracker = Arc::new(LockoutTracker::new(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = Arc::clone(&tracker);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    t.record_failure("shared");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tracker.failures("shared"), 400);
+    }
+}

@@ -1,0 +1,405 @@
+//! Threaded TCP authentication server.
+//!
+//! The server owns a [`GraphicalPasswordSystem`], a [`PasswordStore`] and a
+//! [`LockoutTracker`].  Request handling is a pure function
+//! ([`AuthServer::handle_message`]) so the protocol logic is unit-testable
+//! without sockets; [`AuthServer::spawn`] wraps it in an accept loop with
+//! one thread per connection.
+
+use crate::error::NetAuthError;
+use crate::framing::{FrameReader, FrameWriter};
+use crate::lockout::LockoutTracker;
+use crate::protocol::{ClientMessage, LoginDecision, ServerMessage};
+use gp_geometry::ImageDims;
+use gp_passwords::{
+    DiscretizationConfig, GraphicalPasswordSystem, PasswordError, PasswordPolicy, PasswordStore,
+};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Image dimensions the deployment uses.
+    pub image: ImageDims,
+    /// Discretization scheme and tolerance.
+    pub discretization: DiscretizationConfig,
+    /// Clicks per password.
+    pub clicks: usize,
+    /// Hash iteration count for stored passwords.
+    pub hash_iterations: u32,
+    /// Consecutive failures before an account locks (0 = never).
+    pub max_failures: u32,
+}
+
+impl ServerConfig {
+    /// A PassPoints-style deployment with Centered Discretization (r = 9)
+    /// on the study image, three-strikes lockout.
+    pub fn study_default() -> Self {
+        Self {
+            image: ImageDims::STUDY,
+            discretization: DiscretizationConfig::centered(9),
+            clicks: 5,
+            hash_iterations: 1000,
+            max_failures: 3,
+        }
+    }
+
+    /// The same deployment with a reduced iteration count, for tests.
+    pub fn fast_for_tests() -> Self {
+        Self {
+            hash_iterations: 2,
+            ..Self::study_default()
+        }
+    }
+}
+
+/// The authentication server.
+#[derive(Debug)]
+pub struct AuthServer {
+    config: ServerConfig,
+    system: GraphicalPasswordSystem,
+    store: Arc<PasswordStore>,
+    lockout: Arc<LockoutTracker>,
+}
+
+impl AuthServer {
+    /// Create a server with an empty account store.
+    pub fn new(config: ServerConfig) -> Self {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(config.image, config.clicks),
+            config.discretization,
+            config.hash_iterations,
+        );
+        let lockout = Arc::new(LockoutTracker::new(config.max_failures));
+        Self {
+            config,
+            system,
+            store: Arc::new(PasswordStore::new()),
+            lockout,
+        }
+    }
+
+    /// The account store (shared; useful for pre-seeding accounts in tests
+    /// and examples).
+    pub fn store(&self) -> Arc<PasswordStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The lockout tracker.
+    pub fn lockout(&self) -> Arc<LockoutTracker> {
+        Arc::clone(&self.lockout)
+    }
+
+    /// The underlying password system.
+    pub fn system(&self) -> &GraphicalPasswordSystem {
+        &self.system
+    }
+
+    /// Handle a single request (protocol logic, no I/O).
+    pub fn handle_message(&self, message: ClientMessage) -> ServerMessage {
+        match message {
+            ClientMessage::GetConfig => ServerMessage::Config {
+                scheme: self.config.discretization.to_header(),
+                clicks: self.config.clicks as u32,
+            },
+            ClientMessage::Quit => ServerMessage::Goodbye,
+            ClientMessage::Enroll { username, clicks } => {
+                match self.store.enroll(&self.system, &username, &clicks) {
+                    Ok(()) => ServerMessage::EnrollOk,
+                    Err(e) => ServerMessage::Error {
+                        reason: e.to_string(),
+                    },
+                }
+            }
+            ClientMessage::Login { username, clicks } => {
+                if self.lockout.is_locked(&username) {
+                    return ServerMessage::LoginResult {
+                        decision: LoginDecision::LockedOut,
+                        failures: self.lockout.failures(&username),
+                    };
+                }
+                match self.store.verify(&self.system, &username, &clicks) {
+                    Ok(true) => {
+                        self.lockout.record_success(&username);
+                        ServerMessage::LoginResult {
+                            decision: LoginDecision::Accepted,
+                            failures: 0,
+                        }
+                    }
+                    Ok(false) => {
+                        let failures = self.lockout.record_failure(&username);
+                        ServerMessage::LoginResult {
+                            decision: LoginDecision::Rejected,
+                            failures,
+                        }
+                    }
+                    // Structurally invalid attempts (wrong click count,
+                    // clicks outside the image) are failures too; unknown
+                    // accounts are reported as errors without consuming a
+                    // failure (no account to lock).
+                    Err(PasswordError::UnknownAccount { username }) => ServerMessage::Error {
+                        reason: format!("unknown account {username:?}"),
+                    },
+                    Err(_) => {
+                        let failures = self.lockout.record_failure(&username);
+                        ServerMessage::LoginResult {
+                            decision: LoginDecision::Rejected,
+                            failures,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bind to `127.0.0.1:0` and serve connections on background threads
+    /// until the returned handle is shut down or dropped.
+    pub fn spawn(self) -> Result<ServerHandle, NetAuthError> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = Arc::new(self);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_server = Arc::clone(&server);
+        let join = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let server = Arc::clone(&accept_server);
+                        workers.push(std::thread::spawn(move || {
+                            let _ = server.serve_connection(stream);
+                        }));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for worker in workers {
+                let _ = worker.join();
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            join: Some(join),
+        })
+    }
+
+    /// Serve a single connection until the client quits or the stream
+    /// fails.
+    fn serve_connection(&self, stream: TcpStream) -> Result<(), NetAuthError> {
+        let reader_stream = stream.try_clone()?;
+        let mut reader = FrameReader::new(reader_stream);
+        let mut writer = FrameWriter::new(stream);
+        loop {
+            let frame = match reader.read_frame() {
+                Ok(frame) => frame,
+                Err(NetAuthError::UnexpectedEof) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let response = match ClientMessage::decode(frame) {
+                Ok(message) => {
+                    let quitting = message == ClientMessage::Quit;
+                    let response = self.handle_message(message);
+                    writer.write_frame(&response.encode())?;
+                    if quitting {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e) => ServerMessage::Error {
+                    reason: format!("bad request: {e}"),
+                },
+            };
+            writer.write_frame(&response.encode())?;
+        }
+    }
+}
+
+/// Handle to a running server; shuts the server down when dropped.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and wait for the accept loop to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_geometry::Point;
+
+    fn clicks() -> Vec<Point> {
+        vec![
+            Point::new(40.0, 50.0),
+            Point::new(130.0, 210.0),
+            Point::new(305.0, 70.0),
+            Point::new(410.0, 300.0),
+            Point::new(220.0, 145.0),
+        ]
+    }
+
+    fn server() -> AuthServer {
+        AuthServer::new(ServerConfig::fast_for_tests())
+    }
+
+    #[test]
+    fn enroll_then_login_accepted() {
+        let server = server();
+        let r = server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        assert_eq!(r, ServerMessage::EnrollOk);
+        let r = server.handle_message(ClientMessage::Login {
+            username: "alice".into(),
+            clicks: clicks().iter().map(|p| p.offset(5.0, -5.0)).collect(),
+        });
+        assert_eq!(
+            r,
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_enrollment_reports_error() {
+        let server = server();
+        server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        let r = server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        assert!(matches!(r, ServerMessage::Error { .. }));
+    }
+
+    #[test]
+    fn failed_logins_lock_the_account() {
+        let server = server();
+        server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        let wrong: Vec<Point> = clicks().iter().map(|p| p.offset(-30.0, -30.0)).collect();
+        for attempt in 1..=3u32 {
+            let r = server.handle_message(ClientMessage::Login {
+                username: "alice".into(),
+                clicks: wrong.clone(),
+            });
+            assert_eq!(
+                r,
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::Rejected,
+                    failures: attempt
+                }
+            );
+        }
+        // Fourth attempt — even with the correct password — is locked out.
+        let r = server.handle_message(ClientMessage::Login {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        assert_eq!(
+            r,
+            ServerMessage::LoginResult {
+                decision: LoginDecision::LockedOut,
+                failures: 3
+            }
+        );
+        // An administrative reset restores access.
+        server.lockout().reset("alice");
+        let r = server.handle_message(ClientMessage::Login {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        assert_eq!(
+            r,
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_account_is_an_error_and_does_not_lock() {
+        let server = server();
+        let r = server.handle_message(ClientMessage::Login {
+            username: "ghost".into(),
+            clicks: clicks(),
+        });
+        assert!(matches!(r, ServerMessage::Error { .. }));
+        assert!(!server.lockout().is_locked("ghost"));
+    }
+
+    #[test]
+    fn get_config_reports_scheme_and_click_count() {
+        let server = server();
+        let r = server.handle_message(ClientMessage::GetConfig);
+        assert_eq!(
+            r,
+            ServerMessage::Config {
+                scheme: "centered:9".into(),
+                clicks: 5
+            }
+        );
+    }
+
+    #[test]
+    fn structurally_invalid_login_counts_as_failure() {
+        let server = server();
+        server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        let r = server.handle_message(ClientMessage::Login {
+            username: "alice".into(),
+            clicks: vec![Point::new(1.0, 1.0)], // wrong click count
+        });
+        assert_eq!(
+            r,
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Rejected,
+                failures: 1
+            }
+        );
+    }
+}

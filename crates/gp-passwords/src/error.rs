@@ -1,0 +1,114 @@
+//! Error type for graphical password operations.
+
+use gp_discretization::DiscretizationError;
+
+/// Errors produced while enrolling or verifying graphical passwords.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PasswordError {
+    /// The supplied click sequence has the wrong number of clicks.
+    WrongClickCount {
+        /// Number of clicks the policy requires.
+        expected: usize,
+        /// Number of clicks supplied.
+        got: usize,
+    },
+    /// A click-point lies outside the image.
+    ClickOutsideImage {
+        /// Index of the offending click in the sequence.
+        index: usize,
+    },
+    /// Two click-points are closer together than the policy allows.
+    ClicksTooClose {
+        /// Indices of the offending pair.
+        first: usize,
+        /// Indices of the offending pair.
+        second: usize,
+        /// Chebyshev distance between them.
+        distance: f64,
+    },
+    /// A click-point required to fall inside the persuasive viewport did not.
+    OutsideViewport {
+        /// Index of the offending click in the sequence.
+        index: usize,
+    },
+    /// The stored password record is malformed or belongs to a different
+    /// scheme configuration.
+    CorruptRecord {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The underlying discretization rejected an input.
+    Discretization(DiscretizationError),
+    /// The account already exists (enrollment) or does not exist (login).
+    UnknownAccount {
+        /// The account name.
+        username: String,
+    },
+    /// Attempt to enroll an account name that is already taken.
+    DuplicateAccount {
+        /// The account name.
+        username: String,
+    },
+}
+
+impl core::fmt::Display for PasswordError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PasswordError::WrongClickCount { expected, got } => {
+                write!(f, "expected {expected} click-points, got {got}")
+            }
+            PasswordError::ClickOutsideImage { index } => {
+                write!(f, "click-point #{index} lies outside the image")
+            }
+            PasswordError::ClicksTooClose {
+                first,
+                second,
+                distance,
+            } => write!(
+                f,
+                "click-points #{first} and #{second} are only {distance:.1}px apart"
+            ),
+            PasswordError::OutsideViewport { index } => {
+                write!(f, "click-point #{index} is outside the persuasive viewport")
+            }
+            PasswordError::CorruptRecord { reason } => write!(f, "corrupt password record: {reason}"),
+            PasswordError::Discretization(e) => write!(f, "discretization error: {e}"),
+            PasswordError::UnknownAccount { username } => write!(f, "unknown account {username:?}"),
+            PasswordError::DuplicateAccount { username } => {
+                write!(f, "account {username:?} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PasswordError {}
+
+impl From<DiscretizationError> for PasswordError {
+    fn from(e: DiscretizationError) -> Self {
+        PasswordError::Discretization(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PasswordError::WrongClickCount { expected: 5, got: 3 }
+            .to_string()
+            .contains("expected 5"));
+        assert!(PasswordError::ClickOutsideImage { index: 2 }
+            .to_string()
+            .contains("#2"));
+        assert!(PasswordError::UnknownAccount { username: "bob".into() }
+            .to_string()
+            .contains("bob"));
+    }
+
+    #[test]
+    fn from_discretization_error() {
+        let e: PasswordError = DiscretizationError::NonFinitePoint.into();
+        assert!(matches!(e, PasswordError::Discretization(_)));
+    }
+}

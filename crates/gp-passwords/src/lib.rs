@@ -1,0 +1,91 @@
+//! Click-based graphical password schemes built on top of the
+//! discretization layer.
+//!
+//! This crate implements the *systems* the paper's evaluation runs on:
+//!
+//! * **PassPoints** ([`schemes::passpoints`]) — one image, an ordered
+//!   sequence of five click-points (Wiedenbeck et al.), the system analyzed
+//!   throughout the paper.
+//! * **Cued Click-Points** ([`schemes::cued`]) — one click on each of five
+//!   images, the next image determined by the previous click (Chiasson et
+//!   al., ESORICS 2007).
+//! * **Persuasive Cued Click-Points** ([`schemes::persuasive`]) — Cued
+//!   Click-Points with a randomly positioned viewport during password
+//!   creation that nudges users away from hotspots.
+//!
+//! The storage model follows §2.2/§3.2 of the paper: for every click-point
+//! the *clear* grid identifier is stored next to a single salted, iterated
+//! hash over the concatenation of all per-click identifiers and grid-square
+//! indices ("all segment indices and their offsets are concatenated and
+//! hashed together as one", which prevents per-click divide-and-conquer).
+//!
+//! The crate deliberately separates:
+//!
+//! * [`config::DiscretizationConfig`] — which discretization scheme to use
+//!   and with what tolerance;
+//! * [`policy::PasswordPolicy`] — how many clicks, on what image(s), and
+//!   what constraints are placed on click selection;
+//! * [`system::GraphicalPasswordSystem`] — enrollment and verification;
+//! * [`store::PasswordStore`] — a concurrent multi-account store with a
+//!   text serialization format, used by the networked server.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gp_passwords::prelude::*;
+//! use gp_geometry::{ImageDims, Point};
+//!
+//! let system = GraphicalPasswordSystem::passpoints(
+//!     ImageDims::STUDY,
+//!     DiscretizationConfig::centered(9),
+//! );
+//!
+//! let clicks = vec![
+//!     Point::new(50.0, 60.0),
+//!     Point::new(120.0, 200.0),
+//!     Point::new(301.0, 75.0),
+//!     Point::new(400.0, 310.0),
+//!     Point::new(222.0, 111.0),
+//! ];
+//! let stored = system.enroll("alice", &clicks).unwrap();
+//!
+//! // Slightly-off re-entry is accepted…
+//! let wobbly: Vec<_> = clicks.iter().map(|p| p.offset(4.0, -3.0)).collect();
+//! assert!(system.verify(&stored, &wobbly).unwrap());
+//!
+//! // …but a click on the wrong spot is rejected.
+//! let mut wrong = clicks.clone();
+//! wrong[2] = Point::new(10.0, 10.0);
+//! assert!(!system.verify(&stored, &wrong).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod policy;
+pub mod schemes;
+pub mod store;
+pub mod stored;
+pub mod system;
+
+pub use config::DiscretizationConfig;
+pub use error::PasswordError;
+pub use policy::PasswordPolicy;
+pub use store::PasswordStore;
+pub use stored::{ClickRecord, StoredPassword};
+pub use system::GraphicalPasswordSystem;
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::config::DiscretizationConfig;
+    pub use crate::error::PasswordError;
+    pub use crate::policy::PasswordPolicy;
+    pub use crate::schemes::cued::CuedClickPoints;
+    pub use crate::schemes::passpoints::PassPoints;
+    pub use crate::schemes::persuasive::PersuasiveCuedClickPoints;
+    pub use crate::store::PasswordStore;
+    pub use crate::stored::StoredPassword;
+    pub use crate::system::GraphicalPasswordSystem;
+}

@@ -1,0 +1,168 @@
+//! Password composition policy: how many clicks, on which image, and what
+//! constraints apply to the click sequence.
+
+use crate::error::PasswordError;
+use gp_geometry::{ImageDims, Point};
+use serde::{Deserialize, Serialize};
+
+/// Constraints a click sequence must satisfy at enrollment (and, for the
+/// click count and image bounds, at login too).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PasswordPolicy {
+    /// Dimensions of the background image(s).
+    pub image: ImageDims,
+    /// Required number of click-points (PassPoints and the paper's study
+    /// use 5).
+    pub clicks: usize,
+    /// Minimum Chebyshev distance between any two click-points of the same
+    /// password, if enforced.  PassPoints deployments typically require
+    /// click-points to be distinguishable from each other so the user does
+    /// not confuse their order.
+    pub min_click_separation: Option<f64>,
+}
+
+impl PasswordPolicy {
+    /// The policy used by the paper's field study: 5 clicks on one
+    /// 451×331-pixel image, no separation constraint.
+    pub fn study_default() -> Self {
+        Self {
+            image: ImageDims::STUDY,
+            clicks: 5,
+            min_click_separation: None,
+        }
+    }
+
+    /// Construct a policy.
+    pub fn new(image: ImageDims, clicks: usize) -> Self {
+        assert!(clicks > 0, "a password needs at least one click");
+        Self {
+            image,
+            clicks,
+            min_click_separation: None,
+        }
+    }
+
+    /// Require a minimum Chebyshev separation between click-points.
+    pub fn with_min_separation(mut self, separation: f64) -> Self {
+        self.min_click_separation = Some(separation);
+        self
+    }
+
+    /// Validate a click sequence for enrollment: count, image bounds and
+    /// separation.
+    pub fn validate_enrollment(&self, clicks: &[Point]) -> Result<(), PasswordError> {
+        self.validate_count_and_bounds(clicks)?;
+        if let Some(min_sep) = self.min_click_separation {
+            for i in 0..clicks.len() {
+                for j in (i + 1)..clicks.len() {
+                    let d = clicks[i].chebyshev(&clicks[j]);
+                    if d < min_sep {
+                        return Err(PasswordError::ClicksTooClose {
+                            first: i,
+                            second: j,
+                            distance: d,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate a click sequence for login: count and image bounds only
+    /// (a login attempt with clicks too close together is simply wrong, not
+    /// invalid).
+    pub fn validate_login(&self, clicks: &[Point]) -> Result<(), PasswordError> {
+        self.validate_count_and_bounds(clicks)
+    }
+
+    fn validate_count_and_bounds(&self, clicks: &[Point]) -> Result<(), PasswordError> {
+        if clicks.len() != self.clicks {
+            return Err(PasswordError::WrongClickCount {
+                expected: self.clicks,
+                got: clicks.len(),
+            });
+        }
+        for (index, p) in clicks.iter().enumerate() {
+            if !p.is_finite() || !self.image.contains_point(p) {
+                return Err(PasswordError::ClickOutsideImage { index });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn five_clicks() -> Vec<Point> {
+        vec![
+            Point::new(10.0, 10.0),
+            Point::new(100.0, 50.0),
+            Point::new(200.0, 200.0),
+            Point::new(300.0, 100.0),
+            Point::new(440.0, 320.0),
+        ]
+    }
+
+    #[test]
+    fn study_default_accepts_valid_sequence() {
+        let policy = PasswordPolicy::study_default();
+        assert!(policy.validate_enrollment(&five_clicks()).is_ok());
+        assert!(policy.validate_login(&five_clicks()).is_ok());
+    }
+
+    #[test]
+    fn wrong_count_rejected() {
+        let policy = PasswordPolicy::study_default();
+        let mut clicks = five_clicks();
+        clicks.pop();
+        assert_eq!(
+            policy.validate_enrollment(&clicks),
+            Err(PasswordError::WrongClickCount { expected: 5, got: 4 })
+        );
+    }
+
+    #[test]
+    fn out_of_image_rejected_with_index() {
+        let policy = PasswordPolicy::study_default();
+        let mut clicks = five_clicks();
+        clicks[3] = Point::new(500.0, 10.0); // beyond 451 wide
+        assert_eq!(
+            policy.validate_enrollment(&clicks),
+            Err(PasswordError::ClickOutsideImage { index: 3 })
+        );
+        // NaN coordinates are also "outside".
+        clicks[3] = Point::new(f64::NAN, 10.0);
+        assert_eq!(
+            policy.validate_login(&clicks),
+            Err(PasswordError::ClickOutsideImage { index: 3 })
+        );
+    }
+
+    #[test]
+    fn separation_enforced_only_at_enrollment() {
+        let policy = PasswordPolicy::study_default().with_min_separation(20.0);
+        let mut clicks = five_clicks();
+        clicks[1] = Point::new(15.0, 15.0); // within 20 of clicks[0]
+        assert!(matches!(
+            policy.validate_enrollment(&clicks),
+            Err(PasswordError::ClicksTooClose { first: 0, second: 1, .. })
+        ));
+        assert!(policy.validate_login(&clicks).is_ok());
+    }
+
+    #[test]
+    fn single_click_policy() {
+        let policy = PasswordPolicy::new(ImageDims::new(200, 200), 1);
+        assert!(policy.validate_enrollment(&[Point::new(5.0, 5.0)]).is_ok());
+        assert!(policy.validate_enrollment(&[]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one click")]
+    fn zero_click_policy_rejected() {
+        PasswordPolicy::new(ImageDims::new(10, 10), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Concrete click-based graphical password schemes from the literature.
+//!
+//! * [`passpoints`] — PassPoints (Wiedenbeck et al. 2005): five ordered
+//!   clicks on one image.  The scheme the paper's evaluation data comes
+//!   from.
+//! * [`cued`] — Cued Click-Points (Chiasson et al., ESORICS 2007): one
+//!   click on each of five images, where each click determines the next
+//!   image shown.  Mentioned in §2 as a design that raises the cost of
+//!   hotspot analysis.
+//! * [`persuasive`] — Persuasive Cued Click-Points (Chiasson et al. 2007):
+//!   Cued Click-Points plus a randomly placed viewport during password
+//!   creation that steers users away from hotspots.
+
+pub mod cued;
+pub mod passpoints;
+pub mod persuasive;

@@ -1,0 +1,114 @@
+//! PassPoints: five ordered click-points on a single image.
+
+use crate::config::DiscretizationConfig;
+use crate::error::PasswordError;
+use crate::policy::PasswordPolicy;
+use crate::stored::StoredPassword;
+use crate::system::GraphicalPasswordSystem;
+use gp_crypto::PasswordHasher;
+use gp_geometry::{ImageDims, Point};
+
+/// Number of click-points in a standard PassPoints password.
+pub const PASSPOINTS_CLICKS: usize = 5;
+
+/// A PassPoints deployment: one background image, five ordered clicks.
+#[derive(Debug, Clone)]
+pub struct PassPoints {
+    system: GraphicalPasswordSystem,
+}
+
+impl PassPoints {
+    /// Create a PassPoints system on the given image with the given
+    /// discretization and the default iteration count (1000).
+    pub fn new(image: ImageDims, config: DiscretizationConfig) -> Self {
+        Self::with_iterations(image, config, PasswordHasher::DEFAULT_ITERATIONS)
+    }
+
+    /// Create a PassPoints system with an explicit hash iteration count
+    /// (useful to keep tests and large-scale simulations fast).
+    pub fn with_iterations(image: ImageDims, config: DiscretizationConfig, iterations: u32) -> Self {
+        Self {
+            system: GraphicalPasswordSystem::new(
+                PasswordPolicy::new(image, PASSPOINTS_CLICKS),
+                config,
+                iterations,
+            ),
+        }
+    }
+
+    /// The underlying generic system.
+    pub fn system(&self) -> &GraphicalPasswordSystem {
+        &self.system
+    }
+
+    /// The image dimensions.
+    pub fn image(&self) -> ImageDims {
+        self.system.policy().image
+    }
+
+    /// Create (enroll) a password.
+    pub fn create(&self, username: &str, clicks: &[Point]) -> Result<StoredPassword, PasswordError> {
+        self.system.enroll(username, clicks)
+    }
+
+    /// Attempt a login.
+    pub fn login(&self, stored: &StoredPassword, clicks: &[Point]) -> Result<bool, PasswordError> {
+        self.system.verify(stored, clicks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clicks() -> Vec<Point> {
+        vec![
+            Point::new(33.0, 40.0),
+            Point::new(130.0, 210.0),
+            Point::new(302.0, 64.0),
+            Point::new(411.0, 300.0),
+            Point::new(217.0, 150.0),
+        ]
+    }
+
+    #[test]
+    fn create_and_login_centered() {
+        let pp = PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::centered(9), 4);
+        let stored = pp.create("alice", &clicks()).unwrap();
+        assert!(pp.login(&stored, &clicks()).unwrap());
+        // 9 pixels off on every click and axis is still fine.
+        let wobbly: Vec<Point> = clicks()
+            .iter()
+            .map(|p| pp.image().clamp_point(&p.offset(9.0, 9.0)))
+            .collect();
+        assert!(pp.login(&stored, &wobbly).unwrap());
+        // 10 pixels off on one axis of one click is not.
+        let mut off = clicks();
+        off[2] = off[2].offset(0.0, 10.0);
+        assert!(!pp.login(&stored, &off).unwrap());
+    }
+
+    #[test]
+    fn create_and_login_robust() {
+        let pp = PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::robust(6.0), 4);
+        let stored = pp.create("bob", &clicks()).unwrap();
+        assert!(pp.login(&stored, &clicks()).unwrap());
+        let wobbly: Vec<Point> = clicks().iter().map(|p| p.offset(-5.0, 4.0)).collect();
+        assert!(pp.login(&stored, &wobbly).unwrap());
+    }
+
+    #[test]
+    fn five_clicks_enforced() {
+        let pp = PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::centered(6), 4);
+        assert!(matches!(
+            pp.create("alice", &clicks()[..4]),
+            Err(PasswordError::WrongClickCount { expected: 5, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn default_constructor_uses_paper_iteration_count() {
+        let pp = PassPoints::new(ImageDims::STUDY, DiscretizationConfig::centered(9));
+        assert_eq!(pp.system().iterations(), 1000);
+    }
+}

@@ -1,0 +1,216 @@
+//! Persuasive Cued Click-Points (PCCP): Cued Click-Points plus a randomly
+//! positioned *viewport* during password creation.
+//!
+//! During enrollment the image is shaded except for a small viewport placed
+//! uniformly at random; the user must click inside the viewport (or press
+//! "shuffle" to move it).  This nudges click-points away from hotspots,
+//! flattening the distribution attackers exploit (§2.1 of the paper).  At
+//! login no viewport is shown — the user must hit their original point
+//! within tolerance, exactly as in CCP.
+
+use crate::config::DiscretizationConfig;
+use crate::error::PasswordError;
+use crate::schemes::cued::{CuedClickPoints, StoredCuedPassword, CCP_CLICKS};
+use gp_geometry::{ImageDims, Point, Rect};
+use rand::Rng;
+
+/// Default viewport side length in pixels (the PCCP prototype used 75).
+pub const DEFAULT_VIEWPORT_SIZE: f64 = 75.0;
+
+/// A Persuasive Cued Click-Points deployment.
+#[derive(Debug, Clone)]
+pub struct PersuasiveCuedClickPoints {
+    inner: CuedClickPoints,
+    viewport_size: f64,
+}
+
+impl PersuasiveCuedClickPoints {
+    /// Create a PCCP system with the default viewport size.
+    pub fn new(
+        image: ImageDims,
+        portfolio_size: u32,
+        config: DiscretizationConfig,
+        iterations: u32,
+    ) -> Self {
+        Self::with_viewport_size(image, portfolio_size, config, iterations, DEFAULT_VIEWPORT_SIZE)
+    }
+
+    /// Create a PCCP system with an explicit viewport size.
+    pub fn with_viewport_size(
+        image: ImageDims,
+        portfolio_size: u32,
+        config: DiscretizationConfig,
+        iterations: u32,
+        viewport_size: f64,
+    ) -> Self {
+        assert!(
+            viewport_size > 0.0
+                && viewport_size <= image.width as f64
+                && viewport_size <= image.height as f64,
+            "viewport must be positive and fit inside the image"
+        );
+        Self {
+            inner: CuedClickPoints::new(image, portfolio_size, config, iterations),
+            viewport_size,
+        }
+    }
+
+    /// The underlying Cued Click-Points system (login behaviour is
+    /// identical).
+    pub fn inner(&self) -> &CuedClickPoints {
+        &self.inner
+    }
+
+    /// Viewport side length.
+    pub fn viewport_size(&self) -> f64 {
+        self.viewport_size
+    }
+
+    /// Sample a uniformly random viewport fully contained in the image.
+    pub fn suggest_viewport<R: Rng + ?Sized>(&self, rng: &mut R) -> Rect {
+        let image = self.inner.image();
+        let max_x = image.width as f64 - self.viewport_size;
+        let max_y = image.height as f64 - self.viewport_size;
+        let x0 = if max_x > 0.0 { rng.gen_range(0.0..=max_x) } else { 0.0 };
+        let y0 = if max_y > 0.0 { rng.gen_range(0.0..=max_y) } else { 0.0 };
+        Rect::new(x0, y0, x0 + self.viewport_size, y0 + self.viewport_size)
+    }
+
+    /// Sample one viewport per click (a fresh viewport is presented for each
+    /// of the five images during creation).
+    pub fn suggest_viewports<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Rect> {
+        (0..CCP_CLICKS).map(|_| self.suggest_viewport(rng)).collect()
+    }
+
+    /// Enroll a password, enforcing that every click lies inside the
+    /// viewport that was presented for it.
+    pub fn create(
+        &self,
+        username: &str,
+        clicks: &[Point],
+        viewports: &[Rect],
+    ) -> Result<StoredCuedPassword, PasswordError> {
+        if viewports.len() != clicks.len() {
+            return Err(PasswordError::WrongClickCount {
+                expected: viewports.len(),
+                got: clicks.len(),
+            });
+        }
+        for (index, (click, viewport)) in clicks.iter().zip(viewports.iter()).enumerate() {
+            if !viewport.contains_closed(click) {
+                return Err(PasswordError::OutsideViewport { index });
+            }
+        }
+        self.inner.create(username, clicks)
+    }
+
+    /// Attempt a login (no viewport constraint applies at login).
+    pub fn login(
+        &self,
+        stored: &StoredCuedPassword,
+        clicks: &[Point],
+    ) -> Result<bool, PasswordError> {
+        self.inner.login(stored, clicks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn pccp() -> PersuasiveCuedClickPoints {
+        PersuasiveCuedClickPoints::new(ImageDims::STUDY, 30, DiscretizationConfig::centered(9), 3)
+    }
+
+    fn clicks_in(viewports: &[Rect]) -> Vec<Point> {
+        viewports.iter().map(|v| v.center()).collect()
+    }
+
+    #[test]
+    fn viewports_fit_inside_image() {
+        let system = pccp();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = system.suggest_viewport(&mut rng);
+            assert!(v.x0 >= 0.0 && v.y0 >= 0.0);
+            assert!(v.x1 <= ImageDims::STUDY.width as f64);
+            assert!(v.y1 <= ImageDims::STUDY.height as f64);
+            assert!((v.width() - DEFAULT_VIEWPORT_SIZE).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn create_requires_clicks_inside_viewports() {
+        let system = pccp();
+        let mut rng = StdRng::seed_from_u64(2);
+        let viewports = system.suggest_viewports(&mut rng);
+        let good = clicks_in(&viewports);
+        let stored = system.create("alice", &good, &viewports).unwrap();
+        assert!(system.login(&stored, &good).unwrap());
+
+        // Move one click outside its viewport.
+        let mut bad = good.clone();
+        bad[2] = Point::new(
+            (viewports[2].x0 + 200.0) % ImageDims::STUDY.width as f64,
+            (viewports[2].y0 + 200.0) % ImageDims::STUDY.height as f64,
+        );
+        if !viewports[2].contains_closed(&bad[2]) {
+            assert!(matches!(
+                system.create("bob", &bad, &viewports),
+                Err(PasswordError::OutsideViewport { index: 2 })
+            ));
+        }
+    }
+
+    #[test]
+    fn login_has_no_viewport_constraint() {
+        let system = pccp();
+        let mut rng = StdRng::seed_from_u64(3);
+        let viewports = system.suggest_viewports(&mut rng);
+        let good = clicks_in(&viewports);
+        let stored = system.create("alice", &good, &viewports).unwrap();
+        // A wobbly login works even though the wobbled points may leave the
+        // (long-forgotten) viewports.
+        let wobbly: Vec<Point> = good.iter().map(|p| p.offset(7.0, 7.0)).collect();
+        assert!(system.login(&stored, &wobbly).unwrap());
+    }
+
+    #[test]
+    fn viewport_count_must_match_click_count() {
+        let system = pccp();
+        let mut rng = StdRng::seed_from_u64(4);
+        let viewports = system.suggest_viewports(&mut rng);
+        let good = clicks_in(&viewports);
+        assert!(system.create("alice", &good[..4], &viewports).is_err());
+    }
+
+    #[test]
+    fn viewport_restriction_flattens_click_distribution() {
+        // Statistical sanity check of the persuasive idea: with viewports,
+        // enrolled clicks spread across the whole image rather than piling
+        // onto one corner hotspot.
+        let system = pccp();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs = Vec::new();
+        for _ in 0..200 {
+            let v = system.suggest_viewport(&mut rng);
+            xs.push(v.center().x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // Mean viewport center should be near the image center, far from 0.
+        assert!((mean - ImageDims::STUDY.width as f64 / 2.0).abs() < 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "viewport must be positive")]
+    fn oversized_viewport_rejected() {
+        PersuasiveCuedClickPoints::with_viewport_size(
+            ImageDims::new(100, 100),
+            10,
+            DiscretizationConfig::centered(9),
+            1,
+            200.0,
+        );
+    }
+}

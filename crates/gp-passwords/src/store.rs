@@ -1,0 +1,258 @@
+//! A concurrent multi-account password store with a plain-text file format.
+//!
+//! The store is what the networked authentication server holds: a map from
+//! account name to [`StoredPassword`].  It is deliberately *not* aware of
+//! original click coordinates — only the clear grid identifiers and hashes —
+//! so compromising the store yields exactly the information the paper's
+//! offline-attack analysis (§5.1) assumes: grid identifiers in the clear
+//! plus hashed passwords.
+
+use crate::error::PasswordError;
+use crate::stored::StoredPassword;
+use crate::system::GraphicalPasswordSystem;
+use gp_geometry::Point;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Concurrent account → stored-password map.
+#[derive(Debug, Default)]
+pub struct PasswordStore {
+    accounts: RwLock<BTreeMap<String, StoredPassword>>,
+}
+
+impl PasswordStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of enrolled accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.read().len()
+    }
+
+    /// Whether the store has no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.read().is_empty()
+    }
+
+    /// Enroll a new account using the given system.  Fails if the account
+    /// already exists.
+    pub fn enroll(
+        &self,
+        system: &GraphicalPasswordSystem,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<(), PasswordError> {
+        let stored = system.enroll(username, clicks)?;
+        let mut accounts = self.accounts.write();
+        if accounts.contains_key(username) {
+            return Err(PasswordError::DuplicateAccount {
+                username: username.to_string(),
+            });
+        }
+        accounts.insert(username.to_string(), stored);
+        Ok(())
+    }
+
+    /// Insert or replace a pre-built record (used when loading files and in
+    /// attack simulations that enroll synthetic users in bulk).
+    pub fn insert(&self, stored: StoredPassword) {
+        self.accounts.write().insert(stored.username.clone(), stored);
+    }
+
+    /// Fetch a copy of an account's stored record.
+    pub fn get(&self, username: &str) -> Option<StoredPassword> {
+        self.accounts.read().get(username).cloned()
+    }
+
+    /// Remove an account; returns whether it existed.
+    pub fn remove(&self, username: &str) -> bool {
+        self.accounts.write().remove(username).is_some()
+    }
+
+    /// Verify a login attempt for an account.
+    pub fn verify(
+        &self,
+        system: &GraphicalPasswordSystem,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<bool, PasswordError> {
+        let stored = self
+            .get(username)
+            .ok_or_else(|| PasswordError::UnknownAccount {
+                username: username.to_string(),
+            })?;
+        system.verify(&stored, clicks)
+    }
+
+    /// All account names, sorted.
+    pub fn usernames(&self) -> Vec<String> {
+        self.accounts.read().keys().cloned().collect()
+    }
+
+    /// All stored records, sorted by account name.
+    pub fn records(&self) -> Vec<StoredPassword> {
+        self.accounts.read().values().cloned().collect()
+    }
+
+    /// Serialize the whole store to the line-oriented password-file format.
+    pub fn to_file_contents(&self) -> String {
+        let mut out = String::from("# gp-passwords store v1\n");
+        for record in self.accounts.read().values() {
+            out.push_str(&record.to_record());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Load a store from the password-file format.  Lines starting with `#`
+    /// and blank lines are ignored.
+    pub fn from_file_contents(contents: &str) -> Result<Self, PasswordError> {
+        let store = Self::new();
+        for (line_no, line) in contents.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let record = StoredPassword::from_record(line).map_err(|e| {
+                PasswordError::CorruptRecord {
+                    reason: format!("line {}: {e}", line_no + 1),
+                }
+            })?;
+            store.insert(record);
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscretizationConfig;
+    use crate::policy::PasswordPolicy;
+    fn system() -> GraphicalPasswordSystem {
+        GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(6),
+            3,
+        )
+    }
+
+    fn clicks(seed: f64) -> Vec<Point> {
+        (0..5)
+            .map(|i| Point::new(30.0 + seed + 70.0 * i as f64, 20.0 + seed + 55.0 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn enroll_get_verify_remove() {
+        let store = PasswordStore::new();
+        let sys = system();
+        assert!(store.is_empty());
+        store.enroll(&sys, "alice", &clicks(0.0)).unwrap();
+        store.enroll(&sys, "bob", &clicks(3.0)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.usernames(), vec!["alice".to_string(), "bob".to_string()]);
+
+        assert!(store.verify(&sys, "alice", &clicks(0.0)).unwrap());
+        assert!(!store.verify(&sys, "alice", &clicks(50.0)).unwrap());
+        assert!(store.verify(&sys, "bob", &clicks(3.0)).unwrap());
+
+        assert!(store.remove("alice"));
+        assert!(!store.remove("alice"));
+        assert!(store.get("alice").is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_enrollment_rejected() {
+        let store = PasswordStore::new();
+        let sys = system();
+        store.enroll(&sys, "alice", &clicks(0.0)).unwrap();
+        assert!(matches!(
+            store.enroll(&sys, "alice", &clicks(1.0)),
+            Err(PasswordError::DuplicateAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_account_is_an_error_not_a_failed_login() {
+        let store = PasswordStore::new();
+        let sys = system();
+        assert!(matches!(
+            store.verify(&sys, "ghost", &clicks(0.0)),
+            Err(PasswordError::UnknownAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip_preserves_verification() {
+        let store = PasswordStore::new();
+        let sys = system();
+        store.enroll(&sys, "alice", &clicks(0.0)).unwrap();
+        store.enroll(&sys, "bob", &clicks(7.0)).unwrap();
+        let contents = store.to_file_contents();
+        assert!(contents.starts_with("# gp-passwords store v1\n"));
+
+        let reloaded = PasswordStore::from_file_contents(&contents).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.verify(&sys, "alice", &clicks(0.0)).unwrap());
+        assert!(reloaded.verify(&sys, "bob", &clicks(7.0)).unwrap());
+        assert!(!reloaded.verify(&sys, "bob", &clicks(0.0)).unwrap());
+    }
+
+    #[test]
+    fn file_parser_skips_comments_and_reports_line_numbers() {
+        let store = PasswordStore::from_file_contents("# comment\n\n# another\n").unwrap();
+        assert!(store.is_empty());
+        let err = PasswordStore::from_file_contents("# ok\ngarbage line\n").unwrap_err();
+        match err {
+            PasswordError::CorruptRecord { reason } => assert!(reason.contains("line 2")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_access_from_multiple_threads() {
+        use std::sync::Arc;
+        let store = Arc::new(PasswordStore::new());
+        let sys = system();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            let sys = sys.clone();
+            handles.push(std::thread::spawn(move || {
+                let name = format!("user{t}");
+                store.enroll(&sys, &name, &clicks(t as f64)).unwrap();
+                assert!(store.verify(&sys, &name, &clicks(t as f64)).unwrap());
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 8);
+    }
+
+    #[test]
+    fn compromised_store_reveals_only_clear_identifiers_and_hashes() {
+        // Sanity check of the threat model: the serialized store never
+        // contains raw coordinates.
+        let store = PasswordStore::new();
+        let sys = system();
+        let original = clicks(0.0);
+        store.enroll(&sys, "alice", &original).unwrap();
+        let contents = store.to_file_contents();
+        let record_line = contents
+            .lines()
+            .find(|l| !l.starts_with('#'))
+            .expect("one record line");
+        let fields: Vec<&str> = record_line.split('\t').collect();
+        assert_eq!(fields.len(), 6, "record must have exactly 6 fields");
+        // The only per-click data present is the clear grid identifiers
+        // (field 4) and the single hash (field 5); there is no field that
+        // could hold the 10 raw coordinates of the 5 original clicks.
+        assert_eq!(fields[4].split(';').count(), original.len());
+        assert!(fields[5].starts_with("3$"), "hash field with iteration count");
+    }
+}

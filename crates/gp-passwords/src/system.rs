@@ -1,0 +1,278 @@
+//! Enrollment and verification: the core graphical password system.
+
+use crate::config::DiscretizationConfig;
+use crate::error::PasswordError;
+use crate::policy::PasswordPolicy;
+use crate::stored::{ClickRecord, StoredPassword};
+use gp_crypto::PasswordHasher;
+use gp_discretization::DiscretizedClick;
+use gp_geometry::{ImageDims, Point};
+
+/// A click-based graphical password system: a password policy, a
+/// discretization configuration and a password hasher.
+///
+/// This is the generic machinery; [`crate::schemes`] wraps it into the
+/// concrete schemes the literature names (PassPoints, Cued Click-Points,
+/// Persuasive Cued Click-Points).
+#[derive(Debug, Clone)]
+pub struct GraphicalPasswordSystem {
+    policy: PasswordPolicy,
+    config: DiscretizationConfig,
+    hasher: PasswordHasher,
+}
+
+impl GraphicalPasswordSystem {
+    /// Domain-separation label mixed into every password hash.
+    pub const HASH_DOMAIN: &'static str = "gp-passwords/v1";
+
+    /// Create a system with an explicit policy, discretization configuration
+    /// and hash iteration count.
+    pub fn new(policy: PasswordPolicy, config: DiscretizationConfig, iterations: u32) -> Self {
+        Self {
+            policy,
+            config,
+            hasher: PasswordHasher::new(Self::HASH_DOMAIN, iterations),
+        }
+    }
+
+    /// A PassPoints-style system: five ordered clicks on a single image,
+    /// hashed with the paper's example iteration count (1000).
+    pub fn passpoints(image: ImageDims, config: DiscretizationConfig) -> Self {
+        Self::new(
+            PasswordPolicy::new(image, 5),
+            config,
+            PasswordHasher::DEFAULT_ITERATIONS,
+        )
+    }
+
+    /// A system with a single click per password (used by Cued Click-Points,
+    /// which hashes one click per image).
+    pub fn single_click(image: ImageDims, config: DiscretizationConfig, iterations: u32) -> Self {
+        Self::new(PasswordPolicy::new(image, 1), config, iterations)
+    }
+
+    /// The password policy.
+    pub fn policy(&self) -> &PasswordPolicy {
+        &self.policy
+    }
+
+    /// The discretization configuration.
+    pub fn config(&self) -> &DiscretizationConfig {
+        &self.config
+    }
+
+    /// The hash iteration count.
+    pub fn iterations(&self) -> u32 {
+        self.hasher.iterations
+    }
+
+    /// Discretize a click sequence at enrollment time.
+    fn discretize_enrollment(&self, clicks: &[Point]) -> Vec<DiscretizedClick> {
+        let scheme = self.config.build();
+        clicks.iter().map(|p| scheme.enroll(p)).collect()
+    }
+
+    /// Enroll a new password for `username` from its original click-points.
+    pub fn enroll(&self, username: &str, clicks: &[Point]) -> Result<StoredPassword, PasswordError> {
+        self.policy.validate_enrollment(clicks)?;
+        let discretized = self.discretize_enrollment(clicks);
+        let pre_image = StoredPassword::encode_clicks(&discretized);
+        let hash = self.hasher.hash(username.as_bytes(), &pre_image);
+        Ok(StoredPassword {
+            username: username.to_string(),
+            config: self.config,
+            policy: self.policy,
+            clicks: discretized
+                .iter()
+                .map(|d| ClickRecord { grid_id: d.grid_id })
+                .collect(),
+            hash,
+        })
+    }
+
+    /// Recompute the hash pre-image for a login attempt against a stored
+    /// record, using only the record's clear data — exactly what a server
+    /// that never saw the original coordinates can do.
+    pub fn login_pre_image(
+        &self,
+        stored: &StoredPassword,
+        clicks: &[Point],
+    ) -> Result<Vec<u8>, PasswordError> {
+        if clicks.len() != stored.clicks.len() {
+            return Err(PasswordError::WrongClickCount {
+                expected: stored.clicks.len(),
+                got: clicks.len(),
+            });
+        }
+        let scheme = stored.config.build();
+        let mut discretized = Vec::with_capacity(clicks.len());
+        for (record, login) in stored.clicks.iter().zip(clicks.iter()) {
+            let cell = scheme.try_locate(&record.grid_id, login)?;
+            discretized.push(DiscretizedClick {
+                grid_id: record.grid_id,
+                cell,
+            });
+        }
+        Ok(StoredPassword::encode_clicks(&discretized))
+    }
+
+    /// Verify a login attempt against a stored record.
+    ///
+    /// Returns `Ok(true)` / `Ok(false)` for well-formed attempts and an
+    /// error only for structurally invalid input (wrong click count, clicks
+    /// outside the image, corrupt record).
+    pub fn verify(&self, stored: &StoredPassword, clicks: &[Point]) -> Result<bool, PasswordError> {
+        stored.policy.validate_login(clicks)?;
+        let pre_image = self.login_pre_image(stored, clicks)?;
+        Ok(stored
+            .hash
+            .verify_with(&self.hasher, stored.username.as_bytes(), &pre_image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_discretization::GridId;
+
+    fn clicks() -> Vec<Point> {
+        vec![
+            Point::new(50.0, 60.0),
+            Point::new(120.0, 200.0),
+            Point::new(301.0, 75.0),
+            Point::new(400.0, 310.0),
+            Point::new(222.0, 111.0),
+        ]
+    }
+
+    fn system_centered() -> GraphicalPasswordSystem {
+        // Small iteration count keeps tests fast; the hashing math is the
+        // same as with 1000 iterations.
+        GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(9),
+            5,
+        )
+    }
+
+    #[test]
+    fn enroll_then_exact_login_succeeds() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        assert!(system.verify(&stored, &clicks()).unwrap());
+    }
+
+    #[test]
+    fn login_within_tolerance_succeeds() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let wobbly: Vec<Point> = clicks().iter().map(|p| p.offset(9.0, -9.0)).collect();
+        assert!(system.verify(&stored, &wobbly).unwrap());
+    }
+
+    #[test]
+    fn login_outside_tolerance_fails() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let off: Vec<Point> = clicks().iter().map(|p| p.offset(10.0, 0.0)).collect();
+        assert!(!system.verify(&stored, &off).unwrap());
+    }
+
+    #[test]
+    fn single_wrong_click_fails_whole_password() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut attempt = clicks();
+        attempt[4] = Point::new(10.0, 10.0);
+        assert!(!system.verify(&stored, &attempt).unwrap());
+    }
+
+    #[test]
+    fn click_order_matters() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut swapped = clicks();
+        swapped.swap(0, 1);
+        assert!(!system.verify(&stored, &swapped).unwrap());
+    }
+
+    #[test]
+    fn robust_configuration_round_trips() {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::robust(6.0),
+            5,
+        );
+        let stored = system.enroll("bob", &clicks()).unwrap();
+        assert!(system.verify(&stored, &clicks()).unwrap());
+        // All stored identifiers are robust grid indices.
+        for c in &stored.clicks {
+            assert!(matches!(c.grid_id, GridId::Robust { .. }));
+        }
+        // Within the guaranteed tolerance r = 6.
+        let wobbly: Vec<Point> = clicks().iter().map(|p| p.offset(5.0, 5.0)).collect();
+        assert!(system.verify(&stored, &wobbly).unwrap());
+    }
+
+    #[test]
+    fn different_users_get_different_hashes_for_same_clicks() {
+        let system = system_centered();
+        let a = system.enroll("alice", &clicks()).unwrap();
+        let b = system.enroll("bob", &clicks()).unwrap();
+        assert_ne!(a.hash.digest, b.hash.digest, "user salt must differentiate hashes");
+    }
+
+    #[test]
+    fn verify_requires_correct_click_count() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut four = clicks();
+        four.pop();
+        assert!(matches!(
+            system.verify(&stored, &four),
+            Err(PasswordError::WrongClickCount { expected: 5, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn verify_rejects_clicks_outside_image() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut attempt = clicks();
+        attempt[0] = Point::new(9999.0, 2.0);
+        assert!(matches!(
+            system.verify(&stored, &attempt),
+            Err(PasswordError::ClickOutsideImage { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn stored_record_survives_serialization_and_still_verifies() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let parsed = StoredPassword::from_record(&stored.to_record()).unwrap();
+        assert!(system.verify(&parsed, &clicks()).unwrap());
+        let off: Vec<Point> = clicks().iter().map(|p| p.offset(15.0, 0.0)).collect();
+        assert!(!system.verify(&parsed, &off).unwrap());
+    }
+
+    #[test]
+    fn enrollment_validates_policy() {
+        let system = system_centered();
+        assert!(matches!(
+            system.enroll("alice", &clicks()[..3]),
+            Err(PasswordError::WrongClickCount { .. })
+        ));
+    }
+
+    #[test]
+    fn static_grid_configuration_also_works_end_to_end() {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::static_grid(19.0),
+            3,
+        );
+        let stored = system.enroll("carol", &clicks()).unwrap();
+        assert!(system.verify(&stored, &clicks()).unwrap());
+    }
+}

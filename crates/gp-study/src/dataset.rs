@@ -1,0 +1,285 @@
+//! Dataset model for (synthetic) user studies, with CSV persistence.
+//!
+//! A dataset is what the paper's §4 analysis consumes: a set of created
+//! passwords (each a click sequence on a named image by a participant) and a
+//! set of login attempts, each tied to the password it tried to re-enter.
+//! Coordinates are stored in the clear — exactly like the instrumented,
+//! non-hashing system used in the original field study — so that both
+//! discretization schemes can be replayed over the same attempts.
+
+use gp_geometry::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One created password.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PasswordRecord {
+    /// Participant identifier.
+    pub user_id: u32,
+    /// Name of the image the password was created on ("cars" / "pool").
+    pub image: String,
+    /// The original click-points, in order.
+    pub clicks: Vec<Point>,
+}
+
+/// One login attempt against a previously created password.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoginRecord {
+    /// Index into [`Dataset::passwords`] of the password being re-entered.
+    pub password_index: usize,
+    /// The attempted click-points, in order.
+    pub clicks: Vec<Point>,
+}
+
+/// A complete study dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// All created passwords.
+    pub passwords: Vec<PasswordRecord>,
+    /// All login attempts.
+    pub logins: Vec<LoginRecord>,
+}
+
+impl Dataset {
+    /// Create an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of created passwords.
+    pub fn password_count(&self) -> usize {
+        self.passwords.len()
+    }
+
+    /// Number of recorded login attempts.
+    pub fn login_count(&self) -> usize {
+        self.logins.len()
+    }
+
+    /// Number of distinct participants.
+    pub fn participant_count(&self) -> usize {
+        self.passwords
+            .iter()
+            .map(|p| p.user_id)
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// The distinct image names present, sorted.
+    pub fn images(&self) -> Vec<String> {
+        self.passwords
+            .iter()
+            .map(|p| p.image.clone())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Indices of passwords created on a given image.
+    pub fn password_indices_for_image(&self, image: &str) -> Vec<usize> {
+        self.passwords
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.image == image)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Login attempts against a given password.
+    pub fn logins_for_password(&self, password_index: usize) -> Vec<&LoginRecord> {
+        self.logins
+            .iter()
+            .filter(|l| l.password_index == password_index)
+            .collect()
+    }
+
+    /// Login attempts whose target password was created on a given image.
+    pub fn logins_for_image(&self, image: &str) -> Vec<&LoginRecord> {
+        self.logins
+            .iter()
+            .filter(|l| self.passwords[l.password_index].image == image)
+            .collect()
+    }
+
+    /// Serialize to a simple CSV format.
+    ///
+    /// Lines are either
+    /// `password,<user_id>,<image>,<x1>,<y1>,…` or
+    /// `login,<password_index>,<x1>,<y1>,…`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("# gp-study dataset v1\n");
+        for p in &self.passwords {
+            out.push_str(&format!("password,{},{}", p.user_id, p.image));
+            for c in &p.clicks {
+                out.push_str(&format!(",{:.3},{:.3}", c.x, c.y));
+            }
+            out.push('\n');
+        }
+        for l in &self.logins {
+            out.push_str(&format!("login,{}", l.password_index));
+            for c in &l.clicks {
+                out.push_str(&format!(",{:.3},{:.3}", c.x, c.y));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the CSV format produced by [`to_csv`](Self::to_csv).
+    pub fn from_csv(contents: &str) -> Result<Self, String> {
+        let mut dataset = Dataset::new();
+        for (line_no, line) in contents.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}", line_no + 1);
+            let fields: Vec<&str> = line.split(',').collect();
+            match fields[0] {
+                "password" => {
+                    if fields.len() < 5 || (fields.len() - 3) % 2 != 0 {
+                        return Err(err("malformed password line"));
+                    }
+                    let user_id: u32 =
+                        fields[1].parse().map_err(|_| err("bad user id"))?;
+                    let image = fields[2].to_string();
+                    let clicks = parse_clicks(&fields[3..]).map_err(|m| err(&m))?;
+                    dataset.passwords.push(PasswordRecord {
+                        user_id,
+                        image,
+                        clicks,
+                    });
+                }
+                "login" => {
+                    if fields.len() < 4 || (fields.len() - 2) % 2 != 0 {
+                        return Err(err("malformed login line"));
+                    }
+                    let password_index: usize =
+                        fields[1].parse().map_err(|_| err("bad password index"))?;
+                    let clicks = parse_clicks(&fields[2..]).map_err(|m| err(&m))?;
+                    dataset.logins.push(LoginRecord {
+                        password_index,
+                        clicks,
+                    });
+                }
+                other => return Err(err(&format!("unknown record kind {other:?}"))),
+            }
+        }
+        // Validate referential integrity.
+        for (i, l) in dataset.logins.iter().enumerate() {
+            if l.password_index >= dataset.passwords.len() {
+                return Err(format!(
+                    "login #{i} references password {} but only {} passwords exist",
+                    l.password_index,
+                    dataset.passwords.len()
+                ));
+            }
+        }
+        Ok(dataset)
+    }
+}
+
+fn parse_clicks(fields: &[&str]) -> Result<Vec<Point>, String> {
+    let mut clicks = Vec::with_capacity(fields.len() / 2);
+    for pair in fields.chunks(2) {
+        let x: f64 = pair[0].parse().map_err(|_| "bad x coordinate".to_string())?;
+        let y: f64 = pair[1].parse().map_err(|_| "bad y coordinate".to_string())?;
+        if !x.is_finite() || !y.is_finite() {
+            return Err("non-finite coordinate".to_string());
+        }
+        clicks.push(Point::new(x, y));
+    }
+    Ok(clicks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset {
+            passwords: vec![
+                PasswordRecord {
+                    user_id: 1,
+                    image: "cars".into(),
+                    clicks: vec![Point::new(1.0, 2.0), Point::new(3.5, 4.25)],
+                },
+                PasswordRecord {
+                    user_id: 2,
+                    image: "pool".into(),
+                    clicks: vec![Point::new(10.0, 20.0), Point::new(30.0, 40.0)],
+                },
+                PasswordRecord {
+                    user_id: 1,
+                    image: "cars".into(),
+                    clicks: vec![Point::new(5.0, 6.0), Point::new(7.0, 8.0)],
+                },
+            ],
+            logins: vec![
+                LoginRecord {
+                    password_index: 0,
+                    clicks: vec![Point::new(1.5, 2.5), Point::new(3.0, 4.0)],
+                },
+                LoginRecord {
+                    password_index: 2,
+                    clicks: vec![Point::new(5.5, 6.5), Point::new(7.5, 8.5)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let d = sample();
+        assert_eq!(d.password_count(), 3);
+        assert_eq!(d.login_count(), 2);
+        assert_eq!(d.participant_count(), 2);
+        assert_eq!(d.images(), vec!["cars".to_string(), "pool".to_string()]);
+        assert_eq!(d.password_indices_for_image("cars"), vec![0, 2]);
+        assert_eq!(d.logins_for_password(0).len(), 1);
+        assert_eq!(d.logins_for_password(1).len(), 0);
+        assert_eq!(d.logins_for_image("cars").len(), 2);
+        assert_eq!(d.logins_for_image("pool").len(), 0);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let d = sample();
+        let csv = d.to_csv();
+        let parsed = Dataset::from_csv(&csv).unwrap();
+        assert_eq!(parsed.password_count(), d.password_count());
+        assert_eq!(parsed.login_count(), d.login_count());
+        // Coordinates survive to within the 3-decimal precision of the format.
+        for (a, b) in parsed.passwords.iter().zip(&d.passwords) {
+            assert_eq!(a.user_id, b.user_id);
+            assert_eq!(a.image, b.image);
+            for (pa, pb) in a.clicks.iter().zip(&b.clicks) {
+                assert!((pa.x - pb.x).abs() < 1e-3);
+                assert!((pa.y - pb.y).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        assert!(Dataset::from_csv("password,1,cars,1.0").is_err()); // odd coords
+        assert!(Dataset::from_csv("password,x,cars,1.0,2.0").is_err());
+        assert!(Dataset::from_csv("login,0,1.0").is_err());
+        assert!(Dataset::from_csv("frobnicate,1,2").is_err());
+        assert!(Dataset::from_csv("login,7,1.0,2.0").is_err()); // dangling reference
+        assert!(Dataset::from_csv("password,1,cars,NaN,2.0").is_err());
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blank_lines() {
+        let d = Dataset::from_csv("# header\n\npassword,1,cars,1.0,2.0\n").unwrap();
+        assert_eq!(d.password_count(), 1);
+        assert_eq!(d.login_count(), 0);
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let d = Dataset::new();
+        assert_eq!(Dataset::from_csv(&d.to_csv()).unwrap(), d);
+    }
+}

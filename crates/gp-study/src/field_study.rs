@@ -1,0 +1,200 @@
+//! Synthetic reproduction of the PassPoints **field study** the paper's
+//! usability analysis is based on (§4): 191 participants, 481 created
+//! passwords and 3339 login attempts on two 451×331 images.
+
+use crate::dataset::{Dataset, LoginRecord, PasswordRecord};
+use crate::image::SyntheticImage;
+use crate::user_model::UserModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic field study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldStudyConfig {
+    /// Number of participants (paper: 191).
+    pub participants: u32,
+    /// Total number of created passwords (paper: 481).
+    pub total_passwords: usize,
+    /// Total number of login attempts (paper: 3339).
+    pub total_logins: usize,
+    /// Behavioural model of the participants.
+    pub user_model: UserModel,
+    /// RNG seed — the dataset is fully determined by the configuration.
+    pub seed: u64,
+}
+
+impl Default for FieldStudyConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+impl FieldStudyConfig {
+    /// The paper's dataset dimensions.
+    pub fn paper_scale() -> Self {
+        Self {
+            participants: 191,
+            total_passwords: 481,
+            total_logins: 3339,
+            user_model: UserModel::study_default(),
+            seed: 2008,
+        }
+    }
+
+    /// A reduced-size configuration for fast tests (same structure, ~10% of
+    /// the volume).
+    pub fn test_scale() -> Self {
+        Self {
+            participants: 20,
+            total_passwords: 48,
+            total_logins: 333,
+            user_model: UserModel::study_default(),
+            seed: 7,
+        }
+    }
+
+    /// Generate the synthetic dataset on the standard "cars"/"pool" image
+    /// pair.  Roughly half the participants use each image, passwords are
+    /// spread round-robin over participants, and logins round-robin over
+    /// passwords — matching the aggregate shape reported in the paper
+    /// (≈2.5 passwords per participant, ≈7 logins per password).
+    pub fn generate(&self) -> Dataset {
+        self.generate_on(&SyntheticImage::study_pair())
+    }
+
+    /// Generate the synthetic dataset on an explicit set of images.
+    pub fn generate_on(&self, images: &[SyntheticImage]) -> Dataset {
+        assert!(!images.is_empty(), "at least one image is required");
+        assert!(self.participants > 0, "at least one participant is required");
+        assert!(self.total_passwords > 0, "at least one password is required");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dataset = Dataset::new();
+
+        // Assign participants to images: first half to images[0], etc.
+        let image_of_user = |user: u32| -> &SyntheticImage {
+            let idx = (user as usize * images.len()) / self.participants as usize;
+            &images[idx.min(images.len() - 1)]
+        };
+
+        // Passwords round-robin over participants.
+        for pw_index in 0..self.total_passwords {
+            let user_id = (pw_index as u32) % self.participants;
+            let image = image_of_user(user_id);
+            let clicks = self.user_model.choose_password(&mut rng, image);
+            dataset.passwords.push(PasswordRecord {
+                user_id,
+                image: image.name.clone(),
+                clicks,
+            });
+        }
+
+        // Logins round-robin over passwords.
+        for login_index in 0..self.total_logins {
+            let password_index = login_index % self.total_passwords;
+            let record = &dataset.passwords[password_index];
+            let image = images
+                .iter()
+                .find(|i| i.name == record.image)
+                .expect("image of password exists");
+            let clicks = self
+                .user_model
+                .reenter(&mut rng, image, &record.clicks);
+            dataset.logins.push(LoginRecord {
+                password_index,
+                clicks,
+            });
+        }
+
+        dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_reported_dataset_shape() {
+        let config = FieldStudyConfig::paper_scale();
+        assert_eq!(config.participants, 191);
+        assert_eq!(config.total_passwords, 481);
+        assert_eq!(config.total_logins, 3339);
+        let dataset = config.generate();
+        assert_eq!(dataset.password_count(), 481);
+        assert_eq!(dataset.login_count(), 3339);
+        assert_eq!(dataset.participant_count(), 191);
+        let images = dataset.images();
+        assert_eq!(images, vec!["cars".to_string(), "pool".to_string()]);
+        // Roughly half the passwords on each image.
+        let cars = dataset.password_indices_for_image("cars").len();
+        let pool = dataset.password_indices_for_image("pool").len();
+        assert_eq!(cars + pool, 481);
+        assert!((cars as i64 - pool as i64).abs() < 100, "cars={cars} pool={pool}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = FieldStudyConfig::test_scale().generate();
+        let b = FieldStudyConfig::test_scale().generate();
+        assert_eq!(a, b);
+        let mut other = FieldStudyConfig::test_scale();
+        other.seed += 1;
+        assert_ne!(other.generate(), a);
+    }
+
+    #[test]
+    fn every_login_references_a_valid_password_on_the_same_image() {
+        let dataset = FieldStudyConfig::test_scale().generate();
+        for login in &dataset.logins {
+            assert!(login.password_index < dataset.password_count());
+            let pw = &dataset.passwords[login.password_index];
+            assert_eq!(login.clicks.len(), pw.clicks.len());
+        }
+    }
+
+    #[test]
+    fn clicks_are_inside_the_study_image() {
+        let dataset = FieldStudyConfig::test_scale().generate();
+        let dims = gp_geometry::ImageDims::STUDY;
+        for pw in &dataset.passwords {
+            for c in &pw.clicks {
+                assert!(dims.contains_point(c));
+            }
+        }
+        for l in &dataset.logins {
+            for c in &l.clicks {
+                assert!(dims.contains_point(c));
+            }
+        }
+    }
+
+    #[test]
+    fn most_logins_are_accurate_re_entries() {
+        // Calibration sanity: the majority of login attempts fall within 9
+        // pixels (Chebyshev) of every original click.
+        let dataset = FieldStudyConfig::test_scale().generate();
+        let mut accurate = 0;
+        for login in &dataset.logins {
+            let original = &dataset.passwords[login.password_index];
+            if login
+                .clicks
+                .iter()
+                .zip(&original.clicks)
+                .all(|(a, o)| a.chebyshev(o) <= 9.0)
+            {
+                accurate += 1;
+            }
+        }
+        let frac = accurate as f64 / dataset.login_count() as f64;
+        assert!(frac > 0.5 && frac < 1.0, "accurate fraction {frac}");
+    }
+
+    #[test]
+    fn csv_round_trip_of_a_generated_dataset() {
+        let dataset = FieldStudyConfig::test_scale().generate();
+        let parsed = Dataset::from_csv(&dataset.to_csv()).unwrap();
+        assert_eq!(parsed.password_count(), dataset.password_count());
+        assert_eq!(parsed.login_count(), dataset.login_count());
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic study images with hotspots.
+//!
+//! The real studies used two photographs (Figures 3 and 4 of the paper).
+//! What matters for the evaluation is not the pixels but the *click-point
+//! distribution* the photographs induce: salient objects become hotspots
+//! that many users pick, which is exactly what human-seeded dictionary
+//! attacks exploit (Thorpe & van Oorschot, Dirik et al.).  A
+//! [`SyntheticImage`] is therefore a named set of weighted hotspots; the
+//! user model samples click-points from it.
+
+use crate::rng;
+use gp_geometry::{ImageDims, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A salient region of an image that attracts click-points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hotspot {
+    /// Center of the salient object.
+    pub center: Point,
+    /// Relative popularity (higher = chosen by more users).
+    pub weight: f64,
+    /// Spatial spread (standard deviation, pixels) of clicks around the
+    /// center.
+    pub spread: f64,
+}
+
+/// A synthetic study image: dimensions plus a hotspot map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImage {
+    /// Image name ("cars", "pool", …) — also the seed for its hotspot map.
+    pub name: String,
+    /// Pixel dimensions.
+    pub dims: ImageDims,
+    /// Salient regions.
+    pub hotspots: Vec<Hotspot>,
+}
+
+impl SyntheticImage {
+    /// Deterministically generate an image's hotspot map from its name.
+    ///
+    /// The same name always yields the same hotspots, so "cars" and "pool"
+    /// are stable, distinct workloads across runs and machines.
+    pub fn from_name(name: &str, dims: ImageDims, hotspot_count: usize) -> Self {
+        assert!(hotspot_count > 0, "an image needs at least one hotspot");
+        let seed = gp_crypto_seed(name);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let margin = 15.0;
+        let hotspots = (0..hotspot_count)
+            .map(|_| Hotspot {
+                center: Point::new(
+                    rng.gen_range(margin..dims.width as f64 - margin),
+                    rng.gen_range(margin..dims.height as f64 - margin),
+                ),
+                // Zipf-ish popularity: a few very popular objects, many
+                // marginal ones.
+                weight: 1.0 / (1.0 + rng.gen_range(0.0..9.0)),
+                spread: rng.gen_range(2.0..6.0),
+            })
+            .collect();
+        Self {
+            name: name.to_string(),
+            dims,
+            hotspots,
+        }
+    }
+
+    /// The "Cars" stand-in image used throughout the reproduction
+    /// (451×331, 30 salient objects).
+    pub fn cars() -> Self {
+        Self::from_name("cars", ImageDims::STUDY, 30)
+    }
+
+    /// The "Pool" stand-in image (451×331, 30 salient objects).
+    pub fn pool() -> Self {
+        Self::from_name("pool", ImageDims::STUDY, 30)
+    }
+
+    /// Both study images, in the order the paper lists them.
+    pub fn study_pair() -> [SyntheticImage; 2] {
+        [Self::cars(), Self::pool()]
+    }
+
+    /// Sample a click-point target: with probability `hotspot_affinity` the
+    /// click lands near a (popularity-weighted) hotspot, otherwise uniformly
+    /// on the image.  Points are clamped to the image and rounded to whole
+    /// pixels — mouse clicks in the real studies are pixel coordinates.
+    pub fn sample_click<R: Rng + ?Sized>(&self, rng: &mut R, hotspot_affinity: f64) -> Point {
+        let affinity = hotspot_affinity.clamp(0.0, 1.0);
+        let raw = if rng.gen::<f64>() < affinity {
+            let weights: Vec<f64> = self.hotspots.iter().map(|h| h.weight).collect();
+            let h = &self.hotspots[rng::weighted_index(rng, &weights)];
+            Point::new(
+                rng::normal(rng, h.center.x, h.spread),
+                rng::normal(rng, h.center.y, h.spread),
+            )
+        } else {
+            Point::new(
+                rng.gen_range(0.0..self.dims.width as f64 - 1.0),
+                rng.gen_range(0.0..self.dims.height as f64 - 1.0),
+            )
+        };
+        self.snap_to_pixel(&raw)
+    }
+
+    /// Clamp a point into the image and round it to a whole-pixel
+    /// coordinate (the form in which click data is actually recorded).
+    pub fn snap_to_pixel(&self, p: &Point) -> Point {
+        let clamped = self.dims.clamp_point(p);
+        self.dims
+            .clamp_point(&Point::new(clamped.x.round(), clamped.y.round()))
+    }
+
+    /// The hotspot nearest to a point, with its distance.
+    pub fn nearest_hotspot(&self, p: &Point) -> (&Hotspot, f64) {
+        let mut best = &self.hotspots[0];
+        let mut best_d = f64::INFINITY;
+        for h in &self.hotspots {
+            let d = h.center.euclidean(p);
+            if d < best_d {
+                best_d = d;
+                best = h;
+            }
+        }
+        (best, best_d)
+    }
+}
+
+/// Derive a 64-bit seed from an image name (stable across platforms).
+fn gp_crypto_seed(name: &str) -> u64 {
+    // FNV-1a, sufficient for seeding and dependency-free.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_generation_is_deterministic() {
+        assert_eq!(SyntheticImage::cars(), SyntheticImage::cars());
+        assert_eq!(SyntheticImage::pool(), SyntheticImage::pool());
+        assert_ne!(SyntheticImage::cars(), SyntheticImage::pool());
+    }
+
+    #[test]
+    fn hotspots_are_inside_the_image() {
+        for image in SyntheticImage::study_pair() {
+            assert_eq!(image.hotspots.len(), 30);
+            for h in &image.hotspots {
+                assert!(image.dims.contains_point(&h.center), "{:?}", h.center);
+                assert!(h.weight > 0.0);
+                assert!(h.spread > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_clicks_are_inside_the_image() {
+        let image = SyntheticImage::cars();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2_000 {
+            let p = image.sample_click(&mut rng, 0.8);
+            assert!(image.dims.contains_point(&p), "{p}");
+        }
+    }
+
+    #[test]
+    fn high_affinity_clicks_cluster_near_hotspots() {
+        let image = SyntheticImage::cars();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut near = |affinity: f64| -> f64 {
+            let mut count = 0;
+            let trials = 3_000;
+            for _ in 0..trials {
+                let p = image.sample_click(&mut rng, affinity);
+                let (_, d) = image.nearest_hotspot(&p);
+                if d <= 15.0 {
+                    count += 1;
+                }
+            }
+            count as f64 / trials as f64
+        };
+        let clustered = near(1.0);
+        let uniform = near(0.0);
+        assert!(
+            clustered > uniform + 0.3,
+            "hotspot affinity should concentrate clicks: {clustered:.2} vs {uniform:.2}"
+        );
+    }
+
+    #[test]
+    fn nearest_hotspot_returns_minimum_distance() {
+        let image = SyntheticImage::pool();
+        let p = image.hotspots[3].center;
+        let (h, d) = image.nearest_hotspot(&p);
+        assert_eq!(h.center, p);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hotspot")]
+    fn zero_hotspots_rejected() {
+        SyntheticImage::from_name("empty", ImageDims::STUDY, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic reproduction of the earlier **lab study** whose passwords seed
+//! the attack dictionaries (§5.1): 30 passwords per image.
+//!
+//! The lab participants are an *independent* population from the field
+//! study (different people, same images), which is exactly what makes the
+//! attack "human-seeded": hotspots shared across populations let passwords
+//! harvested from one group crack passwords of another.
+
+use crate::dataset::{Dataset, PasswordRecord};
+use crate::image::SyntheticImage;
+use crate::user_model::UserModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic lab study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabStudyConfig {
+    /// Number of passwords collected per image (paper: 30).
+    pub passwords_per_image: usize,
+    /// Behavioural model of the lab participants.
+    pub user_model: UserModel,
+    /// RNG seed — distinct from the field-study seed so the populations are
+    /// independent.
+    pub seed: u64,
+}
+
+impl Default for LabStudyConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+impl LabStudyConfig {
+    /// The paper's dictionary source: 30 passwords per image.
+    pub fn paper_scale() -> Self {
+        Self {
+            passwords_per_image: 30,
+            user_model: UserModel::study_default(),
+            seed: 2007,
+        }
+    }
+
+    /// Generate lab passwords for the standard image pair.
+    pub fn generate(&self) -> Dataset {
+        self.generate_on(&SyntheticImage::study_pair())
+    }
+
+    /// Generate lab passwords for an explicit set of images.  The dataset
+    /// contains passwords only (the lab study's login attempts are not used
+    /// by the paper's attack analysis).
+    pub fn generate_on(&self, images: &[SyntheticImage]) -> Dataset {
+        assert!(!images.is_empty(), "at least one image is required");
+        assert!(self.passwords_per_image > 0, "need at least one password per image");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dataset = Dataset::new();
+        let mut user_id = 0u32;
+        for image in images {
+            for _ in 0..self.passwords_per_image {
+                let clicks = self.user_model.choose_password(&mut rng, image);
+                dataset.passwords.push(PasswordRecord {
+                    user_id,
+                    image: image.name.clone(),
+                    clicks,
+                });
+                user_id += 1;
+            }
+        }
+        dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_has_thirty_passwords_per_image() {
+        let dataset = LabStudyConfig::paper_scale().generate();
+        assert_eq!(dataset.password_count(), 60);
+        assert_eq!(dataset.login_count(), 0);
+        assert_eq!(dataset.password_indices_for_image("cars").len(), 30);
+        assert_eq!(dataset.password_indices_for_image("pool").len(), 30);
+    }
+
+    #[test]
+    fn lab_population_is_independent_of_field_population() {
+        let lab = LabStudyConfig::paper_scale().generate();
+        let field = crate::field_study::FieldStudyConfig::paper_scale().generate();
+        // Not equal, and no password identical between the two datasets.
+        assert_ne!(lab.passwords, field.passwords);
+        for l in &lab.passwords {
+            for f in &field.passwords {
+                assert_ne!(l.clicks, f.clicks);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(
+            LabStudyConfig::paper_scale().generate(),
+            LabStudyConfig::paper_scale().generate()
+        );
+    }
+
+    #[test]
+    fn shared_hotspots_create_cross_population_overlap() {
+        // The premise of the human-seeded attack: lab click-points often
+        // land within tolerance of field click-points on the same image.
+        let lab = LabStudyConfig::paper_scale().generate();
+        let field = crate::field_study::FieldStudyConfig::paper_scale().generate();
+        let mut overlapping_field_clicks = 0usize;
+        let mut total_field_clicks = 0usize;
+        for image in ["cars", "pool"] {
+            let lab_clicks: Vec<_> = lab
+                .password_indices_for_image(image)
+                .into_iter()
+                .flat_map(|i| lab.passwords[i].clicks.clone())
+                .collect();
+            for idx in field.password_indices_for_image(image) {
+                for c in &field.passwords[idx].clicks {
+                    total_field_clicks += 1;
+                    if lab_clicks.iter().any(|l| l.chebyshev(c) <= 9.0) {
+                        overlapping_field_clicks += 1;
+                    }
+                }
+            }
+        }
+        let frac = overlapping_field_clicks as f64 / total_field_clicks as f64;
+        assert!(
+            frac > 0.3,
+            "expected substantial hotspot-driven overlap between populations, got {frac:.3}"
+        );
+    }
+}

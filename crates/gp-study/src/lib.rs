@@ -1,0 +1,53 @@
+//! Synthetic user-study simulator.
+//!
+//! The paper's evaluation replays data from two real user studies of
+//! PassPoints:
+//!
+//! * a **field study** with 191 participants, 481 created passwords and
+//!   3339 recorded login attempts on two 451×331-pixel images ("Cars" and
+//!   "Pool"), and
+//! * an earlier **lab study** providing 30 passwords per image, from which
+//!   the human-seeded attack dictionaries are built.
+//!
+//! Those datasets are not publicly available, so this crate provides the
+//! closest synthetic equivalent (documented as a substitution in
+//! `DESIGN.md`):
+//!
+//! * [`image`] — a parametric [`SyntheticImage`](image::SyntheticImage)
+//!   with named hotspots standing in for the salient objects of the real
+//!   photographs; the "cars" and "pool" images are seeded deterministically
+//!   from their names.
+//! * [`user_model`] — a [`UserModel`](user_model::UserModel) describing how
+//!   participants choose click-points (hotspot-biased, minimum separation)
+//!   and how accurately they re-target them at login (a mixture of a tight
+//!   and a sloppy truncated Gaussian, calibrated in [`calibration`]).
+//! * [`field_study`] / [`lab_study`] — generators reproducing the shape of
+//!   the two datasets (participant counts, passwords per participant,
+//!   logins per password).
+//! * [`dataset`] — the dataset model plus a line-oriented CSV
+//!   serialization, so experiments can be re-run on a frozen dataset.
+//! * [`stats`] — summary statistics used by the analysis crate and by
+//!   calibration tests.
+//!
+//! The replay pipeline downstream of the data (discretize → hash → compare)
+//! is identical to what the paper ran on real data; only the click
+//! coordinates are synthetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod dataset;
+pub mod field_study;
+pub mod image;
+pub mod lab_study;
+pub mod rng;
+pub mod stats;
+pub mod user_model;
+
+pub use calibration::ClickAccuracy;
+pub use dataset::{Dataset, LoginRecord, PasswordRecord};
+pub use field_study::FieldStudyConfig;
+pub use image::{Hotspot, SyntheticImage};
+pub use lab_study::LabStudyConfig;
+pub use user_model::UserModel;

@@ -1,0 +1,95 @@
+//! Small random-sampling helpers (kept in-crate to stay within the approved
+//! dependency set — no `rand_distr`).
+
+use rand::Rng;
+
+/// Sample a standard-normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Sample a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Sample an index in `0..weights.len()` proportionally to `weights`.
+///
+/// # Panics
+/// Panics if `weights` is empty or all weights are zero/negative.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must not be empty");
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    assert!(total > 0.0, "at least one weight must be positive");
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("at least one positive weight")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn standard_normal_has_roughly_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "variance {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn weighted_index_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(4);
+        weighted_index(&mut rng, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_index_rejects_all_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        weighted_index(&mut rng, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Summary statistics over study datasets.
+//!
+//! These are the quantities the analysis crate (and the calibration tests)
+//! need: how far login clicks land from their originals, and what fraction
+//! of attempts would be accepted under a centered tolerance of a given
+//! half-width.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Distribution summary of per-click re-entry errors (Chebyshev distance
+/// from the original click, in pixels).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReentrySummary {
+    /// Number of (login, click) pairs measured.
+    pub samples: usize,
+    /// Mean error.
+    pub mean: f64,
+    /// Median error.
+    pub median: f64,
+    /// 95th percentile error.
+    pub p95: f64,
+    /// Maximum error.
+    pub max: f64,
+}
+
+/// Compute the per-click Chebyshev re-entry errors of every login attempt.
+pub fn reentry_errors(dataset: &Dataset) -> Vec<f64> {
+    let mut errors = Vec::new();
+    for login in &dataset.logins {
+        let original = &dataset.passwords[login.password_index];
+        for (attempt, orig) in login.clicks.iter().zip(&original.clicks) {
+            errors.push(orig.chebyshev(attempt));
+        }
+    }
+    errors
+}
+
+/// Summarize the re-entry error distribution of a dataset.
+///
+/// Returns `None` when the dataset has no login attempts.
+pub fn reentry_summary(dataset: &Dataset) -> Option<ReentrySummary> {
+    let mut errors = reentry_errors(dataset);
+    if errors.is_empty() {
+        return None;
+    }
+    errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+    let samples = errors.len();
+    let mean = errors.iter().sum::<f64>() / samples as f64;
+    Some(ReentrySummary {
+        samples,
+        mean,
+        median: percentile(&errors, 0.50),
+        p95: percentile(&errors, 0.95),
+        max: *errors.last().expect("non-empty"),
+    })
+}
+
+/// Fraction of login attempts in which *every* click falls within the
+/// centered tolerance `t` (Chebyshev) of its original click — i.e. the
+/// fraction a Centered Discretization system with whole-pixel tolerance `t`
+/// would accept.
+pub fn acceptance_rate_at_tolerance(dataset: &Dataset, t: f64) -> f64 {
+    if dataset.logins.is_empty() {
+        return 0.0;
+    }
+    let accepted = dataset
+        .logins
+        .iter()
+        .filter(|login| {
+            let original = &dataset.passwords[login.password_index];
+            login
+                .clicks
+                .iter()
+                .zip(&original.clicks)
+                .all(|(a, o)| o.chebyshev(a) <= t)
+        })
+        .count();
+    accepted as f64 / dataset.logins.len() as f64
+}
+
+/// Linear-interpolated percentile of an already-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{LoginRecord, PasswordRecord};
+    use gp_geometry::Point;
+
+    fn toy_dataset() -> Dataset {
+        Dataset {
+            passwords: vec![PasswordRecord {
+                user_id: 0,
+                image: "cars".into(),
+                clicks: vec![Point::new(100.0, 100.0), Point::new(200.0, 200.0)],
+            }],
+            logins: vec![
+                LoginRecord {
+                    password_index: 0,
+                    clicks: vec![Point::new(101.0, 100.0), Point::new(200.0, 203.0)],
+                },
+                LoginRecord {
+                    password_index: 0,
+                    clicks: vec![Point::new(110.0, 100.0), Point::new(200.0, 200.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reentry_errors_are_chebyshev_distances() {
+        let errors = reentry_errors(&toy_dataset());
+        assert_eq!(errors, vec![1.0, 3.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = reentry_summary(&toy_dataset()).unwrap();
+        assert_eq!(s.samples, 4);
+        assert!((s.mean - 3.5).abs() < 1e-9);
+        assert_eq!(s.max, 10.0);
+        assert!(s.median >= 1.0 && s.median <= 3.0);
+        assert!(s.p95 <= 10.0 && s.p95 > 3.0);
+    }
+
+    #[test]
+    fn empty_dataset_has_no_summary() {
+        assert!(reentry_summary(&Dataset::new()).is_none());
+        assert_eq!(acceptance_rate_at_tolerance(&Dataset::new(), 5.0), 0.0);
+    }
+
+    #[test]
+    fn acceptance_rate_thresholds() {
+        let d = toy_dataset();
+        // First login: max error 3 → accepted at t ≥ 3.
+        // Second login: max error 10 → accepted at t ≥ 10.
+        assert_eq!(acceptance_rate_at_tolerance(&d, 2.0), 0.0);
+        assert_eq!(acceptance_rate_at_tolerance(&d, 3.0), 0.5);
+        assert_eq!(acceptance_rate_at_tolerance(&d, 9.0), 0.5);
+        assert_eq!(acceptance_rate_at_tolerance(&d, 10.0), 1.0);
+    }
+
+    #[test]
+    fn acceptance_rate_is_monotone_on_generated_data() {
+        let dataset = crate::field_study::FieldStudyConfig::test_scale().generate();
+        let mut last = 0.0;
+        for t in [1.0, 2.0, 4.0, 6.0, 9.0, 13.0, 20.0] {
+            let rate = acceptance_rate_at_tolerance(&dataset, t);
+            assert!(rate >= last, "rate must grow with tolerance");
+            last = rate;
+        }
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.0), 0.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        assert_eq!(percentile(&sorted, 0.5), 5.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! The simulated participant: how click-points are chosen at enrollment and
+//! how accurately they are re-targeted at login.
+
+use crate::calibration::ClickAccuracy;
+use crate::image::SyntheticImage;
+use gp_geometry::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Behavioural parameters of a simulated participant population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserModel {
+    /// Probability that a chosen click-point is drawn from the image's
+    /// hotspot distribution rather than uniformly.  Real PassPoints users
+    /// cluster heavily on hotspots, which is what makes human-seeded
+    /// dictionaries effective (§2.1, §5.1).
+    pub hotspot_affinity: f64,
+    /// Minimum Chebyshev separation enforced between the click-points of
+    /// one password (users pick visually distinct objects).
+    pub min_separation: f64,
+    /// Re-entry accuracy model.
+    pub accuracy: ClickAccuracy,
+    /// Number of click-points per password (5 for PassPoints).
+    pub clicks_per_password: usize,
+}
+
+impl Default for UserModel {
+    fn default() -> Self {
+        Self::study_default()
+    }
+}
+
+impl UserModel {
+    /// Parameters used for the synthetic field and lab studies.
+    pub fn study_default() -> Self {
+        Self {
+            hotspot_affinity: 0.8,
+            min_separation: 12.0,
+            accuracy: ClickAccuracy::study_default(),
+            clicks_per_password: 5,
+        }
+    }
+
+    /// Choose a fresh password on the given image.
+    ///
+    /// Click-points are sampled from the image's hotspot distribution with
+    /// the model's affinity, re-sampling (up to a bounded number of tries)
+    /// when a candidate violates the minimum separation from already-chosen
+    /// points.
+    pub fn choose_password<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        image: &SyntheticImage,
+    ) -> Vec<Point> {
+        let mut clicks: Vec<Point> = Vec::with_capacity(self.clicks_per_password);
+        while clicks.len() < self.clicks_per_password {
+            let mut candidate = image.sample_click(rng, self.hotspot_affinity);
+            let mut tries = 0;
+            while clicks
+                .iter()
+                .any(|p| p.chebyshev(&candidate) < self.min_separation)
+                && tries < 50
+            {
+                candidate = image.sample_click(rng, self.hotspot_affinity);
+                tries += 1;
+            }
+            clicks.push(candidate);
+        }
+        clicks
+    }
+
+    /// Simulate one login attempt: every click of the original password is
+    /// re-targeted with the model's re-entry error, clamped to the image and
+    /// snapped to whole pixels (recorded clicks are pixel coordinates).
+    pub fn reenter<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        image: &SyntheticImage,
+        original: &[Point],
+    ) -> Vec<Point> {
+        original
+            .iter()
+            .map(|p| {
+                let (ex, ey) = self.accuracy.sample_error_2d(rng);
+                image.snap_to_pixel(&p.offset(ex, ey))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn passwords_have_five_separated_in_image_clicks() {
+        let model = UserModel::study_default();
+        let image = SyntheticImage::cars();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let pw = model.choose_password(&mut rng, &image);
+            assert_eq!(pw.len(), 5);
+            for p in &pw {
+                assert!(image.dims.contains_point(p));
+            }
+        }
+    }
+
+    #[test]
+    fn min_separation_is_usually_respected() {
+        let model = UserModel::study_default();
+        let image = SyntheticImage::pool();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut violations = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            let pw = model.choose_password(&mut rng, &image);
+            for i in 0..pw.len() {
+                for j in (i + 1)..pw.len() {
+                    if pw[i].chebyshev(&pw[j]) < model.min_separation {
+                        violations += 1;
+                    }
+                }
+            }
+        }
+        // The retry loop is bounded, so rare violations are tolerated, but
+        // they must be the exception.
+        assert!(violations < trials / 10, "{violations} separation violations");
+    }
+
+    #[test]
+    fn reentry_is_usually_close_to_the_original() {
+        let model = UserModel::study_default();
+        let image = SyntheticImage::cars();
+        let mut rng = StdRng::seed_from_u64(3);
+        let original = model.choose_password(&mut rng, &image);
+        let mut within9 = 0;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let attempt = model.reenter(&mut rng, &image, &original);
+            assert_eq!(attempt.len(), original.len());
+            if attempt
+                .iter()
+                .zip(&original)
+                .all(|(a, o)| a.chebyshev(o) <= 9.0)
+            {
+                within9 += 1;
+            }
+        }
+        let frac = within9 as f64 / trials as f64;
+        assert!(frac > 0.5, "whole-password accuracy at 9px should be common: {frac}");
+        assert!(frac < 1.0, "but not perfect: {frac}");
+    }
+
+    #[test]
+    fn exact_accuracy_reenters_identically() {
+        let mut model = UserModel::study_default();
+        model.accuracy = ClickAccuracy::exact();
+        let image = SyntheticImage::cars();
+        let mut rng = StdRng::seed_from_u64(4);
+        let original = model.choose_password(&mut rng, &image);
+        let attempt = model.reenter(&mut rng, &image, &original);
+        assert_eq!(attempt, original);
+    }
+
+    #[test]
+    fn hotspot_affinity_increases_cross_user_click_overlap() {
+        // The property that makes human-seeded dictionaries work: different
+        // users pick nearby click-points far more often with high affinity.
+        let image = SyntheticImage::cars();
+        let overlap = |affinity: f64, seed: u64| -> f64 {
+            let model = UserModel {
+                hotspot_affinity: affinity,
+                ..UserModel::study_default()
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            let users: Vec<Vec<Point>> = (0..60).map(|_| model.choose_password(&mut rng, &image)).collect();
+            let mut close_pairs = 0usize;
+            let mut total_pairs = 0usize;
+            for a in 0..users.len() {
+                for b in (a + 1)..users.len() {
+                    for pa in &users[a] {
+                        for pb in &users[b] {
+                            total_pairs += 1;
+                            if pa.chebyshev(pb) <= 9.0 {
+                                close_pairs += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            close_pairs as f64 / total_pairs as f64
+        };
+        let clustered = overlap(0.95, 7);
+        let dispersed = overlap(0.0, 8);
+        assert!(
+            clustered > 3.0 * dispersed,
+            "hotspot affinity should multiply click overlap: {clustered:.4} vs {dispersed:.4}"
+        );
+    }
+}

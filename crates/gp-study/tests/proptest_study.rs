@@ -1,0 +1,125 @@
+//! Property-based tests for the synthetic study substrate.
+
+use gp_geometry::ImageDims;
+use gp_study::{
+    stats, ClickAccuracy, Dataset, FieldStudyConfig, LabStudyConfig, SyntheticImage, UserModel,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any generated field study has exactly the configured shape and every
+    /// click lies on the study image at whole-pixel coordinates.
+    #[test]
+    fn field_study_shape_and_pixel_snapping(
+        participants in 1u32..40,
+        passwords in 1usize..60,
+        logins in 0usize..120,
+        seed in any::<u64>(),
+    ) {
+        let config = FieldStudyConfig {
+            participants,
+            total_passwords: passwords,
+            total_logins: logins,
+            user_model: UserModel::study_default(),
+            seed,
+        };
+        let dataset = config.generate();
+        prop_assert_eq!(dataset.password_count(), passwords);
+        prop_assert_eq!(dataset.login_count(), logins);
+        prop_assert!(dataset.participant_count() <= participants as usize);
+        for record in &dataset.passwords {
+            for c in &record.clicks {
+                prop_assert!(ImageDims::STUDY.contains_point(c));
+                prop_assert_eq!(c.x, c.x.round());
+                prop_assert_eq!(c.y, c.y.round());
+            }
+        }
+        for login in &dataset.logins {
+            prop_assert!(login.password_index < dataset.password_count());
+        }
+    }
+
+    /// Dataset CSV serialization round-trips structure and coordinates.
+    #[test]
+    fn dataset_csv_round_trip(seed in any::<u64>()) {
+        let config = FieldStudyConfig { seed, ..FieldStudyConfig::test_scale() };
+        let dataset = config.generate();
+        let parsed = Dataset::from_csv(&dataset.to_csv()).unwrap();
+        prop_assert_eq!(parsed.password_count(), dataset.password_count());
+        prop_assert_eq!(parsed.login_count(), dataset.login_count());
+        prop_assert_eq!(parsed.images(), dataset.images());
+    }
+
+    /// The acceptance rate at tolerance t is monotone in t and hits ~1 for
+    /// large t on any generated dataset.
+    #[test]
+    fn acceptance_rate_monotone(seed in any::<u64>()) {
+        let config = FieldStudyConfig { seed, ..FieldStudyConfig::test_scale() };
+        let dataset = config.generate();
+        let mut last = 0.0;
+        for t in [0.0, 1.0, 2.0, 4.0, 6.0, 9.0, 13.0, 25.0, 60.0] {
+            let rate = stats::acceptance_rate_at_tolerance(&dataset, t);
+            prop_assert!(rate >= last - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&rate));
+            last = rate;
+        }
+        prop_assert!(last > 0.95);
+    }
+
+    /// Click-accuracy mixtures: the analytic within-tolerance probability is
+    /// monotone in t and bounded by [0, 1].
+    #[test]
+    fn click_accuracy_probability_is_well_formed(
+        tight in 0.1..5.0f64,
+        sloppy in 1.0..20.0f64,
+        fraction in 0.0..1.0f64,
+        t in 0.5..30.0f64,
+    ) {
+        let acc = ClickAccuracy { tight_sigma: tight, sloppy_sigma: sloppy, sloppy_fraction: fraction };
+        let p = acc.within_centered_tolerance(t);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(acc.within_centered_tolerance(t + 5.0) >= p);
+    }
+
+    /// User passwords always contain the configured number of in-image
+    /// clicks regardless of the behavioural parameters.
+    #[test]
+    fn user_model_always_produces_valid_passwords(
+        affinity in 0.0..1.0f64,
+        separation in 0.0..40.0f64,
+        seed in any::<u64>(),
+    ) {
+        let model = UserModel {
+            hotspot_affinity: affinity,
+            min_separation: separation,
+            accuracy: ClickAccuracy::study_default(),
+            clicks_per_password: 5,
+        };
+        let image = SyntheticImage::cars();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pw = model.choose_password(&mut rng, &image);
+        prop_assert_eq!(pw.len(), 5);
+        for p in &pw {
+            prop_assert!(image.dims.contains_point(p));
+        }
+        // Re-entries stay in the image too.
+        let attempt = model.reenter(&mut rng, &image, &pw);
+        prop_assert_eq!(attempt.len(), 5);
+        for p in &attempt {
+            prop_assert!(image.dims.contains_point(p));
+        }
+    }
+
+    /// Lab-study generation is deterministic in the seed and changes with it.
+    #[test]
+    fn lab_study_deterministic_in_seed(seed in any::<u64>()) {
+        let a = LabStudyConfig { seed, ..LabStudyConfig::paper_scale() }.generate();
+        let b = LabStudyConfig { seed, ..LabStudyConfig::paper_scale() }.generate();
+        prop_assert_eq!(&a, &b);
+        let c = LabStudyConfig { seed: seed.wrapping_add(1), ..LabStudyConfig::paper_scale() }.generate();
+        prop_assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end networked deployment: spawn the TCP authentication server,
+//! enroll a user from a client, log in with imperfect (but within-tolerance)
+//! clicks, then demonstrate the online-attack lockout.
+//!
+//! Run with: `cargo run --example auth_server_demo`
+
+use graphical_passwords::geometry::Point;
+use graphical_passwords::netauth::{AuthClient, AuthServer, LoginDecision, ServerConfig};
+
+fn main() {
+    let config = ServerConfig {
+        hash_iterations: 1000,
+        ..ServerConfig::study_default()
+    };
+    let server = AuthServer::new(config);
+    let handle = server.spawn().expect("spawn server");
+    println!("authentication server listening on {}", handle.addr());
+
+    let clicks = graphical_passwords::example_clicks();
+
+    let mut client = AuthClient::connect(handle.addr()).expect("connect");
+    let (scheme, n_clicks) = client.get_config().expect("get config");
+    println!("server scheme: {scheme}, clicks per password: {n_clicks}");
+
+    client.enroll("alice", &clicks).expect("enroll");
+    println!("enrolled account 'alice'");
+
+    // A human-like imperfect re-entry: every click is a few pixels off.
+    let wobbly: Vec<Point> = clicks.iter().map(|p| p.offset(5.0, -4.0)).collect();
+    let (decision, _) = client.login("alice", &wobbly).expect("login");
+    println!("imperfect re-entry (5 px off): {decision:?}");
+
+    // An online guessing attacker: far-off guesses until lockout.
+    let wrong: Vec<Point> = clicks.iter().map(|p| p.offset(-35.0, -35.0)).collect();
+    for attempt in 1..=4 {
+        let (decision, failures) = client.login("alice", &wrong).expect("login");
+        println!("guess #{attempt}: {decision:?} (consecutive failures: {failures})");
+        if decision == LoginDecision::LockedOut {
+            break;
+        }
+    }
+
+    // Even the correct password is now refused.
+    let (decision, _) = client.login("alice", &clicks).expect("login");
+    println!("correct password after lockout: {decision:?}");
+
+    client.quit().expect("quit");
+    handle.shutdown();
+    println!("server shut down cleanly");
+}

@@ -1,0 +1,56 @@
+//! Cued Click-Points and Persuasive Cued Click-Points walkthrough: the
+//! follow-on schemes cited in §2 of the paper, built on the same Centered
+//! Discretization layer.
+//!
+//! Run with: `cargo run --example cued_click_points`
+
+use graphical_passwords::geometry::{ImageDims, Point};
+use graphical_passwords::passwords::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = DiscretizationConfig::centered(9);
+
+    // --- Cued Click-Points: one click per image, image path driven by the
+    //     previous click.
+    let ccp = CuedClickPoints::new(ImageDims::STUDY, 50, config, 1000);
+    let clicks = graphical_passwords::example_clicks();
+    let stored = ccp.create("alice", &clicks).expect("create CCP password");
+    println!(
+        "CCP image path for alice: {:?}",
+        ccp.image_sequence("alice", &clicks)
+    );
+
+    let wobbly: Vec<Point> = clicks.iter().map(|p| p.offset(6.0, 6.0)).collect();
+    println!(
+        "within-tolerance login accepted: {}",
+        ccp.login(&stored, &wobbly).unwrap()
+    );
+
+    let mut wrong = clicks.clone();
+    wrong[1] = Point::new(30.0, 30.0);
+    println!(
+        "wrong second click: accepted = {} (image path silently diverges: {:?})",
+        ccp.login(&stored, &wrong).unwrap(),
+        ccp.image_sequence("alice", &wrong)
+    );
+
+    // --- Persuasive Cued Click-Points: creation is constrained to a random
+    //     viewport, flattening hotspots.
+    let pccp = PersuasiveCuedClickPoints::new(ImageDims::STUDY, 50, config, 1000);
+    let mut rng = StdRng::seed_from_u64(42);
+    let viewports = pccp.suggest_viewports(&mut rng);
+    println!("\nPCCP viewports suggested during creation:");
+    for (i, v) in viewports.iter().enumerate() {
+        println!("  click {}: {}", i + 1, v);
+    }
+    let persuaded_clicks: Vec<Point> = viewports.iter().map(|v| v.center()).collect();
+    let stored = pccp
+        .create("bob", &persuaded_clicks, &viewports)
+        .expect("create PCCP password");
+    println!(
+        "PCCP login with the viewport-guided clicks: {}",
+        pccp.login(&stored, &persuaded_clicks).unwrap()
+    );
+}

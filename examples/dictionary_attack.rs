@@ -1,0 +1,56 @@
+//! Regenerate the paper's security analysis: the human-seeded offline
+//! dictionary attack with known grid identifiers (Figures 7 and 8), plus
+//! the hash-only cost model of §5.1.
+//!
+//! Run with: `cargo run --release --example dictionary_attack [--quick]`
+
+use graphical_passwords::analysis::{Experiment, ExperimentScale};
+use graphical_passwords::attacks::{ClickPointPool, HashOnlyCostModel};
+use graphical_passwords::discretization::{CenteredDiscretization, RobustDiscretization};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+
+    let lab = scale.lab_dataset();
+    for image in lab.images() {
+        let pool = ClickPointPool::from_dataset(&lab, &image, 5);
+        println!(
+            "Dictionary for {image:>5}: {} harvested click-points, {:.1}-bit dictionary ({} entries)",
+            pool.pool_size(),
+            pool.entry_bits(),
+            pool.entry_count()
+        );
+    }
+    println!();
+
+    println!("{}", Experiment::Figure7.run(&scale));
+    println!("{}", Experiment::Figure8.run(&scale));
+
+    // §5.1 hash-only cost model: what the same dictionary costs when the
+    // grid identifiers are NOT known.
+    let pool = ClickPointPool::from_dataset(&lab, "cars", 5);
+    let robust = RobustDiscretization::new(6.0).unwrap();
+    let centered = CenteredDiscretization::from_pixel_tolerance(6);
+    let robust_cost = HashOnlyCostModel::for_scheme(&robust, &pool, 1000);
+    let centered_cost = HashOnlyCostModel::for_scheme(&centered, &pool, 1000);
+    println!("Hash-only offline attack work factors (r = 6, h^1000, Cars dictionary):");
+    println!(
+        "  Robust Discretization:   3 grids/click  -> 2^{:.1} hash operations",
+        robust_cost.work_bits()
+    );
+    println!(
+        "  Centered Discretization: {} grids/click -> 2^{:.1} hash operations",
+        centered_cost.grid_identifiers_per_click,
+        centered_cost.work_bits()
+    );
+    println!(
+        "\nPaper reference points (Figure 8): at r = 6, 45.1% of Cars passwords\n\
+         cracked under Robust vs 14.8% under Centered; at r = 9 Robust reaches\n\
+         up to 79% vs 26% for Centered."
+    );
+}

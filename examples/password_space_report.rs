@@ -1,0 +1,19 @@
+//! Regenerate Table 3 (theoretical password space) and the §5.2
+//! information-revealed comparison, plus the Figure 1 geometry diagram.
+//!
+//! Run with: `cargo run --example password_space_report`
+
+use graphical_passwords::analysis::{Experiment, ExperimentScale};
+use graphical_passwords::discretization::text_password_bits;
+
+fn main() {
+    let scale = ExperimentScale::quick(); // these experiments need no dataset
+    println!("{}", Experiment::Table3.run(&scale));
+    println!(
+        "Comparison point: a random 8-character text password over the standard\n\
+         95-character alphabet has {:.1} bits of theoretical space.\n",
+        text_password_bits(95, 8)
+    );
+    println!("{}", Experiment::InformationRevealed.run(&scale));
+    println!("{}", Experiment::Figure1.run(&scale));
+}

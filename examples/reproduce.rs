@@ -1,0 +1,49 @@
+//! Run any (or every) experiment of the paper's evaluation by name.
+//!
+//! Usage:
+//!   cargo run --release --example reproduce                  # all, paper scale
+//!   cargo run --release --example reproduce -- --quick       # all, reduced scale
+//!   cargo run --release --example reproduce -- table3        # one experiment
+//!   cargo run --release --example reproduce -- figure8 --quick
+
+use graphical_passwords::analysis::{Experiment, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+    let requested: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let experiments: Vec<Experiment> = if requested.is_empty() {
+        Experiment::all().to_vec()
+    } else {
+        let mut selected = Vec::new();
+        for name in &requested {
+            match Experiment::all().iter().find(|e| e.id() == name.as_str()) {
+                Some(e) => selected.push(*e),
+                None => {
+                    eprintln!(
+                        "unknown experiment {name:?}; available: {}",
+                        Experiment::all()
+                            .iter()
+                            .map(|e| e.id())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        selected
+    };
+
+    for experiment in experiments {
+        println!("=== {} — {} ===\n", experiment.id(), experiment.description());
+        println!("{}", experiment.run(&scale));
+        println!();
+    }
+}
