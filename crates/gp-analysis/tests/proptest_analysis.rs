@@ -3,6 +3,7 @@
 //! calibration.
 
 use gp_analysis::{table1, table2, ComparisonMode};
+use gp_discretization::DiscretizationScheme;
 use gp_study::{ClickAccuracy, FieldStudyConfig, UserModel};
 use proptest::prelude::*;
 

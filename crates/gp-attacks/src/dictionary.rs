@@ -212,6 +212,22 @@ impl<'a> PermutationIter<'a> {
     }
 }
 
+impl PermutationIter<'_> {
+    /// Advance to the next entry, writing its points into the caller's
+    /// buffer instead of allocating — the form the batched brute-force
+    /// guess loop consumes.  Returns `false` once exhausted (leaving `out`
+    /// cleared).
+    pub fn next_into(&mut self, out: &mut Vec<Point>) -> bool {
+        out.clear();
+        if self.advance() {
+            out.extend(self.indices.iter().map(|&i| self.points[i]));
+            true
+        } else {
+            false
+        }
+    }
+}
+
 impl<'a> Iterator for PermutationIter<'a> {
     type Item = Vec<Point>;
 

@@ -43,3 +43,4 @@ pub use hotspot::HotspotDictionary;
 pub use metrics::{AttackOutcome, AttackSummary};
 pub use offline::OfflineKnownGridAttack;
 pub use online::{LockoutPolicy, OnlineAttack, OnlineOutcome};
+pub use parallel::{default_threads, evaluate_population_auto, evaluate_population_parallel};

@@ -25,8 +25,27 @@
 
 use crate::dictionary::ClickPointPool;
 use crate::metrics::AttackSummary;
+use gp_crypto::{ct_eq, Digest, SaltedHasher, Sha256};
+use gp_discretization::DiscretizedClick;
 use gp_geometry::{GridCell, Point};
 use gp_passwords::{GraphicalPasswordSystem, StoredPassword};
+use std::collections::HashSet;
+
+/// Maximum number of pre-image fingerprints remembered for deduplication
+/// during one brute-force walk (16 bytes each → ~16 MiB of keys).  Beyond
+/// the cap, new pre-images are still hashed and compared correctly — they
+/// just stop being added to the dedupe set, so a pathological pool degrades
+/// to extra hashing work instead of unbounded memory.
+const DEDUPE_CAP: usize = 1 << 20;
+
+/// 128-bit fingerprint of a pre-image for the dedupe set: the truncated
+/// SHA-256 keeps keys fixed-size (no per-key heap allocation) and makes an
+/// accidental collision — which would skip a distinct candidate —
+/// cryptographically negligible.
+fn fingerprint(pre_image: &[u8]) -> [u8; 16] {
+    let digest = Sha256::digest(pre_image);
+    digest[..16].try_into().expect("digest is 32 bytes")
+}
 
 /// Offline dictionary attack against password files with clear grid
 /// identifiers.
@@ -40,8 +59,14 @@ pub struct OfflineKnownGridAttack {
 pub struct BruteForceOutcome {
     /// Index (0-based) of the first dictionary entry that matched, if any.
     pub success_at: Option<u64>,
-    /// Number of entries hashed and compared.
+    /// Number of dictionary entries evaluated (on success, entries up to
+    /// and including the first match).
     pub guesses: u64,
+    /// Number of `h^k` computations actually performed.  Strictly fewer
+    /// than `guesses` whenever distinct entries discretize to the same
+    /// pre-image for this target — the batched pipeline hashes each unique
+    /// pre-image once.
+    pub hashed: u64,
 }
 
 impl OfflineKnownGridAttack {
@@ -122,31 +147,162 @@ impl OfflineKnownGridAttack {
         summary
     }
 
-    /// Honest brute force: hash every dictionary entry (in enumeration
+    /// Honest brute force: evaluate every dictionary entry (in enumeration
     /// order) against the stored record until a match is found or `limit`
     /// entries have been tried.
+    ///
+    /// Semantically identical to hashing each entry through
+    /// [`GraphicalPasswordSystem::verify`] (the
+    /// `shortcut_agrees_with_brute_force` tests pin this down), but runs
+    /// the batched zero-allocation pipeline:
+    ///
+    /// 1. entries are enumerated into reused buffers (no per-entry `Vec`),
+    /// 2. each entry is discretized against the target's own grids and
+    ///    encoded into a reused pre-image buffer,
+    /// 3. entries whose pre-image was already seen for this target are
+    ///    *deduplicated* — nearby pool points land in the same grid squares,
+    ///    so the expensive `h^k` is computed once per unique pre-image,
+    /// 4. unique pre-images are hashed [`gp_crypto::LANES`] at a time
+    ///    through [`SaltedHasher::iterated_many_into`] with the target's
+    ///    precomputed salt midstate.
     pub fn brute_force(
         &self,
         system: &GraphicalPasswordSystem,
         stored: &StoredPassword,
         limit: u64,
     ) -> BruteForceOutcome {
+        let total_entries = u64::try_from(self.pool.entry_count()).unwrap_or(u64::MAX);
+        let evaluable = total_entries.min(limit);
+
+        // Provenance checks `verify` performs per attempt, hoisted out of
+        // the loop: if the record cannot match this system or pool shape at
+        // all, every entry is a non-cracking guess.
+        let hasher = system.hasher();
+        let expected_salt = hasher.salt_for(stored.username.as_bytes());
+        if stored.hash.iterations != system.iterations()
+            || stored.hash.salt != expected_salt
+            || stored.clicks.len() != self.pool.clicks_per_entry()
+            || stored.clicks.len() != stored.policy.clicks
+        {
+            return BruteForceOutcome {
+                success_at: None,
+                guesses: evaluable,
+                hashed: 0,
+            };
+        }
+
+        let scheme = stored.config.build();
+        let salted = SaltedHasher::new(&stored.hash.salt);
+        let iterations = stored.hash.iterations;
+        let target_digest = stored.hash.digest;
+        let image = stored.policy.image;
+
+        // Reused per-guess buffers: steady state allocates only when a new
+        // unique pre-image is interned.
+        let mut entry: Vec<Point> = Vec::with_capacity(stored.clicks.len());
+        let mut discretized: Vec<DiscretizedClick> = Vec::with_capacity(stored.clicks.len());
+        let mut pre_image: Vec<u8> = Vec::new();
+        let mut seen: HashSet<[u8; 16]> = HashSet::new();
+        let mut batch: Vec<(Vec<u8>, [u8; 16], u64)> = Vec::with_capacity(gp_crypto::LANES);
+        let mut digests: Vec<Digest> = Vec::with_capacity(gp_crypto::LANES);
+
         let mut guesses = 0u64;
-        for entry in self.pool.enumerate() {
-            if guesses >= limit {
-                break;
+        let mut hashed = 0u64;
+        let mut iter = self.pool.enumerate();
+
+        // Fingerprints enter `seen` only at flush time, so each unique
+        // pre-image is copied out of the scratch buffer exactly once; the
+        // in-flight batch is deduped by linear scan (it holds at most LANES
+        // entries).  Message references live in a stack array, so a flush
+        // allocates nothing.
+        let flush = |batch: &mut Vec<(Vec<u8>, [u8; 16], u64)>,
+                     digests: &mut Vec<Digest>,
+                     seen: &mut HashSet<[u8; 16]>,
+                     hashed: &mut u64|
+         -> Option<u64> {
+            if batch.is_empty() {
+                return None;
             }
+            let mut messages: [&[u8]; gp_crypto::LANES] = [&[]; gp_crypto::LANES];
+            for (slot, (pre_image, _, _)) in messages.iter_mut().zip(batch.iter()) {
+                *slot = pre_image.as_slice();
+            }
+            salted.iterated_many_into(&messages[..batch.len()], iterations, digests);
+            *hashed += batch.len() as u64;
+            let mut first_match: Option<u64> = None;
+            for (digest, (_, _, entry_index)) in digests.iter().zip(batch.iter()) {
+                if ct_eq(digest, &target_digest)
+                    && first_match.is_none_or(|current| *entry_index < current)
+                {
+                    first_match = Some(*entry_index);
+                }
+            }
+            for (_, fp, _) in batch.drain(..) {
+                if seen.len() < DEDUPE_CAP {
+                    seen.insert(fp);
+                }
+            }
+            first_match
+        };
+
+        while guesses < limit && iter.next_into(&mut entry) {
+            let entry_index = guesses;
             guesses += 1;
-            if system.verify(stored, &entry).unwrap_or(false) {
-                return BruteForceOutcome {
-                    success_at: Some(guesses - 1),
-                    guesses,
-                };
+
+            // Discretize against the target's own grids; entries that fail
+            // (click outside image, undecodable identifier) are guesses
+            // that can never match, exactly as `verify` treats them.
+            discretized.clear();
+            let mut valid = true;
+            for (record, click) in stored.clicks.iter().zip(entry.iter()) {
+                if !image.contains_point(click) {
+                    valid = false;
+                    break;
+                }
+                match scheme.try_locate(&record.grid_id, click) {
+                    Ok(cell) => discretized.push(DiscretizedClick {
+                        grid_id: record.grid_id,
+                        cell,
+                    }),
+                    Err(_) => {
+                        valid = false;
+                        break;
+                    }
+                }
             }
+            if !valid {
+                continue;
+            }
+
+            StoredPassword::encode_clicks_into(&discretized, &mut pre_image);
+            let fp = fingerprint(&pre_image);
+            if seen.contains(&fp) || batch.iter().any(|(queued, _, _)| *queued == pre_image) {
+                continue;
+            }
+            batch.push((pre_image.clone(), fp, entry_index));
+
+            if batch.len() == gp_crypto::LANES {
+                if let Some(success_at) = flush(&mut batch, &mut digests, &mut seen, &mut hashed) {
+                    return BruteForceOutcome {
+                        success_at: Some(success_at),
+                        guesses: success_at + 1,
+                        hashed,
+                    };
+                }
+            }
+        }
+
+        if let Some(success_at) = flush(&mut batch, &mut digests, &mut seen, &mut hashed) {
+            return BruteForceOutcome {
+                success_at: Some(success_at),
+                guesses: success_at + 1,
+                hashed,
+            };
         }
         BruteForceOutcome {
             success_at: None,
             guesses,
+            hashed,
         }
     }
 }
@@ -328,6 +484,141 @@ mod tests {
                 .is_some();
             assert_eq!(shortcut, brute, "disagreement on case {label:?}");
         }
+    }
+
+    /// The obviously-correct specification: hash every entry through the
+    /// public `verify`, one at a time.
+    fn brute_force_reference(
+        attack: &OfflineKnownGridAttack,
+        system: &GraphicalPasswordSystem,
+        stored: &StoredPassword,
+        limit: u64,
+    ) -> (Option<u64>, u64) {
+        let mut guesses = 0u64;
+        for entry in attack.pool.enumerate() {
+            if guesses >= limit {
+                break;
+            }
+            guesses += 1;
+            if system.verify(stored, &entry).unwrap_or(false) {
+                return (Some(guesses - 1), guesses);
+            }
+        }
+        (None, guesses)
+    }
+
+    #[test]
+    fn batched_brute_force_matches_per_entry_reference() {
+        let clicks = 3usize;
+        let sys = system(DiscretizationConfig::centered(6), clicks);
+        let original = vec![
+            Point::new(60.0, 60.0),
+            Point::new(200.0, 120.0),
+            Point::new(320.0, 250.0),
+        ];
+        let stored = sys.enroll("victim", &original).unwrap();
+        // Pools chosen so the first match lands at different depths (and
+        // sometimes nowhere), exercising batch-boundary and remainder paths.
+        let pools: Vec<Vec<Point>> = vec![
+            // Match possible: near-duplicates of the victim's points.
+            original
+                .iter()
+                .map(|p| p.offset(1.0, -1.0))
+                .chain((0..6).map(|i| Point::new(15.0 + 40.0 * i as f64, 300.0)))
+                .collect(),
+            // No match: everything far away.
+            (0..7).map(|i| Point::new(10.0 + 30.0 * i as f64, 20.0)).collect(),
+            // Match buried late: decoys enumerate first.
+            (0..5)
+                .map(|i| Point::new(400.0, 10.0 + 40.0 * i as f64))
+                .chain(original.iter().map(|p| p.offset(-2.0, 2.0)))
+                .collect(),
+        ];
+        for (pi, points) in pools.into_iter().enumerate() {
+            let attack = OfflineKnownGridAttack::new(ClickPointPool::new(points, clicks));
+            for limit in [0u64, 1, 5, 16, 17, 100, u64::MAX] {
+                let batched = attack.brute_force(&sys, &stored, limit);
+                let (ref_success, ref_guesses) =
+                    brute_force_reference(&attack, &sys, &stored, limit);
+                assert_eq!(batched.success_at, ref_success, "pool {pi}, limit {limit}");
+                assert_eq!(batched.guesses, ref_guesses, "pool {pi}, limit {limit}");
+                // Hashing never exceeds the evaluated entries, modulo the
+                // in-flight batch that contained the first match.
+                assert!(batched.hashed <= batched.guesses + gp_crypto::LANES as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_pre_images_are_hashed_once() {
+        // A tight cluster of pool points all lands in the victim's grid
+        // squares, so thousands of entries collapse to very few unique
+        // pre-images; dedupe must collapse the hashing work accordingly.
+        let clicks = 3usize;
+        let sys = system(DiscretizationConfig::centered(9), clicks);
+        let original = vec![
+            Point::new(60.0, 60.0),
+            Point::new(200.0, 120.0),
+            Point::new(320.0, 250.0),
+        ];
+        let stored = sys.enroll("victim", &original).unwrap();
+        // 9 points: three tight clusters of three, one cluster per click.
+        let points: Vec<Point> = original
+            .iter()
+            .flat_map(|p| [p.offset(0.0, 0.0), p.offset(1.0, 1.0), p.offset(-1.0, -1.0)])
+            .collect();
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(points, clicks));
+        // The victim IS crackable (the clusters sit in its grid squares);
+        // the batched pipeline must find the same first entry per-entry
+        // verification finds, with bounded hashing work.
+        let hit = attack.brute_force(&sys, &stored, u64::MAX);
+        let (ref_success, ref_guesses) = brute_force_reference(&attack, &sys, &stored, u64::MAX);
+        assert!(hit.success_at.is_some());
+        assert_eq!(hit.success_at, ref_success);
+        assert_eq!(hit.guesses, ref_guesses);
+        assert!(hit.hashed <= hit.guesses + gp_crypto::LANES as u64);
+
+        // Full-enumeration dedupe accounting needs a target this pool can
+        // never crack: enroll one far (>> tolerance) from every cluster.
+        let far: Vec<Point> = original.iter().map(|p| p.offset(80.0, 40.0)).collect();
+        let other = sys.enroll("other", &far).unwrap();
+        let miss = attack.brute_force(&sys, &other, u64::MAX);
+        assert!(miss.success_at.is_none());
+        assert_eq!(miss.guesses, 9 * 8 * 7);
+        assert!(
+            miss.hashed < miss.guesses / 4,
+            "clustered pool must dedupe heavily: hashed {} of {} guesses",
+            miss.hashed,
+            miss.guesses
+        );
+    }
+
+    #[test]
+    fn brute_force_short_circuits_foreign_records() {
+        // A record enrolled under different iterations can never match;
+        // the pipeline reports every entry as a guess without hashing.
+        let clicks = 3usize;
+        let sys = system(DiscretizationConfig::centered(6), clicks);
+        let other_sys = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, clicks),
+            DiscretizationConfig::centered(6),
+            2,
+        );
+        let original = vec![
+            Point::new(60.0, 60.0),
+            Point::new(200.0, 120.0),
+            Point::new(320.0, 250.0),
+        ];
+        let stored = other_sys.enroll("victim", &original).unwrap();
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(original.clone(), clicks));
+        let outcome = attack.brute_force(&sys, &stored, u64::MAX);
+        assert_eq!(outcome.success_at, None);
+        assert_eq!(outcome.guesses, 6);
+        assert_eq!(outcome.hashed, 0);
+        // And the reference agrees on the outcome.
+        let (ref_success, ref_guesses) = brute_force_reference(&attack, &sys, &stored, u64::MAX);
+        assert_eq!(outcome.success_at, ref_success);
+        assert_eq!(outcome.guesses, ref_guesses);
     }
 
     #[test]

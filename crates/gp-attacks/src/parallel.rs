@@ -2,41 +2,92 @@
 //!
 //! The Figure 7/8 experiments evaluate the dictionary against hundreds of
 //! target passwords for a sweep of scheme parameters; each target is
-//! independent, so the work fans out over a scoped thread pool
-//! (crossbeam), merging per-thread [`AttackSummary`] values at the end.
+//! independent, so the work fans out over a scoped thread pool.
+//!
+//! Scheduling is **work-stealing by shared index** rather than static
+//! chunking: every worker repeatedly claims the next unprocessed target
+//! from a shared atomic counter.  Static `chunks(n/threads)` splits — the
+//! previous implementation — leave whole threads idle whenever per-target
+//! cost is skewed (e.g. one user's grid squares intersect a dense hotspot
+//! region while another's match nothing), and silently degraded to fully
+//! sequential evaluation whenever `targets.len() <= threads`.  The shared
+//! counter keeps every worker busy until the population is drained and
+//! parallelizes any population with at least two targets.
 
 use crate::metrics::AttackSummary;
 use crate::offline::OfflineKnownGridAttack;
 use gp_geometry::Point;
 use gp_passwords::StoredPassword;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`evaluate_population_auto`]: the
+/// machine's available parallelism, falling back to 1 when it cannot be
+/// determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Evaluate `attack` against every `(stored, original clicks)` target with
+/// one worker per available hardware thread.
+pub fn evaluate_population_auto(
+    attack: &OfflineKnownGridAttack,
+    targets: &[(StoredPassword, Vec<Point>)],
+) -> AttackSummary {
+    evaluate_population_parallel(attack, targets, default_threads())
+}
 
 /// Evaluate `attack` against every `(stored, original clicks)` target,
-/// splitting the population across `threads` worker threads.
+/// fanning the population out over up to `threads` work-stealing workers.
 ///
-/// `threads == 0` or `1`, or a population smaller than the thread count,
-/// falls back to the single-threaded path.
+/// `threads == 0` or `1`, or a population of fewer than two targets, falls
+/// back to the single-threaded path; any larger population is genuinely
+/// parallelized (spawning `min(threads, targets.len())` workers).  The
+/// result is bit-identical to [`OfflineKnownGridAttack::evaluate_population`]
+/// for every thread count.
 pub fn evaluate_population_parallel(
     attack: &OfflineKnownGridAttack,
     targets: &[(StoredPassword, Vec<Point>)],
     threads: usize,
 ) -> AttackSummary {
-    if threads <= 1 || targets.len() <= threads {
+    if threads <= 1 || targets.len() <= 1 {
         return attack.evaluate_population(targets);
     }
-    let chunk_size = targets.len().div_ceil(threads);
+    evaluate_work_stealing(attack, targets, threads).0
+}
+
+/// Work-stealing core; returns the summary and the number of workers
+/// actually spawned (exposed for the scheduling regression tests).
+fn evaluate_work_stealing(
+    attack: &OfflineKnownGridAttack,
+    targets: &[(StoredPassword, Vec<Point>)],
+    threads: usize,
+) -> (AttackSummary, usize) {
+    let workers = threads.min(targets.len());
+    let next = AtomicUsize::new(0);
     let mut total = AttackSummary::new();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for chunk in targets.chunks(chunk_size) {
-            handles.push(scope.spawn(move |_| attack.evaluate_population(chunk)));
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut partial = AttackSummary::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((stored, original)) = targets.get(index) else {
+                            break;
+                        };
+                        partial.record(attack.cracks(stored, original));
+                    }
+                    partial
+                })
+            })
+            .collect();
         for handle in handles {
-            let partial = handle.join().expect("attack worker panicked");
-            total.merge(&partial);
+            total.merge(&handle.join().expect("attack worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
-    total
+    });
+    (total, workers)
 }
 
 #[cfg(test)]
@@ -97,6 +148,42 @@ mod tests {
         assert_eq!(s0, s1);
         assert_eq!(s1, s100);
         assert_eq!(s1.targets, 6);
+    }
+
+    #[test]
+    fn equal_target_and_thread_counts_actually_parallelize() {
+        // Regression: the static-chunking implementation fell back to the
+        // sequential path whenever `targets.len() <= threads`, so a
+        // 4-target/4-thread run used one core.  Work stealing must spawn a
+        // worker per target here — and still match the sequential result.
+        let (attack, targets) = build_targets(4);
+        let sequential = attack.evaluate_population(&targets);
+        let (summary, workers) = evaluate_work_stealing(&attack, &targets, 4);
+        assert_eq!(workers, 4, "4 targets / 4 threads must spawn 4 workers");
+        assert_eq!(summary, sequential);
+        // Oversubscribed thread counts clamp to the population size instead
+        // of spawning idle workers.
+        let (summary, workers) = evaluate_work_stealing(&attack, &targets, 64);
+        assert_eq!(workers, 4);
+        assert_eq!(summary, sequential);
+    }
+
+    #[test]
+    fn auto_thread_count_matches_sequential() {
+        let (attack, targets) = build_targets(10);
+        assert!(default_threads() >= 1);
+        assert_eq!(
+            evaluate_population_auto(&attack, &targets),
+            attack.evaluate_population(&targets)
+        );
+    }
+
+    #[test]
+    fn two_targets_use_two_workers() {
+        let (attack, targets) = build_targets(2);
+        let (summary, workers) = evaluate_work_stealing(&attack, &targets, 8);
+        assert_eq!(workers, 2);
+        assert_eq!(summary, attack.evaluate_population(&targets));
     }
 
     #[test]

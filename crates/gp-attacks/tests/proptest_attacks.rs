@@ -1,0 +1,113 @@
+//! Property-based equivalence tests for the attack fan-out: the
+//! work-stealing parallel evaluator must be indistinguishable from the
+//! sequential one for every thread count and population shape, and the
+//! batched brute force must agree with per-entry verification.
+
+use gp_attacks::{evaluate_population_parallel, ClickPointPool, OfflineKnownGridAttack};
+use gp_geometry::{ImageDims, Point};
+use gp_passwords::prelude::*;
+use proptest::prelude::*;
+
+/// A population of enrolled targets derived from a seed-like layout: some
+/// targets near pool points (crackable), some far (uncrackable).
+fn build_population(
+    count: usize,
+    pool_stride: f64,
+    near_fraction_mod: usize,
+) -> (OfflineKnownGridAttack, Vec<(StoredPassword, Vec<Point>)>) {
+    let system = GraphicalPasswordSystem::new(
+        PasswordPolicy::new(ImageDims::STUDY, 3),
+        DiscretizationConfig::centered(9),
+        1,
+    );
+    let mut targets = Vec::new();
+    let mut pool_points = Vec::new();
+    for i in 0..count {
+        let near = near_fraction_mod != 0 && i % near_fraction_mod == 0;
+        let base_x = 20.0 + (i as f64 * pool_stride) % 300.0;
+        let base_y = 15.0 + (i as f64 * 7.0) % 250.0;
+        let clicks: Vec<Point> = (0..3)
+            .map(|j| Point::new(base_x + j as f64 * 40.0, base_y + j as f64 * 20.0))
+            .collect();
+        if near {
+            pool_points.extend(clicks.iter().map(|p| p.offset(2.0, -2.0)));
+        }
+        let stored = system.enroll(&format!("user{i}"), &clicks).unwrap();
+        targets.push((stored, clicks));
+    }
+    if pool_points.is_empty() {
+        pool_points.push(Point::new(440.0, 320.0));
+        pool_points.push(Point::new(5.0, 5.0));
+        pool_points.push(Point::new(225.0, 160.0));
+    }
+    (
+        OfflineKnownGridAttack::new(ClickPointPool::new(pool_points, 3)),
+        targets,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Work stealing ≡ sequential for every thread count, including the
+    /// degenerate (0, 1), the previously-buggy equal-to-population, and the
+    /// oversubscribed (100) cases.
+    #[test]
+    fn work_stealing_equals_sequential(
+        count in 0usize..24,
+        stride in 3.0..40.0f64,
+        near_mod in 0usize..5,
+    ) {
+        let (attack, targets) = build_population(count, stride, near_mod);
+        let sequential = attack.evaluate_population(&targets);
+        prop_assert_eq!(sequential.targets, count);
+        for threads in [0usize, 1, 2, 8, 100, count.max(1)] {
+            let parallel = evaluate_population_parallel(&attack, &targets, threads);
+            prop_assert_eq!(parallel, sequential, "threads = {}", threads);
+        }
+    }
+
+    /// The batched, deduplicating brute force agrees with per-entry
+    /// verification through the public API on arbitrary small pools.
+    #[test]
+    fn batched_brute_force_equals_per_entry_verify(
+        pool_xs in proptest::collection::vec(5.0..445.0f64, 4..7),
+        pool_y in 10.0..320.0f64,
+        offset in -3.0..3.0f64,
+        limit in 0u64..200,
+    ) {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::new(ImageDims::STUDY, 3),
+            DiscretizationConfig::centered(6),
+            1,
+        );
+        let original = vec![
+            Point::new(60.0, 60.0),
+            Point::new(200.0, 120.0),
+            Point::new(320.0, 250.0),
+        ];
+        let stored = system.enroll("victim", &original).unwrap();
+        // A pool of arbitrary points plus (sometimes) near-misses of the
+        // real password, so both crackable and uncrackable cases occur.
+        let mut points: Vec<Point> = pool_xs.iter().map(|&x| Point::new(x, pool_y)).collect();
+        points.extend(original.iter().map(|p| p.offset(offset * 4.0, offset)));
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(points, 3));
+
+        let batched = attack.brute_force(&system, &stored, limit);
+
+        let mut guesses = 0u64;
+        let mut expected_success = None;
+        for entry in attack.pool().enumerate() {
+            if guesses >= limit {
+                break;
+            }
+            guesses += 1;
+            if system.verify(&stored, &entry).unwrap_or(false) {
+                expected_success = Some(guesses - 1);
+                break;
+            }
+        }
+        prop_assert_eq!(batched.success_at, expected_success);
+        prop_assert_eq!(batched.guesses, guesses);
+    }
+}

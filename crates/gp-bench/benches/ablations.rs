@@ -119,10 +119,62 @@ fn ablation_dictionary_strategy(c: &mut Criterion) {
     group.finish();
 }
 
+/// The batched zero-allocation guess pipeline vs hashing each dictionary
+/// entry through the public `verify` API — the ablation for this PR's
+/// offline-attack rewrite (pre-image dedupe + multi-lane `h^k`).
+fn ablation_batched_brute_force(c: &mut Criterion) {
+    let clicks = vec![
+        Point::new(60.0, 60.0),
+        Point::new(200.0, 120.0),
+        Point::new(320.0, 250.0),
+    ];
+    let system = GraphicalPasswordSystem::new(
+        PasswordPolicy::new(ImageDims::STUDY, 3),
+        DiscretizationConfig::centered(6),
+        100,
+    );
+    // A target the pool cannot crack, so both sides walk every entry.
+    let far: Vec<Point> = clicks.iter().map(|p| p.offset(80.0, 40.0)).collect();
+    let stored = system.enroll("victim", &far).unwrap();
+    // Clustered pool: near-duplicate points discretize identically, giving
+    // the dedupe stage real work, as hotspot-harvested dictionaries do.
+    let mut pool_points: Vec<Point> = clicks
+        .iter()
+        .flat_map(|p| [p.offset(0.0, 0.0), p.offset(1.5, -1.5)])
+        .collect();
+    pool_points.extend([Point::new(30.0, 300.0), Point::new(420.0, 40.0)]);
+    let attack = OfflineKnownGridAttack::new(ClickPointPool::new(pool_points, 3));
+
+    let outcome = attack.brute_force(&system, &stored, u64::MAX);
+    eprintln!(
+        "[ablation:batched-brute-force] {} entries walked, {} unique pre-images hashed ({}x dedupe)",
+        outcome.guesses,
+        outcome.hashed,
+        outcome.guesses / outcome.hashed.max(1)
+    );
+
+    let mut group = c.benchmark_group("ablation_batched_brute_force");
+    group.sample_size(10);
+    group.bench_function("per_entry_verify", |b| {
+        b.iter(|| {
+            let mut cracked = false;
+            for entry in attack.pool().enumerate() {
+                cracked |= system.verify(black_box(&stored), &entry).unwrap_or(false);
+            }
+            cracked
+        })
+    });
+    group.bench_function("batched_dedupe_lanes", |b| {
+        b.iter(|| attack.brute_force(black_box(&system), black_box(&stored), u64::MAX))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_robust_grid_policy,
     ablation_iterated_hashing,
-    ablation_dictionary_strategy
+    ablation_dictionary_strategy,
+    ablation_batched_brute_force
 );
 criterion_main!(benches);

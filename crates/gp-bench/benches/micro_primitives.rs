@@ -4,10 +4,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gp_bench::example_clicks;
-use gp_crypto::{iterated_hash, Sha256};
+use gp_crypto::{iterated_hash, iterated_hash_reference, SaltedHasher, Sha256};
 use gp_discretization::prelude::*;
 use gp_geometry::{ImageDims, Point};
 use gp_passwords::prelude::*;
+use gp_passwords::VerifyScratch;
 
 fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
@@ -15,6 +16,19 @@ fn bench_sha256(c: &mut Criterion) {
     let large = vec![0xcdu8; 4096];
     group.bench_function("64B", |b| b.iter(|| Sha256::digest(black_box(&small))));
     group.bench_function("4KiB", |b| b.iter(|| Sha256::digest(black_box(&large))));
+    // One-shot single-block fast path vs the incremental buffer machinery
+    // on a hot-path-sized message (salt + digest < one block).
+    let block_sized = vec![0x42u8; 40];
+    group.bench_function("40B_one_shot", |b| {
+        b.iter(|| Sha256::digest(black_box(&block_sized)))
+    });
+    group.bench_function("40B_incremental", |b| {
+        b.iter(|| {
+            let mut h = Sha256::new();
+            h.update(black_box(&block_sized));
+            h.finalize()
+        })
+    });
     group.finish();
 }
 
@@ -25,6 +39,56 @@ fn bench_iterated_hash(c: &mut Criterion) {
             b.iter(|| iterated_hash(black_box(b"salt"), black_box(b"discretized password"), iterations))
         });
     }
+    group.finish();
+}
+
+/// The ablation the optimization work is judged by: the seed's
+/// per-round incremental implementation vs the one-shot/midstate scalar
+/// path vs the multi-lane batched path, at the paper's `h^1000`.
+fn bench_iterated_hash_fast_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterated_hash_fast_paths");
+    group.sample_size(12);
+    let pre_image = vec![0x5au8; 180];
+
+    // Short salt (one block per round): the win is overhead elimination.
+    let salt = b"gp-passwords/v1\x1falice";
+    group.bench_function("h1000_short_salt_reference", |b| {
+        b.iter(|| iterated_hash_reference(black_box(salt), black_box(&pre_image), 1000))
+    });
+    group.bench_function("h1000_short_salt_one_shot", |b| {
+        b.iter(|| iterated_hash(black_box(salt), black_box(&pre_image), 1000))
+    });
+
+    // 64-byte salt: midstate halves the compressions per round.
+    let long_salt = [0x77u8; 64];
+    group.bench_function("h1000_64B_salt_reference", |b| {
+        b.iter(|| iterated_hash_reference(black_box(&long_salt), black_box(&pre_image), 1000))
+    });
+    group.bench_function("h1000_64B_salt_midstate", |b| {
+        b.iter(|| iterated_hash(black_box(&long_salt), black_box(&pre_image), 1000))
+    });
+    group.finish();
+}
+
+/// Lane-count sweep for the batched path (per 32-message batch).
+fn bench_iterated_hash_lanes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iterated_hash_lanes");
+    group.sample_size(12);
+    let messages: Vec<Vec<u8>> = (0..32).map(|i| vec![i as u8; 180]).collect();
+    let refs: Vec<&[u8]> = messages.iter().map(Vec::as_slice).collect();
+    let hasher = SaltedHasher::new(b"gp-passwords/v1\x1falice");
+    let mut out = Vec::new();
+    macro_rules! lanes {
+        ($($l:literal),*) => {$(
+            group.bench_function(concat!("h1000_batch32_lanes_", stringify!($l)), |b| {
+                b.iter(|| {
+                    hasher.iterated_many_lanes_into::<$l>(black_box(&refs), 1000, &mut out);
+                    black_box(&out);
+                })
+            });
+        )*};
+    }
+    lanes!(1, 2, 4, 8, 16);
     group.finish();
 }
 
@@ -65,6 +129,15 @@ fn bench_password_verification(c: &mut Criterion) {
         group.bench_function(label, |b| {
             b.iter(|| system.verify(black_box(&stored), black_box(&attempt)).unwrap())
         });
+        // The allocation-free path a login server under load runs.
+        let mut scratch = VerifyScratch::new();
+        group.bench_function(format!("{label}_scratch"), |b| {
+            b.iter(|| {
+                system
+                    .verify_with_scratch(black_box(&stored), black_box(&attempt), &mut scratch)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -73,6 +146,8 @@ criterion_group!(
     benches,
     bench_sha256,
     bench_iterated_hash,
+    bench_iterated_hash_fast_paths,
+    bench_iterated_hash_lanes,
     bench_discretization,
     bench_password_verification
 );

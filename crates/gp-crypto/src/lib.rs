@@ -10,12 +10,17 @@
 //! scratch so that the reproduction has no external cryptographic
 //! dependencies:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256 with an incremental [`Sha256`] hasher.
+//! * [`sha256`] — FIPS 180-4 SHA-256 with an incremental [`Sha256`] hasher,
+//!   a single-compression fast path for one-block messages, and a reusable
+//!   [`Midstate`](sha256::Midstate) for fixed prefixes (salts).
 //! * [`hmac`] — HMAC-SHA-256 (RFC 2104) used for keyed integrity checks in
 //!   the networked authentication substrate.
-//! * [`iterated`] — iterated ("stretched") hashing `h^k` and a convenience
-//!   [`PasswordHasher`](iterated::PasswordHasher) combining salt,
-//!   personalization and iteration count.
+//! * [`iterated`] — iterated ("stretched") hashing `h^k`: the scalar
+//!   one-shot/midstate path ([`SaltedHasher`](iterated::SaltedHasher)), the
+//!   multi-lane batched path ([`iterated_hash_many`]) that advances
+//!   [`LANES`](iterated::LANES) independent guesses per compression loop,
+//!   and a convenience [`PasswordHasher`](iterated::PasswordHasher)
+//!   combining salt, personalization and iteration count.
 //! * [`hex`] — lower-case hexadecimal encoding/decoding for serialized
 //!   password files.
 //! * [`ct`] — constant-time equality for hash comparison during login.
@@ -43,5 +48,8 @@ pub mod sha256;
 
 pub use ct::ct_eq;
 pub use hmac::HmacSha256;
-pub use iterated::{iterated_hash, PasswordHash, PasswordHasher};
-pub use sha256::{Digest, Sha256, DIGEST_LEN};
+pub use iterated::{
+    iterated_hash, iterated_hash_many, iterated_hash_reference, PasswordHash, PasswordHasher,
+    SaltedHasher, LANES,
+};
+pub use sha256::{Digest, Midstate, Sha256, DIGEST_LEN};

@@ -31,9 +31,174 @@ const K: [u32; 64] = [
 
 /// Initial hash value: the first 32 bits of the fractional parts of the
 /// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
-const H0: [u32; 8] = [
+pub(crate) const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
+
+/// Largest message that fits a single padded block (block minus the 0x80
+/// terminator and the 8-byte length field).
+pub(crate) const ONE_BLOCK_MAX: usize = BLOCK_LEN - 9;
+
+/// The SHA-256 compression function: absorb one 64-byte block into `state`.
+pub(crate) fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    // Message schedule.
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    for t in 0..64 {
+        let big_sigma1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(big_sigma1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let big_sigma0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = big_sigma0.wrapping_add(maj);
+
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Multi-lane compression: advance `L` independent hash states over one
+/// block each, with the round loops interleaved across lanes.
+///
+/// SHA-256 is a long serial dependency chain — each round needs the
+/// previous round's working variables — so a single hash cannot use a
+/// superscalar core's parallel ALU ports.  `L` *independent* chains
+/// interleaved in one loop body give the scheduler `L` dependency chains to
+/// overlap (the hashcat approach), which is where the multi-lane speedup in
+/// `iterated_hash_many` comes from.
+pub(crate) fn compress_lanes<const L: usize>(
+    states: &mut [[u32; 8]; L],
+    blocks: [&[u8; BLOCK_LEN]; L],
+) {
+    // Message schedule, *lane-transposed*: `w[t]` holds round `t`'s word
+    // for every lane contiguously, so each schedule step and each round is
+    // `L` independent element-wise u32 operations on adjacent memory —
+    // the exact shape LLVM's auto-vectorizer turns into SIMD.
+    let mut w = [[0u32; L]; 64];
+    for l in 0..L {
+        for (i, chunk) in blocks[l].chunks_exact(4).enumerate() {
+            w[i][l] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    for t in 16..64 {
+        for l in 0..L {
+            let w15 = w[t - 15][l];
+            let w2 = w[t - 2][l];
+            let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+            let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+            w[t][l] = w[t - 16][l]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7][l])
+                .wrapping_add(s1);
+        }
+    }
+
+    let mut a = [0u32; L];
+    let mut b = [0u32; L];
+    let mut c = [0u32; L];
+    let mut d = [0u32; L];
+    let mut e = [0u32; L];
+    let mut f = [0u32; L];
+    let mut g = [0u32; L];
+    let mut h = [0u32; L];
+    for l in 0..L {
+        [a[l], b[l], c[l], d[l], e[l], f[l], g[l], h[l]] = states[l];
+    }
+
+    for t in 0..64 {
+        let mut t1 = [0u32; L];
+        let mut t2 = [0u32; L];
+        for l in 0..L {
+            let big_sigma1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ ((!e[l]) & g[l]);
+            t1[l] = h[l]
+                .wrapping_add(big_sigma1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t][l]);
+            let big_sigma0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            t2[l] = big_sigma0.wrapping_add(maj);
+        }
+        h = g;
+        g = f;
+        f = e;
+        for l in 0..L {
+            e[l] = d[l].wrapping_add(t1[l]);
+        }
+        d = c;
+        c = b;
+        b = a;
+        for l in 0..L {
+            a[l] = t1[l].wrapping_add(t2[l]);
+        }
+    }
+
+    for l in 0..L {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
+        states[l][5] = states[l][5].wrapping_add(f[l]);
+        states[l][6] = states[l][6].wrapping_add(g[l]);
+        states[l][7] = states[l][7].wrapping_add(h[l]);
+    }
+}
+
+/// Serialize a chaining state as a big-endian digest.
+pub(crate) fn state_to_digest(state: &[u32; 8]) -> Digest {
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hash a message that fits a single padded block (`len <= 55`) with one
+/// compression call and no buffer machinery.
+fn digest_one_block(data: &[u8]) -> Digest {
+    debug_assert!(data.len() <= ONE_BLOCK_MAX);
+    let mut block = [0u8; BLOCK_LEN];
+    block[..data.len()].copy_from_slice(data);
+    block[data.len()] = 0x80;
+    block[BLOCK_LEN - 8..].copy_from_slice(&(data.len() as u64 * 8).to_be_bytes());
+    let mut state = H0;
+    compress(&mut state, &block);
+    state_to_digest(&state)
+}
 
 /// Incremental SHA-256 hasher.
 ///
@@ -84,7 +249,14 @@ impl Sha256 {
     }
 
     /// One-shot convenience: hash `data` and return its digest.
+    ///
+    /// Messages that fit a single padded block (≤ 55 bytes — every salted
+    /// digest on the password hot path) skip the incremental buffer
+    /// machinery entirely and cost exactly one compression call.
     pub fn digest(data: &[u8]) -> Digest {
+        if data.len() <= ONE_BLOCK_MAX {
+            return digest_one_block(data);
+        }
         let mut h = Self::new();
         h.update(data);
         h.finalize()
@@ -175,52 +347,85 @@ impl Sha256 {
 
     /// The SHA-256 compression function applied to one 64-byte block.
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        // Message schedule.
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        compress(&mut self.state, block);
+    }
+}
+
+/// A reusable snapshot of the hash state after absorbing a fixed prefix
+/// (typically a per-user salt).
+///
+/// Hashing `prefix || suffix` through [`Midstate::digest_suffix`] is
+/// bit-identical to the straightforward computation but re-absorbs only the
+/// prefix bytes past the last full block: for prefixes of 64 bytes or more
+/// the leading compressions are paid once at construction instead of once
+/// per call — the classic midstate optimization for iterated salted
+/// hashing.
+#[derive(Clone)]
+pub struct Midstate {
+    /// State after absorbing all full blocks of the prefix.
+    state: [u32; 8],
+    /// Bytes absorbed into `state` (a multiple of [`BLOCK_LEN`]).
+    block_bytes: u64,
+    /// Prefix remainder not yet absorbed (`tail_len < BLOCK_LEN`).
+    tail: [u8; BLOCK_LEN],
+    /// Valid bytes in `tail`.
+    tail_len: usize,
+}
+
+impl core::fmt::Debug for Midstate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print internal state: the prefix may be secret.
+        f.debug_struct("Midstate")
+            .field("prefix_len", &self.prefix_len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Midstate {
+    /// Precompute the state for `prefix`.
+    pub fn new(prefix: &[u8]) -> Self {
+        let full = prefix.len() / BLOCK_LEN * BLOCK_LEN;
+        let mut state = H0;
+        for chunk in prefix[..full].chunks_exact(BLOCK_LEN) {
+            let block: &[u8; BLOCK_LEN] = chunk.try_into().expect("exact chunk");
+            compress(&mut state, block);
         }
-        for t in 16..64 {
-            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
-            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
-            w[t] = w[t - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[t - 7])
-                .wrapping_add(s1);
+        let mut tail = [0u8; BLOCK_LEN];
+        tail[..prefix.len() - full].copy_from_slice(&prefix[full..]);
+        Self {
+            state,
+            block_bytes: full as u64,
+            tail,
+            tail_len: prefix.len() - full,
         }
+    }
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+    /// Length of the prefix this midstate encodes.
+    pub fn prefix_len(&self) -> u64 {
+        self.block_bytes + self.tail_len as u64
+    }
 
-        for t in 0..64 {
-            let big_sigma1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(big_sigma1)
-                .wrapping_add(ch)
-                .wrapping_add(K[t])
-                .wrapping_add(w[t]);
-            let big_sigma0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = big_sigma0.wrapping_add(maj);
+    /// Chaining state after the prefix's full blocks (for same-crate reuse
+    /// when deriving further per-salt structures without re-absorbing).
+    pub(crate) fn state(&self) -> &[u32; 8] {
+        &self.state
+    }
 
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
+    /// Prefix bytes not yet absorbed into [`Midstate::state`].
+    pub(crate) fn tail(&self) -> &[u8] {
+        &self.tail[..self.tail_len]
+    }
 
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+    /// Digest of `prefix || suffix`.
+    pub fn digest_suffix(&self, suffix: &[u8]) -> Digest {
+        let mut h = Sha256 {
+            state: self.state,
+            buffer: self.tail,
+            buffer_len: self.tail_len,
+            total_len: self.prefix_len(),
+        };
+        h.update(suffix);
+        h.finalize()
     }
 }
 
@@ -329,6 +534,65 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             h2.update(&data[mid..]);
             assert_eq!(h.finalize(), h2.finalize(), "len {len}");
         }
+    }
+
+    #[test]
+    fn one_block_fast_path_matches_incremental_at_every_length() {
+        // 0..=55 take the single-compression path; 56..=70 the general one.
+        for len in 0..=70usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 % 251) as u8).collect();
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(Sha256::digest(&data), h.finalize(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn midstate_matches_direct_hash_for_all_prefix_splits() {
+        let data: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let expected = Sha256::digest(&data);
+        for split in [0, 1, 23, 24, 55, 56, 63, 64, 65, 127, 128, 129, 300] {
+            let midstate = Midstate::new(&data[..split]);
+            assert_eq!(midstate.prefix_len(), split as u64);
+            assert_eq!(midstate.digest_suffix(&data[split..]), expected, "split {split}");
+        }
+    }
+
+    #[test]
+    fn midstate_is_reusable_across_suffixes() {
+        let midstate = Midstate::new(b"per-user salt bytes");
+        let d1 = midstate.digest_suffix(b"guess one");
+        let d2 = midstate.digest_suffix(b"guess two");
+        assert_eq!(d1, Sha256::digest(b"per-user salt bytesguess one"));
+        assert_eq!(d2, Sha256::digest(b"per-user salt bytesguess two"));
+    }
+
+    #[test]
+    fn compress_lanes_agrees_with_scalar_compress() {
+        let mut blocks = [[0u8; BLOCK_LEN]; 4];
+        for (l, block) in blocks.iter_mut().enumerate() {
+            for (i, byte) in block.iter_mut().enumerate() {
+                *byte = (l * 67 + i * 31 % 251) as u8;
+            }
+        }
+        let mut lane_states = [H0; 4];
+        compress_lanes(
+            &mut lane_states,
+            [&blocks[0], &blocks[1], &blocks[2], &blocks[3]],
+        );
+        for l in 0..4 {
+            let mut scalar = H0;
+            compress(&mut scalar, &blocks[l]);
+            assert_eq!(lane_states[l], scalar, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn midstate_debug_does_not_leak_prefix() {
+        let midstate = Midstate::new(b"secret salt");
+        let dbg = format!("{midstate:?}");
+        assert!(dbg.contains("prefix_len"));
+        assert!(!dbg.contains("secret"));
     }
 
     #[test]

@@ -50,16 +50,31 @@ impl GridId {
     /// because enrollment and every subsequent login recompute the same
     /// double-precision value from the stored identifier.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.encoded_len());
+        self.write_into(&mut v);
+        v
+    }
+
+    /// Exact length of the [`GridId::to_bytes`] encoding.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            GridId::Centered { .. } => 17,
+            GridId::Robust { .. } => 2,
+            GridId::Static => 1,
+        }
+    }
+
+    /// Append the canonical encoding to `out` without allocating — the
+    /// building block of the zero-allocation verify/guess pipeline.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
         match self {
             GridId::Centered { dx, dy } => {
-                let mut v = Vec::with_capacity(1 + 16);
-                v.push(0x01);
-                v.extend_from_slice(&dx.to_bits().to_be_bytes());
-                v.extend_from_slice(&dy.to_bits().to_be_bytes());
-                v
+                out.push(0x01);
+                out.extend_from_slice(&dx.to_bits().to_be_bytes());
+                out.extend_from_slice(&dy.to_bits().to_be_bytes());
             }
-            GridId::Robust { grid_index } => vec![0x02, *grid_index],
-            GridId::Static => vec![0x03],
+            GridId::Robust { grid_index } => out.extend_from_slice(&[0x02, *grid_index]),
+            GridId::Static => out.push(0x03),
         }
     }
 
@@ -100,10 +115,21 @@ impl DiscretizedClick {
     /// Canonical byte encoding of `(grid_id, cell)` for hashing, matching
     /// the paper's `h(dx, dy, ix, iy)` per-click contribution.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut v = self.grid_id.to_bytes();
-        v.extend_from_slice(&self.cell.ix.to_be_bytes());
-        v.extend_from_slice(&self.cell.iy.to_be_bytes());
+        let mut v = Vec::with_capacity(self.encoded_len());
+        self.write_into(&mut v);
         v
+    }
+
+    /// Exact length of the [`DiscretizedClick::to_bytes`] encoding.
+    pub fn encoded_len(&self) -> usize {
+        self.grid_id.encoded_len() + 16
+    }
+
+    /// Append the canonical encoding to `out` without allocating.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        self.grid_id.write_into(out);
+        out.extend_from_slice(&self.cell.ix.to_be_bytes());
+        out.extend_from_slice(&self.cell.iy.to_be_bytes());
     }
 }
 

@@ -75,7 +75,7 @@ pub use error::PasswordError;
 pub use policy::PasswordPolicy;
 pub use store::PasswordStore;
 pub use stored::{ClickRecord, StoredPassword};
-pub use system::GraphicalPasswordSystem;
+pub use system::{GraphicalPasswordSystem, VerifyScratch};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
@@ -87,5 +87,5 @@ pub mod prelude {
     pub use crate::schemes::persuasive::PersuasiveCuedClickPoints;
     pub use crate::store::PasswordStore;
     pub use crate::stored::StoredPassword;
-    pub use crate::system::GraphicalPasswordSystem;
+    pub use crate::system::{GraphicalPasswordSystem, VerifyScratch};
 }

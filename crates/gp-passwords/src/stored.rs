@@ -50,14 +50,26 @@ impl StoredPassword {
     /// The length prefix and per-click framing make the encoding injective:
     /// two different click sequences can never serialize to the same bytes.
     pub fn encode_clicks(discretized: &[DiscretizedClick]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + discretized.len() * 34);
+        let mut out = Vec::with_capacity(
+            4 + discretized.iter().map(|c| 4 + c.encoded_len()).sum::<usize>(),
+        );
+        Self::encode_clicks_into(discretized, &mut out);
+        out
+    }
+
+    /// [`StoredPassword::encode_clicks`] into a caller-provided buffer.
+    ///
+    /// Clears and refills `out`, so a guess loop that reuses one buffer
+    /// performs no allocation after the first call — the per-guess wire
+    /// encoding used by the batched offline attacks and the scratch-based
+    /// verify path.
+    pub fn encode_clicks_into(discretized: &[DiscretizedClick], out: &mut Vec<u8>) {
+        out.clear();
         out.extend_from_slice(&(discretized.len() as u32).to_be_bytes());
         for click in discretized {
-            let bytes = click.to_bytes();
-            out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
-            out.extend_from_slice(&bytes);
+            out.extend_from_slice(&(click.encoded_len() as u32).to_be_bytes());
+            click.write_into(out);
         }
-        out
     }
 
     /// Number of click-points in the stored password.

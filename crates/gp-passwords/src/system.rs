@@ -4,9 +4,56 @@ use crate::config::DiscretizationConfig;
 use crate::error::PasswordError;
 use crate::policy::PasswordPolicy;
 use crate::stored::{ClickRecord, StoredPassword};
-use gp_crypto::PasswordHasher;
-use gp_discretization::DiscretizedClick;
+use gp_crypto::{ct_eq, PasswordHasher, SaltedHasher};
+use gp_discretization::{DiscretizationScheme, DiscretizedClick};
 use gp_geometry::{ImageDims, Point};
+
+/// Reusable workspace for the allocation-free verify path.
+///
+/// [`GraphicalPasswordSystem::verify`] needs, per attempt: the discretized
+/// login clicks, the encoded hash pre-image, the built discretization
+/// scheme and the per-user salted hash state.  A `VerifyScratch` owns all
+/// four and caches the last two keyed by configuration/salt, so a loop
+/// verifying many attempts against one stored record (a login server under
+/// load, or the brute-force attacks in `gp-attacks`) performs **zero heap
+/// allocations per guess** after warm-up.
+#[derive(Default)]
+pub struct VerifyScratch {
+    discretized: Vec<DiscretizedClick>,
+    pre_image: Vec<u8>,
+    scheme: Option<(DiscretizationConfig, Box<dyn DiscretizationScheme + Send + Sync>)>,
+    salted: Option<(Vec<u8>, SaltedHasher)>,
+}
+
+impl core::fmt::Debug for VerifyScratch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The pre-image is a candidate password: never print it.
+        f.debug_struct("VerifyScratch").finish_non_exhaustive()
+    }
+}
+
+impl VerifyScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build (or keep) the cached scheme for `config`.
+    fn ensure_scheme(&mut self, config: &DiscretizationConfig) {
+        let hit = matches!(&self.scheme, Some((cached, _)) if cached == config);
+        if !hit {
+            self.scheme = Some((*config, config.build()));
+        }
+    }
+
+    /// Build (or keep) the cached salted hash state for `salt`.
+    fn ensure_salted(&mut self, salt: &[u8]) {
+        let hit = matches!(&self.salted, Some((cached, _)) if cached == salt);
+        if !hit {
+            self.salted = Some((salt.to_vec(), SaltedHasher::new(salt)));
+        }
+    }
+}
 
 /// A click-based graphical password system: a password policy, a
 /// discretization configuration and a password hasher.
@@ -66,6 +113,13 @@ impl GraphicalPasswordSystem {
         self.hasher.iterations
     }
 
+    /// The password hasher (domain + iteration policy).  Exposed so attack
+    /// simulations can precompute per-target salted state and batch their
+    /// guesses through the multi-lane pipeline.
+    pub fn hasher(&self) -> &PasswordHasher {
+        &self.hasher
+    }
+
     /// Discretize a click sequence at enrollment time.
     fn discretize_enrollment(&self, clicks: &[Point]) -> Vec<DiscretizedClick> {
         let scheme = self.config.build();
@@ -121,13 +175,72 @@ impl GraphicalPasswordSystem {
     /// Returns `Ok(true)` / `Ok(false)` for well-formed attempts and an
     /// error only for structurally invalid input (wrong click count, clicks
     /// outside the image, corrupt record).
+    ///
+    /// One-shot wrapper over [`GraphicalPasswordSystem::verify_with_scratch`];
+    /// callers verifying in a loop should hold a [`VerifyScratch`] and call
+    /// that directly to stay allocation-free.
     pub fn verify(&self, stored: &StoredPassword, clicks: &[Point]) -> Result<bool, PasswordError> {
-        stored.policy.validate_login(clicks)?;
-        let pre_image = self.login_pre_image(stored, clicks)?;
-        Ok(stored
-            .hash
-            .verify_with(&self.hasher, stored.username.as_bytes(), &pre_image))
+        self.verify_with_scratch(stored, clicks, &mut VerifyScratch::new())
     }
+
+    /// [`GraphicalPasswordSystem::verify`] using caller-owned scratch
+    /// space: after the first call for a given record, subsequent attempts
+    /// allocate nothing (discretization buffer, pre-image buffer, built
+    /// scheme and salted hash state are all reused).
+    pub fn verify_with_scratch(
+        &self,
+        stored: &StoredPassword,
+        clicks: &[Point],
+        scratch: &mut VerifyScratch,
+    ) -> Result<bool, PasswordError> {
+        stored.policy.validate_login(clicks)?;
+        if clicks.len() != stored.clicks.len() {
+            return Err(PasswordError::WrongClickCount {
+                expected: stored.clicks.len(),
+                got: clicks.len(),
+            });
+        }
+
+        // Discretize the attempt into the reused buffer.  This runs before
+        // the salt/iteration provenance checks so that structurally corrupt
+        // records surface as `Err` exactly as the original
+        // `login_pre_image`-based path reported them, even when the record
+        // also fails provenance.  Field accesses are kept direct so the
+        // cached-scheme borrow and the buffer pushes split cleanly.
+        scratch.ensure_scheme(&stored.config);
+        scratch.discretized.clear();
+        let scheme = scratch.scheme.as_ref().expect("just ensured").1.as_ref();
+        for (record, login) in stored.clicks.iter().zip(clicks.iter()) {
+            let cell = scheme.try_locate(&record.grid_id, login)?;
+            scratch.discretized.push(DiscretizedClick {
+                grid_id: record.grid_id,
+                cell,
+            });
+        }
+        StoredPassword::encode_clicks_into(&scratch.discretized, &mut scratch.pre_image);
+
+        // Salt/iteration provenance, checked without rebuilding the salt.
+        if stored.hash.iterations != self.hasher.iterations
+            || !salt_matches(&self.hasher, stored.username.as_bytes(), &stored.hash.salt)
+        {
+            return Ok(false);
+        }
+
+        scratch.ensure_salted(&stored.hash.salt);
+        let salted = &scratch.salted.as_ref().expect("just ensured").1;
+        let candidate = salted.iterated(&scratch.pre_image, stored.hash.iterations);
+        Ok(ct_eq(&candidate, &stored.hash.digest))
+    }
+}
+
+/// Whether `salt` is exactly `domain || 0x1f || user_id`, checked without
+/// materializing the expected salt.
+fn salt_matches(hasher: &PasswordHasher, user_id: &[u8], salt: &[u8]) -> bool {
+    let domain = hasher.domain.as_bytes();
+    salt.len() == domain.len() + 1 + user_id.len()
+        && salt[..domain.len()] == *domain
+        && salt[domain.len()] == 0x1f
+        && salt[domain.len() + 1..] == *user_id
 }
 
 #[cfg(test)]
@@ -254,6 +367,83 @@ mod tests {
         assert!(system.verify(&parsed, &clicks()).unwrap());
         let off: Vec<Point> = clicks().iter().map(|p| p.offset(15.0, 0.0)).collect();
         assert!(!system.verify(&parsed, &off).unwrap());
+    }
+
+    #[test]
+    fn scratch_verify_matches_plain_verify() {
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut scratch = VerifyScratch::new();
+        let attempts: Vec<Vec<Point>> = vec![
+            clicks(),
+            clicks().iter().map(|p| p.offset(5.0, -5.0)).collect(),
+            clicks().iter().map(|p| p.offset(30.0, 0.0)).collect(),
+            clicks().iter().map(|p| p.offset(-2.0, 8.0)).collect(),
+        ];
+        for attempt in &attempts {
+            assert_eq!(
+                system.verify_with_scratch(&stored, attempt, &mut scratch).unwrap(),
+                system.verify(&stored, attempt).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_survives_switching_records_and_configs() {
+        // Cache keys (config, salt) must invalidate correctly when the same
+        // scratch is reused across different users and schemes.
+        let centered = system_centered();
+        let robust = GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::robust(6.0),
+            5,
+        );
+        let a = centered.enroll("alice", &clicks()).unwrap();
+        let b = centered.enroll("bob", &clicks()).unwrap();
+        let c = robust.enroll("carol", &clicks()).unwrap();
+        let mut scratch = VerifyScratch::new();
+        for _ in 0..3 {
+            assert!(centered.verify_with_scratch(&a, &clicks(), &mut scratch).unwrap());
+            assert!(centered.verify_with_scratch(&b, &clicks(), &mut scratch).unwrap());
+            assert!(robust.verify_with_scratch(&c, &clicks(), &mut scratch).unwrap());
+            // Cross-record attempts still fail.
+            let off: Vec<Point> = clicks().iter().map(|p| p.offset(20.0, -20.0)).collect();
+            assert!(!centered.verify_with_scratch(&a, &off, &mut scratch).unwrap());
+        }
+    }
+
+    #[test]
+    fn scratch_verify_rejects_foreign_salt_and_iterations() {
+        let system = system_centered();
+        let other_iterations = GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(9),
+            7,
+        );
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut scratch = VerifyScratch::new();
+        // Wrong iteration count: structurally valid, must simply not verify.
+        assert!(!other_iterations
+            .verify_with_scratch(&stored, &clicks(), &mut scratch)
+            .unwrap());
+        // Tampered salt (as if the record were grafted onto another user).
+        let mut grafted = stored.clone();
+        grafted.username = "mallory".into();
+        assert!(!system
+            .verify_with_scratch(&grafted, &clicks(), &mut scratch)
+            .unwrap());
+    }
+
+    #[test]
+    fn salt_matches_agrees_with_materialized_salt() {
+        let hasher = PasswordHasher::new("dom", 3);
+        for user in [&b"alice"[..], b"", b"a\x1fb"] {
+            let salt = hasher.salt_for(user);
+            assert!(salt_matches(&hasher, user, &salt));
+            assert!(!salt_matches(&hasher, b"other", &salt));
+        }
+        assert!(!salt_matches(&PasswordHasher::new("dom2", 3), b"alice",
+            &PasswordHasher::new("dom", 3).salt_for(b"alice")));
     }
 
     #[test]

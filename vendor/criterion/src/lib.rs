@@ -1,0 +1,246 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! A real measuring harness (not a mock): each benchmark is warmed up,
+//! calibrated so one sample takes a useful amount of wall time, then timed
+//! over a number of samples; the *median* ns/iteration is reported, which is
+//! robust to scheduler noise.  Implements the subset of the criterion API
+//! the workspace benches use (`benchmark_group`, `bench_function`,
+//! `sample_size`, `Bencher::iter`, `black_box`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! Environment knobs:
+//!
+//! * `GP_BENCH_JSON=path` — append one JSON line per benchmark
+//!   (`{"group":..,"bench":..,"median_ns":..,"samples":..}`), consumed by
+//!   `gp-bench`'s `bench_report` binary and CI.
+//! * `GP_BENCH_SAMPLE_MS` — target milliseconds per sample (default 20).
+//! * `GP_BENCH_MAX_SAMPLES` — cap on samples per benchmark (default 15).
+
+pub use std::hint::black_box;
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (empty when benched directly on [`Criterion`]).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Construct with environment-based configuration.
+    pub fn from_env() -> Self {
+        Self::default()
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default_max_samples(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(String::new(), name.into(), default_max_samples(), f);
+        self.record(result);
+        self
+    }
+
+    fn record(&mut self, result: BenchResult) {
+        report(&result);
+        self.results.push(result);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print a closing summary (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        eprintln!("[criterion-lite] {} benchmarks measured", self.results.len());
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Limit the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion requires >= 10; we just clamp into a sane band.
+        self.sample_size = n.clamp(3, 200).min(default_max_samples());
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let result = run_bench(self.name.clone(), id.into(), self.sample_size, f);
+        self.criterion.record(result);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// operation to measure.
+pub struct Bencher {
+    /// Iterations to run in the current sample.
+    iters: u64,
+    /// Wall time of the last [`Bencher::iter`] call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn default_sample_ms() -> u64 {
+    std::env::var("GP_BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn default_max_samples() -> usize {
+    std::env::var("GP_BENCH_MAX_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
+}
+
+fn run_bench<F>(group: String, name: String, max_samples: usize, mut f: F) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup + calibration: find an iteration count that makes one sample
+    // take roughly `sample_ms`.
+    let sample_ns = default_sample_ms() as f64 * 1e6;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let mut per_iter_ns;
+    loop {
+        f(&mut bencher);
+        per_iter_ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        if bencher.elapsed.as_nanos() as f64 >= sample_ns / 4.0 || bencher.iters >= (1 << 24) {
+            break;
+        }
+        bencher.iters = (bencher.iters * 4).max(2);
+    }
+    let iters_per_sample = ((sample_ns / per_iter_ns.max(0.1)) as u64).clamp(1, 1 << 24);
+
+    let samples = max_samples.max(3);
+    let mut medians: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.iters = iters_per_sample;
+        f(&mut bencher);
+        medians.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+    }
+    medians.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = medians[medians.len() / 2];
+
+    BenchResult {
+        group,
+        name,
+        median_ns,
+        samples,
+    }
+}
+
+fn report(result: &BenchResult) {
+    let label = if result.group.is_empty() {
+        result.name.clone()
+    } else {
+        format!("{}/{}", result.group, result.name)
+    };
+    eprintln!(
+        "[bench] {label:<50} median {:>12.1} ns/iter ({} samples)",
+        result.median_ns, result.samples
+    );
+    if let Ok(path) = std::env::var("GP_BENCH_JSON") {
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                file,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}",
+                result.group, result.name, result.median_ns, result.samples
+            );
+        }
+    }
+}
+
+/// Group benchmark functions into a single callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_env();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_op() {
+        std::env::set_var("GP_BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::from_env();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+        assert!(c.results()[0].median_ns < 1e6, "an add should not take a millisecond");
+    }
+}

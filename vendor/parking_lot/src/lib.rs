@@ -1,0 +1,113 @@
+//! Vendored stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind the `parking_lot` API the workspace
+//! uses: `lock()` / `read()` / `write()` returning guards directly (no
+//! `Result`).  Poisoning is handled by taking the inner value anyway — a
+//! panic while holding one of these locks only ever aborts a test.
+
+use std::sync::{self, TryLockError};
+
+/// Mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<sync::MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Reader–writer lock whose `read` / `write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard, ignoring poisoning.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquire an exclusive write guard, ignoring poisoning.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_concurrent_readers() {
+        let l = Arc::new(RwLock::new(7));
+        let l2 = Arc::clone(&l);
+        let r1 = l.read();
+        let handle = std::thread::spawn(move || *l2.read());
+        assert_eq!(handle.join().unwrap(), 7);
+        drop(r1);
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+}

@@ -1,0 +1,18 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types but
+//! never drives an actual serializer (the wire protocol and password-file
+//! formats are hand-rolled).  This crate supplies the two trait names and
+//! re-exports the no-op derives so the annotations compile offline.  The
+//! traits carry blanket implementations so generic bounds like
+//! `T: Serialize` would also be satisfied.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

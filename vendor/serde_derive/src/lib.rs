@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! This workspace only *derives* the serde traits (they document intent and
+//! keep the types ready for a real serde once registry access exists); no
+//! code path ever serializes through them.  The derives therefore expand to
+//! nothing, which keeps every `#[derive(Serialize, Deserialize)]` in the
+//! tree compiling without the real `serde`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde::Serialize` marker trait has a blanket
+/// implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde::Deserialize` marker trait has a blanket
+/// implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
