@@ -65,13 +65,15 @@ fn config_for(mode: &ComparisonMode, scheme: CurveScheme) -> DiscretizationConfi
                 tolerance_px: ((size - 1.0) / 2.0).round() as u32,
             }
         }
-        (ComparisonMode::EqualGridSize { size }, CurveScheme::Robust) => DiscretizationConfig::Robust {
-            r: size / 6.0,
-            policy: gp_discretization::GridSelectionPolicy::MostCentered,
-        },
-        (ComparisonMode::EqualR { r }, CurveScheme::Centered) => DiscretizationConfig::Centered {
-            tolerance_px: *r,
-        },
+        (ComparisonMode::EqualGridSize { size }, CurveScheme::Robust) => {
+            DiscretizationConfig::Robust {
+                r: size / 6.0,
+                policy: gp_discretization::GridSelectionPolicy::MostCentered,
+            }
+        }
+        (ComparisonMode::EqualR { r }, CurveScheme::Centered) => {
+            DiscretizationConfig::Centered { tolerance_px: *r }
+        }
         (ComparisonMode::EqualR { r }, CurveScheme::Robust) => DiscretizationConfig::Robust {
             r: *r as f64,
             policy: gp_discretization::GridSelectionPolicy::MostCentered,
@@ -237,7 +239,11 @@ mod tests {
                 let find = |scheme: CurveScheme| {
                     points
                         .iter()
-                        .find(|p| p.scheme == scheme && p.image == image && p.parameter == format!("r={r}"))
+                        .find(|p| {
+                            p.scheme == scheme
+                                && p.image == image
+                                && p.parameter == format!("r={r}")
+                        })
                         .unwrap()
                         .percent_cracked
                 };
@@ -251,12 +257,16 @@ mod tests {
             // And the gap at r = 9 should be large in absolute terms.
             let robust9 = points
                 .iter()
-                .find(|p| p.scheme == CurveScheme::Robust && p.image == image && p.parameter == "r=9")
+                .find(|p| {
+                    p.scheme == CurveScheme::Robust && p.image == image && p.parameter == "r=9"
+                })
                 .unwrap()
                 .percent_cracked;
             let centered9 = points
                 .iter()
-                .find(|p| p.scheme == CurveScheme::Centered && p.image == image && p.parameter == "r=9")
+                .find(|p| {
+                    p.scheme == CurveScheme::Centered && p.image == image && p.parameter == "r=9"
+                })
                 .unwrap()
                 .percent_cracked;
             assert!(
@@ -275,7 +285,11 @@ mod tests {
                 let rate = |r: u32| {
                     points
                         .iter()
-                        .find(|p| p.scheme == scheme && p.image == image && p.parameter == format!("r={r}"))
+                        .find(|p| {
+                            p.scheme == scheme
+                                && p.image == image
+                                && p.parameter == format!("r={r}")
+                        })
                         .unwrap()
                         .percent_cracked
                 };
@@ -290,9 +304,15 @@ mod tests {
 
     #[test]
     fn config_for_matches_mode_parameters() {
-        let c = config_for(&ComparisonMode::EqualGridSize { size: 13.0 }, CurveScheme::Centered);
+        let c = config_for(
+            &ComparisonMode::EqualGridSize { size: 13.0 },
+            CurveScheme::Centered,
+        );
         assert_eq!(c.grid_square_size(), 13.0);
-        let r = config_for(&ComparisonMode::EqualGridSize { size: 13.0 }, CurveScheme::Robust);
+        let r = config_for(
+            &ComparisonMode::EqualGridSize { size: 13.0 },
+            CurveScheme::Robust,
+        );
         assert!((r.guaranteed_tolerance() - 13.0 / 6.0).abs() < 1e-9);
         let c = config_for(&ComparisonMode::EqualR { r: 9 }, CurveScheme::Centered);
         assert_eq!(c.guaranteed_tolerance(), 9.5);

@@ -87,8 +87,7 @@ impl WorstCaseGeometry {
                 let p = Point::new(x, y);
                 let in_robust = self.robust_square.contains(&p);
                 let in_centered = self.centered_square.contains(&p);
-                let is_click = self.click.chebyshev(&p)
-                    <= (max_x - min_x) / columns as f64;
+                let is_click = self.click.chebyshev(&p) <= (max_x - min_x) / columns as f64;
                 let ch = if is_click {
                     'o'
                 } else {

@@ -168,7 +168,10 @@ fn render_false_rates(title: &str, key_column: &str, rows: &[FalseRateRow]) -> S
             row.label.clone(),
             format!("{:.2}", row.robust_r),
             format!("{:.0}x{:.0}", row.robust_grid_size, row.robust_grid_size),
-            format!("{:.0}x{:.0}", row.centered_grid_size, row.centered_grid_size),
+            format!(
+                "{:.0}x{:.0}",
+                row.centered_grid_size, row.centered_grid_size
+            ),
             row.logins.to_string(),
             pct(row.false_accept_pct),
             pct(row.false_reject_pct),
@@ -269,7 +272,9 @@ pub fn crack_percentages(
         .percent_cracked;
     let centered = points
         .iter()
-        .find(|p| p.scheme == CurveScheme::Centered && p.image == image && p.parameter == parameter)?
+        .find(|p| {
+            p.scheme == CurveScheme::Centered && p.image == image && p.parameter == parameter
+        })?
         .percent_cracked;
     Some((robust, centered))
 }
@@ -285,8 +290,7 @@ mod tests {
             assert!(!e.description().is_empty());
         }
         // Identifiers are unique.
-        let ids: std::collections::BTreeSet<_> =
-            Experiment::all().iter().map(|e| e.id()).collect();
+        let ids: std::collections::BTreeSet<_> = Experiment::all().iter().map(|e| e.id()).collect();
         assert_eq!(ids.len(), Experiment::all().len());
     }
 

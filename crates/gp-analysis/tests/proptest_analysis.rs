@@ -7,7 +7,13 @@ use gp_discretization::DiscretizationScheme;
 use gp_study::{ClickAccuracy, FieldStudyConfig, UserModel};
 use proptest::prelude::*;
 
-fn small_study(seed: u64, tight: f64, sloppy: f64, fraction: f64, affinity: f64) -> gp_study::Dataset {
+fn small_study(
+    seed: u64,
+    tight: f64,
+    sloppy: f64,
+    fraction: f64,
+    affinity: f64,
+) -> gp_study::Dataset {
     FieldStudyConfig {
         participants: 10,
         total_passwords: 20,

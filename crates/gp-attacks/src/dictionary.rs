@@ -257,7 +257,10 @@ mod tests {
         assert_eq!(small_pool(5, 3).entry_count(), 60);
         assert_eq!(small_pool(4, 4).entry_count(), 24);
         assert_eq!(small_pool(3, 4).entry_count(), 0);
-        assert_eq!(small_pool(150, 5).entry_count(), 150 * 149 * 148 * 147 * 146);
+        assert_eq!(
+            small_pool(150, 5).entry_count(),
+            150 * 149 * 148 * 147 * 146
+        );
     }
 
     #[test]
@@ -270,7 +273,10 @@ mod tests {
             assert!(pool.pool_size() >= 140, "pool size {}", pool.pool_size());
             assert!(pool.pool_size() <= 150);
             let bits = pool.entry_bits();
-            assert!((35.0..37.0).contains(&bits), "{image} dictionary is {bits:.1} bits");
+            assert!(
+                (35.0..37.0).contains(&bits),
+                "{image} dictionary is {bits:.1} bits"
+            );
         }
     }
 
@@ -280,10 +286,7 @@ mod tests {
         let entries: Vec<Vec<Point>> = pool.enumerate().collect();
         assert_eq!(entries.len(), 12);
         // All entries distinct, all points within an entry distinct.
-        let as_keys: BTreeSet<String> = entries
-            .iter()
-            .map(|e| format!("{:?}", e))
-            .collect();
+        let as_keys: BTreeSet<String> = entries.iter().map(|e| format!("{:?}", e)).collect();
         assert_eq!(as_keys.len(), 12);
         for e in &entries {
             assert_ne!(e[0], e[1]);
@@ -312,7 +315,11 @@ mod tests {
     #[test]
     fn duplicate_points_are_deduplicated() {
         let pool = ClickPointPool::new(
-            vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+            vec![
+                Point::new(1.0, 1.0),
+                Point::new(1.0, 1.0),
+                Point::new(2.0, 2.0),
+            ],
             2,
         );
         assert_eq!(pool.pool_size(), 2);

@@ -83,7 +83,9 @@ mod tests {
 
     fn pool() -> ClickPointPool {
         ClickPointPool::new(
-            (0..150).map(|i| Point::new(i as f64, (i % 37) as f64)).collect(),
+            (0..150)
+                .map(|i| Point::new(i as f64, (i % 37) as f64))
+                .collect(),
             5,
         )
     }
@@ -105,7 +107,8 @@ mod tests {
         assert_eq!(model.grid_identifiers_per_click, 169);
         assert!((model.grid_combinations() - 169f64.powi(5)).abs() < 1.0);
         // Centered makes the hash-only attack much harder than Robust.
-        let robust = HashOnlyCostModel::for_scheme(&RobustDiscretization::new(6.0).unwrap(), &pool(), 1);
+        let robust =
+            HashOnlyCostModel::for_scheme(&RobustDiscretization::new(6.0).unwrap(), &pool(), 1);
         assert!(model.work_bits() > robust.work_bits() + 25.0);
     }
 
@@ -116,7 +119,10 @@ mod tests {
         let hardened = HashOnlyCostModel::for_scheme(&scheme, &pool(), 1000);
         let delta = hardened.work_bits() - base.work_bits();
         assert!((delta - 1000f64.log2()).abs() < 1e-9);
-        assert!(delta > 9.9 && delta < 10.0, "1000 iterations ≈ +10 bits, got {delta}");
+        assert!(
+            delta > 9.9 && delta < 10.0,
+            "1000 iterations ≈ +10 bits, got {delta}"
+        );
     }
 
     #[test]

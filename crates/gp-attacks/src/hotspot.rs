@@ -85,9 +85,8 @@ mod tests {
             DiscretizationConfig::robust(9.0),
             1,
         );
-        let attack = OfflineKnownGridAttack::new(
-            HotspotDictionary::from_image(&image, 30, 5).into_pool(),
-        );
+        let attack =
+            OfflineKnownGridAttack::new(HotspotDictionary::from_image(&image, 30, 5).into_pool());
         let mut cracked = 0;
         let trials = 40;
         for i in 0..trials {
@@ -116,9 +115,8 @@ mod tests {
             DiscretizationConfig::centered(9),
             1,
         );
-        let attack = OfflineKnownGridAttack::new(
-            HotspotDictionary::from_image(&image, 30, 5).into_pool(),
-        );
+        let attack =
+            OfflineKnownGridAttack::new(HotspotDictionary::from_image(&image, 30, 5).into_pool());
         let mut cracked = 0;
         let trials = 40;
         for i in 0..trials {

@@ -87,15 +87,30 @@ mod tests {
 
     #[test]
     fn merge_sums_counts() {
-        let mut a = AttackSummary { targets: 10, cracked: 3 };
-        let b = AttackSummary { targets: 5, cracked: 5 };
+        let mut a = AttackSummary {
+            targets: 10,
+            cracked: 3,
+        };
+        let b = AttackSummary {
+            targets: 5,
+            cracked: 5,
+        };
         a.merge(&b);
-        assert_eq!(a, AttackSummary { targets: 15, cracked: 8 });
+        assert_eq!(
+            a,
+            AttackSummary {
+                targets: 15,
+                cracked: 8
+            }
+        );
     }
 
     #[test]
     fn display_is_readable() {
-        let s = AttackSummary { targets: 8, cracked: 2 };
+        let s = AttackSummary {
+            targets: 8,
+            cracked: 2,
+        };
         assert_eq!(s.to_string(), "2/8 cracked (25.0%)");
     }
 }

@@ -136,10 +136,7 @@ impl OfflineKnownGridAttack {
 
     /// Evaluate the attack over a population of `(stored, original clicks)`
     /// targets.
-    pub fn evaluate_population(
-        &self,
-        targets: &[(StoredPassword, Vec<Point>)],
-    ) -> AttackSummary {
+    pub fn evaluate_population(&self, targets: &[(StoredPassword, Vec<Point>)]) -> AttackSummary {
         let mut summary = AttackSummary::new();
         for (stored, original) in targets {
             summary.record(self.cracks(stored, original));
@@ -365,8 +362,16 @@ mod tests {
         assert!(distinct_assignment_exists(&[vec![0, 1], vec![0]]));
         assert!(!distinct_assignment_exists(&[vec![], vec![1]]));
         // Classic Hall violation: three positions sharing two candidates.
-        assert!(!distinct_assignment_exists(&[vec![0, 1], vec![0, 1], vec![0, 1]]));
-        assert!(distinct_assignment_exists(&[vec![0, 1], vec![0, 1], vec![2]]));
+        assert!(!distinct_assignment_exists(&[
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 1]
+        ]));
+        assert!(distinct_assignment_exists(&[
+            vec![0, 1],
+            vec![0, 1],
+            vec![2]
+        ]));
     }
 
     #[test]
@@ -421,8 +426,14 @@ mod tests {
         let sys_r = system(DiscretizationConfig::robust(6.0), 5);
         let stored_r = sys_r.enroll("victim", &original).unwrap();
 
-        assert!(!attack.cracks(&stored_c, &original), "centered should resist a 7px-off pool at r=6");
-        assert!(attack.cracks(&stored_r, &original), "robust's 36px squares should admit a 7px-off pool");
+        assert!(
+            !attack.cracks(&stored_c, &original),
+            "centered should resist a 7px-off pool at r=6"
+        );
+        assert!(
+            attack.cracks(&stored_r, &original),
+            "robust's 36px squares should admit a 7px-off pool"
+        );
     }
 
     #[test]
@@ -527,7 +538,9 @@ mod tests {
                 .chain((0..6).map(|i| Point::new(15.0 + 40.0 * i as f64, 300.0)))
                 .collect(),
             // No match: everything far away.
-            (0..7).map(|i| Point::new(10.0 + 30.0 * i as f64, 20.0)).collect(),
+            (0..7)
+                .map(|i| Point::new(10.0 + 30.0 * i as f64, 20.0))
+                .collect(),
             // Match buried late: decoys enumerate first.
             (0..5)
                 .map(|i| Point::new(400.0, 10.0 + 40.0 * i as f64))
@@ -632,7 +645,9 @@ mod tests {
         ];
         let stored = sys.enroll("victim", &original).unwrap();
         let pool = ClickPointPool::new(
-            (0..8).map(|i| Point::new(10.0 + i as f64 * 30.0, 15.0)).collect(),
+            (0..8)
+                .map(|i| Point::new(10.0 + i as f64 * 30.0, 15.0))
+                .collect(),
             clicks,
         );
         let attack = OfflineKnownGridAttack::new(pool);
@@ -648,12 +663,8 @@ mod tests {
         let stored = sys.enroll("victim", &original).unwrap();
         let far: Vec<Point> = original.iter().map(|p| p.offset(80.0, -40.0)).collect();
         let stored_far = sys.enroll("other", &far).unwrap();
-        let attack =
-            OfflineKnownGridAttack::new(ClickPointPool::new(original.clone(), 5));
-        let summary = attack.evaluate_population(&[
-            (stored, original.clone()),
-            (stored_far, far),
-        ]);
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(original.clone(), 5));
+        let summary = attack.evaluate_population(&[(stored, original.clone()), (stored_far, far)]);
         assert_eq!(summary.targets, 2);
         assert_eq!(summary.cracked, 1);
         assert_eq!(summary.fraction_cracked(), 0.5);
@@ -664,8 +675,7 @@ mod tests {
         let sys = system(DiscretizationConfig::centered(9), 5);
         let original = original_clicks();
         let stored = sys.enroll("victim", &original).unwrap();
-        let attack =
-            OfflineKnownGridAttack::new(ClickPointPool::new(original[..3].to_vec(), 5));
+        let attack = OfflineKnownGridAttack::new(ClickPointPool::new(original[..3].to_vec(), 5));
         assert!(!attack.cracks(&stored, &original));
     }
 }

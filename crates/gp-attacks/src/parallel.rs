@@ -110,7 +110,11 @@ mod tests {
             // their exact click-points are put in the pool; odd-indexed
             // targets live in the right half, far (>> tolerance) from every
             // pool point, so exactly half the population is crackable.
-            let base_x = if i % 2 == 0 { 20.0 + i as f64 } else { 250.0 + i as f64 };
+            let base_x = if i % 2 == 0 {
+                20.0 + i as f64
+            } else {
+                250.0 + i as f64
+            };
             let base_y = 15.0 + i as f64 * 2.0;
             let clicks: Vec<Point> = (0..5)
                 .map(|j| Point::new(base_x + j as f64 * 30.0, base_y + j as f64 * 40.0))

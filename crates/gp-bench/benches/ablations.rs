@@ -75,7 +75,11 @@ fn ablation_iterated_hashing(c: &mut Criterion) {
         );
         let stored = system.enroll("bench-user", &clicks).unwrap();
         group.bench_function(format!("verify_h{iterations}"), |b| {
-            b.iter(|| system.verify(black_box(&stored), black_box(&attempt)).unwrap())
+            b.iter(|| {
+                system
+                    .verify(black_box(&stored), black_box(&attempt))
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -84,7 +88,7 @@ fn ablation_iterated_hashing(c: &mut Criterion) {
 fn ablation_dictionary_strategy(c: &mut Criterion) {
     // Small pool so the brute-force side stays tractable: 8 points, 3 clicks
     // → 336 hashed guesses per evaluation.
-    let clicks = vec![
+    let clicks = [
         Point::new(60.0, 60.0),
         Point::new(200.0, 120.0),
         Point::new(320.0, 250.0),
@@ -123,7 +127,7 @@ fn ablation_dictionary_strategy(c: &mut Criterion) {
 /// entry through the public `verify` API — the ablation for this PR's
 /// offline-attack rewrite (pre-image dedupe + multi-lane `h^k`).
 fn ablation_batched_brute_force(c: &mut Criterion) {
-    let clicks = vec![
+    let clicks = [
         Point::new(60.0, 60.0),
         Point::new(200.0, 120.0),
         Point::new(320.0, 250.0),

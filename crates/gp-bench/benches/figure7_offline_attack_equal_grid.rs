@@ -13,7 +13,12 @@ fn bench_figure7(c: &mut Criterion) {
     for p in figure7(field, lab, 2) {
         eprintln!(
             "[figure7] {:>5}  {:>6}  {:>9}  cracked {:>3}/{:<3}  {:>5.1}%",
-            p.image, p.parameter, p.scheme.label(), p.cracked, p.targets, p.percent_cracked
+            p.image,
+            p.parameter,
+            p.scheme.label(),
+            p.cracked,
+            p.targets,
+            p.percent_cracked
         );
     }
 

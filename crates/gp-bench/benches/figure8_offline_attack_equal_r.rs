@@ -15,7 +15,12 @@ fn bench_figure8(c: &mut Criterion) {
     for p in &points {
         eprintln!(
             "[figure8] {:>5}  {:>4}  {:>9}  cracked {:>3}/{:<3}  {:>5.1}%",
-            p.image, p.parameter, p.scheme.label(), p.cracked, p.targets, p.percent_cracked
+            p.image,
+            p.parameter,
+            p.scheme.label(),
+            p.cracked,
+            p.targets,
+            p.percent_cracked
         );
     }
     for image in ["cars", "pool"] {

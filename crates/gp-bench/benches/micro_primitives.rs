@@ -36,7 +36,13 @@ fn bench_iterated_hash(c: &mut Criterion) {
     let mut group = c.benchmark_group("iterated_hash");
     for iterations in [1u32, 100, 1000] {
         group.bench_function(format!("h^{iterations}"), |b| {
-            b.iter(|| iterated_hash(black_box(b"salt"), black_box(b"discretized password"), iterations))
+            b.iter(|| {
+                iterated_hash(
+                    black_box(b"salt"),
+                    black_box(b"discretized password"),
+                    iterations,
+                )
+            })
         });
     }
     group.finish();
@@ -97,7 +103,9 @@ fn bench_discretization(c: &mut Criterion) {
     let centered = CenteredDiscretization::from_pixel_tolerance(9);
     let robust = RobustDiscretization::new(9.0).unwrap();
     let p = Point::new(233.0, 187.0);
-    group.bench_function("centered_enroll", |b| b.iter(|| centered.enroll(black_box(&p))));
+    group.bench_function("centered_enroll", |b| {
+        b.iter(|| centered.enroll(black_box(&p)))
+    });
     group.bench_function("robust_enroll", |b| b.iter(|| robust.enroll(black_box(&p))));
     let centered_enrolled = centered.enroll(&p);
     let robust_enrolled = robust.enroll(&p);
@@ -120,14 +128,15 @@ fn bench_password_verification(c: &mut Criterion) {
         ("centered_r9", DiscretizationConfig::centered(9)),
         ("robust_r9", DiscretizationConfig::robust(9.0)),
     ] {
-        let system = GraphicalPasswordSystem::new(
-            PasswordPolicy::new(ImageDims::STUDY, 5),
-            config,
-            1000,
-        );
+        let system =
+            GraphicalPasswordSystem::new(PasswordPolicy::new(ImageDims::STUDY, 5), config, 1000);
         let stored = system.enroll("bench-user", &clicks).unwrap();
         group.bench_function(label, |b| {
-            b.iter(|| system.verify(black_box(&stored), black_box(&attempt)).unwrap())
+            b.iter(|| {
+                system
+                    .verify(black_box(&stored), black_box(&attempt))
+                    .unwrap()
+            })
         });
         // The allocation-free path a login server under load runs.
         let mut scratch = VerifyScratch::new();

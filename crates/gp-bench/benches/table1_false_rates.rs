@@ -6,14 +6,18 @@
 //! replay over the bench-scale dataset.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use gp_analysis::{table1, false_rates::TABLE1_GRID_SIZES};
+use gp_analysis::{false_rates::TABLE1_GRID_SIZES, table1};
 use gp_bench::bench_field_dataset;
 
 fn bench_table1(c: &mut Criterion) {
     let dataset = bench_field_dataset();
 
     // Print the reproduced table once.
-    eprintln!("\n[table1] grid sizes {:?} on {} logins:", TABLE1_GRID_SIZES, dataset.login_count());
+    eprintln!(
+        "\n[table1] grid sizes {:?} on {} logins:",
+        TABLE1_GRID_SIZES,
+        dataset.login_count()
+    );
     for row in table1(dataset) {
         eprintln!(
             "[table1] {:>6}  robust r={:<5.2} false accept {:>5.1}%  false reject {:>5.1}%  (centered: {:.1}% / {:.1}%)",

@@ -8,7 +8,11 @@ use gp_bench::bench_field_dataset;
 fn bench_table2(c: &mut Criterion) {
     let dataset = bench_field_dataset();
 
-    eprintln!("\n[table2] r values {:?} on {} logins:", TABLE2_R_VALUES, dataset.login_count());
+    eprintln!(
+        "\n[table2] r values {:?} on {} logins:",
+        TABLE2_R_VALUES,
+        dataset.login_count()
+    );
     for row in table2(dataset) {
         eprintln!(
             "[table2] {:>4}  robust grid {:>5}  false accept {:>5.1}%  false reject {:>4.1}%  (centered: {:.1}% / {:.1}%)",

@@ -1,0 +1,282 @@
+//! `authload` — load generator for the sharded, pipelined netauth server.
+//!
+//! Drives M client threads × K pipelined login requests against a real TCP
+//! server in two configurations and reports logins/sec:
+//!
+//! * **single_worker** — 1 shard, 1 worker, scalar verification
+//!   ([`ServerConfig::single_worker_baseline`]): the pre-sharding serving
+//!   shape.
+//! * **sharded_pooled** — 4 shards, worker pool, 16-way batch verification
+//!   ([`ServerConfig::study_default`]): the serving layer this PR builds.
+//!
+//! Results merge into `BENCH_results.json` (or `GP_BENCH_OUT`) alongside
+//! the `bench_report` micro-benchmarks: per-login medians under
+//! `results/authload/...`, logins/sec under `throughput/authload/...`, and
+//! the scaling ratio under `speedups/authload_scaling`.  CI's
+//! bench-regression gate (`bench_check`) then holds every serving metric
+//! to the committed numbers.
+//!
+//! Environment knobs: `GP_AUTHLOAD_SECS` (measured seconds per trial,
+//! default 1.2), `GP_AUTHLOAD_TRIALS` (trials per scenario, best taken,
+//! default 5), `GP_AUTHLOAD_THREADS` (client threads, default scales with
+//! the host), `GP_AUTHLOAD_PIPELINE` (requests per burst, default 16),
+//! `GP_AUTHLOAD_ITERATIONS` (hash iterations, default 3000),
+//! `GP_AUTHLOAD_USERS` (enrolled accounts, default 64).
+
+use gp_bench::report::BenchReport;
+use gp_geometry::Point;
+use gp_netauth::{
+    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig, ServerMessage,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The enrolled click sequence for one synthetic user (deterministic,
+/// spread over the study image, all well inside the borders).
+fn user_clicks(user: usize) -> Vec<Point> {
+    (0..5)
+        .map(|i| {
+            let x = 40.0 + ((user * 37 + i * 83) % 360) as f64;
+            let y = 30.0 + ((user * 53 + i * 61) % 260) as f64;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+struct LoadResult {
+    logins: u64,
+    elapsed: Duration,
+    mean_batch: f64,
+    worker_connections: Vec<u64>,
+    shard_accounts: Vec<usize>,
+}
+
+impl LoadResult {
+    fn logins_per_sec(&self) -> f64 {
+        self.logins as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn ns_per_login(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.logins.max(1) as f64
+    }
+}
+
+/// Spawn a server under `config`, enroll `users` accounts, then hammer it
+/// with `threads` × `pipeline`-deep bursts of correct-password logins for
+/// `secs` (after a fixed warmup).  Every response is checked: a rejected
+/// or errored login fails the bench loudly rather than producing a fast
+/// wrong number.
+fn run_scenario(
+    label: &str,
+    config: ServerConfig,
+    users: usize,
+    threads: usize,
+    pipeline: usize,
+    secs: f64,
+) -> LoadResult {
+    let server = AuthServer::new(config);
+    let store = server.store();
+    let system = server.system().clone();
+    for user in 0..users {
+        store
+            .enroll(&system, &format!("user{user}"), &user_clicks(user))
+            .expect("enroll synthetic user");
+    }
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    let counted = Arc::new(AtomicU64::new(0));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let warmup = Duration::from_millis(300);
+    let measure = Duration::from_secs_f64(secs);
+
+    let mut clients = Vec::new();
+    for thread in 0..threads {
+        let counted = Arc::clone(&counted);
+        let measuring = Arc::clone(&measuring);
+        let stop = Arc::clone(&stop);
+        clients.push(std::thread::spawn(move || {
+            let mut client = AuthClient::connect(addr).expect("connect");
+            // Each thread walks its own slice of the user space so bursts
+            // spread across store shards.
+            let mut next_user = thread;
+            while !stop.load(Ordering::Relaxed) {
+                let burst: Vec<ClientMessage> = (0..pipeline)
+                    .map(|i| {
+                        let user = (next_user + i * threads) % users;
+                        ClientMessage::Login {
+                            username: format!("user{user}"),
+                            clicks: user_clicks(user),
+                        }
+                    })
+                    .collect();
+                next_user = (next_user + pipeline * threads) % users;
+                let responses = client.request_pipelined(&burst).expect("pipelined burst");
+                for response in &responses {
+                    match response {
+                        ServerMessage::LoginResult {
+                            decision: LoginDecision::Accepted,
+                            ..
+                        } => {}
+                        other => panic!("correct-password login not accepted: {other:?}"),
+                    }
+                }
+                if measuring.load(Ordering::Relaxed) {
+                    counted.fetch_add(responses.len() as u64, Ordering::Relaxed);
+                }
+            }
+            let _ = client.quit();
+        }));
+    }
+
+    std::thread::sleep(warmup);
+    let started = Instant::now();
+    measuring.store(true, Ordering::Relaxed);
+    std::thread::sleep(measure);
+    measuring.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    let stats = handle.stats();
+    let result = LoadResult {
+        logins: counted.load(Ordering::Relaxed),
+        elapsed,
+        mean_batch: stats.batch.mean_batch(),
+        worker_connections: stats.workers.iter().map(|w| w.connections).collect(),
+        shard_accounts: stats.shards.iter().map(|s| s.accounts).collect(),
+    };
+    handle.shutdown();
+
+    eprintln!(
+        "[authload] {label:<16} {:>9.0} logins/s  ({} logins / {:.2}s, mean batch {:.1}, \
+         shards {:?}, worker conns {:?})",
+        result.logins_per_sec(),
+        result.logins,
+        result.elapsed.as_secs_f64(),
+        result.mean_batch,
+        result.shard_accounts,
+        result.worker_connections,
+    );
+    result
+}
+
+/// Best of `trials` runs: throughput benches take the least-interfered
+/// trial, because scheduler noise on a shared host only ever *subtracts*
+/// throughput — the max is the closest observation of what the server can
+/// actually do, and it is what keeps the CI regression gate stable.
+fn run_scenario_best_of(
+    label: &str,
+    config: ServerConfig,
+    users: usize,
+    threads: usize,
+    pipeline: usize,
+    secs: f64,
+    trials: usize,
+) -> LoadResult {
+    let mut best: Option<LoadResult> = None;
+    for _ in 0..trials.max(1) {
+        let result = run_scenario(label, config.clone(), users, threads, pipeline, secs);
+        if best
+            .as_ref()
+            .is_none_or(|b| result.logins_per_sec() > b.logins_per_sec())
+        {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+fn main() {
+    let secs: f64 = env_or("GP_AUTHLOAD_SECS", 1.2);
+    let trials: usize = env_or("GP_AUTHLOAD_TRIALS", 5).max(1);
+    // Client threads scale with the host: enough to keep the pipeline fed
+    // without thrashing a small core count (client threads compete with
+    // server workers for the same CPUs on loopback).
+    let default_threads = std::thread::available_parallelism()
+        .map(|p| p.get().clamp(2, 8))
+        .unwrap_or(2);
+    let threads: usize = env_or("GP_AUTHLOAD_THREADS", default_threads).max(1);
+    let pipeline: usize = env_or("GP_AUTHLOAD_PIPELINE", 16).max(1);
+    // The paper's example is h^1000 "or more"; serving benches default to
+    // a hardened 3000-iteration deployment so the measured contrast is
+    // dominated by hashing (the part the batch verifier accelerates), not
+    // framing.
+    let iterations: u32 = env_or("GP_AUTHLOAD_ITERATIONS", 3000).max(1);
+    let users: usize = env_or("GP_AUTHLOAD_USERS", 64).max(1);
+
+    let baseline_config = ServerConfig {
+        hash_iterations: iterations,
+        ..ServerConfig::single_worker_baseline()
+    };
+    let scaled_config = ServerConfig {
+        hash_iterations: iterations,
+        workers: std::thread::available_parallelism()
+            .map(|p| p.get().clamp(4, 16))
+            .unwrap_or(4),
+        ..ServerConfig::study_default()
+    };
+    assert_eq!(scaled_config.shards, 4, "acceptance config is 4 shards");
+
+    eprintln!(
+        "[authload] {threads} threads × {pipeline}-deep pipeline, h^{iterations}, \
+         {users} users, best of {trials} × {secs:.1}s per scenario"
+    );
+    let baseline = run_scenario_best_of(
+        "single_worker",
+        baseline_config,
+        users,
+        threads,
+        pipeline,
+        secs,
+        trials,
+    );
+    let scaled = run_scenario_best_of(
+        "sharded_pooled",
+        scaled_config,
+        users,
+        threads,
+        pipeline,
+        secs,
+        trials,
+    );
+
+    let scaling = scaled.logins_per_sec() / baseline.logins_per_sec();
+    eprintln!("[authload] scaling: {scaling:.2}x logins/sec over the single-worker baseline");
+
+    let path = std::env::var("GP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".into());
+    let path = std::path::PathBuf::from(path);
+    let mut out = BenchReport::load(&path).unwrap_or_default();
+    let mut fresh = BenchReport::new();
+    fresh.set_result(
+        "authload/single_worker_ns_per_login",
+        baseline.ns_per_login(),
+    );
+    fresh.set_result(
+        "authload/sharded_pooled_ns_per_login",
+        scaled.ns_per_login(),
+    );
+    fresh.set_throughput(
+        "authload/single_worker_logins_per_sec",
+        baseline.logins_per_sec(),
+    );
+    fresh.set_throughput(
+        "authload/sharded_pooled_logins_per_sec",
+        scaled.logins_per_sec(),
+    );
+    fresh.set_speedup("authload_scaling", scaling);
+    out.merge_from(&fresh);
+    out.save(&path).expect("write benchmark report");
+    eprintln!("[authload] wrote {}", path.display());
+}

@@ -1,0 +1,81 @@
+//! `bench_check` — the CI bench-regression gate.
+//!
+//! Compares a freshly measured `BENCH_results.json` against the committed
+//! baseline and exits non-zero if any named metric regressed by more than
+//! the threshold (default 25%): `results` medians may not be slower,
+//! `throughput` entries may not be lower, and every committed metric must
+//! still exist in the fresh report.  Metrics that only exist in the fresh
+//! report are fine — adding benchmarks is not a regression.
+//!
+//! Usage: `bench_check <committed.json> <fresh.json> [--threshold 0.25]`
+
+use gp_bench::report::{compare, BenchReport};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.25f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threshold" {
+            let value = iter.next().and_then(|v| v.parse().ok());
+            let Some(value) = value else {
+                eprintln!("[bench_check] --threshold needs a number");
+                return ExitCode::from(2);
+            };
+            threshold = value;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [committed_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_check <committed.json> <fresh.json> [--threshold 0.25]");
+        return ExitCode::from(2);
+    };
+
+    let committed = match BenchReport::load(Path::new(committed_path)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("[bench_check] {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match BenchReport::load(Path::new(fresh_path)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("[bench_check] {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "[bench_check] {} committed metrics vs {}, threshold {:.0}%",
+        committed.results.len() + committed.throughput.len(),
+        fresh_path,
+        threshold * 100.0
+    );
+    let regressions = compare(&committed, &fresh, threshold);
+    if regressions.is_empty() {
+        eprintln!("[bench_check] OK — no metric regressed past the threshold");
+        return ExitCode::SUCCESS;
+    }
+    for r in &regressions {
+        if r.slowdown.is_finite() {
+            eprintln!(
+                "[bench_check] REGRESSION {}: committed {:.1}, fresh {:.1} ({:.0}% worse)",
+                r.name,
+                r.committed,
+                r.fresh,
+                (r.slowdown - 1.0) * 100.0
+            );
+        } else {
+            eprintln!(
+                "[bench_check] REGRESSION {}: metric missing from fresh report",
+                r.name
+            );
+        }
+    }
+    ExitCode::FAILURE
+}

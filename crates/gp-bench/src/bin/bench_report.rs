@@ -10,11 +10,11 @@
 //! Usage: `cargo run --release -p gp-bench --bin bench_report`
 
 use gp_attacks::{ClickPointPool, OfflineKnownGridAttack};
+use gp_bench::report::BenchReport;
 use gp_crypto::{iterated_hash, iterated_hash_reference, SaltedHasher, Sha256};
 use gp_geometry::{ImageDims, Point};
 use gp_passwords::prelude::*;
 use gp_passwords::VerifyScratch;
-use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Median nanoseconds per call of `f`, from `samples` timed samples of
@@ -61,7 +61,9 @@ impl Report {
 }
 
 fn main() {
-    let mut report = Report { results: Vec::new() };
+    let mut report = Report {
+        results: Vec::new(),
+    };
     let mut speedups: Vec<(String, f64)> = Vec::new();
 
     // --- SHA-256: one-shot single-block fast path vs incremental. ---
@@ -163,7 +165,7 @@ fn main() {
     // --- Offline brute force: per-entry verify vs batched dedupe pipeline.
     // 8-point pool, 3 clicks → 336 entries per walk; pool points cluster so
     // dedupe has real work to do, and no entry cracks the target.
-    let original = vec![
+    let original = [
         Point::new(60.0, 60.0),
         Point::new(200.0, 120.0),
         Point::new(320.0, 250.0),
@@ -190,7 +192,9 @@ fn main() {
         }
         std::hint::black_box(cracked);
     }) / entries;
-    report.results.push(("brute_force/per_entry_verify_per_guess".into(), per_entry));
+    report
+        .results
+        .push(("brute_force/per_entry_verify_per_guess".into(), per_entry));
     let batched = report.measure("brute_force/batched_walk", || {
         std::hint::black_box(attack.brute_force(&bf_system, &bf_target, u64::MAX));
     }) / entries;
@@ -199,22 +203,21 @@ fn main() {
         .push(("brute_force/batched_per_guess".into(), batched));
     speedups.push(("brute_force_batched".into(), per_entry / batched));
 
-    // --- Emit JSON. ---
-    let mut json = String::from("{\n  \"results\": {\n");
-    for (i, (name, ns)) in report.results.iter().enumerate() {
-        let comma = if i + 1 == report.results.len() { "" } else { "," };
-        let _ = writeln!(json, "    \"{name}\": {{\"median_ns\": {ns:.1}}}{comma}");
-    }
-    json.push_str("  },\n  \"speedups\": {\n");
-    for (i, (name, x)) in speedups.iter().enumerate() {
-        let comma = if i + 1 == speedups.len() { "" } else { "," };
-        let _ = writeln!(json, "    \"{name}\": {x:.2}{comma}");
-    }
-    json.push_str("  }\n}\n");
-
+    // --- Emit JSON, preserving any serving-layer (`authload`) metrics
+    // already present in the output file. ---
     let path = std::env::var("GP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".into());
-    std::fs::write(&path, &json).expect("write benchmark report");
-    eprintln!("[bench_report] wrote {path}");
+    let path = std::path::PathBuf::from(path);
+    let mut out = BenchReport::load(&path).unwrap_or_default();
+    let mut fresh = BenchReport::new();
+    for (name, ns) in &report.results {
+        fresh.set_result(name, *ns);
+    }
+    for (name, x) in &speedups {
+        fresh.set_speedup(name, *x);
+    }
+    out.merge_from(&fresh);
+    out.save(&path).expect("write benchmark report");
+    eprintln!("[bench_report] wrote {}", path.display());
     for (name, x) in &speedups {
         eprintln!("[bench_report] speedup {name:<28} {x:>6.2}x");
     }

@@ -56,7 +56,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// assert!(gp_crypto::hex::decode("abc").is_err());
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(HexError::OddLength { len: s.len() });
     }
     let mut out = Vec::with_capacity(s.len() / 2);

@@ -63,6 +63,109 @@ pub fn iterated_hash_many(salt: &[u8], messages: &[&[u8]], iterations: u32) -> V
     SaltedHasher::new(salt).iterated_many(messages, iterations)
 }
 
+/// Batched iterated hashing where every message carries its *own* salt —
+/// the authentication-server shape, where concurrent login attempts from
+/// different accounts (hence different per-user salts) are coalesced into
+/// one multi-lane run.
+///
+/// Bit-identical to calling [`SaltedHasher::iterated`] per entry (there is
+/// an equivalence test), but the rounds of up to [`LANES`] entries are
+/// interleaved through the same vectorized compressor that powers
+/// [`iterated_hash_many`].  Entries are grouped internally by
+/// `blocks_per_round` (salts of different lengths may pad to a different
+/// number of compression blocks), so mixed-length salts are handled
+/// correctly at full speed.
+///
+/// `hashers` and `messages` must have equal length.
+pub fn iterated_hash_many_salted(
+    hashers: &[&SaltedHasher],
+    messages: &[&[u8]],
+    iterations: u32,
+) -> Vec<Digest> {
+    let mut out = Vec::new();
+    iterated_hash_many_salted_into(hashers, messages, iterations, &mut out);
+    out
+}
+
+/// [`iterated_hash_many_salted`] writing into a caller-provided buffer, so
+/// a steady-state serving loop performs no per-batch output allocation.
+pub fn iterated_hash_many_salted_into(
+    hashers: &[&SaltedHasher],
+    messages: &[&[u8]],
+    iterations: u32,
+    out: &mut Vec<Digest>,
+) {
+    assert_eq!(
+        hashers.len(),
+        messages.len(),
+        "one salted hasher per message"
+    );
+    let rounds = iterations.max(1);
+    out.clear();
+    out.extend(
+        hashers
+            .iter()
+            .zip(messages)
+            .map(|(h, m)| h.first.digest_suffix(m)),
+    );
+    if rounds == 1 {
+        return;
+    }
+
+    // Lanes must share the per-round block count, so bucket entry indices
+    // by `blocks_per_round` (1 for salts ≤ 23 bytes mod 64, else 2) and run
+    // the lane kernel bucket by bucket.
+    let mut order: Vec<usize> = (0..hashers.len()).collect();
+    order.sort_by_key(|&i| hashers[i].blocks_per_round());
+    let mut start = 0;
+    while start < order.len() {
+        let bpr = hashers[order[start]].blocks_per_round();
+        let len = order[start..]
+            .iter()
+            .take_while(|&&i| hashers[i].blocks_per_round() == bpr)
+            .count();
+        let group = &order[start..start + len];
+        let mut chunks = group.chunks_exact(LANES);
+        for lane_indices in chunks.by_ref() {
+            // Per-lane templates: unlike the shared-salt kernel, each lane
+            // carries its own salt tail, digest offset and initial state.
+            let mut templates: [RoundTemplate; LANES] =
+                core::array::from_fn(|l| hashers[lane_indices[l]].template);
+            for _ in 1..rounds {
+                for l in 0..LANES {
+                    let t = &mut templates[l];
+                    t.buffer[t.digest_offset..t.digest_offset + DIGEST_LEN]
+                        .copy_from_slice(&out[lane_indices[l]]);
+                }
+                let mut states: [[u32; 8]; LANES] =
+                    core::array::from_fn(|l| templates[l].initial_state);
+                for b in 0..bpr {
+                    let blocks: [&[u8; BLOCK_LEN]; LANES] = core::array::from_fn(|l| {
+                        templates[l].buffer[b * BLOCK_LEN..(b + 1) * BLOCK_LEN]
+                            .try_into()
+                            .expect("exact block")
+                    });
+                    compress_lanes(&mut states, blocks);
+                }
+                for l in 0..LANES {
+                    out[lane_indices[l]] = state_to_digest(&states[l]);
+                }
+            }
+        }
+        // Remainder entries (fewer than LANES left in the bucket) run the
+        // scalar template path.
+        for &i in chunks.remainder() {
+            let mut template = hashers[i].template;
+            let mut digest = out[i];
+            for _ in 1..rounds {
+                digest = template.advance(&digest);
+            }
+            out[i] = digest;
+        }
+        start += len;
+    }
+}
+
 /// Reference implementation of [`iterated_hash`]: a fresh incremental
 /// hasher per round, exactly as the seed version of this crate computed it.
 ///
@@ -155,7 +258,7 @@ impl RoundTemplate {
 /// Iterated salted hashing with the per-salt work hoisted out of the loop.
 ///
 /// Construction precomputes a [`Midstate`] for the first absorption of
-/// `salt || message` and a [`RoundTemplate`] for the `salt || digest`
+/// `salt || message` and a `RoundTemplate` for the `salt || digest`
 /// rounds.  The hasher is cheap to clone and immutable in use, so a
 /// verification server can build one per account and reuse it across login
 /// attempts, and an attacker (our simulated one, anyway) builds one per
@@ -223,12 +326,7 @@ impl SaltedHasher {
 
     /// [`SaltedHasher::iterated_many`] writing into a caller-provided
     /// buffer, so a steady-state guess loop performs no allocation.
-    pub fn iterated_many_into(
-        &self,
-        messages: &[&[u8]],
-        iterations: u32,
-        out: &mut Vec<Digest>,
-    ) {
+    pub fn iterated_many_into(&self, messages: &[&[u8]], iterations: u32, out: &mut Vec<Digest>) {
         self.iterated_many_lanes_into::<LANES>(messages, iterations, out);
     }
 
@@ -414,7 +512,8 @@ impl PasswordHasher {
     /// Batched [`PasswordHasher::digest_only`]: digests of many candidate
     /// messages for one user, through the multi-lane fast path.
     pub fn digest_many(&self, user_id: &[u8], messages: &[&[u8]]) -> Vec<Digest> {
-        self.salted(user_id).iterated_many(messages, self.iterations)
+        self.salted(user_id)
+            .iterated_many(messages, self.iterations)
     }
 }
 
@@ -434,10 +533,7 @@ mod tests {
 
     #[test]
     fn zero_iterations_treated_as_one() {
-        assert_eq!(
-            iterated_hash(b"s", b"m", 0),
-            iterated_hash(b"s", b"m", 1)
-        );
+        assert_eq!(iterated_hash(b"s", b"m", 0), iterated_hash(b"s", b"m", 1));
         // The clamp holds on every code path: reference, scalar fast path,
         // and the batched lanes.
         assert_eq!(
@@ -477,7 +573,11 @@ mod tests {
             let salt: Vec<u8> = (0..salt_len).map(|i| (i * 7 % 251) as u8).collect();
             let hasher = SaltedHasher::new(&salt);
             let expected_blocks = (salt_len % 64 + DIGEST_LEN + 9).div_ceil(64);
-            assert_eq!(hasher.blocks_per_round(), expected_blocks, "salt {salt_len}");
+            assert_eq!(
+                hasher.blocks_per_round(),
+                expected_blocks,
+                "salt {salt_len}"
+            );
             for iterations in [1u32, 2, 3, 50] {
                 assert_eq!(
                     hasher.iterated(message, iterations),
@@ -528,6 +628,63 @@ mod tests {
         assert_eq!(out, expected, "2 lanes");
         hasher.iterated_many_lanes_into::<8>(messages, iterations, &mut out);
         assert_eq!(out, expected, "8 lanes");
+    }
+
+    #[test]
+    fn many_salted_matches_scalar_across_batch_sizes_and_salt_lengths() {
+        // Salt lengths straddle the one-block/two-block boundary (23 bytes)
+        // so the bucketing by blocks_per_round is exercised inside a single
+        // batch, and batch sizes straddle the LANES remainder path.
+        let salts: Vec<Vec<u8>> = (0..40)
+            .map(|i| {
+                (0..(i * 5) % 41)
+                    .map(|j| ((i * 31 + j) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        let messages: Vec<Vec<u8>> = (0..40)
+            .map(|i| (0..30 + i).map(|j| ((i * 17 + j) % 251) as u8).collect())
+            .collect();
+        let hashers: Vec<SaltedHasher> = salts.iter().map(|s| SaltedHasher::new(s)).collect();
+        for count in [0usize, 1, 2, 15, 16, 17, 33, 40] {
+            let hasher_refs: Vec<&SaltedHasher> = hashers[..count].iter().collect();
+            let msg_refs: Vec<&[u8]> = messages[..count].iter().map(Vec::as_slice).collect();
+            for iterations in [0u32, 1, 2, 29] {
+                let batched = iterated_hash_many_salted(&hasher_refs, &msg_refs, iterations);
+                let scalar: Vec<Digest> = (0..count)
+                    .map(|i| iterated_hash_reference(&salts[i], &messages[i], iterations))
+                    .collect();
+                assert_eq!(batched, scalar, "batch of {count}, {iterations} iterations");
+            }
+        }
+    }
+
+    #[test]
+    fn many_salted_into_reuses_the_output_buffer() {
+        let a = SaltedHasher::new(b"salt-a");
+        let b = SaltedHasher::new(b"salt-b-that-is-much-longer-than-one-block-boundary");
+        let mut out = Vec::with_capacity(8);
+        iterated_hash_many_salted_into(&[&a, &b], &[b"m1", b"m2"], 5, &mut out);
+        assert_eq!(out.len(), 2);
+        let capacity = out.capacity();
+        iterated_hash_many_salted_into(&[&b], &[b"m3"], 5, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.capacity(), capacity, "no reallocation on reuse");
+        assert_eq!(
+            out[0],
+            iterated_hash(
+                b"salt-b-that-is-much-longer-than-one-block-boundary",
+                b"m3",
+                5
+            )
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one salted hasher per message")]
+    fn many_salted_rejects_mismatched_lengths() {
+        let h = SaltedHasher::new(b"s");
+        iterated_hash_many_salted(&[&h], &[], 3);
     }
 
     #[test]
@@ -643,10 +800,7 @@ mod tests {
     fn domain_separation() {
         let a = PasswordHasher::new("passpoints", 10);
         let b = PasswordHasher::new("netauth", 10);
-        assert_ne!(
-            a.digest_only(b"user", b"m"),
-            b.digest_only(b"user", b"m")
-        );
+        assert_ne!(a.digest_only(b"user", b"m"), b.digest_only(b"user", b"m"));
     }
 
     #[test]

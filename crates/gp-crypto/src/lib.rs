@@ -12,14 +12,14 @@
 //!
 //! * [`sha256`] — FIPS 180-4 SHA-256 with an incremental [`Sha256`] hasher,
 //!   a single-compression fast path for one-block messages, and a reusable
-//!   [`Midstate`](sha256::Midstate) for fixed prefixes (salts).
+//!   [`Midstate`] for fixed prefixes (salts).
 //! * [`hmac`] — HMAC-SHA-256 (RFC 2104) used for keyed integrity checks in
 //!   the networked authentication substrate.
 //! * [`iterated`] — iterated ("stretched") hashing `h^k`: the scalar
-//!   one-shot/midstate path ([`SaltedHasher`](iterated::SaltedHasher)), the
+//!   one-shot/midstate path ([`SaltedHasher`]), the
 //!   multi-lane batched path ([`iterated_hash_many`]) that advances
-//!   [`LANES`](iterated::LANES) independent guesses per compression loop,
-//!   and a convenience [`PasswordHasher`](iterated::PasswordHasher)
+//!   [`LANES`] independent guesses per compression loop,
+//!   and a convenience [`PasswordHasher`]
 //!   combining salt, personalization and iteration count.
 //! * [`hex`] — lower-case hexadecimal encoding/decoding for serialized
 //!   password files.
@@ -49,7 +49,7 @@ pub mod sha256;
 pub use ct::ct_eq;
 pub use hmac::HmacSha256;
 pub use iterated::{
-    iterated_hash, iterated_hash_many, iterated_hash_reference, PasswordHash, PasswordHasher,
-    SaltedHasher, LANES,
+    iterated_hash, iterated_hash_many, iterated_hash_many_salted, iterated_hash_many_salted_into,
+    iterated_hash_reference, PasswordHash, PasswordHasher, SaltedHasher, LANES,
 };
 pub use sha256::{Digest, Midstate, Sha256, DIGEST_LEN};

@@ -98,6 +98,10 @@ pub(crate) fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
 /// interleaved in one loop body give the scheduler `L` dependency chains to
 /// overlap (the hashcat approach), which is where the multi-lane speedup in
 /// `iterated_hash_many` comes from.
+// Index-based lane loops are load-bearing here: `w[t][l]` with `l` as the
+// innermost index is the exact adjacent-memory shape LLVM auto-vectorizes;
+// iterator rewrites break the pattern.
+#[allow(clippy::needless_range_loop)]
 pub(crate) fn compress_lanes<const L: usize>(
     states: &mut [[u32; 8]; L],
     blocks: [&[u8; BLOCK_LEN]; L],
@@ -554,7 +558,11 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
         for split in [0, 1, 23, 24, 55, 56, 63, 64, 65, 127, 128, 129, 300] {
             let midstate = Midstate::new(&data[..split]);
             assert_eq!(midstate.prefix_len(), split as u64);
-            assert_eq!(midstate.digest_suffix(&data[split..]), expected, "split {split}");
+            assert_eq!(
+                midstate.digest_suffix(&data[split..]),
+                expected,
+                "split {split}"
+            );
         }
     }
 

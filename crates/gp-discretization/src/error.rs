@@ -39,7 +39,10 @@ impl core::fmt::Display for DiscretizationError {
                 write!(f, "click-point coordinates must be finite")
             }
             DiscretizationError::MismatchedGridId { scheme, got } => {
-                write!(f, "{scheme} received a grid identifier of the wrong kind: {got:?}")
+                write!(
+                    f,
+                    "{scheme} received a grid identifier of the wrong kind: {got:?}"
+                )
             }
             DiscretizationError::CorruptGridId { reason } => {
                 write!(f, "corrupt grid identifier: {reason}")

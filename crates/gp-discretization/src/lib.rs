@@ -9,23 +9,23 @@
 //! identifier.
 //!
 //! Three schemes are implemented behind the common
-//! [`DiscretizationScheme`](scheme::DiscretizationScheme) trait:
+//! [`DiscretizationScheme`] trait:
 //!
-//! * [`CenteredDiscretization`](centered::CenteredDiscretization) — the
+//! * [`CenteredDiscretization`] — the
 //!   paper's contribution.  Each coordinate is discretized into segments of
 //!   length `2r` with a per-click offset `d = (x − r) mod 2r` chosen so the
 //!   original click is exactly centered in its segment.  Acceptance region =
 //!   the centered-tolerance square; false accepts and false rejects are zero
 //!   by construction, and grid squares are only `2r` wide.
 //!
-//! * [`RobustDiscretization`](robust::RobustDiscretization) — the prior
+//! * [`RobustDiscretization`] — the prior
 //!   scheme of Birget, Hong and Memon (2006), reproduced as the baseline.
 //!   Three diagonally offset grids of square size `6r` guarantee that every
 //!   point is *r-safe* in at least one grid, but the tolerance region is not
 //!   centered on the click-point, producing false accepts (up to `5r`) and
 //!   false rejects (from `r` upward).
 //!
-//! * [`StaticGridDiscretization`](static_grid::StaticGridDiscretization) —
+//! * [`StaticGridDiscretization`] —
 //!   the naive single fixed grid, exhibiting the "edge problem" that
 //!   motivated Robust Discretization in the first place.
 //!
@@ -70,7 +70,9 @@ pub mod static_grid;
 pub use centered::{Centered1D, CenteredDiscretization};
 pub use centered_nd::CenteredNd;
 pub use error::DiscretizationError;
-pub use password_space::{identifier_bits, squares_per_grid, text_password_bits, PasswordSpace, SchemeKind};
+pub use password_space::{
+    identifier_bits, squares_per_grid, text_password_bits, PasswordSpace, SchemeKind,
+};
 pub use robust::{GridSelectionPolicy, RobustDiscretization, ROBUST_GRID_COUNT};
 pub use scheme::{DiscretizationScheme, DiscretizedClick, GridId};
 pub use static_grid::StaticGridDiscretization;

@@ -64,7 +64,10 @@ impl SchemeKind {
 
     /// Construct the corresponding scheme object for a given grid-square
     /// size in pixels.
-    pub fn scheme_for_grid_size(&self, grid_size: f64) -> Box<dyn crate::scheme::DiscretizationScheme> {
+    pub fn scheme_for_grid_size(
+        &self,
+        grid_size: f64,
+    ) -> Box<dyn crate::scheme::DiscretizationScheme> {
         match self {
             SchemeKind::Centered => Box::new(
                 CenteredDiscretization::from_grid_square_size(grid_size)
@@ -220,8 +223,14 @@ mod tests {
         let robust_grid = SchemeKind::Robust.grid_size_for_r(4.0);
         assert_eq!(centered_grid, 9.0);
         assert_eq!(robust_grid, 24.0);
-        assert_rounds_to(PasswordSpace::new(ImageDims::VGA, centered_grid, 5).bits(), 59.6);
-        assert_rounds_to(PasswordSpace::new(ImageDims::VGA, robust_grid, 5).bits(), 45.4);
+        assert_rounds_to(
+            PasswordSpace::new(ImageDims::VGA, centered_grid, 5).bits(),
+            59.6,
+        );
+        assert_rounds_to(
+            PasswordSpace::new(ImageDims::VGA, robust_grid, 5).bits(),
+            45.4,
+        );
     }
 
     #[test]

@@ -360,7 +360,10 @@ mod tests {
             Err(DiscretizationError::MismatchedGridId { .. })
         ));
         assert!(matches!(
-            scheme.try_locate(&GridId::Robust { grid_index: 0 }, &Point::new(f64::NAN, 0.0)),
+            scheme.try_locate(
+                &GridId::Robust { grid_index: 0 },
+                &Point::new(f64::NAN, 0.0)
+            ),
             Err(DiscretizationError::NonFinitePoint)
         ));
     }
@@ -379,13 +382,28 @@ mod tests {
     #[test]
     fn from_grid_square_size_matches_table1_r_values() {
         // Table 1: 9×9 ⇒ r = 1.50, 13×13 ⇒ r ≈ 2.17, 19×19 ⇒ r ≈ 3.17.
-        assert!((RobustDiscretization::from_grid_square_size(9.0).unwrap().r() - 1.5).abs() < 1e-9);
         assert!(
-            (RobustDiscretization::from_grid_square_size(13.0).unwrap().r() - 13.0 / 6.0).abs()
+            (RobustDiscretization::from_grid_square_size(9.0)
+                .unwrap()
+                .r()
+                - 1.5)
+                .abs()
                 < 1e-9
         );
         assert!(
-            (RobustDiscretization::from_grid_square_size(19.0).unwrap().r() - 19.0 / 6.0).abs()
+            (RobustDiscretization::from_grid_square_size(13.0)
+                .unwrap()
+                .r()
+                - 13.0 / 6.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (RobustDiscretization::from_grid_square_size(19.0)
+                .unwrap()
+                .r()
+                - 19.0 / 6.0)
+                .abs()
                 < 1e-9
         );
     }

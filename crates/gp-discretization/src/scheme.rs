@@ -96,7 +96,10 @@ impl GridId {
             }),
             Some(0x03) if bytes.len() == 1 => Ok(GridId::Static),
             _ => Err(DiscretizationError::CorruptGridId {
-                reason: format!("unrecognised grid identifier encoding ({} bytes)", bytes.len()),
+                reason: format!(
+                    "unrecognised grid identifier encoding ({} bytes)",
+                    bytes.len()
+                ),
             }),
         }
     }
@@ -205,7 +208,10 @@ mod tests {
             let id = GridId::Robust { grid_index: idx };
             assert_eq!(GridId::from_bytes(&id.to_bytes()).unwrap(), id);
         }
-        assert_eq!(GridId::from_bytes(&GridId::Static.to_bytes()).unwrap(), GridId::Static);
+        assert_eq!(
+            GridId::from_bytes(&GridId::Static.to_bytes()).unwrap(),
+            GridId::Static
+        );
     }
 
     #[test]

@@ -161,7 +161,10 @@ mod tests {
             let p = Point::new(x, y);
             let cell = g.cell_of(&p);
             let rect = g.cell_rect(&cell);
-            assert!(rect.contains(&p), "point {p} not in rect {rect} for cell {cell}");
+            assert!(
+                rect.contains(&p),
+                "point {p} not in rect {rect} for cell {cell}"
+            );
         }
     }
 

@@ -22,7 +22,10 @@ impl Segment {
     /// # Panics
     /// Panics if `start > end` or either endpoint is non-finite.
     pub fn new(start: f64, end: f64) -> Self {
-        assert!(start.is_finite() && end.is_finite(), "segment endpoints must be finite");
+        assert!(
+            start.is_finite() && end.is_finite(),
+            "segment endpoints must be finite"
+        );
         assert!(start <= end, "segment start must not exceed end");
         Self { start, end }
     }

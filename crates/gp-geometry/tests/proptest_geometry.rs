@@ -1,6 +1,8 @@
 //! Property-based tests for the geometry substrate.
 
-use gp_geometry::{GridCell, ImageDims, PixelPoint, Point, Rect, Segment, ToleranceSquare, UniformGrid};
+use gp_geometry::{
+    GridCell, ImageDims, PixelPoint, Point, Rect, Segment, ToleranceSquare, UniformGrid,
+};
 use proptest::prelude::*;
 
 fn finite_coord() -> impl Strategy<Value = f64> {

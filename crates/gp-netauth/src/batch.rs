@@ -1,0 +1,363 @@
+//! Cross-connection batch verifier: coalesces concurrent login attempts
+//! into one multi-lane iterated-hash call.
+//!
+//! The PR 1 crypto work made *batched* hashing ~5× cheaper per message
+//! than scalar hashing ([`gp_crypto::iterated_hash_many`]), but a serving
+//! loop that verifies one attempt at a time can never use it.  The
+//! [`BatchVerifier`] is the bridge: workers submit the hash jobs of the
+//! pipelined requests they just drained, a leader collects up to
+//! `max_batch` jobs across *all* connections (waiting at most
+//! `coalesce_window` for stragglers), runs one
+//! [`gp_crypto::iterated_hash_many_salted`] call per iteration-count
+//! group, and wakes every submitter with its digests.
+//!
+//! Leadership rotates: whichever submitter finds no leader active takes the
+//! role, executes queued jobs until its own submission is complete, then
+//! hands off.  Waiters poll the shared state on a short condvar timeout, so
+//! there is no missed-wakeup hazard to reason about — in the worst case a
+//! result is observed one timeout (1 ms) late.
+
+use gp_crypto::{iterated_hash_many_salted_into, Digest, SaltedHasher};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One hash job: iterate `salt || pre_image` under the job's own salt.
+#[derive(Debug)]
+pub struct HashJob {
+    /// Precomputed per-salt hashing state for the account under attempt.
+    pub hasher: SaltedHasher,
+    /// The encoded attempt (output of `prepare_verify`).
+    pub pre_image: Vec<u8>,
+    /// Iteration count recorded in the stored hash.
+    pub iterations: u32,
+}
+
+/// A submission's shared result slots.
+#[derive(Debug)]
+struct Submission {
+    /// `results[i]` is filled exactly once by a leader.
+    state: Mutex<SubmissionState>,
+}
+
+#[derive(Debug)]
+struct SubmissionState {
+    results: Vec<Option<Digest>>,
+    remaining: usize,
+}
+
+/// A queued job plus its result slot.
+struct QueuedJob {
+    job: HashJob,
+    submission: Arc<Submission>,
+    index: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    queue: VecDeque<QueuedJob>,
+    leader_active: bool,
+}
+
+/// Aggregate counters for observability and the `authload` report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Multi-lane hash runs executed.
+    pub runs: u64,
+    /// Individual attempts hashed through those runs.
+    pub attempts: u64,
+    /// Largest single run.
+    pub max_run: u64,
+}
+
+impl BatchStats {
+    /// Mean attempts coalesced per hash run (1.0 = no coalescing happened).
+    pub fn mean_batch(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.attempts as f64 / self.runs as f64
+        }
+    }
+}
+
+/// Coalesces hash jobs from many workers into multi-lane runs.
+pub struct BatchVerifier {
+    max_batch: usize,
+    coalesce_window: Duration,
+    inner: Mutex<Inner>,
+    work: Condvar,
+    runs: AtomicU64,
+    attempts: AtomicU64,
+    max_run: AtomicU64,
+}
+
+impl core::fmt::Debug for BatchVerifier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BatchVerifier")
+            .field("max_batch", &self.max_batch)
+            .field("coalesce_window", &self.coalesce_window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchVerifier {
+    /// A verifier that coalesces up to `max_batch` attempts per hash run,
+    /// with a leader waiting at most `coalesce_window` for more jobs to
+    /// arrive before running a partial batch.  `max_batch` is clamped to
+    /// ≥ 1; `max_batch == 1` (or a zero window with no queued work) makes
+    /// every submission run immediately — the scalar baseline.
+    pub fn new(max_batch: usize, coalesce_window: Duration) -> Self {
+        Self {
+            max_batch: max_batch.max(1),
+            coalesce_window,
+            inner: Mutex::new(Inner::default()),
+            work: Condvar::new(),
+            runs: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            max_run: AtomicU64::new(0),
+        }
+    }
+
+    /// Largest batch a single run may coalesce.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Counters since construction.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            runs: self.runs.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            max_run: self.max_run.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hash every job, blocking until all digests are available.  Jobs from
+    /// concurrent submissions may be coalesced into the same runs.
+    ///
+    /// Returns one digest per job, in submission order.
+    pub fn submit(&self, jobs: Vec<HashJob>) -> Vec<Digest> {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let submission = Arc::new(Submission {
+            state: Mutex::new(SubmissionState {
+                results: vec![None; n],
+                remaining: n,
+            }),
+        });
+        {
+            let mut inner = self.inner.lock().expect("batch verifier poisoned");
+            for (index, job) in jobs.into_iter().enumerate() {
+                inner.queue.push_back(QueuedJob {
+                    job,
+                    submission: Arc::clone(&submission),
+                    index,
+                });
+            }
+        }
+        self.work.notify_all();
+
+        loop {
+            {
+                let state = submission.state.lock().expect("submission poisoned");
+                if state.remaining == 0 {
+                    let mut results = Vec::with_capacity(n);
+                    // `state` is final; unwrap is safe because remaining==0
+                    // means every slot was filled.
+                    for slot in state.results.iter() {
+                        results.push(slot.expect("slot filled"));
+                    }
+                    return results;
+                }
+            }
+            let inner = self.inner.lock().expect("batch verifier poisoned");
+            if !inner.leader_active && !inner.queue.is_empty() {
+                self.lead(inner);
+            } else {
+                // Short timed wait: re-check the submission either on a
+                // leader's notify or after 1 ms, whichever comes first.
+                let _ = self
+                    .work
+                    .wait_timeout(inner, Duration::from_millis(1))
+                    .expect("batch verifier poisoned");
+            }
+        }
+    }
+
+    /// Take the leader role: optionally wait out the coalescing window,
+    /// drain up to `max_batch` jobs, hash them, deliver results.
+    fn lead(&self, mut inner: std::sync::MutexGuard<'_, Inner>) {
+        inner.leader_active = true;
+        if !self.coalesce_window.is_zero() && self.max_batch > 1 {
+            let deadline = Instant::now() + self.coalesce_window;
+            while inner.queue.len() < self.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .work
+                    .wait_timeout(inner, deadline - now)
+                    .expect("batch verifier poisoned");
+                inner = guard;
+            }
+        }
+        let take = inner.queue.len().min(self.max_batch);
+        let batch: Vec<QueuedJob> = inner.queue.drain(..take).collect();
+        drop(inner);
+
+        self.execute(&batch);
+
+        let mut inner = self.inner.lock().expect("batch verifier poisoned");
+        inner.leader_active = false;
+        drop(inner);
+        self.work.notify_all();
+    }
+
+    /// Run the hashes for one drained batch and fill result slots.
+    ///
+    /// Jobs "sharing a config" (same iteration count) go through one
+    /// multi-salt multi-lane call; mixed iteration counts split into one
+    /// call per group.
+    fn execute(&self, batch: &[QueuedJob]) {
+        self.attempts
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        let mut order: Vec<usize> = (0..batch.len()).collect();
+        order.sort_by_key(|&i| batch[i].job.iterations);
+        let mut digests: Vec<(usize, Digest)> = Vec::with_capacity(batch.len());
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < order.len() {
+            let iterations = batch[order[start]].job.iterations;
+            let len = order[start..]
+                .iter()
+                .take_while(|&&i| batch[i].job.iterations == iterations)
+                .count();
+            let group = &order[start..start + len];
+            let hashers: Vec<&SaltedHasher> = group.iter().map(|&i| &batch[i].job.hasher).collect();
+            let pre_images: Vec<&[u8]> = group
+                .iter()
+                .map(|&i| batch[i].job.pre_image.as_slice())
+                .collect();
+            iterated_hash_many_salted_into(&hashers, &pre_images, iterations, &mut out);
+            // One "run" per actual hash call: a mixed-iteration batch that
+            // splits into several groups must not report phantom
+            // coalescing.
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.max_run.fetch_max(len as u64, Ordering::Relaxed);
+            for (&i, digest) in group.iter().zip(out.iter()) {
+                digests.push((i, *digest));
+            }
+            start += len;
+        }
+
+        for (i, digest) in digests {
+            let queued = &batch[i];
+            let mut state = queued.submission.state.lock().expect("submission poisoned");
+            state.results[queued.index] = Some(digest);
+            state.remaining -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_crypto::iterated_hash;
+    use std::sync::Arc;
+
+    fn job(salt: &[u8], pre_image: &[u8], iterations: u32) -> HashJob {
+        HashJob {
+            hasher: SaltedHasher::new(salt),
+            pre_image: pre_image.to_vec(),
+            iterations,
+        }
+    }
+
+    #[test]
+    fn empty_submission_returns_immediately() {
+        let v = BatchVerifier::new(16, Duration::from_micros(200));
+        assert!(v.submit(Vec::new()).is_empty());
+        assert_eq!(v.stats().runs, 0);
+    }
+
+    #[test]
+    fn single_submission_matches_scalar_hashing() {
+        let v = BatchVerifier::new(16, Duration::from_micros(100));
+        let digests = v.submit(vec![
+            job(b"salt-a", b"attempt-1", 10),
+            job(b"salt-b", b"attempt-2", 10),
+            job(b"salt-c", b"attempt-3", 25),
+        ]);
+        assert_eq!(digests[0], iterated_hash(b"salt-a", b"attempt-1", 10));
+        assert_eq!(digests[1], iterated_hash(b"salt-b", b"attempt-2", 10));
+        assert_eq!(digests[2], iterated_hash(b"salt-c", b"attempt-3", 25));
+        let stats = v.stats();
+        assert_eq!(stats.attempts, 3);
+        // Mixed iteration counts split into one hash call per group, and
+        // the counters report the calls, not the drained batch.
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.max_run, 2);
+    }
+
+    #[test]
+    fn scalar_mode_max_batch_one_still_correct() {
+        let v = BatchVerifier::new(1, Duration::ZERO);
+        let digests = v.submit(vec![job(b"s", b"a", 5), job(b"s", b"b", 5)]);
+        assert_eq!(digests[0], iterated_hash(b"s", b"a", 5));
+        assert_eq!(digests[1], iterated_hash(b"s", b"b", 5));
+        assert_eq!(v.stats().max_run, 1, "no coalescing in scalar mode");
+    }
+
+    #[test]
+    fn concurrent_submissions_coalesce_and_all_complete() {
+        let v = Arc::new(BatchVerifier::new(16, Duration::from_millis(2)));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let v = Arc::clone(&v);
+            handles.push(std::thread::spawn(move || {
+                let salt = format!("salt-{t}");
+                let pre = format!("attempt-{t}");
+                let digests = v.submit(vec![
+                    job(salt.as_bytes(), pre.as_bytes(), 50),
+                    job(salt.as_bytes(), b"second", 50),
+                ]);
+                assert_eq!(
+                    digests[0],
+                    iterated_hash(salt.as_bytes(), pre.as_bytes(), 50)
+                );
+                assert_eq!(digests[1], iterated_hash(salt.as_bytes(), b"second", 50));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = v.stats();
+        assert_eq!(stats.attempts, 16);
+        assert!(
+            stats.runs <= 16,
+            "some coalescing or at least no run inflation: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_submission_splits_into_multiple_runs() {
+        let v = BatchVerifier::new(4, Duration::ZERO);
+        let jobs: Vec<HashJob> = (0..10)
+            .map(|i| job(format!("salt-{i}").as_bytes(), b"pre", 7))
+            .collect();
+        let digests = v.submit(jobs);
+        for (i, d) in digests.iter().enumerate() {
+            assert_eq!(*d, iterated_hash(format!("salt-{i}").as_bytes(), b"pre", 7));
+        }
+        let stats = v.stats();
+        assert_eq!(stats.attempts, 10);
+        assert!(stats.runs >= 3, "10 jobs with max_batch 4 need ≥3 runs");
+        assert!(stats.max_run <= 4);
+    }
+}

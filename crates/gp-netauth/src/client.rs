@@ -4,26 +4,32 @@ use crate::error::NetAuthError;
 use crate::framing::{FrameReader, FrameWriter};
 use crate::protocol::{ClientMessage, LoginDecision, ServerMessage};
 use gp_geometry::Point;
+use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 /// A connected client session.
+///
+/// I/O is buffered on both directions, so a pipelined request burst
+/// ([`AuthClient::request_pipelined`]) costs one write syscall for the
+/// whole burst.
 #[derive(Debug)]
 pub struct AuthClient {
-    reader: FrameReader<TcpStream>,
-    writer: FrameWriter<TcpStream>,
+    reader: FrameReader<BufReader<TcpStream>>,
+    writer: FrameWriter<BufWriter<TcpStream>>,
 }
 
 impl AuthClient {
     /// Connect to a server.
     pub fn connect(addr: SocketAddr) -> Result<Self, NetAuthError> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         stream.set_write_timeout(Some(Duration::from_secs(10)))?;
         let reader_stream = stream.try_clone()?;
         Ok(Self {
-            reader: FrameReader::new(reader_stream),
-            writer: FrameWriter::new(stream),
+            reader: FrameReader::new(BufReader::new(reader_stream)),
+            writer: FrameWriter::new(BufWriter::new(stream)),
         })
     }
 
@@ -32,6 +38,26 @@ impl AuthClient {
         self.writer.write_frame(&message.encode())?;
         let frame = self.reader.read_frame()?;
         ServerMessage::decode(frame)
+    }
+
+    /// Send every request in one pipelined burst, then read the matching
+    /// responses in order.  This is the client half of the server's
+    /// pipelined framing: no request waits for the previous response's
+    /// round trip, and the server batches the burst's login hashes into
+    /// multi-lane runs.
+    pub fn request_pipelined(
+        &mut self,
+        messages: &[ClientMessage],
+    ) -> Result<Vec<ServerMessage>, NetAuthError> {
+        for message in messages {
+            self.writer.write_frame_buffered(&message.encode())?;
+        }
+        self.writer.flush()?;
+        let mut responses = Vec::with_capacity(messages.len());
+        for _ in messages {
+            responses.push(ServerMessage::decode(self.reader.read_frame()?)?);
+        }
+        Ok(responses)
     }
 
     /// Enroll an account.
@@ -153,6 +179,61 @@ mod tests {
         assert!(login_client.login("nobody", &clicks()).is_err());
         login_client.quit().unwrap();
 
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_burst_round_trips_in_order() {
+        let handle = AuthServer::new(ServerConfig::fast_for_tests())
+            .spawn()
+            .expect("spawn server");
+        let mut client = AuthClient::connect(handle.addr()).unwrap();
+        client.enroll("dana", &clicks()).unwrap();
+
+        let wrong: Vec<Point> = clicks().iter().map(|p| p.offset(-40.0, -40.0)).collect();
+        let burst = vec![
+            ClientMessage::Login {
+                username: "dana".into(),
+                clicks: clicks(),
+            },
+            ClientMessage::Login {
+                username: "dana".into(),
+                clicks: wrong,
+            },
+            ClientMessage::Login {
+                username: "dana".into(),
+                clicks: clicks(),
+            },
+            ClientMessage::GetConfig,
+        ];
+        let responses = client.request_pipelined(&burst).unwrap();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(
+            responses[0],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+        assert_eq!(
+            responses[1],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Rejected,
+                failures: 1
+            }
+        );
+        assert_eq!(
+            responses[2],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+        assert!(matches!(responses[3], ServerMessage::Config { .. }));
+
+        client.quit().unwrap();
+        let stats = handle.stats();
+        assert!(stats.workers.iter().map(|w| w.requests).sum::<u64>() >= 6);
         handle.shutdown();
     }
 

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(NetAuthError::IntegrityFailure.to_string().contains("integrity"));
+        assert!(NetAuthError::IntegrityFailure
+            .to_string()
+            .contains("integrity"));
         assert!(NetAuthError::FrameTooLarge { len: 9999 }
             .to_string()
             .contains("9999"));
@@ -82,7 +84,10 @@ mod tests {
     #[test]
     fn eof_io_errors_map_to_unexpected_eof() {
         let io = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
-        assert!(matches!(NetAuthError::from(io), NetAuthError::UnexpectedEof));
+        assert!(matches!(
+            NetAuthError::from(io),
+            NetAuthError::UnexpectedEof
+        ));
         let other = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
         assert!(matches!(NetAuthError::from(other), NetAuthError::Io(_)));
     }

@@ -44,16 +44,30 @@ impl<W: Write> FrameWriter<W> {
         Self { inner }
     }
 
-    /// Write one frame containing `payload`.
+    /// Write one frame containing `payload` and flush the writer.
     pub fn write_frame(&mut self, payload: &[u8]) -> Result<(), NetAuthError> {
+        self.write_frame_buffered(payload)?;
+        self.flush()
+    }
+
+    /// Write one frame without flushing — the pipelined serving path queues
+    /// a whole batch of responses through a buffered writer and flushes
+    /// once, so a 16-deep pipeline costs one write syscall, not 16.
+    pub fn write_frame_buffered(&mut self, payload: &[u8]) -> Result<(), NetAuthError> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(NetAuthError::FrameTooLarge { len: payload.len() });
         }
         self.inner.write_all(&[PROTOCOL_VERSION])?;
-        self.inner.write_all(&(payload.len() as u32).to_be_bytes())?;
+        self.inner
+            .write_all(&(payload.len() as u32).to_be_bytes())?;
         self.inner.write_all(payload)?;
         self.inner
             .write_all(&checksum(PROTOCOL_VERSION, payload).to_be_bytes())?;
+        Ok(())
+    }
+
+    /// Flush buffered frames to the transport.
+    pub fn flush(&mut self) -> Result<(), NetAuthError> {
         self.inner.flush()?;
         Ok(())
     }
@@ -65,37 +79,100 @@ impl<W: Write> FrameWriter<W> {
 }
 
 /// Reads frames from an underlying `Read`.
+///
+/// Reading is *resumable*: if the transport reports a transient error
+/// (`WouldBlock`/`TimedOut` from a read-timeout) mid-frame, the bytes
+/// already consumed are kept and the next [`FrameReader::read_frame`] call
+/// continues exactly where it stopped.  A serving loop that polls a
+/// shutdown flag on read timeouts therefore never desyncs a well-behaved
+/// connection whose frame happens to straddle the timeout.
 #[derive(Debug)]
 pub struct FrameReader<R: Read> {
     inner: R,
+    /// Bytes of the in-progress frame (header + body so far).
+    partial: Vec<u8>,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wrap a reader.
     pub fn new(inner: R) -> Self {
-        Self { inner }
+        Self {
+            inner,
+            partial: Vec::new(),
+        }
     }
 
     /// Read one frame, verifying version, length bound and integrity.
+    ///
+    /// I/O errors are returned as-is with the partial frame retained, so a
+    /// caller may retry after `WouldBlock`/`TimedOut`.  Protocol errors
+    /// (`UnsupportedVersion`, `FrameTooLarge`, `IntegrityFailure`) discard
+    /// the offending frame's bytes; for `IntegrityFailure` the whole frame
+    /// was consumed first, so the stream stays in sync and the connection
+    /// can keep serving.
     pub fn read_frame(&mut self) -> Result<Bytes, NetAuthError> {
-        let mut header = [0u8; 5];
-        self.inner.read_exact(&mut header)?;
-        let version = header[0];
-        if version != PROTOCOL_VERSION {
-            return Err(NetAuthError::UnsupportedVersion { got: version });
+        loop {
+            if self.partial.len() >= 5 {
+                let version = self.partial[0];
+                if version != PROTOCOL_VERSION {
+                    self.partial.clear();
+                    return Err(NetAuthError::UnsupportedVersion { got: version });
+                }
+                let len = u32::from_be_bytes([
+                    self.partial[1],
+                    self.partial[2],
+                    self.partial[3],
+                    self.partial[4],
+                ]) as usize;
+                if len > MAX_FRAME_LEN {
+                    self.partial.clear();
+                    return Err(NetAuthError::FrameTooLarge { len });
+                }
+                let total = 5 + len + 4;
+                if self.partial.len() >= total {
+                    debug_assert_eq!(self.partial.len(), total, "reads never over-fill");
+                    let payload = &self.partial[5..5 + len];
+                    let ok = u32::from_be_bytes([
+                        self.partial[5 + len],
+                        self.partial[5 + len + 1],
+                        self.partial[5 + len + 2],
+                        self.partial[5 + len + 3],
+                    ]) == checksum(version, payload);
+                    let frame = if ok {
+                        Some(Bytes::from(payload.to_vec()))
+                    } else {
+                        None
+                    };
+                    self.partial.clear();
+                    return frame.ok_or(NetAuthError::IntegrityFailure);
+                }
+            }
+            // Ask for exactly the bytes still missing (header first, then
+            // the rest once the length is known) — never over-reading into
+            // the next frame.
+            let goal = if self.partial.len() < 5 {
+                5
+            } else {
+                let len = u32::from_be_bytes([
+                    self.partial[1],
+                    self.partial[2],
+                    self.partial[3],
+                    self.partial[4],
+                ]) as usize;
+                5 + len + 4
+            };
+            let mut buf = [0u8; 4096];
+            let want = (goal - self.partial.len()).min(buf.len());
+            let n = match self.inner.read(&mut buf[..want]) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if n == 0 {
+                return Err(NetAuthError::UnexpectedEof);
+            }
+            self.partial.extend_from_slice(&buf[..n]);
         }
-        let len = u32::from_be_bytes([header[1], header[2], header[3], header[4]]) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(NetAuthError::FrameTooLarge { len });
-        }
-        let mut payload = vec![0u8; len];
-        self.inner.read_exact(&mut payload)?;
-        let mut check = [0u8; 4];
-        self.inner.read_exact(&mut check)?;
-        if u32::from_be_bytes(check) != checksum(version, &payload) {
-            return Err(NetAuthError::IntegrityFailure);
-        }
-        Ok(Bytes::from(payload))
     }
 
     /// Access the underlying reader.
@@ -104,16 +181,57 @@ impl<R: Read> FrameReader<R> {
     }
 }
 
-/// A fault-injecting byte transport for tests: corrupts or drops whole
-/// frames written through it before handing bytes to the wrapped buffer.
+impl<R: Read> FrameReader<std::io::BufReader<R>> {
+    /// Whether a complete frame (or a frame whose header already proves it
+    /// invalid) is sitting in the buffer, so the next
+    /// [`FrameReader::read_frame`] is guaranteed not to block.
+    ///
+    /// This is what makes request pipelining safe on a blocking transport:
+    /// after the first (blocking) frame of a batch, the server drains only
+    /// frames that are already buffered and never stalls a whole pipeline
+    /// waiting for a straggler.
+    pub fn frame_buffered(&self) -> bool {
+        let buf = self.inner.buffer();
+        if buf.len() < 5 {
+            return false;
+        }
+        if buf[0] != PROTOCOL_VERSION {
+            // read_frame fails right after the header — non-blocking.
+            return true;
+        }
+        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        if len > MAX_FRAME_LEN {
+            // read_frame fails on the header alone — non-blocking.
+            return true;
+        }
+        buf.len() >= 5 + len + 4
+    }
+}
+
+/// A fault-injecting byte transport for tests: corrupts or drops writes
+/// before handing bytes to the wrapped buffer.
+///
+/// Granularity is the *write call*; [`FrameWriter`] issues exactly four
+/// writes per frame (version, length, payload, check), so targeting a
+/// payload write means write index `4k + 3`.  [`FaultyBuffer::corrupt_frame_payload`]
+/// and [`FaultyBuffer::drop_frame`] encode that arithmetic so tests can
+/// speak in frame numbers.
 #[derive(Debug, Default)]
 pub struct FaultyBuffer {
     /// Bytes visible to the reader side.
     pub bytes: Vec<u8>,
     /// Corrupt (flip one bit of) every n-th write, 0 = never.
     pub corrupt_every: usize,
+    /// Corrupt (flip one bit of) these specific write calls (1-based).
+    pub corrupt_writes: Vec<usize>,
+    /// Silently discard these specific write calls (1-based).
+    pub drop_writes: Vec<usize>,
     writes: usize,
 }
+
+/// Write calls per frame issued by [`FrameWriter`]: version, length,
+/// payload, check.
+const WRITES_PER_FRAME: usize = 4;
 
 impl FaultyBuffer {
     /// A buffer that corrupts every `n`-th write call (0 disables).
@@ -123,13 +241,35 @@ impl FaultyBuffer {
             ..Self::default()
         }
     }
+
+    /// Corrupt the payload of the `frame`-th frame written (0-based).
+    pub fn corrupt_frame_payload(mut self, frame: usize) -> Self {
+        self.corrupt_writes.push(frame * WRITES_PER_FRAME + 3);
+        self
+    }
+
+    /// Drop the `frame`-th frame written (0-based) in its entirety — the
+    /// peer never sees any of its bytes, as if the request were lost.
+    pub fn drop_frame(mut self, frame: usize) -> Self {
+        for w in 1..=WRITES_PER_FRAME {
+            self.drop_writes.push(frame * WRITES_PER_FRAME + w);
+        }
+        self
+    }
 }
 
 impl Write for FaultyBuffer {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         self.writes += 1;
+        if self.drop_writes.contains(&self.writes) {
+            return Ok(buf.len());
+        }
         let mut data = buf.to_vec();
-        if self.corrupt_every != 0 && self.writes % self.corrupt_every == 0 && !data.is_empty() {
+        let scheduled = self.corrupt_writes.contains(&self.writes);
+        if (scheduled
+            || (self.corrupt_every != 0 && self.writes.is_multiple_of(self.corrupt_every)))
+            && !data.is_empty()
+        {
             let idx = data.len() / 2;
             data[idx] ^= 0x40;
         }
@@ -199,7 +339,9 @@ mod tests {
     #[test]
     fn corrupted_payload_fails_integrity_check() {
         let mut buf = Vec::new();
-        FrameWriter::new(&mut buf).write_frame(b"click data").unwrap();
+        FrameWriter::new(&mut buf)
+            .write_frame(b"click data")
+            .unwrap();
         // Flip a bit inside the payload region (after the 5-byte header).
         buf[7] ^= 0x01;
         let mut reader = FrameReader::new(Cursor::new(buf));
@@ -212,7 +354,9 @@ mod tests {
     #[test]
     fn truncated_frame_reports_eof() {
         let mut buf = Vec::new();
-        FrameWriter::new(&mut buf).write_frame(b"click data").unwrap();
+        FrameWriter::new(&mut buf)
+            .write_frame(b"click data")
+            .unwrap();
         buf.truncate(buf.len() - 3);
         let mut reader = FrameReader::new(Cursor::new(buf));
         assert!(matches!(
@@ -233,7 +377,10 @@ mod tests {
         }
         let mut reader = FrameReader::new(Cursor::new(faulty.bytes));
         let first = reader.read_frame();
-        assert!(matches!(first, Err(NetAuthError::IntegrityFailure)), "{first:?}");
+        assert!(
+            matches!(first, Err(NetAuthError::IntegrityFailure)),
+            "{first:?}"
+        );
     }
 
     #[test]
@@ -242,5 +389,168 @@ mod tests {
         FrameWriter::new(&mut clean).write_frame(b"data").unwrap();
         let mut reader = FrameReader::new(Cursor::new(clean.bytes));
         assert_eq!(&reader.read_frame().unwrap()[..], b"data");
+    }
+
+    /// A reader that interleaves `WouldBlock` timeouts between every few
+    /// delivered bytes — the worst-case trickle a read-timeout transport
+    /// can produce.
+    struct TrickleReader {
+        bytes: Vec<u8>,
+        pos: usize,
+        ticks: usize,
+    }
+
+    impl std::io::Read for TrickleReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.ticks += 1;
+            if self.ticks.is_multiple_of(2) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "simulated read timeout",
+                ));
+            }
+            let n = buf.len().min(3).min(self.bytes.len() - self.pos);
+            if n == 0 {
+                return Ok(0);
+            }
+            buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_frame_resumes_across_mid_frame_timeouts_without_desync() {
+        let mut bytes = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut bytes);
+            writer.write_frame(b"first frame payload").unwrap();
+            writer.write_frame(b"second").unwrap();
+        }
+        let mut reader = FrameReader::new(TrickleReader {
+            bytes,
+            pos: 0,
+            ticks: 0,
+        });
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        while frames.len() < 2 {
+            match reader.read_frame() {
+                Ok(frame) => frames.push(frame),
+                Err(NetAuthError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    timeouts += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(&frames[0][..], b"first frame payload");
+        assert_eq!(&frames[1][..], b"second");
+        assert!(timeouts > 5, "the trickle must actually have timed out");
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::UnexpectedEof) | Err(NetAuthError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn targeted_payload_corruption_fails_only_that_frame() {
+        // Three pipelined frames, the middle payload corrupted: frames 1
+        // and 3 still decode, frame 2 fails integrity, and the stream stays
+        // in sync (the length prefix was untouched).
+        let mut faulty = FaultyBuffer::default().corrupt_frame_payload(1);
+        {
+            let mut writer = FrameWriter::new(&mut faulty);
+            writer.write_frame(b"frame one").unwrap();
+            writer.write_frame(b"frame two").unwrap();
+            writer.write_frame(b"frame three").unwrap();
+        }
+        let mut reader = FrameReader::new(Cursor::new(faulty.bytes));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"frame one");
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::IntegrityFailure)
+        ));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"frame three");
+    }
+
+    #[test]
+    fn dropped_frame_vanishes_without_desyncing_neighbours() {
+        let mut faulty = FaultyBuffer::default().drop_frame(1);
+        {
+            let mut writer = FrameWriter::new(&mut faulty);
+            writer.write_frame(b"first").unwrap();
+            writer.write_frame(b"dropped").unwrap();
+            writer.write_frame(b"third").unwrap();
+        }
+        let mut reader = FrameReader::new(Cursor::new(faulty.bytes));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"first");
+        assert_eq!(&reader.read_frame().unwrap()[..], b"third");
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn buffered_writes_emit_identical_bytes_to_flushed_writes() {
+        let mut flushed = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut flushed);
+            w.write_frame(b"a").unwrap();
+            w.write_frame(b"bb").unwrap();
+        }
+        let mut buffered = Vec::new();
+        {
+            let mut w = FrameWriter::new(std::io::BufWriter::new(&mut buffered));
+            w.write_frame_buffered(b"a").unwrap();
+            w.write_frame_buffered(b"bb").unwrap();
+            w.flush().unwrap();
+        }
+        assert_eq!(flushed, buffered);
+    }
+
+    #[test]
+    fn frame_buffered_reports_only_complete_frames() {
+        let mut bytes = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut bytes);
+            w.write_frame(b"hello").unwrap();
+            w.write_frame(b"world!").unwrap();
+        }
+        // A BufReader with a large buffer holds both frames after one fill.
+        let mut reader = FrameReader::new(std::io::BufReader::new(Cursor::new(bytes.clone())));
+        assert!(
+            !reader.frame_buffered(),
+            "nothing buffered before first read"
+        );
+        assert_eq!(&reader.read_frame().unwrap()[..], b"hello");
+        assert!(reader.frame_buffered(), "second frame fully buffered");
+        assert_eq!(&reader.read_frame().unwrap()[..], b"world!");
+        assert!(!reader.frame_buffered(), "stream exhausted");
+
+        // A truncated trailing frame must not be reported available.
+        let cut = bytes.len() - 3;
+        let mut reader =
+            FrameReader::new(std::io::BufReader::new(Cursor::new(bytes[..cut].to_vec())));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"hello");
+        assert!(!reader.frame_buffered(), "truncated frame is not complete");
+    }
+
+    #[test]
+    fn frame_buffered_flags_invalid_headers_as_ready() {
+        // Bad version byte: read_frame will fail immediately, so the frame
+        // counts as "ready" (the caller must observe the error, not stall).
+        let mut first = Vec::new();
+        FrameWriter::new(&mut first).write_frame(b"ok").unwrap();
+        let mut bytes = first.clone();
+        // Full 5-byte header of a second "frame" with a bogus version.
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1]);
+        let mut reader = FrameReader::new(std::io::BufReader::new(Cursor::new(bytes)));
+        assert_eq!(&reader.read_frame().unwrap()[..], b"ok");
+        assert!(reader.frame_buffered(), "invalid version is ready to error");
+        assert!(matches!(
+            reader.read_frame(),
+            Err(NetAuthError::UnsupportedVersion { got: 9 })
+        ));
     }
 }

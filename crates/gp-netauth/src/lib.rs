@@ -3,32 +3,54 @@
 //! The paper's deployment model is a client that captures click coordinates
 //! and a server that holds only `(clear grid identifiers, hash)` per
 //! account and decides logins — including throttling online guessing
-//! attacks (§5.1).  This crate provides that substrate as a small,
-//! synchronous TCP service so the rest of the workspace can be exercised
-//! end-to-end:
+//! attacks (§5.1).  This crate provides that substrate as a sharded,
+//! pipelined TCP service:
 //!
 //! * [`protocol`] — the wire messages (enroll, login, result) with a
 //!   versioned binary encoding built on [`bytes`].
 //! * [`framing`] — length-prefixed frames with an integrity tag over any
-//!   `Read`/`Write` transport, plus a fault-injecting wrapper used in tests
-//!   (dropping and corrupting frames, in the spirit of smoltcp's fault
-//!   injection options).
+//!   `Read`/`Write` transport, with pipelining support (non-blocking
+//!   detection of already-buffered frames, buffered multi-frame writes)
+//!   and a fault-injecting wrapper used in tests (dropping and corrupting
+//!   frames, in the spirit of smoltcp's fault injection options).
 //! * [`lockout`] — per-account consecutive-failure tracking implementing
-//!   the online-attack countermeasure.
-//! * [`server`] — a threaded TCP server wrapping a
+//!   the online-attack countermeasure, sharded by account hash and bounded
+//!   in memory against username-spraying attacks.
+//! * [`batch`] — the cross-connection [`batch::BatchVerifier`], which
+//!   coalesces concurrent login attempts into single multi-lane
+//!   [`gp_crypto::iterated_hash_many_salted`] runs.
+//! * [`server`] — the serving layer: a bounded worker pool over a
 //!   [`GraphicalPasswordSystem`](gp_passwords::GraphicalPasswordSystem)
-//!   and a [`PasswordStore`](gp_passwords::PasswordStore).
-//! * [`client`] — a blocking client used by the examples and integration
-//!   tests.
+//!   and a [`ShardedPasswordStore`](gp_passwords::ShardedPasswordStore),
+//!   draining request pipelines per connection and answering in order,
+//!   with graceful shutdown and per-worker metrics.
+//! * [`client`] — a blocking client (with a pipelined burst API) used by
+//!   the examples, integration tests and the `authload` generator.
 //!
-//! The protocol is deliberately simple (single request / single response
-//! per frame, no TLS): it exists to demonstrate and test the password
-//! subsystem under its intended deployment shape, not to be an
-//! internet-facing service.
+//! # Request flow
+//!
+//! ```text
+//! accept loop ──► bounded connection queue ──► worker pool (N threads)
+//!                                                  │ drain ≤ pipeline_max frames
+//!                                                  ▼
+//!                                  prepare: shard lookup ─ discretize ─ provenance
+//!                                                  │ hash jobs
+//!                                                  ▼
+//!                                  BatchVerifier (≤ batch_max attempts/run,
+//!                                     multi-lane iterated_hash_many_salted)
+//!                                                  │ digests
+//!                                                  ▼
+//!                                  finish: lockout settle ─ in-order responses
+//! ```
+//!
+//! The protocol remains deliberately simple (length-prefixed frames, no
+//! TLS): it exists to demonstrate and test the password subsystem under
+//! its intended deployment shape, not to be an internet-facing service.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod client;
 pub mod error;
 pub mod framing;
@@ -36,9 +58,12 @@ pub mod lockout;
 pub mod protocol;
 pub mod server;
 
+pub use batch::{BatchStats, BatchVerifier, HashJob};
 pub use client::AuthClient;
 pub use error::NetAuthError;
 pub use framing::{FrameReader, FrameWriter, MAX_FRAME_LEN};
 pub use lockout::LockoutTracker;
 pub use protocol::{ClientMessage, LoginDecision, ServerMessage};
-pub use server::{AuthServer, ServerConfig, ServerHandle};
+pub use server::{
+    AuthServer, ServerConfig, ServerHandle, ServerStats, WorkerMetrics, WorkerStatsSnapshot,
+};

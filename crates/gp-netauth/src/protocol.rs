@@ -366,7 +366,10 @@ mod tests {
         // Every proper prefix must fail to decode rather than panic.
         for len in 0..full.len() {
             let prefix = full.slice(0..len);
-            assert!(ClientMessage::decode(prefix).is_err(), "prefix of {len} bytes");
+            assert!(
+                ClientMessage::decode(prefix).is_err(),
+                "prefix of {len} bytes"
+            );
         }
     }
 

@@ -1,23 +1,61 @@
-//! Threaded TCP authentication server.
+//! Sharded, pipelined TCP authentication server.
 //!
-//! The server owns a [`GraphicalPasswordSystem`], a [`PasswordStore`] and a
-//! [`LockoutTracker`].  Request handling is a pure function
-//! ([`AuthServer::handle_message`]) so the protocol logic is unit-testable
-//! without sockets; [`AuthServer::spawn`] wraps it in an accept loop with
-//! one thread per connection.
+//! The serving path is built for concurrency in three layers:
+//!
+//! 1. **Sharded state** — accounts live in a
+//!    [`ShardedPasswordStore`] and failure counts in a sharded
+//!    [`LockoutTracker`], so worker threads contend only when they touch
+//!    the same partition.
+//! 2. **Bounded worker pool with pipelined framing** — [`AuthServer::spawn`]
+//!    starts a fixed pool of workers fed from a bounded connection queue
+//!    (accepting backpressures when the queue is full).  A worker drains
+//!    every request frame already buffered on its connection (up to
+//!    [`ServerConfig::pipeline_max`]) and answers them in order, so a
+//!    client may keep many requests in flight and the per-request syscall
+//!    cost amortizes across the pipeline.
+//! 3. **Cross-connection batch verification** — the expensive iterated
+//!    hash of each login is submitted to a shared [`BatchVerifier`], which
+//!    coalesces up to [`ServerConfig::batch_max`] attempts (from one
+//!    pipeline or from many connections) into a single multi-lane
+//!    [`gp_crypto::iterated_hash_many_salted`] run — the PR 1 fast path.
+//!
+//! Request handling stays a pure function ([`AuthServer::handle_message`])
+//! so the protocol logic is unit-testable without sockets, and the
+//! pipelined loop ([`AuthServer::serve_streams`]) is generic over
+//! `Read`/`Write` so fault-injection tests can drive it with in-memory
+//! transports.
 
+use crate::batch::{BatchStats, BatchVerifier, HashJob};
 use crate::error::NetAuthError;
 use crate::framing::{FrameReader, FrameWriter};
 use crate::lockout::LockoutTracker;
 use crate::protocol::{ClientMessage, LoginDecision, ServerMessage};
-use gp_geometry::ImageDims;
+use gp_crypto::SaltedHasher;
+use gp_geometry::{ImageDims, Point};
 use gp_passwords::{
-    DiscretizationConfig, GraphicalPasswordSystem, PasswordError, PasswordPolicy, PasswordStore,
+    DiscretizationConfig, GraphicalPasswordSystem, PasswordPolicy, ShardStats,
+    ShardedPasswordStore, StoredPassword, VerifyScratch,
 };
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Consecutive undecodable/corrupt frames tolerated on one connection
+/// before the server gives up on it (a desynced or hostile peer).
+const MAX_CONSECUTIVE_PROTOCOL_ERRORS: u32 = 32;
+
+/// How often blocked workers re-check the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// How long a worker may block writing a response before the connection is
+/// declared dead.  A peer that stops reading (full kernel send buffer)
+/// must not wedge a worker in `flush()` — or `ServerHandle::shutdown`,
+/// which joins every worker.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,11 +70,35 @@ pub struct ServerConfig {
     pub hash_iterations: u32,
     /// Consecutive failures before an account locks (0 = never).
     pub max_failures: u32,
+    /// Partitions for the account store and lockout tracker.
+    pub shards: usize,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Maximum login attempts coalesced into one multi-lane hash run
+    /// (1 = scalar verification, the pre-batching baseline).
+    pub batch_max: usize,
+    /// How long a batch leader waits for attempts from other connections
+    /// before running a partial batch.
+    pub coalesce_window: Duration,
+    /// Maximum request frames drained from one connection per turn.
+    pub pipeline_max: usize,
+    /// Bounded depth of the accepted-connection queue (accepting blocks
+    /// when full — backpressure instead of unbounded thread growth).
+    pub pending_connections: usize,
+    /// Maximum accounts tracked by the lockout sweep (per generation).
+    pub lockout_capacity: usize,
+    /// How long a worker waits for the next request before dropping an
+    /// idle connection.  With a bounded pool a connection occupies a
+    /// worker while open, so idle peers (deliberate or not) must not be
+    /// able to hold workers forever.  `Duration::ZERO` disables the limit
+    /// (in-memory transports in tests).
+    pub idle_timeout: Duration,
 }
 
 impl ServerConfig {
     /// A PassPoints-style deployment with Centered Discretization (r = 9)
-    /// on the study image, three-strikes lockout.
+    /// on the study image, three-strikes lockout, four shards and a small
+    /// worker pool with 16-way batch verification.
     pub fn study_default() -> Self {
         Self {
             image: ImageDims::STUDY,
@@ -44,6 +106,14 @@ impl ServerConfig {
             clicks: 5,
             hash_iterations: 1000,
             max_failures: 3,
+            shards: 4,
+            workers: 4,
+            batch_max: gp_crypto::LANES,
+            coalesce_window: Duration::from_micros(200),
+            pipeline_max: 32,
+            pending_connections: 128,
+            lockout_capacity: 65_536,
+            idle_timeout: Duration::from_secs(10),
         }
     }
 
@@ -54,6 +124,84 @@ impl ServerConfig {
             ..Self::study_default()
         }
     }
+
+    /// The pre-sharding serving shape: one shard, one worker, scalar
+    /// verification.  The `authload` bench drives this as the baseline the
+    /// sharded/pooled/batched configuration is measured against.
+    pub fn single_worker_baseline() -> Self {
+        Self {
+            shards: 1,
+            workers: 1,
+            batch_max: 1,
+            coalesce_window: Duration::ZERO,
+            ..Self::study_default()
+        }
+    }
+}
+
+/// Per-worker serving counters (atomics; [`ServerHandle::stats`] snapshots
+/// them into [`WorkerStatsSnapshot`]s).
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    logins: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// Point-in-time copy of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStatsSnapshot {
+    /// Worker index within the pool.
+    pub worker: usize,
+    /// Connections this worker has served.
+    pub connections: u64,
+    /// Requests answered (all message kinds).
+    pub requests: u64,
+    /// Login attempts processed.
+    pub logins: u64,
+    /// Corrupt or undecodable frames answered with protocol errors.
+    pub protocol_errors: u64,
+}
+
+impl WorkerMetrics {
+    fn snapshot(&self, worker: usize) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            worker,
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            logins: self.logins.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregate serving statistics: per-worker, per-shard and batching.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// One snapshot per pool worker.
+    pub workers: Vec<WorkerStatsSnapshot>,
+    /// Account-store shard sizes and traffic.
+    pub shards: Vec<ShardStats>,
+    /// Batch-verifier coalescing counters.
+    pub batch: BatchStats,
+}
+
+/// What phase 1 of request processing decided for one pipelined request.
+enum Planned {
+    /// Response is already known (non-login messages, protocol errors,
+    /// unknown accounts).
+    Respond(ServerMessage),
+    /// A login that cannot match (structural failure, foreign provenance,
+    /// or already locked): settle against the lockout in order, no hash.
+    LoginNoHash { username: String },
+    /// A login whose hash job `job_index` is in flight with the batch
+    /// verifier.
+    LoginHashed {
+        username: String,
+        stored: Box<StoredPassword>,
+        job_index: usize,
+    },
 }
 
 /// The authentication server.
@@ -61,8 +209,9 @@ impl ServerConfig {
 pub struct AuthServer {
     config: ServerConfig,
     system: GraphicalPasswordSystem,
-    store: Arc<PasswordStore>,
+    store: Arc<ShardedPasswordStore>,
     lockout: Arc<LockoutTracker>,
+    verifier: Arc<BatchVerifier>,
 }
 
 impl AuthServer {
@@ -73,18 +222,30 @@ impl AuthServer {
             config.discretization,
             config.hash_iterations,
         );
-        let lockout = Arc::new(LockoutTracker::new(config.max_failures));
+        let store = Arc::new(ShardedPasswordStore::new(config.shards));
+        let lockout = Arc::new(LockoutTracker::with_limits(
+            config.max_failures,
+            config.lockout_capacity,
+            config.shards.max(1),
+        ));
+        let verifier = Arc::new(BatchVerifier::new(config.batch_max, config.coalesce_window));
         Self {
             config,
             system,
-            store: Arc::new(PasswordStore::new()),
+            store,
             lockout,
+            verifier,
         }
     }
 
-    /// The account store (shared; useful for pre-seeding accounts in tests
-    /// and examples).
-    pub fn store(&self) -> Arc<PasswordStore> {
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The sharded account store (shared; useful for pre-seeding accounts
+    /// in tests, examples and benches).
+    pub fn store(&self) -> Arc<ShardedPasswordStore> {
         Arc::clone(&self.store)
     }
 
@@ -93,12 +254,21 @@ impl AuthServer {
         Arc::clone(&self.lockout)
     }
 
+    /// The batch verifier (exposed for stats).
+    pub fn verifier(&self) -> Arc<BatchVerifier> {
+        Arc::clone(&self.verifier)
+    }
+
     /// The underlying password system.
     pub fn system(&self) -> &GraphicalPasswordSystem {
         &self.system
     }
 
     /// Handle a single request (protocol logic, no I/O).
+    ///
+    /// Logins route through the same split-phase prepare/batch/finish path
+    /// the pipelined loop uses, so even the one-at-a-time entry point hits
+    /// the multi-lane-capable verifier.
     pub fn handle_message(&self, message: ClientMessage) -> ServerMessage {
         match message {
             ClientMessage::GetConfig => ServerMessage::Config {
@@ -106,118 +276,369 @@ impl AuthServer {
                 clicks: self.config.clicks as u32,
             },
             ClientMessage::Quit => ServerMessage::Goodbye,
-            ClientMessage::Enroll { username, clicks } => {
-                match self.store.enroll(&self.system, &username, &clicks) {
-                    Ok(()) => ServerMessage::EnrollOk,
-                    Err(e) => ServerMessage::Error {
-                        reason: e.to_string(),
-                    },
-                }
-            }
+            ClientMessage::Enroll { username, clicks } => self.handle_enroll(&username, &clicks),
             ClientMessage::Login { username, clicks } => {
-                if self.lockout.is_locked(&username) {
-                    return ServerMessage::LoginResult {
-                        decision: LoginDecision::LockedOut,
-                        failures: self.lockout.failures(&username),
-                    };
-                }
-                match self.store.verify(&self.system, &username, &clicks) {
-                    Ok(true) => {
-                        self.lockout.record_success(&username);
-                        ServerMessage::LoginResult {
-                            decision: LoginDecision::Accepted,
-                            failures: 0,
-                        }
-                    }
-                    Ok(false) => {
-                        let failures = self.lockout.record_failure(&username);
-                        ServerMessage::LoginResult {
-                            decision: LoginDecision::Rejected,
-                            failures,
-                        }
-                    }
-                    // Structurally invalid attempts (wrong click count,
-                    // clicks outside the image) are failures too; unknown
-                    // accounts are reported as errors without consuming a
-                    // failure (no account to lock).
-                    Err(PasswordError::UnknownAccount { username }) => ServerMessage::Error {
-                        reason: format!("unknown account {username:?}"),
-                    },
-                    Err(_) => {
-                        let failures = self.lockout.record_failure(&username);
-                        ServerMessage::LoginResult {
-                            decision: LoginDecision::Rejected,
-                            failures,
-                        }
+                let mut scratch = VerifyScratch::new();
+                let mut jobs = Vec::new();
+                let planned = self.prepare_login(username, &clicks, &mut scratch, &mut jobs);
+                let digests = self.verifier.submit(jobs);
+                match planned {
+                    Planned::Respond(response) => response,
+                    Planned::LoginNoHash { username } => self.finish_login(&username, None),
+                    Planned::LoginHashed {
+                        username, stored, ..
+                    } => {
+                        let matched = self.system.finish_verify(&stored, &digests[0]);
+                        self.store.note_verified(&username);
+                        self.finish_login(&username, Some(matched))
                     }
                 }
             }
         }
     }
 
-    /// Bind to `127.0.0.1:0` and serve connections on background threads
+    fn handle_enroll(&self, username: &str, clicks: &[Point]) -> ServerMessage {
+        match self.store.enroll(&self.system, username, clicks) {
+            Ok(()) => ServerMessage::EnrollOk,
+            Err(e) => ServerMessage::Error {
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    /// Phase 1 of login handling: everything cheap.  Looks the account up
+    /// in its shard, discretizes and encodes the attempt, checks
+    /// provenance, and either settles immediately or appends a [`HashJob`]
+    /// to `jobs` for the batch verifier.
+    fn prepare_login(
+        &self,
+        username: String,
+        clicks: &[Point],
+        scratch: &mut VerifyScratch,
+        jobs: &mut Vec<HashJob>,
+    ) -> Planned {
+        let Some(stored) = self.store.get(&username) else {
+            return Planned::Respond(ServerMessage::Error {
+                reason: format!("unknown account {username:?}"),
+            });
+        };
+        if self.lockout.is_locked(&username) {
+            // Definitely locked now; settle in order at finish time (where
+            // the decision is re-checked) without paying for a hash.
+            return Planned::LoginNoHash { username };
+        }
+        match self.system.prepare_verify(&stored, clicks, scratch) {
+            // Structurally invalid attempts (wrong click count, clicks
+            // outside the image) are failures; so are records whose
+            // salt/iteration provenance can never match this system.
+            Err(_) | Ok(None) => Planned::LoginNoHash { username },
+            Ok(Some(pre_image)) => {
+                let job_index = jobs.len();
+                jobs.push(HashJob {
+                    hasher: SaltedHasher::new(&stored.hash.salt),
+                    pre_image,
+                    iterations: stored.hash.iterations,
+                });
+                Planned::LoginHashed {
+                    username,
+                    stored: Box::new(stored),
+                    job_index,
+                }
+            }
+        }
+    }
+
+    /// Phase 2 of login handling: settle one attempt against the lockout
+    /// state, in pipeline order.  `verdict` is `Some(matched)` for hashed
+    /// attempts and `None` for attempts that could not match.
+    ///
+    /// Lock check and count update happen under one shard-lock acquisition
+    /// ([`LockoutTracker::settle_attempt`]), so concurrent wrong attempts
+    /// from different connections can never report a failure count past
+    /// the threshold.
+    fn finish_login(&self, username: &str, verdict: Option<bool>) -> ServerMessage {
+        let success = verdict == Some(true);
+        let (was_locked, failures) = self.lockout.settle_attempt(username, success);
+        let decision = if was_locked {
+            LoginDecision::LockedOut
+        } else if success {
+            LoginDecision::Accepted
+        } else {
+            LoginDecision::Rejected
+        };
+        ServerMessage::LoginResult { decision, failures }
+    }
+
+    /// Aggregate serving statistics.  `workers` carries one entry per pool
+    /// worker when called through [`ServerHandle::stats`]; direct callers
+    /// with no running pool get an empty list.
+    fn stats_with_workers(&self, workers: Vec<WorkerStatsSnapshot>) -> ServerStats {
+        ServerStats {
+            workers,
+            shards: self.store.stats(),
+            batch: self.verifier.stats(),
+        }
+    }
+
+    /// Bind to `127.0.0.1:0` and serve connections on the worker pool
     /// until the returned handle is shut down or dropped.
     pub fn spawn(self) -> Result<ServerHandle, NetAuthError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let server = Arc::new(self);
+        let worker_count = server.config.workers.max(1);
+        let (tx, rx) =
+            std::sync::mpsc::sync_channel::<TcpStream>(server.config.pending_connections.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut worker_metrics = Vec::with_capacity(worker_count);
+        let mut worker_joins = Vec::with_capacity(worker_count);
+        for index in 0..worker_count {
+            let metrics = Arc::new(WorkerMetrics::default());
+            worker_metrics.push(Arc::clone(&metrics));
+            let server = Arc::clone(&server);
+            let rx = Arc::clone(&rx);
+            let shutdown = Arc::clone(&shutdown);
+            worker_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("gp-auth-worker-{index}"))
+                    .spawn(move || worker_loop(&server, &rx, &shutdown, &metrics))
+                    .map_err(NetAuthError::Io)?,
+            );
+        }
+
         let accept_shutdown = Arc::clone(&shutdown);
-        let accept_server = Arc::clone(&server);
-        let join = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => {
-                        let server = Arc::clone(&accept_server);
-                        workers.push(std::thread::spawn(move || {
-                            let _ = server.serve_connection(stream);
-                        }));
+        let accept_join = std::thread::Builder::new()
+            .name("gp-auth-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(_) => break,
+                    let Ok(stream) = stream else { break };
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+                    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    // Blocking send = backpressure once `pending_connections`
+                    // connections are queued; re-check shutdown while full.
+                    let mut pending = stream;
+                    loop {
+                        match tx.try_send(pending) {
+                            Ok(()) => break,
+                            Err(TrySendError::Full(stream)) => {
+                                if accept_shutdown.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                pending = stream;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            Err(TrySendError::Disconnected(_)) => return,
+                        }
+                    }
                 }
-            }
-            for worker in workers {
-                let _ = worker.join();
-            }
-        });
+                // `tx` drops here: workers drain the queue and exit.
+            })
+            .map_err(NetAuthError::Io)?;
+
         Ok(ServerHandle {
             addr,
             shutdown,
-            join: Some(join),
+            accept_join: Some(accept_join),
+            worker_joins,
+            worker_metrics,
+            server,
         })
     }
 
-    /// Serve a single connection until the client quits or the stream
-    /// fails.
-    fn serve_connection(&self, stream: TcpStream) -> Result<(), NetAuthError> {
-        let reader_stream = stream.try_clone()?;
-        let mut reader = FrameReader::new(reader_stream);
-        let mut writer = FrameWriter::new(stream);
+    /// Serve one connection's request pipeline over arbitrary transports
+    /// until EOF, `Quit`, shutdown, or an unrecoverable framing error.
+    ///
+    /// Reads are buffered: after the first (blocking) frame of a turn, any
+    /// further frames already buffered — up to
+    /// [`ServerConfig::pipeline_max`] — are drained and answered together,
+    /// in order, with the whole turn's login hashes batched through the
+    /// [`BatchVerifier`].  A frame that fails its integrity check fails
+    /// *only that request* (the length prefix keeps the stream in sync):
+    /// the server answers it with a protocol error and keeps serving,
+    /// giving up only after 32 consecutive bad frames
+    /// (`MAX_CONSECUTIVE_PROTOCOL_ERRORS`).
+    pub fn serve_streams<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        shutdown: &AtomicBool,
+        metrics: &WorkerMetrics,
+    ) -> Result<(), NetAuthError> {
+        let mut reader = FrameReader::new(BufReader::new(reader));
+        let mut writer = FrameWriter::new(BufWriter::new(writer));
+        let mut scratch = VerifyScratch::new();
+        let mut consecutive_errors = 0u32;
+
         loop {
-            let frame = match reader.read_frame() {
-                Ok(frame) => frame,
-                Err(NetAuthError::UnexpectedEof) => return Ok(()),
-                Err(e) => return Err(e),
-            };
-            let response = match ClientMessage::decode(frame) {
-                Ok(message) => {
-                    let quitting = message == ClientMessage::Quit;
-                    let response = self.handle_message(message);
-                    writer.write_frame(&response.encode())?;
-                    if quitting {
-                        return Ok(());
-                    }
-                    continue;
+            // Block (with shutdown polling) for the turn's first frame.
+            // With a bounded pool a connection occupies its worker, so an
+            // idle peer is dropped after `idle_timeout` — otherwise
+            // `workers` silent connections would starve the whole server.
+            let idle_since = std::time::Instant::now();
+            let first = loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
                 }
-                Err(e) => ServerMessage::Error {
-                    reason: format!("bad request: {e}"),
-                },
+                match reader.read_frame() {
+                    Ok(frame) => break Some(frame),
+                    Err(NetAuthError::UnexpectedEof) => return Ok(()),
+                    Err(NetAuthError::IntegrityFailure) => break None,
+                    Err(NetAuthError::Io(e))
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if !self.config.idle_timeout.is_zero()
+                            && idle_since.elapsed() >= self.config.idle_timeout
+                        {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
             };
-            writer.write_frame(&response.encode())?;
+
+            // Drain whatever else the pipeline already delivered.
+            let mut frames = vec![first];
+            let mut fatal: Option<NetAuthError> = None;
+            while frames.len() < self.config.pipeline_max.max(1) && reader.frame_buffered() {
+                match reader.read_frame() {
+                    Ok(frame) => frames.push(Some(frame)),
+                    Err(NetAuthError::IntegrityFailure) => frames.push(None),
+                    // Answer what we have before surfacing the failure.
+                    Err(e) => {
+                        fatal = Some(e);
+                        break;
+                    }
+                }
+            }
+
+            // Phase 1: decode and prepare, in order; collect hash jobs.
+            let mut planned = Vec::with_capacity(frames.len());
+            let mut jobs = Vec::new();
+            let mut quitting = false;
+            for frame in frames {
+                let message = match frame {
+                    None => {
+                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        consecutive_errors += 1;
+                        planned.push(Planned::Respond(ServerMessage::Error {
+                            reason: NetAuthError::IntegrityFailure.to_string(),
+                        }));
+                        continue;
+                    }
+                    Some(frame) => match ClientMessage::decode(frame) {
+                        Ok(message) => message,
+                        Err(e) => {
+                            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            consecutive_errors += 1;
+                            planned.push(Planned::Respond(ServerMessage::Error {
+                                reason: format!("bad request: {e}"),
+                            }));
+                            continue;
+                        }
+                    },
+                };
+                consecutive_errors = 0;
+                match message {
+                    ClientMessage::Quit => {
+                        planned.push(Planned::Respond(ServerMessage::Goodbye));
+                        quitting = true;
+                        break;
+                    }
+                    ClientMessage::Login { username, clicks } => {
+                        metrics.logins.fetch_add(1, Ordering::Relaxed);
+                        planned.push(self.prepare_login(
+                            username,
+                            &clicks,
+                            &mut scratch,
+                            &mut jobs,
+                        ));
+                    }
+                    other => planned.push(Planned::Respond(self.handle_message(other))),
+                }
+            }
+
+            // Phase 2: one batched hash run for the whole turn.
+            let digests = self.verifier.submit(jobs);
+
+            // Phase 3: settle and respond, in pipeline order, one flush.
+            for plan in planned {
+                let response = match plan {
+                    Planned::Respond(response) => response,
+                    Planned::LoginNoHash { username } => self.finish_login(&username, None),
+                    Planned::LoginHashed {
+                        username,
+                        stored,
+                        job_index,
+                    } => {
+                        let matched = self.system.finish_verify(&stored, &digests[job_index]);
+                        self.store.note_verified(&username);
+                        self.finish_login(&username, Some(matched))
+                    }
+                };
+                writer.write_frame_buffered(&response.encode())?;
+                metrics.requests.fetch_add(1, Ordering::Relaxed);
+            }
+            writer.flush()?;
+
+            if quitting {
+                return Ok(());
+            }
+            if let Some(e) = fatal {
+                return Err(e);
+            }
+            if consecutive_errors >= MAX_CONSECUTIVE_PROTOCOL_ERRORS {
+                return Err(NetAuthError::Malformed {
+                    reason: "too many consecutive protocol errors".into(),
+                });
+            }
+        }
+    }
+
+    /// Serve a single TCP connection (worker entry point).
+    fn serve_connection(
+        &self,
+        stream: TcpStream,
+        shutdown: &AtomicBool,
+        metrics: &WorkerMetrics,
+    ) -> Result<(), NetAuthError> {
+        let reader_stream = stream.try_clone()?;
+        self.serve_streams(reader_stream, stream, shutdown, metrics)
+    }
+}
+
+/// Pool worker: pull connections from the shared queue until shutdown.
+fn worker_loop(
+    server: &AuthServer,
+    rx: &Mutex<Receiver<TcpStream>>,
+    shutdown: &AtomicBool,
+    metrics: &WorkerMetrics,
+) {
+    loop {
+        let received = {
+            let guard = rx.lock().expect("connection queue poisoned");
+            guard.recv_timeout(SHUTDOWN_POLL)
+        };
+        match received {
+            Ok(stream) => {
+                metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = server.serve_connection(stream, shutdown, metrics);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -227,7 +648,10 @@ impl AuthServer {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
+    accept_join: Option<JoinHandle<()>>,
+    worker_joins: Vec<JoinHandle<()>>,
+    worker_metrics: Vec<Arc<WorkerMetrics>>,
+    server: Arc<AuthServer>,
 }
 
 impl ServerHandle {
@@ -236,7 +660,25 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stop accepting connections and wait for the accept loop to exit.
+    /// The server behind this handle (store, lockout, config access).
+    pub fn server(&self) -> &AuthServer {
+        &self.server
+    }
+
+    /// Aggregate serving statistics: per-worker counters, per-shard store
+    /// snapshots and batch-verifier coalescing counters.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats_with_workers(
+            self.worker_metrics
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.snapshot(i))
+                .collect(),
+        )
+    }
+
+    /// Graceful shutdown: stop accepting, let every worker finish the
+    /// connection it is serving, and join the pool.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -245,7 +687,10 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(join) = self.join.take() {
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+        for join in self.worker_joins.drain(..) {
             let _ = join.join();
         }
     }
@@ -400,6 +845,335 @@ mod tests {
                 decision: LoginDecision::Rejected,
                 failures: 1
             }
+        );
+    }
+
+    /// Build the wire bytes of a request pipeline.
+    fn pipeline_bytes(messages: &[ClientMessage]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let mut writer = FrameWriter::new(&mut bytes);
+        for m in messages {
+            writer.write_frame(&m.encode()).unwrap();
+        }
+        bytes
+    }
+
+    /// Decode every response frame the server wrote.
+    fn decode_responses(bytes: &[u8]) -> Vec<ServerMessage> {
+        let mut reader = FrameReader::new(std::io::Cursor::new(bytes));
+        let mut responses = Vec::new();
+        while let Ok(frame) = reader.read_frame() {
+            responses.push(ServerMessage::decode(frame).unwrap());
+        }
+        responses
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let server = server();
+        let requests: Vec<ClientMessage> = vec![
+            ClientMessage::GetConfig,
+            ClientMessage::Enroll {
+                username: "alice".into(),
+                clicks: clicks(),
+            },
+            ClientMessage::Login {
+                username: "alice".into(),
+                clicks: clicks(),
+            },
+            ClientMessage::Login {
+                username: "alice".into(),
+                clicks: clicks().iter().map(|p| p.offset(-30.0, -30.0)).collect(),
+            },
+            ClientMessage::Login {
+                username: "alice".into(),
+                clicks: clicks(),
+            },
+        ];
+        let input = pipeline_bytes(&requests);
+        let mut output = Vec::new();
+        let metrics = WorkerMetrics::default();
+        server
+            .serve_streams(
+                std::io::Cursor::new(input),
+                &mut output,
+                &AtomicBool::new(false),
+                &metrics,
+            )
+            .unwrap();
+        let responses = decode_responses(&output);
+        assert_eq!(responses.len(), 5);
+        assert!(matches!(responses[0], ServerMessage::Config { .. }));
+        assert_eq!(responses[1], ServerMessage::EnrollOk);
+        assert_eq!(
+            responses[2],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+        assert_eq!(
+            responses[3],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Rejected,
+                failures: 1
+            }
+        );
+        assert_eq!(
+            responses[4],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+        assert_eq!(metrics.snapshot(0).requests, 5);
+        assert_eq!(metrics.snapshot(0).logins, 3);
+    }
+
+    #[test]
+    fn pipelined_lockout_matches_sequential_semantics() {
+        // Five wrong attempts in one pipeline: the first three are
+        // rejected with rising failure counts, the rest see the lock.
+        let server = server();
+        server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        let wrong: Vec<Point> = clicks().iter().map(|p| p.offset(-30.0, -30.0)).collect();
+        let requests: Vec<ClientMessage> = (0..5)
+            .map(|_| ClientMessage::Login {
+                username: "alice".into(),
+                clicks: wrong.clone(),
+            })
+            .collect();
+        let input = pipeline_bytes(&requests);
+        let mut output = Vec::new();
+        server
+            .serve_streams(
+                std::io::Cursor::new(input),
+                &mut output,
+                &AtomicBool::new(false),
+                &WorkerMetrics::default(),
+            )
+            .unwrap();
+        let responses = decode_responses(&output);
+        assert_eq!(
+            responses,
+            vec![
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::Rejected,
+                    failures: 1
+                },
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::Rejected,
+                    failures: 2
+                },
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::Rejected,
+                    failures: 3
+                },
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::LockedOut,
+                    failures: 3
+                },
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::LockedOut,
+                    failures: 3
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn quit_mid_pipeline_stops_processing_later_requests() {
+        let server = server();
+        let requests = vec![
+            ClientMessage::GetConfig,
+            ClientMessage::Quit,
+            ClientMessage::Enroll {
+                username: "never".into(),
+                clicks: clicks(),
+            },
+        ];
+        let input = pipeline_bytes(&requests);
+        let mut output = Vec::new();
+        server
+            .serve_streams(
+                std::io::Cursor::new(input),
+                &mut output,
+                &AtomicBool::new(false),
+                &WorkerMetrics::default(),
+            )
+            .unwrap();
+        let responses = decode_responses(&output);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(responses[1], ServerMessage::Goodbye);
+        assert_eq!(server.store().len(), 0, "post-quit enroll never ran");
+    }
+
+    #[test]
+    fn corrupted_mid_pipeline_frame_fails_one_request_without_desync() {
+        use crate::framing::FaultyBuffer;
+        let server = server();
+        server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        // Three pipelined logins, the middle frame's payload corrupted.
+        let mut faulty = FaultyBuffer::default().corrupt_frame_payload(1);
+        {
+            let mut writer = FrameWriter::new(&mut faulty);
+            for _ in 0..3 {
+                writer
+                    .write_frame(
+                        &ClientMessage::Login {
+                            username: "alice".into(),
+                            clicks: clicks(),
+                        }
+                        .encode(),
+                    )
+                    .unwrap();
+            }
+        }
+        let mut output = Vec::new();
+        let metrics = WorkerMetrics::default();
+        server
+            .serve_streams(
+                std::io::Cursor::new(faulty.bytes),
+                &mut output,
+                &AtomicBool::new(false),
+                &metrics,
+            )
+            .unwrap();
+        let responses = decode_responses(&output);
+        assert_eq!(responses.len(), 3, "every request gets a response");
+        assert_eq!(
+            responses[0],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            }
+        );
+        assert!(
+            matches!(&responses[1], ServerMessage::Error { reason } if reason.contains("integrity")),
+            "corrupt frame answered with a protocol error: {:?}",
+            responses[1]
+        );
+        assert_eq!(
+            responses[2],
+            ServerMessage::LoginResult {
+                decision: LoginDecision::Accepted,
+                failures: 0
+            },
+            "the pipeline stays in sync after the corrupt frame"
+        );
+        assert_eq!(metrics.snapshot(0).protocol_errors, 1);
+        assert!(!server.lockout().is_locked("alice"));
+    }
+
+    #[test]
+    fn dropped_mid_pipeline_frame_loses_only_that_request() {
+        use crate::framing::FaultyBuffer;
+        let server = server();
+        server.handle_message(ClientMessage::Enroll {
+            username: "alice".into(),
+            clicks: clicks(),
+        });
+        let mut faulty = FaultyBuffer::default().drop_frame(1);
+        {
+            let mut writer = FrameWriter::new(&mut faulty);
+            for _ in 0..3 {
+                writer
+                    .write_frame(
+                        &ClientMessage::Login {
+                            username: "alice".into(),
+                            clicks: clicks(),
+                        }
+                        .encode(),
+                    )
+                    .unwrap();
+            }
+        }
+        let mut output = Vec::new();
+        server
+            .serve_streams(
+                std::io::Cursor::new(faulty.bytes),
+                &mut output,
+                &AtomicBool::new(false),
+                &WorkerMetrics::default(),
+            )
+            .unwrap();
+        let responses = decode_responses(&output);
+        assert_eq!(responses.len(), 2, "dropped request simply has no response");
+        for r in &responses {
+            assert_eq!(
+                *r,
+                ServerMessage::LoginResult {
+                    decision: LoginDecision::Accepted,
+                    failures: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn idle_connection_is_dropped_and_frees_its_worker() {
+        use std::io::Read as _;
+        // One worker and a short idle timeout: a silent connection must be
+        // cut loose instead of starving the pool (slowloris defense).
+        let config = ServerConfig {
+            workers: 1,
+            idle_timeout: Duration::from_millis(150),
+            ..ServerConfig::fast_for_tests()
+        };
+        let handle = AuthServer::new(config).spawn().expect("spawn server");
+        let mut idle = TcpStream::connect(handle.addr()).expect("connect");
+        idle.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        // The server closes the idle connection: read returns EOF.
+        let mut buf = [0u8; 1];
+        let got = idle.read(&mut buf).expect("read after server close");
+        assert_eq!(got, 0, "idle connection must be closed by the server");
+        // And the single worker is free to serve a real client.
+        let mut client = crate::client::AuthClient::connect(handle.addr()).expect("connect");
+        let (scheme, clicks) = client.get_config().expect("get config");
+        assert_eq!(scheme, "centered:9");
+        assert_eq!(clicks, 5);
+        client.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn batched_pipeline_hashes_through_the_batch_verifier() {
+        let server = server();
+        for i in 0..8 {
+            server.handle_message(ClientMessage::Enroll {
+                username: format!("user{i}"),
+                clicks: clicks(),
+            });
+        }
+        let baseline_attempts = server.verifier().stats().attempts;
+        let requests: Vec<ClientMessage> = (0..8)
+            .map(|i| ClientMessage::Login {
+                username: format!("user{i}"),
+                clicks: clicks(),
+            })
+            .collect();
+        let input = pipeline_bytes(&requests);
+        let mut output = Vec::new();
+        server
+            .serve_streams(
+                std::io::Cursor::new(input),
+                &mut output,
+                &AtomicBool::new(false),
+                &WorkerMetrics::default(),
+            )
+            .unwrap();
+        assert_eq!(decode_responses(&output).len(), 8);
+        let stats = server.verifier().stats();
+        assert_eq!(stats.attempts - baseline_attempts, 8);
+        assert!(
+            stats.max_run >= 8,
+            "one turn's logins coalesce into one run: {stats:?}"
         );
     }
 }

@@ -167,7 +167,11 @@ mod tests {
             DiscretizationConfig::static_grid(13.0),
         ] {
             let header = cfg.to_header();
-            assert_eq!(DiscretizationConfig::from_header(&header), Some(cfg), "{header}");
+            assert_eq!(
+                DiscretizationConfig::from_header(&header),
+                Some(cfg),
+                "{header}"
+            );
         }
     }
 

@@ -71,7 +71,9 @@ impl core::fmt::Display for PasswordError {
             PasswordError::OutsideViewport { index } => {
                 write!(f, "click-point #{index} is outside the persuasive viewport")
             }
-            PasswordError::CorruptRecord { reason } => write!(f, "corrupt password record: {reason}"),
+            PasswordError::CorruptRecord { reason } => {
+                write!(f, "corrupt password record: {reason}")
+            }
             PasswordError::Discretization(e) => write!(f, "discretization error: {e}"),
             PasswordError::UnknownAccount { username } => write!(f, "unknown account {username:?}"),
             PasswordError::DuplicateAccount { username } => {
@@ -95,15 +97,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PasswordError::WrongClickCount { expected: 5, got: 3 }
-            .to_string()
-            .contains("expected 5"));
+        assert!(PasswordError::WrongClickCount {
+            expected: 5,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 5"));
         assert!(PasswordError::ClickOutsideImage { index: 2 }
             .to_string()
             .contains("#2"));
-        assert!(PasswordError::UnknownAccount { username: "bob".into() }
-            .to_string()
-            .contains("bob"));
+        assert!(PasswordError::UnknownAccount {
+            username: "bob".into()
+        }
+        .to_string()
+        .contains("bob"));
     }
 
     #[test]

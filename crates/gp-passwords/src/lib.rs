@@ -25,9 +25,15 @@
 //!   and with what tolerance;
 //! * [`policy::PasswordPolicy`] — how many clicks, on what image(s), and
 //!   what constraints are placed on click selection;
-//! * [`system::GraphicalPasswordSystem`] — enrollment and verification;
+//! * [`system::GraphicalPasswordSystem`] — enrollment and verification,
+//!   including a split-phase API (prepare / finish) that lets a serving
+//!   layer batch the expensive iterated hashing across attempts;
 //! * [`store::PasswordStore`] — a concurrent multi-account store with a
-//!   text serialization format, used by the networked server.
+//!   text serialization format;
+//! * [`shard::ShardedPasswordStore`] — the same store partitioned into N
+//!   independently locked shards keyed by account hash, with per-shard
+//!   file persistence and a [`shard::ShardStats`] snapshot API, used by
+//!   the networked server.
 //!
 //! # Quickstart
 //!
@@ -66,6 +72,7 @@ pub mod config;
 pub mod error;
 pub mod policy;
 pub mod schemes;
+pub mod shard;
 pub mod store;
 pub mod stored;
 pub mod system;
@@ -73,6 +80,7 @@ pub mod system;
 pub use config::DiscretizationConfig;
 pub use error::PasswordError;
 pub use policy::PasswordPolicy;
+pub use shard::{shard_index, ShardStats, ShardedPasswordStore};
 pub use store::PasswordStore;
 pub use stored::{ClickRecord, StoredPassword};
 pub use system::{GraphicalPasswordSystem, VerifyScratch};

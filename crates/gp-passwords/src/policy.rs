@@ -120,7 +120,10 @@ mod tests {
         clicks.pop();
         assert_eq!(
             policy.validate_enrollment(&clicks),
-            Err(PasswordError::WrongClickCount { expected: 5, got: 4 })
+            Err(PasswordError::WrongClickCount {
+                expected: 5,
+                got: 4
+            })
         );
     }
 
@@ -148,7 +151,11 @@ mod tests {
         clicks[1] = Point::new(15.0, 15.0); // within 20 of clicks[0]
         assert!(matches!(
             policy.validate_enrollment(&clicks),
-            Err(PasswordError::ClicksTooClose { first: 0, second: 1, .. })
+            Err(PasswordError::ClicksTooClose {
+                first: 0,
+                second: 1,
+                ..
+            })
         ));
         assert!(policy.validate_login(&clicks).is_ok());
     }

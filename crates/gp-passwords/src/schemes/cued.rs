@@ -61,7 +61,10 @@ impl CuedClickPoints {
         config: DiscretizationConfig,
         iterations: u32,
     ) -> Self {
-        assert!(portfolio_size > 0, "portfolio must contain at least one image");
+        assert!(
+            portfolio_size > 0,
+            "portfolio must contain at least one image"
+        );
         Self {
             image,
             portfolio_size,
@@ -279,7 +282,10 @@ mod tests {
         let a = system.image_sequence("alice", &clicks())[0];
         let b = system.image_sequence("bob-the-builder", &clicks())[0];
         let c = system.image_sequence("carol", &clicks())[0];
-        assert!(a != b || a != c, "at least one of three users should start elsewhere");
+        assert!(
+            a != b || a != c,
+            "at least one of three users should start elsewhere"
+        );
         let _ = wobbly;
     }
 
@@ -290,8 +296,15 @@ mod tests {
         let mut wrong_clicks = clicks();
         wrong_clicks[0] = Point::new(400.0, 20.0);
         let wrong = system.image_sequence("alice", &wrong_clicks);
-        assert_eq!(right[0], wrong[0], "first image depends only on the username");
-        assert_ne!(right[1..], wrong[1..], "a wrong first click must change the later images");
+        assert_eq!(
+            right[0], wrong[0],
+            "first image depends only on the username"
+        );
+        assert_ne!(
+            right[1..],
+            wrong[1..],
+            "a wrong first click must change the later images"
+        );
     }
 
     #[test]
@@ -311,7 +324,8 @@ mod tests {
 
     #[test]
     fn works_with_robust_discretization_too() {
-        let system = CuedClickPoints::new(ImageDims::STUDY, 20, DiscretizationConfig::robust(6.0), 3);
+        let system =
+            CuedClickPoints::new(ImageDims::STUDY, 20, DiscretizationConfig::robust(6.0), 3);
         let stored = system.create("dave", &clicks()).unwrap();
         assert!(system.login(&stored, &clicks()).unwrap());
         // 40 pixels off exceeds even Robust's maximum accepted distance

@@ -26,7 +26,11 @@ impl PassPoints {
 
     /// Create a PassPoints system with an explicit hash iteration count
     /// (useful to keep tests and large-scale simulations fast).
-    pub fn with_iterations(image: ImageDims, config: DiscretizationConfig, iterations: u32) -> Self {
+    pub fn with_iterations(
+        image: ImageDims,
+        config: DiscretizationConfig,
+        iterations: u32,
+    ) -> Self {
         Self {
             system: GraphicalPasswordSystem::new(
                 PasswordPolicy::new(image, PASSPOINTS_CLICKS),
@@ -47,7 +51,11 @@ impl PassPoints {
     }
 
     /// Create (enroll) a password.
-    pub fn create(&self, username: &str, clicks: &[Point]) -> Result<StoredPassword, PasswordError> {
+    pub fn create(
+        &self,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<StoredPassword, PasswordError> {
         self.system.enroll(username, clicks)
     }
 
@@ -73,7 +81,8 @@ mod tests {
 
     #[test]
     fn create_and_login_centered() {
-        let pp = PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::centered(9), 4);
+        let pp =
+            PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::centered(9), 4);
         let stored = pp.create("alice", &clicks()).unwrap();
         assert!(pp.login(&stored, &clicks()).unwrap());
         // 9 pixels off on every click and axis is still fine.
@@ -90,7 +99,8 @@ mod tests {
 
     #[test]
     fn create_and_login_robust() {
-        let pp = PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::robust(6.0), 4);
+        let pp =
+            PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::robust(6.0), 4);
         let stored = pp.create("bob", &clicks()).unwrap();
         assert!(pp.login(&stored, &clicks()).unwrap());
         let wobbly: Vec<Point> = clicks().iter().map(|p| p.offset(-5.0, 4.0)).collect();
@@ -99,10 +109,14 @@ mod tests {
 
     #[test]
     fn five_clicks_enforced() {
-        let pp = PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::centered(6), 4);
+        let pp =
+            PassPoints::with_iterations(ImageDims::STUDY, DiscretizationConfig::centered(6), 4);
         assert!(matches!(
             pp.create("alice", &clicks()[..4]),
-            Err(PasswordError::WrongClickCount { expected: 5, got: 4 })
+            Err(PasswordError::WrongClickCount {
+                expected: 5,
+                got: 4
+            })
         ));
     }
 

@@ -32,7 +32,13 @@ impl PersuasiveCuedClickPoints {
         config: DiscretizationConfig,
         iterations: u32,
     ) -> Self {
-        Self::with_viewport_size(image, portfolio_size, config, iterations, DEFAULT_VIEWPORT_SIZE)
+        Self::with_viewport_size(
+            image,
+            portfolio_size,
+            config,
+            iterations,
+            DEFAULT_VIEWPORT_SIZE,
+        )
     }
 
     /// Create a PCCP system with an explicit viewport size.
@@ -71,15 +77,25 @@ impl PersuasiveCuedClickPoints {
         let image = self.inner.image();
         let max_x = image.width as f64 - self.viewport_size;
         let max_y = image.height as f64 - self.viewport_size;
-        let x0 = if max_x > 0.0 { rng.gen_range(0.0..=max_x) } else { 0.0 };
-        let y0 = if max_y > 0.0 { rng.gen_range(0.0..=max_y) } else { 0.0 };
+        let x0 = if max_x > 0.0 {
+            rng.gen_range(0.0..=max_x)
+        } else {
+            0.0
+        };
+        let y0 = if max_y > 0.0 {
+            rng.gen_range(0.0..=max_y)
+        } else {
+            0.0
+        };
         Rect::new(x0, y0, x0 + self.viewport_size, y0 + self.viewport_size)
     }
 
     /// Sample one viewport per click (a fresh viewport is presented for each
     /// of the five images during creation).
     pub fn suggest_viewports<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Rect> {
-        (0..CCP_CLICKS).map(|_| self.suggest_viewport(rng)).collect()
+        (0..CCP_CLICKS)
+            .map(|_| self.suggest_viewport(rng))
+            .collect()
     }
 
     /// Enroll a password, enforcing that every click lies inside the

@@ -1,0 +1,454 @@
+//! Sharded account store: N independently locked partitions keyed by a
+//! hash of the account name.
+//!
+//! The monolithic [`PasswordStore`] holds one
+//! `RwLock` over every account, which serializes writers and makes the lock
+//! a contention point once a serving layer fans requests out across worker
+//! threads.  `ShardedPasswordStore` partitions the account space into `N`
+//! small, independently locked shards — the cluster-hash-table shape from
+//! the cheap-recovery literature: each shard is a self-contained unit that
+//! can be persisted, reloaded and inspected on its own, so a deployment can
+//! scale lock concurrency and recover (or migrate) one shard without
+//! touching the rest.
+//!
+//! Routing is by [`shard_index`], an FNV-1a hash of the account name
+//! reduced modulo the shard count.  The mapping is an implementation detail
+//! of the *in-memory* layout only: the per-shard file format is the same
+//! line-oriented format as the monolithic store, and loading routes every
+//! record through [`ShardedPasswordStore::insert`], so shard files written
+//! under one shard count can be reloaded under any other.
+
+use crate::error::PasswordError;
+use crate::store::PasswordStore;
+use crate::stored::StoredPassword;
+use crate::system::GraphicalPasswordSystem;
+use gp_geometry::Point;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stable routing function: which of `shards` partitions owns `username`.
+///
+/// FNV-1a over the account name, reduced modulo the shard count.  Cheap
+/// (a few ns), well distributed for short ASCII-ish names, and — unlike a
+/// `DefaultHasher` — stable across processes and Rust versions, so shard
+/// assignments are reproducible in tests and benches.
+pub fn shard_index(username: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "at least one shard");
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in username.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// One partition: its own lock, its own accounts, its own counters.
+#[derive(Debug, Default)]
+struct Shard {
+    accounts: RwLock<BTreeMap<String, StoredPassword>>,
+    enrolls: AtomicU64,
+    verifies: AtomicU64,
+    lookups: AtomicU64,
+}
+
+/// Point-in-time snapshot of one shard's size and traffic counters.
+///
+/// Returned by [`ShardedPasswordStore::stats`]; the serving layer exposes
+/// these so operators (and the `authload` bench) can see whether accounts
+/// and traffic actually spread across partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Index of the shard this snapshot describes.
+    pub shard: usize,
+    /// Enrolled accounts currently resident in the shard.
+    pub accounts: usize,
+    /// Successful enrollments routed to the shard since creation.
+    pub enrolls: u64,
+    /// Verification attempts routed to the shard since creation.
+    pub verifies: u64,
+    /// Record lookups (`get`) routed to the shard since creation.
+    pub lookups: u64,
+}
+
+/// A concurrent account store partitioned into independently locked shards.
+///
+/// The API mirrors [`PasswordStore`] so call sites can switch between the
+/// two; cross-shard read operations (`len`, `usernames`, `records`) take
+/// the shard locks one at a time and are therefore *not* a consistent
+/// global snapshot under concurrent writes — exactly the trade the sharded
+/// design makes.
+#[derive(Debug)]
+pub struct ShardedPasswordStore {
+    shards: Vec<Shard>,
+}
+
+impl ShardedPasswordStore {
+    /// Create an empty store with `shards` partitions (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, username: &str) -> &Shard {
+        &self.shards[shard_index(username, self.shards.len())]
+    }
+
+    /// Total enrolled accounts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.accounts.read().len()).sum()
+    }
+
+    /// Whether no shard holds any account.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.accounts.read().is_empty())
+    }
+
+    /// Enroll a new account using the given system.  Fails if the account
+    /// already exists.  Only the owning shard's lock is taken.
+    pub fn enroll(
+        &self,
+        system: &GraphicalPasswordSystem,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<(), PasswordError> {
+        let stored = system.enroll(username, clicks)?;
+        let shard = self.shard_for(username);
+        let mut accounts = shard.accounts.write();
+        if accounts.contains_key(username) {
+            return Err(PasswordError::DuplicateAccount {
+                username: username.to_string(),
+            });
+        }
+        accounts.insert(username.to_string(), stored);
+        shard.enrolls.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Insert or replace a pre-built record (bulk loading, shard recovery).
+    pub fn insert(&self, stored: StoredPassword) {
+        let shard = self.shard_for(&stored.username);
+        shard
+            .accounts
+            .write()
+            .insert(stored.username.clone(), stored);
+    }
+
+    /// Fetch a copy of an account's stored record.
+    pub fn get(&self, username: &str) -> Option<StoredPassword> {
+        let shard = self.shard_for(username);
+        shard.lookups.fetch_add(1, Ordering::Relaxed);
+        shard.accounts.read().get(username).cloned()
+    }
+
+    /// Remove an account; returns whether it existed.
+    pub fn remove(&self, username: &str) -> bool {
+        self.shard_for(username)
+            .accounts
+            .write()
+            .remove(username)
+            .is_some()
+    }
+
+    /// Verify a login attempt for an account (scalar path; the serving
+    /// layer's batch verifier uses [`GraphicalPasswordSystem`]'s split-phase
+    /// API with records fetched via [`ShardedPasswordStore::get`]).
+    pub fn verify(
+        &self,
+        system: &GraphicalPasswordSystem,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<bool, PasswordError> {
+        let stored = self
+            .get(username)
+            .ok_or_else(|| PasswordError::UnknownAccount {
+                username: username.to_string(),
+            })?;
+        self.shard_for(username)
+            .verifies
+            .fetch_add(1, Ordering::Relaxed);
+        system.verify(&stored, clicks)
+    }
+
+    /// Record a verification routed through the split-phase/batched path,
+    /// so shard traffic counters stay meaningful for the serving layer.
+    pub fn note_verified(&self, username: &str) {
+        self.shard_for(username)
+            .verifies
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All account names across shards, sorted.
+    pub fn usernames(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.accounts.read().keys().cloned().collect::<Vec<_>>())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// All stored records across shards, sorted by account name.
+    pub fn records(&self) -> Vec<StoredPassword> {
+        let mut records: Vec<StoredPassword> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.accounts.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        records.sort_by(|a, b| a.username.cmp(&b.username));
+        records
+    }
+
+    /// Per-shard size and traffic snapshot.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardStats {
+                shard: i,
+                accounts: s.accounts.read().len(),
+                enrolls: s.enrolls.load(Ordering::Relaxed),
+                verifies: s.verifies.load(Ordering::Relaxed),
+                lookups: s.lookups.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Serialize one shard in the line-oriented password-file format (the
+    /// same format the monolithic store writes, so shard files are also
+    /// valid whole-store files).
+    pub fn shard_file_contents(&self, shard: usize) -> String {
+        let mut out = format!(
+            "# gp-passwords store v1 (shard {shard}/{})\n",
+            self.shards.len()
+        );
+        for record in self.shards[shard].accounts.read().values() {
+            out.push_str(&record.to_record());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Persist every shard as `shard-NNN.pwd` under `dir` (created if
+    /// absent).  Each shard is written independently — a crash between two
+    /// writes loses at most the shards not yet flushed, and recovery can
+    /// reload the intact ones.
+    pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for shard in 0..self.shards.len() {
+            std::fs::write(
+                dir.join(format!("shard-{shard:03}.pwd")),
+                self.shard_file_contents(shard),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Load every `shard-NNN.pwd` file under `dir` into a store with
+    /// `shards` partitions.  Records are re-routed by account hash, so the
+    /// on-disk shard count need not match `shards`.
+    pub fn load_from_dir(dir: &Path, shards: usize) -> Result<Self, PasswordError> {
+        let store = Self::new(shards);
+        let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| PasswordError::CorruptRecord {
+                reason: format!("read shard dir {}: {e}", dir.display()),
+            })?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".pwd"))
+            })
+            .collect();
+        entries.sort();
+        for path in entries {
+            let contents =
+                std::fs::read_to_string(&path).map_err(|e| PasswordError::CorruptRecord {
+                    reason: format!("read {}: {e}", path.display()),
+                })?;
+            // Reuse the monolithic parser (comments, line numbers) and
+            // re-route its records through the hash.
+            let parsed = PasswordStore::from_file_contents(&contents).map_err(|e| {
+                PasswordError::CorruptRecord {
+                    reason: format!("{}: {e}", path.display()),
+                }
+            })?;
+            for record in parsed.records() {
+                store.insert(record);
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscretizationConfig;
+    use crate::policy::PasswordPolicy;
+
+    fn system() -> GraphicalPasswordSystem {
+        GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(6),
+            3,
+        )
+    }
+
+    fn clicks(seed: f64) -> Vec<Point> {
+        (0..5)
+            .map(|i| Point::new(30.0 + seed + 70.0 * i as f64, 20.0 + seed + 55.0 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn shard_index_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7, 16] {
+            for name in ["alice", "bob", "", "ユーザー", "user-12345"] {
+                let idx = shard_index(name, shards);
+                assert!(idx < shards);
+                assert_eq!(idx, shard_index(name, shards), "deterministic");
+            }
+        }
+        // Known-vector stability: the persistence layout documentation
+        // depends on this mapping not drifting silently.
+        assert_eq!(shard_index("alice", 4), shard_index("alice", 4));
+        assert_ne!(
+            (0..64).map(|i| shard_index(&format!("user{i}"), 4)).max(),
+            Some(0),
+            "64 users must not all land in shard 0"
+        );
+    }
+
+    #[test]
+    fn enroll_get_verify_remove_across_shards() {
+        let store = ShardedPasswordStore::new(4);
+        let sys = system();
+        assert!(store.is_empty());
+        for i in 0..16 {
+            store
+                .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap();
+        }
+        assert_eq!(store.len(), 16);
+        assert_eq!(store.usernames().len(), 16);
+        assert!(store.verify(&sys, "user3", &clicks(3.0)).unwrap());
+        assert!(!store.verify(&sys, "user3", &clicks(50.0)).unwrap());
+        assert!(store.remove("user3"));
+        assert!(!store.remove("user3"));
+        assert!(store.get("user3").is_none());
+        assert_eq!(store.len(), 15);
+    }
+
+    #[test]
+    fn accounts_spread_over_multiple_shards() {
+        let store = ShardedPasswordStore::new(4);
+        let sys = system();
+        for i in 0..64 {
+            store
+                .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.len(), 4);
+        let populated = stats.iter().filter(|s| s.accounts > 0).count();
+        assert!(populated >= 3, "64 accounts should hit ≥3 of 4 shards");
+        assert_eq!(stats.iter().map(|s| s.accounts).sum::<usize>(), 64);
+        assert_eq!(stats.iter().map(|s| s.enrolls).sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn duplicate_enrollment_rejected() {
+        let store = ShardedPasswordStore::new(2);
+        let sys = system();
+        store.enroll(&sys, "alice", &clicks(0.0)).unwrap();
+        assert!(matches!(
+            store.enroll(&sys, "alice", &clicks(1.0)),
+            Err(PasswordError::DuplicateAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_account_is_an_error_not_a_failed_login() {
+        let store = ShardedPasswordStore::new(2);
+        assert!(matches!(
+            store.verify(&system(), "ghost", &clicks(0.0)),
+            Err(PasswordError::UnknownAccount { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let store = ShardedPasswordStore::new(0);
+        assert_eq!(store.shard_count(), 1);
+        store.enroll(&system(), "alice", &clicks(0.0)).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn per_shard_files_round_trip_across_shard_counts() {
+        let store = ShardedPasswordStore::new(4);
+        let sys = system();
+        for i in 0..12 {
+            store
+                .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap();
+        }
+        let dir = std::env::temp_dir().join(format!("gp-shard-test-{}", std::process::id()));
+        store.save_to_dir(&dir).unwrap();
+
+        // Reload under a *different* shard count: records re-route by hash.
+        let reloaded = ShardedPasswordStore::load_from_dir(&dir, 7).unwrap();
+        assert_eq!(reloaded.shard_count(), 7);
+        assert_eq!(reloaded.len(), 12);
+        for i in 0..12 {
+            assert!(reloaded
+                .verify(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap());
+        }
+
+        // A single shard file is also a valid monolithic store file.
+        let single = PasswordStore::from_file_contents(&store.shard_file_contents(0)).unwrap();
+        assert_eq!(single.len(), store.stats()[0].accounts);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_enrollment_across_threads_and_shards() {
+        use std::sync::Arc;
+        let store = Arc::new(ShardedPasswordStore::new(4));
+        let sys = system();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            let sys = sys.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8 {
+                    let name = format!("t{t}-user{i}");
+                    store
+                        .enroll(&sys, &name, &clicks(t as f64 + i as f64))
+                        .unwrap();
+                    assert!(store
+                        .verify(&sys, &name, &clicks(t as f64 + i as f64))
+                        .unwrap());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 64);
+    }
+}

@@ -58,7 +58,9 @@ impl PasswordStore {
     /// Insert or replace a pre-built record (used when loading files and in
     /// attack simulations that enroll synthetic users in bulk).
     pub fn insert(&self, stored: StoredPassword) {
-        self.accounts.write().insert(stored.username.clone(), stored);
+        self.accounts
+            .write()
+            .insert(stored.username.clone(), stored);
     }
 
     /// Fetch a copy of an account's stored record.
@@ -115,11 +117,10 @@ impl PasswordStore {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let record = StoredPassword::from_record(line).map_err(|e| {
-                PasswordError::CorruptRecord {
+            let record =
+                StoredPassword::from_record(line).map_err(|e| PasswordError::CorruptRecord {
                     reason: format!("line {}: {e}", line_no + 1),
-                }
-            })?;
+                })?;
             store.insert(record);
         }
         Ok(store)
@@ -153,7 +154,10 @@ mod tests {
         store.enroll(&sys, "alice", &clicks(0.0)).unwrap();
         store.enroll(&sys, "bob", &clicks(3.0)).unwrap();
         assert_eq!(store.len(), 2);
-        assert_eq!(store.usernames(), vec!["alice".to_string(), "bob".to_string()]);
+        assert_eq!(
+            store.usernames(),
+            vec!["alice".to_string(), "bob".to_string()]
+        );
 
         assert!(store.verify(&sys, "alice", &clicks(0.0)).unwrap());
         assert!(!store.verify(&sys, "alice", &clicks(50.0)).unwrap());
@@ -253,6 +257,9 @@ mod tests {
         // (field 4) and the single hash (field 5); there is no field that
         // could hold the 10 raw coordinates of the 5 original clicks.
         assert_eq!(fields[4].split(';').count(), original.len());
-        assert!(fields[5].starts_with("3$"), "hash field with iteration count");
+        assert!(
+            fields[5].starts_with("3$"),
+            "hash field with iteration count"
+        );
     }
 }

@@ -51,7 +51,10 @@ impl StoredPassword {
     /// two different click sequences can never serialize to the same bytes.
     pub fn encode_clicks(discretized: &[DiscretizedClick]) -> Vec<u8> {
         let mut out = Vec::with_capacity(
-            4 + discretized.iter().map(|c| 4 + c.encoded_len()).sum::<usize>(),
+            4 + discretized
+                .iter()
+                .map(|c| 4 + c.encoded_len())
+                .sum::<usize>(),
         );
         Self::encode_clicks_into(discretized, &mut out);
         out
@@ -138,7 +141,8 @@ impl StoredPassword {
                 click_records.len()
             )));
         }
-        let hash = PasswordHash::from_record(fields[5]).ok_or_else(|| corrupt("bad hash record"))?;
+        let hash =
+            PasswordHash::from_record(fields[5]).ok_or_else(|| corrupt("bad hash record"))?;
         Ok(Self {
             username,
             config,

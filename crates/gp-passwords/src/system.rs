@@ -21,7 +21,10 @@ use gp_geometry::{ImageDims, Point};
 pub struct VerifyScratch {
     discretized: Vec<DiscretizedClick>,
     pre_image: Vec<u8>,
-    scheme: Option<(DiscretizationConfig, Box<dyn DiscretizationScheme + Send + Sync>)>,
+    scheme: Option<(
+        DiscretizationConfig,
+        Box<dyn DiscretizationScheme + Send + Sync>,
+    )>,
     salted: Option<(Vec<u8>, SaltedHasher)>,
 }
 
@@ -127,7 +130,11 @@ impl GraphicalPasswordSystem {
     }
 
     /// Enroll a new password for `username` from its original click-points.
-    pub fn enroll(&self, username: &str, clicks: &[Point]) -> Result<StoredPassword, PasswordError> {
+    pub fn enroll(
+        &self,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<StoredPassword, PasswordError> {
         self.policy.validate_enrollment(clicks)?;
         let discretized = self.discretize_enrollment(clicks);
         let pre_image = StoredPassword::encode_clicks(&discretized);
@@ -193,6 +200,30 @@ impl GraphicalPasswordSystem {
         clicks: &[Point],
         scratch: &mut VerifyScratch,
     ) -> Result<bool, PasswordError> {
+        self.discretize_attempt(stored, clicks, scratch)?;
+        if !self.provenance_matches(stored) {
+            return Ok(false);
+        }
+        scratch.ensure_salted(&stored.hash.salt);
+        let salted = &scratch.salted.as_ref().expect("just ensured").1;
+        let candidate = salted.iterated(&scratch.pre_image, stored.hash.iterations);
+        Ok(self.finish_verify(stored, &candidate))
+    }
+
+    /// Discretize a login attempt into `scratch` and encode the hash
+    /// pre-image into `scratch.pre_image` (no hashing, no allocation after
+    /// warm-up).
+    ///
+    /// This runs before any salt/iteration provenance checks so that
+    /// structurally corrupt records surface as `Err` exactly as the
+    /// original `login_pre_image`-based path reported them, even when the
+    /// record also fails provenance.
+    fn discretize_attempt(
+        &self,
+        stored: &StoredPassword,
+        clicks: &[Point],
+        scratch: &mut VerifyScratch,
+    ) -> Result<(), PasswordError> {
         stored.policy.validate_login(clicks)?;
         if clicks.len() != stored.clicks.len() {
             return Err(PasswordError::WrongClickCount {
@@ -200,13 +231,8 @@ impl GraphicalPasswordSystem {
                 got: clicks.len(),
             });
         }
-
-        // Discretize the attempt into the reused buffer.  This runs before
-        // the salt/iteration provenance checks so that structurally corrupt
-        // records surface as `Err` exactly as the original
-        // `login_pre_image`-based path reported them, even when the record
-        // also fails provenance.  Field accesses are kept direct so the
-        // cached-scheme borrow and the buffer pushes split cleanly.
+        // Field accesses are kept direct so the cached-scheme borrow and
+        // the buffer pushes split cleanly.
         scratch.ensure_scheme(&stored.config);
         scratch.discretized.clear();
         let scheme = scratch.scheme.as_ref().expect("just ensured").1.as_ref();
@@ -218,18 +244,51 @@ impl GraphicalPasswordSystem {
             });
         }
         StoredPassword::encode_clicks_into(&scratch.discretized, &mut scratch.pre_image);
+        Ok(())
+    }
 
-        // Salt/iteration provenance, checked without rebuilding the salt.
-        if stored.hash.iterations != self.hasher.iterations
-            || !salt_matches(&self.hasher, stored.username.as_bytes(), &stored.hash.salt)
-        {
-            return Ok(false);
+    /// Whether `stored` was hashed with this system's parameters: same
+    /// iteration count and a salt that is exactly `domain || 0x1f || user`.
+    /// Checked without materializing the expected salt.  A mismatch means
+    /// the record can never verify under this system (`Ok(false)` from the
+    /// verify paths), but is not a structural error.
+    pub fn provenance_matches(&self, stored: &StoredPassword) -> bool {
+        stored.hash.iterations == self.hasher.iterations
+            && salt_matches(&self.hasher, stored.username.as_bytes(), &stored.hash.salt)
+    }
+
+    /// Phase 1 of a split verification: validate and discretize the
+    /// attempt, returning the owned hash pre-image — or `None` when the
+    /// record's salt/iteration provenance cannot match this system (the
+    /// attempt is a definite non-match, no hashing needed).
+    ///
+    /// The serving layer uses this to separate the cheap per-attempt work
+    /// (discretization, encoding, provenance) from the expensive iterated
+    /// hash, so many concurrent attempts can be coalesced into one
+    /// multi-lane hashing call and then settled with
+    /// [`GraphicalPasswordSystem::finish_verify`].  Structural errors
+    /// (wrong click count, clicks outside the image, corrupt record) are
+    /// reported exactly as [`GraphicalPasswordSystem::verify`] reports
+    /// them.
+    pub fn prepare_verify(
+        &self,
+        stored: &StoredPassword,
+        clicks: &[Point],
+        scratch: &mut VerifyScratch,
+    ) -> Result<Option<Vec<u8>>, PasswordError> {
+        self.discretize_attempt(stored, clicks, scratch)?;
+        if !self.provenance_matches(stored) {
+            return Ok(None);
         }
+        Ok(Some(scratch.pre_image.clone()))
+    }
 
-        scratch.ensure_salted(&stored.hash.salt);
-        let salted = &scratch.salted.as_ref().expect("just ensured").1;
-        let candidate = salted.iterated(&scratch.pre_image, stored.hash.iterations);
-        Ok(ct_eq(&candidate, &stored.hash.digest))
+    /// Phase 2 of a split verification: compare a candidate digest (the
+    /// iterated hash of a [`GraphicalPasswordSystem::prepare_verify`]
+    /// pre-image under the record's salt) against the stored digest in
+    /// constant time.
+    pub fn finish_verify(&self, stored: &StoredPassword, candidate: &gp_crypto::Digest) -> bool {
+        ct_eq(candidate, &stored.hash.digest)
     }
 }
 
@@ -332,7 +391,10 @@ mod tests {
         let system = system_centered();
         let a = system.enroll("alice", &clicks()).unwrap();
         let b = system.enroll("bob", &clicks()).unwrap();
-        assert_ne!(a.hash.digest, b.hash.digest, "user salt must differentiate hashes");
+        assert_ne!(
+            a.hash.digest, b.hash.digest,
+            "user salt must differentiate hashes"
+        );
     }
 
     #[test]
@@ -343,7 +405,10 @@ mod tests {
         four.pop();
         assert!(matches!(
             system.verify(&stored, &four),
-            Err(PasswordError::WrongClickCount { expected: 5, got: 4 })
+            Err(PasswordError::WrongClickCount {
+                expected: 5,
+                got: 4
+            })
         ));
     }
 
@@ -382,7 +447,9 @@ mod tests {
         ];
         for attempt in &attempts {
             assert_eq!(
-                system.verify_with_scratch(&stored, attempt, &mut scratch).unwrap(),
+                system
+                    .verify_with_scratch(&stored, attempt, &mut scratch)
+                    .unwrap(),
                 system.verify(&stored, attempt).unwrap(),
             );
         }
@@ -403,12 +470,20 @@ mod tests {
         let c = robust.enroll("carol", &clicks()).unwrap();
         let mut scratch = VerifyScratch::new();
         for _ in 0..3 {
-            assert!(centered.verify_with_scratch(&a, &clicks(), &mut scratch).unwrap());
-            assert!(centered.verify_with_scratch(&b, &clicks(), &mut scratch).unwrap());
-            assert!(robust.verify_with_scratch(&c, &clicks(), &mut scratch).unwrap());
+            assert!(centered
+                .verify_with_scratch(&a, &clicks(), &mut scratch)
+                .unwrap());
+            assert!(centered
+                .verify_with_scratch(&b, &clicks(), &mut scratch)
+                .unwrap());
+            assert!(robust
+                .verify_with_scratch(&c, &clicks(), &mut scratch)
+                .unwrap());
             // Cross-record attempts still fail.
             let off: Vec<Point> = clicks().iter().map(|p| p.offset(20.0, -20.0)).collect();
-            assert!(!centered.verify_with_scratch(&a, &off, &mut scratch).unwrap());
+            assert!(!centered
+                .verify_with_scratch(&a, &off, &mut scratch)
+                .unwrap());
         }
     }
 
@@ -435,6 +510,45 @@ mod tests {
     }
 
     #[test]
+    fn split_phase_verify_agrees_with_one_shot_verify() {
+        use gp_crypto::SaltedHasher;
+        let system = system_centered();
+        let stored = system.enroll("alice", &clicks()).unwrap();
+        let mut scratch = VerifyScratch::new();
+        let attempts: Vec<Vec<Point>> = vec![
+            clicks(),
+            clicks().iter().map(|p| p.offset(5.0, -5.0)).collect(),
+            clicks().iter().map(|p| p.offset(30.0, 0.0)).collect(),
+        ];
+        for attempt in &attempts {
+            let pre_image = system
+                .prepare_verify(&stored, attempt, &mut scratch)
+                .unwrap()
+                .expect("provenance matches");
+            let candidate =
+                SaltedHasher::new(&stored.hash.salt).iterated(&pre_image, stored.hash.iterations);
+            assert_eq!(
+                system.finish_verify(&stored, &candidate),
+                system.verify(&stored, attempt).unwrap(),
+            );
+        }
+        // Foreign iteration count: prepare reports a definite non-match.
+        let other = GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(9),
+            7,
+        );
+        assert!(other
+            .prepare_verify(&stored, &clicks(), &mut scratch)
+            .unwrap()
+            .is_none());
+        // Structural errors still surface as errors.
+        assert!(system
+            .prepare_verify(&stored, &clicks()[..3], &mut scratch)
+            .is_err());
+    }
+
+    #[test]
     fn salt_matches_agrees_with_materialized_salt() {
         let hasher = PasswordHasher::new("dom", 3);
         for user in [&b"alice"[..], b"", b"a\x1fb"] {
@@ -442,8 +556,11 @@ mod tests {
             assert!(salt_matches(&hasher, user, &salt));
             assert!(!salt_matches(&hasher, b"other", &salt));
         }
-        assert!(!salt_matches(&PasswordHasher::new("dom2", 3), b"alice",
-            &PasswordHasher::new("dom", 3).salt_for(b"alice")));
+        assert!(!salt_matches(
+            &PasswordHasher::new("dom2", 3),
+            b"alice",
+            &PasswordHasher::new("dom", 3).salt_for(b"alice")
+        ));
     }
 
     #[test]

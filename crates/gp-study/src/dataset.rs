@@ -137,11 +137,10 @@ impl Dataset {
             let fields: Vec<&str> = line.split(',').collect();
             match fields[0] {
                 "password" => {
-                    if fields.len() < 5 || (fields.len() - 3) % 2 != 0 {
+                    if fields.len() < 5 || !(fields.len() - 3).is_multiple_of(2) {
                         return Err(err("malformed password line"));
                     }
-                    let user_id: u32 =
-                        fields[1].parse().map_err(|_| err("bad user id"))?;
+                    let user_id: u32 = fields[1].parse().map_err(|_| err("bad user id"))?;
                     let image = fields[2].to_string();
                     let clicks = parse_clicks(&fields[3..]).map_err(|m| err(&m))?;
                     dataset.passwords.push(PasswordRecord {
@@ -151,7 +150,7 @@ impl Dataset {
                     });
                 }
                 "login" => {
-                    if fields.len() < 4 || (fields.len() - 2) % 2 != 0 {
+                    if fields.len() < 4 || !(fields.len() - 2).is_multiple_of(2) {
                         return Err(err("malformed login line"));
                     }
                     let password_index: usize =
@@ -182,8 +181,12 @@ impl Dataset {
 fn parse_clicks(fields: &[&str]) -> Result<Vec<Point>, String> {
     let mut clicks = Vec::with_capacity(fields.len() / 2);
     for pair in fields.chunks(2) {
-        let x: f64 = pair[0].parse().map_err(|_| "bad x coordinate".to_string())?;
-        let y: f64 = pair[1].parse().map_err(|_| "bad y coordinate".to_string())?;
+        let x: f64 = pair[0]
+            .parse()
+            .map_err(|_| "bad x coordinate".to_string())?;
+        let y: f64 = pair[1]
+            .parse()
+            .map_err(|_| "bad y coordinate".to_string())?;
         if !x.is_finite() || !y.is_finite() {
             return Err("non-finite coordinate".to_string());
         }

@@ -66,8 +66,14 @@ impl FieldStudyConfig {
     /// Generate the synthetic dataset on an explicit set of images.
     pub fn generate_on(&self, images: &[SyntheticImage]) -> Dataset {
         assert!(!images.is_empty(), "at least one image is required");
-        assert!(self.participants > 0, "at least one participant is required");
-        assert!(self.total_passwords > 0, "at least one password is required");
+        assert!(
+            self.participants > 0,
+            "at least one participant is required"
+        );
+        assert!(
+            self.total_passwords > 0,
+            "at least one password is required"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut dataset = Dataset::new();
 
@@ -97,9 +103,7 @@ impl FieldStudyConfig {
                 .iter()
                 .find(|i| i.name == record.image)
                 .expect("image of password exists");
-            let clicks = self
-                .user_model
-                .reenter(&mut rng, image, &record.clicks);
+            let clicks = self.user_model.reenter(&mut rng, image, &record.clicks);
             dataset.logins.push(LoginRecord {
                 password_index,
                 clicks,
@@ -130,7 +134,10 @@ mod tests {
         let cars = dataset.password_indices_for_image("cars").len();
         let pool = dataset.password_indices_for_image("pool").len();
         assert_eq!(cars + pool, 481);
-        assert!((cars as i64 - pool as i64).abs() < 100, "cars={cars} pool={pool}");
+        assert!(
+            (cars as i64 - pool as i64).abs() < 100,
+            "cars={cars} pool={pool}"
+        );
     }
 
     #[test]

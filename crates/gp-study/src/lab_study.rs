@@ -51,7 +51,10 @@ impl LabStudyConfig {
     /// by the paper's attack analysis).
     pub fn generate_on(&self, images: &[SyntheticImage]) -> Dataset {
         assert!(!images.is_empty(), "at least one image is required");
-        assert!(self.passwords_per_image > 0, "need at least one password per image");
+        assert!(
+            self.passwords_per_image > 0,
+            "need at least one password per image"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut dataset = Dataset::new();
         let mut user_id = 0u32;

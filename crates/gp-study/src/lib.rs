@@ -13,11 +13,11 @@
 //! closest synthetic equivalent (documented as a substitution in
 //! `DESIGN.md`):
 //!
-//! * [`image`] — a parametric [`SyntheticImage`](image::SyntheticImage)
+//! * [`image`] — a parametric [`SyntheticImage`]
 //!   with named hotspots standing in for the salient objects of the real
 //!   photographs; the "cars" and "pool" images are seeded deterministically
 //!   from their names.
-//! * [`user_model`] — a [`UserModel`](user_model::UserModel) describing how
+//! * [`user_model`] — a [`UserModel`] describing how
 //!   participants choose click-points (hotspot-biased, minimum separation)
 //!   and how accurately they re-target them at login (a mixture of a tight
 //!   and a sloppy truncated Gaussian, calibrated in [`calibration`]).

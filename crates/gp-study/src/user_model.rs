@@ -126,7 +126,10 @@ mod tests {
         }
         // The retry loop is bounded, so rare violations are tolerated, but
         // they must be the exception.
-        assert!(violations < trials / 10, "{violations} separation violations");
+        assert!(
+            violations < trials / 10,
+            "{violations} separation violations"
+        );
     }
 
     #[test]
@@ -149,7 +152,10 @@ mod tests {
             }
         }
         let frac = within9 as f64 / trials as f64;
-        assert!(frac > 0.5, "whole-password accuracy at 9px should be common: {frac}");
+        assert!(
+            frac > 0.5,
+            "whole-password accuracy at 9px should be common: {frac}"
+        );
         assert!(frac < 1.0, "but not perfect: {frac}");
     }
 
@@ -175,7 +181,9 @@ mod tests {
                 ..UserModel::study_default()
             };
             let mut rng = StdRng::seed_from_u64(seed);
-            let users: Vec<Vec<Point>> = (0..60).map(|_| model.choose_password(&mut rng, &image)).collect();
+            let users: Vec<Vec<Point>> = (0..60)
+                .map(|_| model.choose_password(&mut rng, &image))
+                .collect();
             let mut close_pairs = 0usize;
             let mut total_pairs = 0usize;
             for a in 0..users.len() {

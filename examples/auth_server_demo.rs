@@ -1,17 +1,24 @@
-//! End-to-end networked deployment: spawn the TCP authentication server,
-//! enroll a user from a client, log in with imperfect (but within-tolerance)
-//! clicks, then demonstrate the online-attack lockout.
+//! End-to-end networked deployment: spawn the sharded, pipelined TCP
+//! authentication server, enroll users, push a pipelined login burst
+//! through the batch verifier, demonstrate the online-attack lockout, and
+//! print the shard / worker-pool / batching statistics.
 //!
 //! Run with: `cargo run --example auth_server_demo`
 
 use graphical_passwords::geometry::Point;
-use graphical_passwords::netauth::{AuthClient, AuthServer, LoginDecision, ServerConfig};
+use graphical_passwords::netauth::{
+    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig,
+};
 
 fn main() {
     let config = ServerConfig {
         hash_iterations: 1000,
         ..ServerConfig::study_default()
     };
+    println!(
+        "deployment: {} shards, {} workers, batches of ≤{} logins per hash run",
+        config.shards, config.workers, config.batch_max
+    );
     let server = AuthServer::new(config);
     let handle = server.spawn().expect("spawn server");
     println!("authentication server listening on {}", handle.addr());
@@ -22,16 +29,38 @@ fn main() {
     let (scheme, n_clicks) = client.get_config().expect("get config");
     println!("server scheme: {scheme}, clicks per password: {n_clicks}");
 
-    client.enroll("alice", &clicks).expect("enroll");
-    println!("enrolled account 'alice'");
+    // Enroll a small population so the shards have something to hold.
+    for user in ["alice", "bob", "carol", "dave", "erin", "frank"] {
+        let shifted: Vec<Point> = clicks
+            .iter()
+            .map(|p| p.offset(user.len() as f64 * 3.0, -(user.len() as f64)))
+            .collect();
+        client.enroll(user, &shifted).expect("enroll");
+    }
+    println!("enrolled 6 accounts across the store shards");
 
     // A human-like imperfect re-entry: every click is a few pixels off.
-    let wobbly: Vec<Point> = clicks.iter().map(|p| p.offset(5.0, -4.0)).collect();
+    let alice: Vec<Point> = clicks.iter().map(|p| p.offset(15.0, -5.0)).collect();
+    let wobbly: Vec<Point> = alice.iter().map(|p| p.offset(5.0, -4.0)).collect();
     let (decision, _) = client.login("alice", &wobbly).expect("login");
     println!("imperfect re-entry (5 px off): {decision:?}");
 
+    // A pipelined burst: eight logins in flight at once, answered in
+    // order, hashed together in one multi-lane batch run.
+    let burst: Vec<ClientMessage> = (0..8)
+        .map(|_| ClientMessage::Login {
+            username: "alice".into(),
+            clicks: alice.clone(),
+        })
+        .collect();
+    let responses = client.request_pipelined(&burst).expect("pipelined burst");
+    println!(
+        "pipelined burst: {} logins answered in order",
+        responses.len()
+    );
+
     // An online guessing attacker: far-off guesses until lockout.
-    let wrong: Vec<Point> = clicks.iter().map(|p| p.offset(-35.0, -35.0)).collect();
+    let wrong: Vec<Point> = alice.iter().map(|p| p.offset(-35.0, -35.0)).collect();
     for attempt in 1..=4 {
         let (decision, failures) = client.login("alice", &wrong).expect("login");
         println!("guess #{attempt}: {decision:?} (consecutive failures: {failures})");
@@ -41,10 +70,35 @@ fn main() {
     }
 
     // Even the correct password is now refused.
-    let (decision, _) = client.login("alice", &clicks).expect("login");
+    let (decision, _) = client.login("alice", &alice).expect("login");
     println!("correct password after lockout: {decision:?}");
 
     client.quit().expect("quit");
+
+    // The serving-layer statistics: shard occupancy, worker counters and
+    // how well the batch verifier coalesced the pipelined logins.
+    let stats = handle.stats();
+    println!("--- serving stats ---");
+    for shard in &stats.shards {
+        println!(
+            "shard {}: {} accounts, {} lookups, {} verifications",
+            shard.shard, shard.accounts, shard.lookups, shard.verifies
+        );
+    }
+    for worker in &stats.workers {
+        println!(
+            "worker {}: {} connections, {} requests ({} logins)",
+            worker.worker, worker.connections, worker.requests, worker.logins
+        );
+    }
+    println!(
+        "batch verifier: {} hash runs for {} attempts (mean batch {:.1}, largest {})",
+        stats.batch.runs,
+        stats.batch.attempts,
+        stats.batch.mean_batch(),
+        stats.batch.max_run
+    );
+
     handle.shutdown();
     println!("server shut down cleanly");
 }

@@ -11,24 +11,29 @@ fn main() {
 
     // A PassPoints deployment with Centered Discretization (9-pixel
     // guaranteed tolerance) on the paper's 451x331 study image.
-    let centered = GraphicalPasswordSystem::passpoints(
-        ImageDims::STUDY,
-        DiscretizationConfig::centered(9),
-    );
+    let centered =
+        GraphicalPasswordSystem::passpoints(ImageDims::STUDY, DiscretizationConfig::centered(9));
     // The same deployment with the prior scheme, Robust Discretization,
     // at the same guaranteed tolerance.
-    let robust = GraphicalPasswordSystem::passpoints(
-        ImageDims::STUDY,
-        DiscretizationConfig::robust(9.0),
-    );
+    let robust =
+        GraphicalPasswordSystem::passpoints(ImageDims::STUDY, DiscretizationConfig::robust(9.0));
 
-    println!("Original click-points: {:?}\n", clicks.iter().map(|p| p.to_string()).collect::<Vec<_>>());
+    println!(
+        "Original click-points: {:?}\n",
+        clicks.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+    );
 
     let stored_centered = centered.enroll("alice", &clicks).expect("enroll centered");
     let stored_robust = robust.enroll("alice", &clicks).expect("enroll robust");
 
-    println!("Stored record (Centered Discretization):\n  {}\n", stored_centered.to_record());
-    println!("Stored record (Robust Discretization):\n  {}\n", stored_robust.to_record());
+    println!(
+        "Stored record (Centered Discretization):\n  {}\n",
+        stored_centered.to_record()
+    );
+    println!(
+        "Stored record (Robust Discretization):\n  {}\n",
+        stored_robust.to_record()
+    );
 
     // Replay a few login attempts at increasing distance from the original
     // click-points and show each scheme's decision.

@@ -42,7 +42,11 @@ fn main() {
     };
 
     for experiment in experiments {
-        println!("=== {} — {} ===\n", experiment.id(), experiment.description());
+        println!(
+            "=== {} — {} ===\n",
+            experiment.id(),
+            experiment.description()
+        );
         println!("{}", experiment.run(&scale));
         println!();
     }

@@ -25,13 +25,22 @@ fn main() {
 
     let nearby = [1260.0, 540.0, 1920.0]; // within 50 mm on every axis
     let far = [1300.0, 567.0, 1890.0]; // 66 mm off on the x axis
-    println!("re-entry {nearby:?} accepted: {}", scheme.accepts(&original, &nearby));
-    println!("re-entry {far:?} accepted:    {}", scheme.accepts(&original, &far));
+    println!(
+        "re-entry {nearby:?} accepted: {}",
+        scheme.accepts(&original, &nearby)
+    );
+    println!(
+        "re-entry {far:?} accepted:    {}",
+        scheme.accepts(&original, &far)
+    );
 
     // Password space: number of distinguishable 2r-sided cells in the room,
     // versus a Blonder/3-D-object scheme with a few dozen predefined
     // clickable objects.
-    let cells: f64 = room_mm.iter().map(|extent| (extent / (2.0 * r)).ceil()).product();
+    let cells: f64 = room_mm
+        .iter()
+        .map(|extent| (extent / (2.0 * r)).ceil())
+        .product();
     let clicks = 5u32;
     let bits_discretized = clicks as f64 * cells.log2();
     let predefined_objects = 40.0f64;

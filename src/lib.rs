@@ -80,6 +80,9 @@ mod tests {
         assert_eq!(geometry::ImageDims::STUDY.width, 451);
         assert_eq!(crypto::PasswordHasher::DEFAULT_ITERATIONS, 1000);
         let scheme = discretization::CenteredDiscretization::from_pixel_tolerance(9);
-        assert_eq!(discretization::DiscretizationScheme::grid_square_size(&scheme), 19.0);
+        assert_eq!(
+            discretization::DiscretizationScheme::grid_square_size(&scheme),
+            19.0
+        );
     }
 }

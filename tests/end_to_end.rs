@@ -7,6 +7,9 @@ use graphical_passwords::analysis::{
 };
 use graphical_passwords::attacks::{ClickPointPool, OfflineKnownGridAttack};
 use graphical_passwords::geometry::{ImageDims, Point};
+use graphical_passwords::netauth::{
+    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig, ServerMessage,
+};
 use graphical_passwords::passwords::prelude::*;
 use graphical_passwords::study::{FieldStudyConfig, LabStudyConfig};
 
@@ -80,7 +83,12 @@ fn password_file_round_trip_feeds_the_attack_layer() {
     let originals: Vec<(String, Vec<Point>)> = (0..10)
         .map(|i| {
             let clicks: Vec<Point> = (0..5)
-                .map(|j| Point::new(30.0 + i as f64 * 40.0 % 380.0 + j as f64, 20.0 + j as f64 * 60.0))
+                .map(|j| {
+                    Point::new(
+                        30.0 + i as f64 * 40.0 % 380.0 + j as f64,
+                        20.0 + j as f64 * 60.0,
+                    )
+                })
                 .collect();
             (format!("user{i}"), clicks)
         })
@@ -111,7 +119,10 @@ fn password_file_round_trip_feeds_the_attack_layer() {
             assert!(system.verify(&stored, clicks).unwrap());
         }
     }
-    assert!(cracked >= 5, "the five seeded users must be cracked, got {cracked}");
+    assert!(
+        cracked >= 5,
+        "the five seeded users must be cracked, got {cracked}"
+    );
 }
 
 /// The experiment registry runs end to end at quick scale and mentions the
@@ -127,6 +138,117 @@ fn experiment_registry_runs_every_experiment() {
             experiment.id()
         );
     }
+}
+
+/// The sharded, pipelined serving layer under real concurrency: enroll a
+/// population, then drive concurrent logins from ≥8 client threads against
+/// one server — correct passwords are accepted from every thread, requests
+/// spread across shards and the worker pool, and the per-account lockout
+/// still triggers exactly at the threshold while an innocent account on
+/// the same server stays usable.
+#[test]
+fn concurrent_clients_against_sharded_server_preserve_lockout() {
+    let server = AuthServer::new(ServerConfig::fast_for_tests());
+    let store = server.store();
+    let system = server.system().clone();
+    let user_clicks = |user: usize| -> Vec<Point> {
+        (0..5)
+            .map(|i| {
+                Point::new(
+                    40.0 + ((user * 37 + i * 83) % 360) as f64,
+                    30.0 + ((user * 53 + i * 61) % 260) as f64,
+                )
+            })
+            .collect()
+    };
+    for user in 0..16 {
+        store
+            .enroll(&system, &format!("user{user}"), &user_clicks(user))
+            .unwrap();
+    }
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    // 8 honest threads (pipelined correct logins) + 2 attacker threads
+    // hammering one victim account with wrong clicks.
+    let mut threads = Vec::new();
+    for t in 0..8usize {
+        threads.push(std::thread::spawn(move || {
+            let mut client = AuthClient::connect(addr).expect("connect");
+            for round in 0..4 {
+                let burst: Vec<ClientMessage> = (0..4)
+                    .map(|i| {
+                        let user = (t + round + i * 2) % 15 + 1; // never user0 (the victim)
+                        ClientMessage::Login {
+                            username: format!("user{user}"),
+                            clicks: user_clicks(user),
+                        }
+                    })
+                    .collect();
+                for response in client.request_pipelined(&burst).expect("burst") {
+                    match response {
+                        ServerMessage::LoginResult {
+                            decision: LoginDecision::Accepted,
+                            failures: 0,
+                        } => {}
+                        other => panic!("honest login mishandled: {other:?}"),
+                    }
+                }
+            }
+            client.quit().expect("quit");
+        }));
+    }
+    for _ in 0..2 {
+        threads.push(std::thread::spawn(move || {
+            let mut client = AuthClient::connect(addr).expect("connect");
+            let wrong: Vec<Point> = user_clicks(0)
+                .iter()
+                .map(|p| p.offset(25.0, 25.0))
+                .collect();
+            for _ in 0..6 {
+                let (decision, failures) = client.login("user0", &wrong).expect("login");
+                assert_ne!(
+                    decision,
+                    LoginDecision::Accepted,
+                    "wrong clicks must never be accepted"
+                );
+                assert!(failures <= 3, "failure count is capped at the threshold");
+            }
+            client.quit().expect("quit");
+        }));
+    }
+    for thread in threads {
+        thread.join().expect("client thread");
+    }
+
+    // The victim is locked (12 wrong attempts across two attackers against
+    // a 3-strike threshold) — even with the correct password.
+    let mut client = AuthClient::connect(addr).expect("connect");
+    let (decision, failures) = client.login("user0", &user_clicks(0)).expect("login");
+    assert_eq!(decision, LoginDecision::LockedOut);
+    assert_eq!(failures, 3);
+    // Every other account still works: lockout is strictly per-account.
+    let (decision, _) = client.login("user5", &user_clicks(5)).expect("login");
+    assert_eq!(decision, LoginDecision::Accepted);
+    client.quit().expect("quit");
+
+    let stats = handle.stats();
+    assert!(
+        stats.shards.iter().filter(|s| s.accounts > 0).count() >= 2,
+        "16 accounts must spread over ≥2 of the 4 shards: {:?}",
+        stats.shards
+    );
+    assert_eq!(
+        stats.workers.iter().map(|w| w.connections).sum::<u64>(),
+        11,
+        "10 load connections + 1 verdict connection through the pool"
+    );
+    assert!(
+        stats.workers.iter().map(|w| w.logins).sum::<u64>() >= 142,
+        "8×16 honest + 12 attack + 2 verdict logins served: {:?}",
+        stats.workers
+    );
+    handle.shutdown();
 }
 
 /// Discretization invariants hold through the full password layer: a

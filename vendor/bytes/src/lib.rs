@@ -43,7 +43,10 @@ impl Bytes {
     /// # Panics
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        assert!(range.start <= range.end && range.end <= self.len(), "slice out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
         Self {
             data: Arc::clone(&self.data),
             start: self.start + range.start,

@@ -77,7 +77,10 @@ impl Criterion {
 
     /// Print a closing summary (called by [`criterion_main!`]).
     pub fn final_summary(&self) {
-        eprintln!("[criterion-lite] {} benchmarks measured", self.results.len());
+        eprintln!(
+            "[criterion-lite] {} benchmarks measured",
+            self.results.len()
+        );
     }
 }
 
@@ -195,7 +198,11 @@ fn report(result: &BenchResult) {
         result.median_ns, result.samples
     );
     if let Ok(path) = std::env::var("GP_BENCH_JSON") {
-        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
             let _ = writeln!(
                 file,
                 "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}",
@@ -241,6 +248,9 @@ mod tests {
         group.finish();
         assert_eq!(c.results().len(), 1);
         assert!(c.results()[0].median_ns > 0.0);
-        assert!(c.results()[0].median_ns < 1e6, "an add should not take a millisecond");
+        assert!(
+            c.results()[0].median_ns < 1e6,
+            "an add should not take a millisecond"
+        );
     }
 }

@@ -216,15 +216,18 @@ pub mod strategy {
         }
     }
 
+    /// A boxed sampling closure: one arm of a [`Union`].
+    pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
     /// Uniform choice between boxed strategy arms (built by
     /// [`crate::prop_oneof!`]).
     pub struct Union<T> {
-        arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>,
+        arms: Vec<UnionArm<T>>,
     }
 
     impl<T> Union<T> {
         /// Build from sampling closures.
-        pub fn new(arms: Vec<Box<dyn Fn(&mut TestRng) -> T>>) -> Self {
+        pub fn new(arms: Vec<UnionArm<T>>) -> Self {
             assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
             Self { arms }
         }
@@ -320,7 +323,10 @@ pub mod strategy {
         }
     }
 
-    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<char> {
         let mut class = Vec::new();
         loop {
             let c = chars
@@ -393,7 +399,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`vec()`]: an exact length or a half-open
     /// range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -439,7 +445,7 @@ pub mod collection {
         }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
@@ -514,7 +520,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests.  Supports an optional leading
@@ -612,12 +620,12 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (left, right) = (&$left, &$right);
         if *left == *right {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
-                format!(
-                    "assertion failed: `{} != {}`\n    both: {:?}",
-                    stringify!($left), stringify!($right), left
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n    both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
         }
     }};
 }
