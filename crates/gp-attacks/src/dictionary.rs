@@ -38,9 +38,16 @@ impl ClickPointPool {
     /// Build a pool from explicit points.
     pub fn new(points: Vec<Point>, clicks_per_entry: usize) -> Self {
         assert!(clicks_per_entry > 0, "entries need at least one click");
+        // Dedup on the exact bit patterns of the coordinates: O(n) with a
+        // hash set instead of the O(n²) scan-per-point this used to do,
+        // which mattered once pools grew past the 150-point lab scale.
+        // Bit-pattern equality matches `Point`'s derived `PartialEq` for
+        // every coordinate the harvesters produce (no NaNs, and -0.0 vs
+        // 0.0 does not occur in click data).
+        let mut seen = std::collections::HashSet::with_capacity(points.len());
         let mut deduped: Vec<Point> = Vec::with_capacity(points.len());
         for p in points {
-            if !deduped.iter().any(|q| q == &p) {
+            if seen.insert((p.x.to_bits(), p.y.to_bits())) {
                 deduped.push(p);
             }
         }

@@ -1,33 +1,49 @@
-//! `authload` — load generator for the sharded, pipelined netauth server.
+//! `authload` — load generator for the netauth serving layer.
 //!
-//! Drives M client threads × K pipelined login requests against a real TCP
-//! server in two configurations and reports logins/sec:
+//! Drives client threads × pipelined login requests against a real TCP
+//! server in several configurations and reports logins/sec:
 //!
-//! * **single_worker** — 1 shard, 1 worker, scalar verification
-//!   ([`ServerConfig::single_worker_baseline`]): the pre-sharding serving
-//!   shape.
-//! * **sharded_pooled** — 4 shards, worker pool, 16-way batch verification
-//!   ([`ServerConfig::study_default`]): the serving layer this PR builds.
+//! * **single_worker** — 1 shard, 1 blocking worker, scalar verification
+//!   ([`ServerConfig::single_worker_baseline`]): the pre-sharding shape.
+//! * **sharded_pooled** — 4 shards, blocking worker pool, 16-way batch
+//!   verification ([`ServerConfig::pooled_baseline`]): the PR 2 serving
+//!   layer.
+//! * **reactor** — the epoll reactor with a fixed small thread count
+//!   (1 event loop + 3 hash-compute threads), same active load.
+//! * **reactor_idle** — the reactor carrying `GP_AUTHLOAD_IDLE`
+//!   (default 256) additional *mostly-idle* connections while serving the
+//!   same active load: the scenario a blocking pool cannot survive
+//!   without one thread per connection.
+//! * **reactor_highconc** — connection scaling: `GP_AUTHLOAD_CONNS`
+//!   (default 32) concurrently active connections with shallow (4-deep)
+//!   pipelines.  A 4-worker pool would strand all but 4 of these
+//!   connections; the reactor serves them all and the cross-connection
+//!   turn queue keeps the hash lanes full — reported as the
+//!   `reactor_highconc_mean_batch` occupancy metric.
 //!
 //! Results merge into `BENCH_results.json` (or `GP_BENCH_OUT`) alongside
 //! the `bench_report` micro-benchmarks: per-login medians under
-//! `results/authload/...`, logins/sec under `throughput/authload/...`, and
-//! the scaling ratio under `speedups/authload_scaling`.  CI's
-//! bench-regression gate (`bench_check`) then holds every serving metric
-//! to the committed numbers.
+//! `results/authload/...`, logins/sec and batch occupancy under
+//! `throughput/authload/...`, and scaling ratios under `speedups/...`.
+//! CI's bench-regression gate (`bench_check`) then holds every serving
+//! metric to the committed numbers.
 //!
 //! Environment knobs: `GP_AUTHLOAD_SECS` (measured seconds per trial,
 //! default 1.2), `GP_AUTHLOAD_TRIALS` (trials per scenario, best taken,
 //! default 5), `GP_AUTHLOAD_THREADS` (client threads, default scales with
 //! the host), `GP_AUTHLOAD_PIPELINE` (requests per burst, default 16),
 //! `GP_AUTHLOAD_ITERATIONS` (hash iterations, default 3000),
-//! `GP_AUTHLOAD_USERS` (enrolled accounts, default 64).
+//! `GP_AUTHLOAD_USERS` (enrolled accounts, default 64),
+//! `GP_AUTHLOAD_IDLE` (idle connections in the reactor_idle scenario,
+//! default 256), `GP_AUTHLOAD_CONNS` (active connections in the
+//! reactor_highconc scenario, default 32).
 
 use gp_bench::report::BenchReport;
 use gp_geometry::Point;
 use gp_netauth::{
-    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig, ServerMessage,
+    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig, ServerMessage, ServingMode,
 };
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -51,10 +67,22 @@ fn user_clicks(user: usize) -> Vec<Point> {
         .collect()
 }
 
+/// Shape of one load scenario.
+#[derive(Clone)]
+struct Scenario {
+    config: ServerConfig,
+    threads: usize,
+    pipeline: usize,
+    /// Connections opened before the load that never send a byte (held
+    /// open across the measurement window).
+    idle_connections: usize,
+}
+
 struct LoadResult {
     logins: u64,
     elapsed: Duration,
     mean_batch: f64,
+    full_run_fraction: f64,
     worker_connections: Vec<u64>,
     shard_accounts: Vec<usize>,
 }
@@ -69,20 +97,13 @@ impl LoadResult {
     }
 }
 
-/// Spawn a server under `config`, enroll `users` accounts, then hammer it
-/// with `threads` × `pipeline`-deep bursts of correct-password logins for
-/// `secs` (after a fixed warmup).  Every response is checked: a rejected
-/// or errored login fails the bench loudly rather than producing a fast
-/// wrong number.
-fn run_scenario(
-    label: &str,
-    config: ServerConfig,
-    users: usize,
-    threads: usize,
-    pipeline: usize,
-    secs: f64,
-) -> LoadResult {
-    let server = AuthServer::new(config);
+/// Spawn a server under `scenario.config`, enroll `users` accounts, open
+/// the scenario's idle connections, then hammer it with `threads` ×
+/// `pipeline`-deep bursts of correct-password logins for `secs` (after a
+/// fixed warmup).  Every response is checked: a rejected or errored login
+/// fails the bench loudly rather than producing a fast wrong number.
+fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> LoadResult {
+    let server = AuthServer::new(scenario.config.clone());
     let store = server.store();
     let system = server.system().clone();
     for user in 0..users {
@@ -93,11 +114,17 @@ fn run_scenario(
     let handle = server.spawn().expect("spawn server");
     let addr = handle.addr();
 
+    // Mostly-idle population: connected, registered, never speaking.
+    let idle_conns: Vec<TcpStream> = (0..scenario.idle_connections)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+
     let counted = Arc::new(AtomicU64::new(0));
     let measuring = Arc::new(AtomicBool::new(false));
     let stop = Arc::new(AtomicBool::new(false));
     let warmup = Duration::from_millis(300);
     let measure = Duration::from_secs_f64(secs);
+    let (threads, pipeline) = (scenario.threads, scenario.pipeline);
 
     let mut clients = Vec::new();
     for thread in 0..threads {
@@ -148,24 +175,27 @@ fn run_scenario(
     for client in clients {
         client.join().expect("client thread");
     }
+    drop(idle_conns);
 
     let stats = handle.stats();
     let result = LoadResult {
         logins: counted.load(Ordering::Relaxed),
         elapsed,
         mean_batch: stats.batch.mean_batch(),
+        full_run_fraction: stats.batch.full_run_fraction(),
         worker_connections: stats.workers.iter().map(|w| w.connections).collect(),
         shard_accounts: stats.shards.iter().map(|s| s.accounts).collect(),
     };
     handle.shutdown();
 
     eprintln!(
-        "[authload] {label:<16} {:>9.0} logins/s  ({} logins / {:.2}s, mean batch {:.1}, \
-         shards {:?}, worker conns {:?})",
+        "[authload] {label:<18} {:>9.0} logins/s  ({} logins / {:.2}s, mean batch {:.1}, \
+         full runs {:.0}%, shards {:?}, worker conns {:?})",
         result.logins_per_sec(),
         result.logins,
         result.elapsed.as_secs_f64(),
         result.mean_batch,
+        result.full_run_fraction * 100.0,
         result.shard_accounts,
         result.worker_connections,
     );
@@ -178,16 +208,14 @@ fn run_scenario(
 /// actually do, and it is what keeps the CI regression gate stable.
 fn run_scenario_best_of(
     label: &str,
-    config: ServerConfig,
+    scenario: &Scenario,
     users: usize,
-    threads: usize,
-    pipeline: usize,
     secs: f64,
     trials: usize,
 ) -> LoadResult {
     let mut best: Option<LoadResult> = None;
     for _ in 0..trials.max(1) {
-        let result = run_scenario(label, config.clone(), users, threads, pipeline, secs);
+        let result = run_scenario(label, scenario, users, secs);
         if best
             .as_ref()
             .is_none_or(|b| result.logins_per_sec() > b.logins_per_sec())
@@ -215,45 +243,69 @@ fn main() {
     // framing.
     let iterations: u32 = env_or("GP_AUTHLOAD_ITERATIONS", 3000).max(1);
     let users: usize = env_or("GP_AUTHLOAD_USERS", 64).max(1);
+    let idle: usize = env_or("GP_AUTHLOAD_IDLE", 256);
+    let conns: usize = env_or("GP_AUTHLOAD_CONNS", 32).max(1);
 
-    let baseline_config = ServerConfig {
-        hash_iterations: iterations,
-        ..ServerConfig::single_worker_baseline()
+    let single_worker = Scenario {
+        config: ServerConfig {
+            hash_iterations: iterations,
+            ..ServerConfig::single_worker_baseline()
+        },
+        threads,
+        pipeline,
+        idle_connections: 0,
     };
-    let scaled_config = ServerConfig {
+    let pooled_config = ServerConfig {
         hash_iterations: iterations,
         workers: std::thread::available_parallelism()
             .map(|p| p.get().clamp(4, 16))
             .unwrap_or(4),
+        ..ServerConfig::pooled_baseline()
+    };
+    assert_eq!(pooled_config.shards, 4, "acceptance config is 4 shards");
+    let sharded_pooled = Scenario {
+        config: pooled_config,
+        threads,
+        pipeline,
+        idle_connections: 0,
+    };
+    // The reactor runs with a *fixed small* thread budget on every host:
+    // 1 event-loop thread + 3 hash-compute threads.  The point of the
+    // scenarios below is that connection count no longer dictates thread
+    // count.
+    let reactor_config = ServerConfig {
+        hash_iterations: iterations,
+        workers: 3,
+        serving: ServingMode::Reactor,
         ..ServerConfig::study_default()
     };
-    assert_eq!(scaled_config.shards, 4, "acceptance config is 4 shards");
+    let reactor = Scenario {
+        config: reactor_config.clone(),
+        threads,
+        pipeline,
+        idle_connections: 0,
+    };
+    let reactor_idle = Scenario {
+        config: reactor_config.clone(),
+        threads,
+        pipeline,
+        idle_connections: idle,
+    };
+    let reactor_highconc = Scenario {
+        config: reactor_config,
+        threads: conns,
+        pipeline: 4,
+        idle_connections: 0,
+    };
 
     eprintln!(
         "[authload] {threads} threads × {pipeline}-deep pipeline, h^{iterations}, \
-         {users} users, best of {trials} × {secs:.1}s per scenario"
+         {users} users, best of {trials} × {secs:.1}s per scenario \
+         (idle={idle}, highconc={conns}×4)"
     );
-    let baseline = run_scenario_best_of(
-        "single_worker",
-        baseline_config,
-        users,
-        threads,
-        pipeline,
-        secs,
-        trials,
-    );
-    let scaled = run_scenario_best_of(
-        "sharded_pooled",
-        scaled_config,
-        users,
-        threads,
-        pipeline,
-        secs,
-        trials,
-    );
-
-    let scaling = scaled.logins_per_sec() / baseline.logins_per_sec();
-    eprintln!("[authload] scaling: {scaling:.2}x logins/sec over the single-worker baseline");
+    let baseline = run_scenario_best_of("single_worker", &single_worker, users, secs, trials);
+    let pooled = run_scenario_best_of("sharded_pooled", &sharded_pooled, users, secs, trials);
+    let scaling = pooled.logins_per_sec() / baseline.logins_per_sec();
 
     let path = std::env::var("GP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".into());
     let path = std::path::PathBuf::from(path);
@@ -265,7 +317,7 @@ fn main() {
     );
     fresh.set_result(
         "authload/sharded_pooled_ns_per_login",
-        scaled.ns_per_login(),
+        pooled.ns_per_login(),
     );
     fresh.set_throughput(
         "authload/single_worker_logins_per_sec",
@@ -273,9 +325,62 @@ fn main() {
     );
     fresh.set_throughput(
         "authload/sharded_pooled_logins_per_sec",
-        scaled.logins_per_sec(),
+        pooled.logins_per_sec(),
     );
     fresh.set_speedup("authload_scaling", scaling);
+
+    // The reactor scenarios measure the epoll path, which only exists on
+    // Linux: `AuthServer::spawn` quietly serves through the blocking pool
+    // elsewhere, and recording those numbers under reactor metric names
+    // would poison the committed baselines (a pool cannot even hold the
+    // idle-connection population the reactor_idle scenario is about).
+    if cfg!(target_os = "linux") {
+        let reactive = run_scenario_best_of("reactor", &reactor, users, secs, trials);
+        let idle_result = run_scenario_best_of("reactor_idle", &reactor_idle, users, secs, trials);
+        let highconc =
+            run_scenario_best_of("reactor_highconc", &reactor_highconc, users, secs, trials);
+
+        let reactor_vs_pooled = reactive.logins_per_sec() / pooled.logins_per_sec();
+        let idle_vs_pooled = idle_result.logins_per_sec() / pooled.logins_per_sec();
+        let highconc_vs_pooled = highconc.logins_per_sec() / pooled.logins_per_sec();
+        eprintln!(
+            "[authload] pooled/single {scaling:.2}x · reactor/pooled {reactor_vs_pooled:.2}x · \
+             reactor+{idle} idle/pooled {idle_vs_pooled:.2}x · \
+             reactor {conns}-conn/pooled {highconc_vs_pooled:.2}x"
+        );
+
+        fresh.set_result("authload/reactor_ns_per_login", reactive.ns_per_login());
+        fresh.set_result(
+            "authload/reactor_idle_ns_per_login",
+            idle_result.ns_per_login(),
+        );
+        fresh.set_result(
+            "authload/reactor_highconc_ns_per_login",
+            highconc.ns_per_login(),
+        );
+        fresh.set_throughput("authload/reactor_logins_per_sec", reactive.logins_per_sec());
+        fresh.set_throughput(
+            "authload/reactor_idle_logins_per_sec",
+            idle_result.logins_per_sec(),
+        );
+        fresh.set_throughput(
+            "authload/reactor_highconc_logins_per_sec",
+            highconc.logins_per_sec(),
+        );
+        // Batch occupancy under connection scaling: mean attempts per
+        // multi-lane run (higher = fuller lanes), gated like any
+        // throughput.
+        fresh.set_throughput("authload/reactor_highconc_mean_batch", highconc.mean_batch);
+        fresh.set_speedup("authload_reactor_vs_pooled", reactor_vs_pooled);
+        fresh.set_speedup("authload_reactor_idle_vs_pooled", idle_vs_pooled);
+        fresh.set_speedup("authload_reactor_highconc_vs_pooled", highconc_vs_pooled);
+    } else {
+        eprintln!(
+            "[authload] pooled/single {scaling:.2}x · reactor scenarios skipped \
+             (epoll reactor is Linux-only; the pool fallback would be mislabeled)"
+        );
+    }
+
     out.merge_from(&fresh);
     out.save(&path).expect("write benchmark report");
     eprintln!("[authload] wrote {}", path.display());

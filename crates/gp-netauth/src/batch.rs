@@ -69,6 +69,9 @@ pub struct BatchStats {
     pub attempts: u64,
     /// Largest single run.
     pub max_run: u64,
+    /// Runs that filled every allowed lane (`max_batch` attempts) — the
+    /// direct measure of how often the verifier reaches full occupancy.
+    pub full_runs: u64,
 }
 
 impl BatchStats {
@@ -78,6 +81,15 @@ impl BatchStats {
             0.0
         } else {
             self.attempts as f64 / self.runs as f64
+        }
+    }
+
+    /// Fraction of runs that filled every allowed lane.
+    pub fn full_run_fraction(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.full_runs as f64 / self.runs as f64
         }
     }
 }
@@ -91,6 +103,7 @@ pub struct BatchVerifier {
     runs: AtomicU64,
     attempts: AtomicU64,
     max_run: AtomicU64,
+    full_runs: AtomicU64,
 }
 
 impl core::fmt::Debug for BatchVerifier {
@@ -117,6 +130,7 @@ impl BatchVerifier {
             runs: AtomicU64::new(0),
             attempts: AtomicU64::new(0),
             max_run: AtomicU64::new(0),
+            full_runs: AtomicU64::new(0),
         }
     }
 
@@ -131,6 +145,7 @@ impl BatchVerifier {
             runs: self.runs.load(Ordering::Relaxed),
             attempts: self.attempts.load(Ordering::Relaxed),
             max_run: self.max_run.load(Ordering::Relaxed),
+            full_runs: self.full_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -188,6 +203,24 @@ impl BatchVerifier {
         }
     }
 
+    /// Hash an already-coalesced batch on the calling thread, bypassing
+    /// the leader/follower queue entirely.
+    ///
+    /// [`BatchVerifier::submit`] serializes execution through one leader
+    /// at a time — the right shape when submitters each hold a few jobs
+    /// and the verifier is the coalescing point.  The reactor's compute
+    /// pool coalesces *before* hashing (its turn queue merges jobs across
+    /// connections), so its workers call this instead and hash distinct
+    /// batches **in parallel on separate cores**.  Counters (`runs`,
+    /// `attempts`, `max_run`, `full_runs`) are recorded identically;
+    /// batches larger than `max_batch` split into multiple runs.
+    ///
+    /// Returns one digest per job, in input order.
+    pub fn run_direct(&self, jobs: &[HashJob]) -> Vec<Digest> {
+        let refs: Vec<&HashJob> = jobs.iter().collect();
+        self.run_groups(&refs)
+    }
+
     /// Take the leader role: optionally wait out the coalescing window,
     /// drain up to `max_batch` jobs, hash them, deliver results.
     fn lead(&self, mut inner: std::sync::MutexGuard<'_, Inner>) {
@@ -218,31 +251,33 @@ impl BatchVerifier {
         self.work.notify_all();
     }
 
-    /// Run the hashes for one drained batch and fill result slots.
-    ///
-    /// Jobs "sharing a config" (same iteration count) go through one
+    /// Run the multi-lane hashes for `jobs`, recording stats.  Jobs
+    /// "sharing a config" (same iteration count) go through one
     /// multi-salt multi-lane call; mixed iteration counts split into one
-    /// call per group.
-    fn execute(&self, batch: &[QueuedJob]) {
+    /// call per group; groups larger than `max_batch` split further.
+    ///
+    /// Returns one digest per job, in input order.
+    fn run_groups(&self, jobs: &[&HashJob]) -> Vec<Digest> {
         self.attempts
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
 
-        let mut order: Vec<usize> = (0..batch.len()).collect();
-        order.sort_by_key(|&i| batch[i].job.iterations);
-        let mut digests: Vec<(usize, Digest)> = Vec::with_capacity(batch.len());
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| jobs[i].iterations);
+        let mut digests: Vec<Digest> = vec![Digest::default(); jobs.len()];
         let mut out = Vec::new();
         let mut start = 0;
         while start < order.len() {
-            let iterations = batch[order[start]].job.iterations;
+            let iterations = jobs[order[start]].iterations;
             let len = order[start..]
                 .iter()
-                .take_while(|&&i| batch[i].job.iterations == iterations)
-                .count();
+                .take_while(|&&i| jobs[i].iterations == iterations)
+                .count()
+                .min(self.max_batch);
             let group = &order[start..start + len];
-            let hashers: Vec<&SaltedHasher> = group.iter().map(|&i| &batch[i].job.hasher).collect();
+            let hashers: Vec<&SaltedHasher> = group.iter().map(|&i| &jobs[i].hasher).collect();
             let pre_images: Vec<&[u8]> = group
                 .iter()
-                .map(|&i| batch[i].job.pre_image.as_slice())
+                .map(|&i| jobs[i].pre_image.as_slice())
                 .collect();
             iterated_hash_many_salted_into(&hashers, &pre_images, iterations, &mut out);
             // One "run" per actual hash call: a mixed-iteration batch that
@@ -250,14 +285,22 @@ impl BatchVerifier {
             // coalescing.
             self.runs.fetch_add(1, Ordering::Relaxed);
             self.max_run.fetch_max(len as u64, Ordering::Relaxed);
+            if len >= self.max_batch && self.max_batch > 1 {
+                self.full_runs.fetch_add(1, Ordering::Relaxed);
+            }
             for (&i, digest) in group.iter().zip(out.iter()) {
-                digests.push((i, *digest));
+                digests[i] = *digest;
             }
             start += len;
         }
+        digests
+    }
 
-        for (i, digest) in digests {
-            let queued = &batch[i];
+    /// Run the hashes for one drained batch and fill result slots.
+    fn execute(&self, batch: &[QueuedJob]) {
+        let jobs: Vec<&HashJob> = batch.iter().map(|q| &q.job).collect();
+        let digests = self.run_groups(&jobs);
+        for (queued, digest) in batch.iter().zip(digests) {
             let mut state = queued.submission.state.lock().expect("submission poisoned");
             state.results[queued.index] = Some(digest);
             state.remaining -= 1;
@@ -343,6 +386,75 @@ mod tests {
             stats.runs <= 16,
             "some coalescing or at least no run inflation: {stats:?}"
         );
+    }
+
+    #[test]
+    fn run_direct_matches_scalar_hashing_and_counts_stats() {
+        let v = BatchVerifier::new(4, Duration::ZERO);
+        let jobs: Vec<HashJob> = (0..6)
+            .map(|i| {
+                job(
+                    format!("salt-{i}").as_bytes(),
+                    b"pre",
+                    if i < 3 { 5 } else { 9 },
+                )
+            })
+            .collect();
+        let digests = v.run_direct(&jobs);
+        for (i, d) in digests.iter().enumerate() {
+            let iters = if i < 3 { 5 } else { 9 };
+            assert_eq!(
+                *d,
+                iterated_hash(format!("salt-{i}").as_bytes(), b"pre", iters),
+                "digest {i} in input order"
+            );
+        }
+        let stats = v.stats();
+        assert_eq!(stats.attempts, 6);
+        assert_eq!(stats.runs, 2, "one run per iteration group");
+        assert_eq!(stats.max_run, 3);
+        assert!(v.run_direct(&[]).is_empty());
+    }
+
+    #[test]
+    fn run_direct_from_many_threads_in_parallel_is_correct() {
+        let v = Arc::new(BatchVerifier::new(16, Duration::ZERO));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let v = Arc::clone(&v);
+            handles.push(std::thread::spawn(move || {
+                let salt = format!("salt-{t}");
+                let jobs: Vec<HashJob> = (0..4)
+                    .map(|i| job(salt.as_bytes(), format!("a{i}").as_bytes(), 40))
+                    .collect();
+                let digests = v.run_direct(&jobs);
+                for (i, d) in digests.iter().enumerate() {
+                    assert_eq!(
+                        *d,
+                        iterated_hash(salt.as_bytes(), format!("a{i}").as_bytes(), 40)
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = v.stats();
+        assert_eq!(stats.attempts, 32);
+        assert_eq!(stats.runs, 8, "each thread's batch is one run");
+        assert_eq!(stats.max_run, 4);
+    }
+
+    #[test]
+    fn full_runs_counts_filled_lanes() {
+        let v = BatchVerifier::new(4, Duration::ZERO);
+        let jobs: Vec<HashJob> = (0..8)
+            .map(|i| job(format!("s{i}").as_bytes(), b"p", 3))
+            .collect();
+        v.run_direct(&jobs);
+        let stats = v.stats();
+        assert_eq!(stats.full_runs, 2, "8 jobs at max_batch 4 = 2 full runs");
+        assert_eq!(stats.full_run_fraction(), 1.0);
     }
 
     #[test]

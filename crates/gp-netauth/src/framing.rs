@@ -208,6 +208,97 @@ impl<R: Read> FrameReader<std::io::BufReader<R>> {
     }
 }
 
+/// Outbound byte queue for a nonblocking connection.
+///
+/// The reactor cannot use a blocking `BufWriter` — a peer that stops
+/// reading would wedge the whole event loop in `flush()`.  Instead each
+/// connection owns a `WriteBuffer`: responses are encoded into it
+/// ([`WriteBuffer::queue_frame`] produces bytes identical to
+/// [`FrameWriter`]'s), and [`WriteBuffer::flush_to`] writes as much as the
+/// transport will take right now, tolerating partial writes and
+/// `WouldBlock` and resuming exactly where it stopped.  The pending byte
+/// count is the connection's write-backpressure signal.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    /// Queued bytes (encoded frames).
+    buf: Vec<u8>,
+    /// Prefix of `buf` already accepted by the transport.
+    written: usize,
+}
+
+/// Compact the consumed prefix away once it exceeds this many bytes (a
+/// memmove amortized over at least this much progress).
+const WRITE_COMPACT_THRESHOLD: usize = 4096;
+
+impl WriteBuffer {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes queued but not yet accepted by the transport.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.written
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Encode one frame containing `payload` onto the queue — exactly
+    /// [`FrameWriter::write_frame_buffered`] into the owned buffer (a
+    /// `Vec` sink cannot fail, so the only error is an oversized payload,
+    /// rejected before anything is queued).
+    pub fn queue_frame(&mut self, payload: &[u8]) -> Result<(), NetAuthError> {
+        FrameWriter::new(&mut self.buf).write_frame_buffered(payload)
+    }
+
+    /// Append pre-encoded frame bytes (responses settled off-thread arrive
+    /// already encoded).
+    pub fn queue_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Write queued bytes until done or the transport pushes back.
+    ///
+    /// Returns `Ok(true)` when the queue drained, `Ok(false)` on
+    /// `WouldBlock`/`TimedOut` (progress is kept; call again when the
+    /// transport is writable).  Partial writes and `Interrupted` are
+    /// handled internally; `Ok(0)` from the writer is reported as
+    /// `WriteZero`.
+    pub fn flush_to<W: Write>(&mut self, writer: &mut W) -> std::io::Result<bool> {
+        while self.written < self.buf.len() {
+            match writer.write(&self.buf[self.written..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "transport accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.written >= WRITE_COMPACT_THRESHOLD {
+                        self.buf.drain(..self.written);
+                        self.written = 0;
+                    }
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.written = 0;
+        Ok(true)
+    }
+}
+
 /// A fault-injecting byte transport for tests: corrupts or drops writes
 /// before handing bytes to the wrapped buffer.
 ///
@@ -534,6 +625,165 @@ mod tests {
             FrameReader::new(std::io::BufReader::new(Cursor::new(bytes[..cut].to_vec())));
         assert_eq!(&reader.read_frame().unwrap()[..], b"hello");
         assert!(!reader.frame_buffered(), "truncated frame is not complete");
+    }
+
+    /// The worst-case nonblocking transport: delivers exactly one byte per
+    /// read and reports `WouldBlock` before every delivery.
+    struct OneByteTrickleReader {
+        bytes: Vec<u8>,
+        pos: usize,
+        parity: bool,
+    }
+
+    impl std::io::Read for OneByteTrickleReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.parity = !self.parity;
+            if self.parity {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "trickle",
+                ));
+            }
+            if self.pos == self.bytes.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn read_side_would_block_at_every_byte_boundary_never_desyncs() {
+        // A pipeline of frames of every interesting size, delivered one
+        // byte at a time with WouldBlock between every byte: the reader
+        // must produce exactly the pipeline, in order, no matter where
+        // the boundaries fall.
+        let payloads: Vec<Vec<u8>> = vec![
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"hello world".to_vec(),
+            vec![0xAB; 300],
+            b"tail".to_vec(),
+        ];
+        let mut bytes = Vec::new();
+        {
+            let mut writer = FrameWriter::new(&mut bytes);
+            for p in &payloads {
+                writer.write_frame(p).unwrap();
+            }
+        }
+        let total = bytes.len();
+        let mut reader = FrameReader::new(OneByteTrickleReader {
+            bytes,
+            pos: 0,
+            parity: false,
+        });
+        let mut frames = Vec::new();
+        let mut timeouts = 0usize;
+        while frames.len() < payloads.len() {
+            match reader.read_frame() {
+                Ok(frame) => frames.push(frame.to_vec()),
+                Err(NetAuthError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    timeouts += 1;
+                }
+                Err(e) => panic!("desync at frame {}: {e}", frames.len()),
+            }
+        }
+        assert_eq!(frames, payloads);
+        assert!(
+            timeouts >= total,
+            "every byte boundary must have blocked at least once \
+             ({timeouts} timeouts for {total} bytes)"
+        );
+    }
+
+    /// Write side of the same worst case: accepts one byte per call and
+    /// pushes back with `WouldBlock` before every acceptance.
+    struct OneByteBackpressureWriter {
+        bytes: Vec<u8>,
+        parity: bool,
+        blocks: usize,
+    }
+
+    impl Write for OneByteBackpressureWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.parity = !self.parity;
+            if self.parity {
+                self.blocks += 1;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "backpressure",
+                ));
+            }
+            let n = buf.len().min(1);
+            self.bytes.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buffer_would_block_at_every_byte_boundary_never_desyncs() {
+        let payloads: Vec<Vec<u8>> = vec![
+            b"first response".to_vec(),
+            b"".to_vec(),
+            vec![0x5A; 257],
+            b"last".to_vec(),
+        ];
+        // Reference wire bytes from the blocking writer.
+        let mut expected = Vec::new();
+        {
+            let mut w = FrameWriter::new(&mut expected);
+            for p in &payloads {
+                w.write_frame(p).unwrap();
+            }
+        }
+        let mut out = WriteBuffer::new();
+        for p in &payloads {
+            out.queue_frame(p).unwrap();
+        }
+        assert_eq!(out.pending(), expected.len());
+        let mut sink = OneByteBackpressureWriter {
+            bytes: Vec::new(),
+            parity: false,
+            blocks: 0,
+        };
+        let mut flushes = 0usize;
+        while !out.flush_to(&mut sink).unwrap() {
+            flushes += 1;
+            assert!(flushes < 10 * expected.len(), "flush loop must terminate");
+        }
+        assert!(out.is_empty());
+        assert_eq!(sink.bytes, expected, "byte-identical to the blocking path");
+        assert!(sink.blocks >= expected.len(), "every byte pushed back once");
+        // Frames decoded from the trickled output round-trip.
+        let mut reader = FrameReader::new(Cursor::new(sink.bytes));
+        for p in &payloads {
+            assert_eq!(&reader.read_frame().unwrap()[..], &p[..]);
+        }
+    }
+
+    #[test]
+    fn write_buffer_queue_bytes_and_oversize_guard() {
+        let mut out = WriteBuffer::new();
+        assert!(out.is_empty());
+        assert!(matches!(
+            out.queue_frame(&vec![0u8; MAX_FRAME_LEN + 1]),
+            Err(NetAuthError::FrameTooLarge { .. })
+        ));
+        assert!(out.is_empty(), "rejected frame queues nothing");
+        let mut pre_encoded = Vec::new();
+        FrameWriter::new(&mut pre_encoded)
+            .write_frame(b"x")
+            .unwrap();
+        out.queue_bytes(&pre_encoded);
+        let mut sink = Vec::new();
+        assert!(out.flush_to(&mut sink).unwrap());
+        assert_eq!(sink, pre_encoded);
     }
 
     #[test]

@@ -19,35 +19,50 @@
 //! * [`batch`] — the cross-connection [`batch::BatchVerifier`], which
 //!   coalesces concurrent login attempts into single multi-lane
 //!   [`gp_crypto::iterated_hash_many_salted`] runs.
-//! * [`server`] — the serving layer: a bounded worker pool over a
+//! * [`server`] — the serving layer over a
 //!   [`GraphicalPasswordSystem`](gp_passwords::GraphicalPasswordSystem)
-//!   and a [`ShardedPasswordStore`](gp_passwords::ShardedPasswordStore),
-//!   draining request pipelines per connection and answering in order,
-//!   with graceful shutdown and per-worker metrics.
+//!   and a [`ShardedPasswordStore`](gp_passwords::ShardedPasswordStore):
+//!   protocol logic plus two interchangeable multiplexing strategies
+//!   ([`server::ServingMode`]), with graceful shutdown and per-worker
+//!   metrics.
+//! * [`reactor`] (Linux) — the event-driven serving path: one `epoll`
+//!   thread owns every connection's nonblocking state machine and a
+//!   dedicated hash-compute pool drains prepared verify jobs, so
+//!   connection count is decoupled from thread count.
+//! * [`sys`] (Linux) — the minimal `epoll`/`eventfd` FFI the reactor
+//!   stands on (std already links libc; no crates involved).
 //! * [`client`] — a blocking client (with a pipelined burst API) used by
 //!   the examples, integration tests and the `authload` generator.
 //!
-//! # Request flow
+//! # Request flow (reactor mode, Linux)
 //!
 //! ```text
-//! accept loop ──► bounded connection queue ──► worker pool (N threads)
-//!                                                  │ drain ≤ pipeline_max frames
-//!                                                  ▼
-//!                                  prepare: shard lookup ─ discretize ─ provenance
-//!                                                  │ hash jobs
-//!                                                  ▼
-//!                                  BatchVerifier (≤ batch_max attempts/run,
-//!                                     multi-lane iterated_hash_many_salted)
-//!                                                  │ digests
-//!                                                  ▼
-//!                                  finish: lockout settle ─ in-order responses
+//! epoll: accept ─ read-ready ─ write-ready ─ completions   (1 thread)
+//!    │ drain ≤ pipeline_max frames per ready connection
+//!    ▼
+//! prepare: shard lookup ─ discretize ─ provenance          (reactor thread)
+//!    │ turns with hash jobs                 │ turns with none
+//!    ▼                                      ▼ settle inline
+//! turn queue ──► hash-compute pool (M threads)
+//!                    │ coalesce turns, ≤ batch_max jobs
+//!                    ▼
+//!            BatchVerifier (multi-lane iterated_hash_many_salted)
+//!                    │ digests ─ settle ─ encode
+//!                    ▼
+//!            completion queue ─ eventfd ──► reactor writes responses
 //! ```
+//!
+//! In pool mode (non-Linux, or [`server::ServingMode::WorkerPool`]) the
+//! same prepare/batch/settle phases run on a bounded worker pool that
+//! parks one thread per connection.
 //!
 //! The protocol remains deliberately simple (length-prefixed frames, no
 //! TLS): it exists to demonstrate and test the password subsystem under
 //! its intended deployment shape, not to be an internet-facing service.
 
-#![forbid(unsafe_code)]
+// `sys` is the one module allowed to contain `unsafe` (the epoll FFI); it
+// opts in locally, everything else stays checked.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -56,14 +71,19 @@ pub mod error;
 pub mod framing;
 pub mod lockout;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
 pub use batch::{BatchStats, BatchVerifier, HashJob};
 pub use client::AuthClient;
 pub use error::NetAuthError;
-pub use framing::{FrameReader, FrameWriter, MAX_FRAME_LEN};
+pub use framing::{FrameReader, FrameWriter, WriteBuffer, MAX_FRAME_LEN};
 pub use lockout::LockoutTracker;
 pub use protocol::{ClientMessage, LoginDecision, ServerMessage};
 pub use server::{
-    AuthServer, ServerConfig, ServerHandle, ServerStats, WorkerMetrics, WorkerStatsSnapshot,
+    AuthServer, ServerConfig, ServerHandle, ServerStats, ServingMode, WorkerMetrics,
+    WorkerStatsSnapshot,
 };

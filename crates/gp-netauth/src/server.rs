@@ -3,34 +3,38 @@
 //! The serving path is built for concurrency in three layers:
 //!
 //! 1. **Sharded state** — accounts live in a
-//!    [`ShardedPasswordStore`] and failure counts in a sharded
-//!    [`LockoutTracker`], so worker threads contend only when they touch
-//!    the same partition.
-//! 2. **Bounded worker pool with pipelined framing** — [`AuthServer::spawn`]
-//!    starts a fixed pool of workers fed from a bounded connection queue
-//!    (accepting backpressures when the queue is full).  A worker drains
-//!    every request frame already buffered on its connection (up to
-//!    [`ServerConfig::pipeline_max`]) and answers them in order, so a
-//!    client may keep many requests in flight and the per-request syscall
-//!    cost amortizes across the pipeline.
+//!    [`ShardedPasswordStore`] (which also caches each account's per-salt
+//!    hashing state) and failure counts in a sharded [`LockoutTracker`],
+//!    so serving threads contend only when they touch the same partition.
+//! 2. **Connection multiplexing** ([`ServerConfig::serving`]) —
+//!    [`AuthServer::spawn`] serves either through the `epoll` reactor
+//!    ([`crate::reactor`], Linux default: connections decoupled from
+//!    threads) or through a bounded blocking worker pool fed from a
+//!    bounded connection queue (accepting parks when the queue is full).
+//!    Either way, a serving turn drains every request frame already
+//!    buffered on a connection (up to [`ServerConfig::pipeline_max`]) and
+//!    answers in order, so a client may keep many requests in flight and
+//!    per-request syscall cost amortizes across the pipeline.
 //! 3. **Cross-connection batch verification** — the expensive iterated
-//!    hash of each login is submitted to a shared [`BatchVerifier`], which
+//!    hash of each login goes through the shared [`BatchVerifier`], which
 //!    coalesces up to [`ServerConfig::batch_max`] attempts (from one
 //!    pipeline or from many connections) into a single multi-lane
 //!    [`gp_crypto::iterated_hash_many_salted`] run — the PR 1 fast path.
 //!
 //! Request handling stays a pure function ([`AuthServer::handle_message`])
-//! so the protocol logic is unit-testable without sockets, and the
-//! pipelined loop ([`AuthServer::serve_streams`]) is generic over
-//! `Read`/`Write` so fault-injection tests can drive it with in-memory
-//! transports.
+//! so the protocol logic is unit-testable without sockets; the turn
+//! phases (prepare / batch hash / settle) are shared by the blocking loop
+//! ([`AuthServer::serve_streams`], generic over `Read`/`Write` so
+//! fault-injection tests can drive it with in-memory transports) and the
+//! reactor's state machines.
 
 use crate::batch::{BatchStats, BatchVerifier, HashJob};
 use crate::error::NetAuthError;
 use crate::framing::{FrameReader, FrameWriter};
 use crate::lockout::LockoutTracker;
 use crate::protocol::{ClientMessage, LoginDecision, ServerMessage};
-use gp_crypto::SaltedHasher;
+use bytes::Bytes;
+use gp_crypto::Digest;
 use gp_geometry::{ImageDims, Point};
 use gp_passwords::{
     DiscretizationConfig, GraphicalPasswordSystem, PasswordPolicy, ShardStats,
@@ -39,23 +43,50 @@ use gp_passwords::{
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, TrySendError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Consecutive undecodable/corrupt frames tolerated on one connection
 /// before the server gives up on it (a desynced or hostile peer).
-const MAX_CONSECUTIVE_PROTOCOL_ERRORS: u32 = 32;
+pub(crate) const MAX_CONSECUTIVE_PROTOCOL_ERRORS: u32 = 32;
 
 /// How often blocked workers re-check the shutdown flag.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+pub(crate) const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 
 /// How long a worker may block writing a response before the connection is
 /// declared dead.  A peer that stops reading (full kernel send buffer)
 /// must not wedge a worker in `flush()` — or `ServerHandle::shutdown`,
 /// which joins every worker.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How connections are multiplexed onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServingMode {
+    /// Event-driven `epoll` reactor (Linux): one reactor thread owns every
+    /// connection's nonblocking state machine and a small hash-compute
+    /// pool does the iterated hashing, so connection count is decoupled
+    /// from thread count.  Falls back to [`ServingMode::WorkerPool`] on
+    /// non-Linux targets.
+    Reactor,
+    /// Blocking worker pool: each worker thread parks on one connection at
+    /// a time, so concurrent-connection capacity is capped near
+    /// [`ServerConfig::workers`].
+    WorkerPool,
+}
+
+impl ServingMode {
+    /// The best mode the target supports: [`ServingMode::Reactor`] on
+    /// Linux, [`ServingMode::WorkerPool`] elsewhere.
+    pub fn platform_default() -> Self {
+        if cfg!(target_os = "linux") {
+            Self::Reactor
+        } else {
+            Self::WorkerPool
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,8 +103,16 @@ pub struct ServerConfig {
     pub max_failures: u32,
     /// Partitions for the account store and lockout tracker.
     pub shards: usize,
-    /// Worker threads serving connections.
+    /// Compute parallelism: hash-compute threads in [`ServingMode::Reactor`]
+    /// (the reactor itself adds one event-loop thread), per-connection
+    /// worker threads in [`ServingMode::WorkerPool`].
     pub workers: usize,
+    /// How connections are multiplexed onto threads.
+    pub serving: ServingMode,
+    /// Maximum simultaneously open connections in reactor mode (further
+    /// accepts are immediately closed).  The pool mode's cap is implicit:
+    /// `workers + pending_connections`.
+    pub max_connections: usize,
     /// Maximum login attempts coalesced into one multi-lane hash run
     /// (1 = scalar verification, the pre-batching baseline).
     pub batch_max: usize,
@@ -93,6 +132,12 @@ pub struct ServerConfig {
     /// able to hold workers forever.  `Duration::ZERO` disables the limit
     /// (in-memory transports in tests).
     pub idle_timeout: Duration,
+    /// How long a peer may accept *no* response bytes before the
+    /// connection is declared dead.  The pool enforces it as a blocking
+    /// socket write timeout; the reactor sweeps connections whose pending
+    /// output made no progress for this long.  `Duration::ZERO` disables
+    /// the limit.
+    pub write_timeout: Duration,
 }
 
 impl ServerConfig {
@@ -108,12 +153,15 @@ impl ServerConfig {
             max_failures: 3,
             shards: 4,
             workers: 4,
+            serving: ServingMode::platform_default(),
+            max_connections: 4096,
             batch_max: gp_crypto::LANES,
             coalesce_window: Duration::from_micros(200),
             pipeline_max: 32,
             pending_connections: 128,
             lockout_capacity: 65_536,
             idle_timeout: Duration::from_secs(10),
+            write_timeout: WRITE_TIMEOUT,
         }
     }
 
@@ -125,28 +173,40 @@ impl ServerConfig {
         }
     }
 
-    /// The pre-sharding serving shape: one shard, one worker, scalar
-    /// verification.  The `authload` bench drives this as the baseline the
-    /// sharded/pooled/batched configuration is measured against.
+    /// The pre-sharding serving shape: one shard, one blocking worker,
+    /// scalar verification.  The `authload` bench drives this as the
+    /// baseline the sharded/pooled/batched configuration is measured
+    /// against.
     pub fn single_worker_baseline() -> Self {
         Self {
             shards: 1,
             workers: 1,
+            serving: ServingMode::WorkerPool,
             batch_max: 1,
             coalesce_window: Duration::ZERO,
+            ..Self::study_default()
+        }
+    }
+
+    /// The PR 2 serving shape: blocking worker pool with sharding and
+    /// batching, no reactor.  `authload` measures the reactor against this.
+    pub fn pooled_baseline() -> Self {
+        Self {
+            serving: ServingMode::WorkerPool,
             ..Self::study_default()
         }
     }
 }
 
 /// Per-worker serving counters (atomics; [`ServerHandle::stats`] snapshots
-/// them into [`WorkerStatsSnapshot`]s).
+/// them into [`WorkerStatsSnapshot`]s).  In reactor mode the first entry
+/// belongs to the event-loop thread and the rest to hash-compute workers.
 #[derive(Debug, Default)]
 pub struct WorkerMetrics {
-    connections: AtomicU64,
-    requests: AtomicU64,
-    logins: AtomicU64,
-    protocol_errors: AtomicU64,
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) logins: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
 }
 
 /// Point-in-time copy of one worker's counters.
@@ -188,9 +248,9 @@ pub struct ServerStats {
 }
 
 /// What phase 1 of request processing decided for one pipelined request.
-enum Planned {
-    /// Response is already known (non-login messages, protocol errors,
-    /// unknown accounts).
+pub(crate) enum Planned {
+    /// Response is already known (cheap messages, protocol errors,
+    /// unknown accounts, structurally invalid enrollments).
     Respond(ServerMessage),
     /// A login that cannot match (structural failure, foreign provenance,
     /// or already locked): settle against the lockout in order, no hash.
@@ -202,6 +262,25 @@ enum Planned {
         stored: Box<StoredPassword>,
         job_index: usize,
     },
+    /// An enrollment whose record is complete except for the digest being
+    /// computed by hash job `job_index`.  Settling installs the digest and
+    /// inserts the account (duplicate-checked under the shard lock).
+    EnrollHashed {
+        record: Box<StoredPassword>,
+        job_index: usize,
+    },
+}
+
+/// One connection turn after phase 1: the in-order response plan, the hash
+/// jobs it needs, and whether the turn ends the connection.
+///
+/// Shared by the blocking pipelined loop (which hashes and settles
+/// immediately) and the reactor (which ships the turn to the hash-compute
+/// pool and settles on completion).
+pub(crate) struct PreparedTurn {
+    pub(crate) planned: Vec<Planned>,
+    pub(crate) jobs: Vec<HashJob>,
+    pub(crate) quitting: bool,
 }
 
 /// The authentication server.
@@ -276,33 +355,53 @@ impl AuthServer {
                 clicks: self.config.clicks as u32,
             },
             ClientMessage::Quit => ServerMessage::Goodbye,
-            ClientMessage::Enroll { username, clicks } => self.handle_enroll(&username, &clicks),
+            ClientMessage::Enroll { username, clicks } => {
+                let mut jobs = Vec::new();
+                let planned = self.prepare_enroll(username, &clicks, &mut jobs);
+                let digests = self.verifier.submit(jobs);
+                self.settle_responses(vec![planned], &digests)
+                    .pop()
+                    .expect("one planned request yields one response")
+            }
             ClientMessage::Login { username, clicks } => {
                 let mut scratch = VerifyScratch::new();
                 let mut jobs = Vec::new();
                 let planned = self.prepare_login(username, &clicks, &mut scratch, &mut jobs);
                 let digests = self.verifier.submit(jobs);
-                match planned {
-                    Planned::Respond(response) => response,
-                    Planned::LoginNoHash { username } => self.finish_login(&username, None),
-                    Planned::LoginHashed {
-                        username, stored, ..
-                    } => {
-                        let matched = self.system.finish_verify(&stored, &digests[0]);
-                        self.store.note_verified(&username);
-                        self.finish_login(&username, Some(matched))
-                    }
-                }
+                self.settle_responses(vec![planned], &digests)
+                    .pop()
+                    .expect("one planned request yields one response")
             }
         }
     }
 
-    fn handle_enroll(&self, username: &str, clicks: &[Point]) -> ServerMessage {
-        match self.store.enroll(&self.system, username, clicks) {
-            Ok(()) => ServerMessage::EnrollOk,
-            Err(e) => ServerMessage::Error {
+    /// Phase 1 of enrollment handling: validate, discretize and build the
+    /// digest-less record, appending the enrollment hash as a [`HashJob`]
+    /// — enrollment hashes cost the same `h^k` as logins, so they must go
+    /// through the batch pipeline too (never the reactor's event-loop
+    /// thread), and they batch with concurrent logins.
+    fn prepare_enroll(
+        &self,
+        username: String,
+        clicks: &[Point],
+        jobs: &mut Vec<HashJob>,
+    ) -> Planned {
+        match self.system.prepare_enroll(&username, clicks) {
+            Err(e) => Planned::Respond(ServerMessage::Error {
                 reason: e.to_string(),
-            },
+            }),
+            Ok((record, pre_image)) => {
+                let job_index = jobs.len();
+                jobs.push(HashJob {
+                    hasher: gp_crypto::SaltedHasher::new(&record.hash.salt),
+                    pre_image,
+                    iterations: record.hash.iterations,
+                });
+                Planned::EnrollHashed {
+                    record: Box::new(record),
+                    job_index,
+                }
+            }
         }
     }
 
@@ -310,6 +409,12 @@ impl AuthServer {
     /// in its shard, discretizes and encodes the attempt, checks
     /// provenance, and either settles immediately or appends a [`HashJob`]
     /// to `jobs` for the batch verifier.
+    ///
+    /// The job carries the store's *cached* per-salt hashing state
+    /// ([`ShardedPasswordStore::get_cached`]): the salt was absorbed once
+    /// at enrollment and every subsequent attempt clones plain stack data
+    /// instead of re-hashing it (2–3× per round for long salts, per the
+    /// midstate benches).
     fn prepare_login(
         &self,
         username: String,
@@ -317,7 +422,7 @@ impl AuthServer {
         scratch: &mut VerifyScratch,
         jobs: &mut Vec<HashJob>,
     ) -> Planned {
-        let Some(stored) = self.store.get(&username) else {
+        let Some((stored, hasher)) = self.store.get_cached(&username) else {
             return Planned::Respond(ServerMessage::Error {
                 reason: format!("unknown account {username:?}"),
             });
@@ -335,7 +440,7 @@ impl AuthServer {
             Ok(Some(pre_image)) => {
                 let job_index = jobs.len();
                 jobs.push(HashJob {
-                    hasher: SaltedHasher::new(&stored.hash.salt),
+                    hasher,
                     pre_image,
                     iterations: stored.hash.iterations,
                 });
@@ -346,6 +451,112 @@ impl AuthServer {
                 }
             }
         }
+    }
+
+    /// Phase 1 for one turn: pop frames off the connection's queue
+    /// (`None` marks a frame that failed its integrity check), prepare
+    /// logins/enrollments, and collect the turn's hash jobs.
+    /// `consecutive_errors` carries the connection's bad-frame streak
+    /// across turns; a decodable frame resets it.
+    ///
+    /// Two messages end a turn early, leaving later frames queued:
+    ///
+    /// * `Quit` — the connection is done (callers drop the rest);
+    /// * `Enroll` — a *write barrier*: a pipelined login for the account
+    ///   being enrolled must be prepared only after the enrollment
+    ///   settles, so the remaining frames form the next turn.
+    pub(crate) fn prepare_turn(
+        &self,
+        frames: &mut std::collections::VecDeque<Option<Bytes>>,
+        scratch: &mut VerifyScratch,
+        metrics: &WorkerMetrics,
+        consecutive_errors: &mut u32,
+    ) -> PreparedTurn {
+        let mut planned = Vec::with_capacity(frames.len());
+        let mut jobs = Vec::new();
+        let mut quitting = false;
+        while let Some(frame) = frames.pop_front() {
+            let message = match frame {
+                None => {
+                    metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    *consecutive_errors += 1;
+                    planned.push(Planned::Respond(ServerMessage::Error {
+                        reason: NetAuthError::IntegrityFailure.to_string(),
+                    }));
+                    continue;
+                }
+                Some(frame) => match ClientMessage::decode(frame) {
+                    Ok(message) => message,
+                    Err(e) => {
+                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        *consecutive_errors += 1;
+                        planned.push(Planned::Respond(ServerMessage::Error {
+                            reason: format!("bad request: {e}"),
+                        }));
+                        continue;
+                    }
+                },
+            };
+            *consecutive_errors = 0;
+            match message {
+                ClientMessage::Quit => {
+                    planned.push(Planned::Respond(ServerMessage::Goodbye));
+                    quitting = true;
+                    break;
+                }
+                ClientMessage::Login { username, clicks } => {
+                    metrics.logins.fetch_add(1, Ordering::Relaxed);
+                    planned.push(self.prepare_login(username, &clicks, scratch, &mut jobs));
+                }
+                ClientMessage::Enroll { username, clicks } => {
+                    planned.push(self.prepare_enroll(username, &clicks, &mut jobs));
+                    break;
+                }
+                other => planned.push(Planned::Respond(self.handle_message(other))),
+            }
+        }
+        PreparedTurn {
+            planned,
+            jobs,
+            quitting,
+        }
+    }
+
+    /// Phase 3 for a whole turn: settle every planned request against the
+    /// lockout state, in pipeline order, and produce the in-order
+    /// responses.  `digests` are the turn's hash results, indexed by each
+    /// job's `job_index`.
+    pub(crate) fn settle_responses(
+        &self,
+        planned: Vec<Planned>,
+        digests: &[Digest],
+    ) -> Vec<ServerMessage> {
+        planned
+            .into_iter()
+            .map(|plan| match plan {
+                Planned::Respond(response) => response,
+                Planned::LoginNoHash { username } => self.finish_login(&username, None),
+                Planned::LoginHashed {
+                    username,
+                    stored,
+                    job_index,
+                } => {
+                    let matched = self.system.finish_verify(&stored, &digests[job_index]);
+                    self.store.note_verified(&username);
+                    self.finish_login(&username, Some(matched))
+                }
+                Planned::EnrollHashed { record, job_index } => {
+                    let record =
+                        GraphicalPasswordSystem::finish_enroll(*record, digests[job_index]);
+                    match self.store.insert_new(record) {
+                        Ok(()) => ServerMessage::EnrollOk,
+                        Err(e) => ServerMessage::Error {
+                            reason: e.to_string(),
+                        },
+                    }
+                }
+            })
+            .collect()
     }
 
     /// Phase 2 of login handling: settle one attempt against the lockout
@@ -380,13 +591,46 @@ impl AuthServer {
         }
     }
 
-    /// Bind to `127.0.0.1:0` and serve connections on the worker pool
-    /// until the returned handle is shut down or dropped.
+    /// Bind to `127.0.0.1:0` and serve connections until the returned
+    /// handle is shut down or dropped.
+    ///
+    /// [`ServerConfig::serving`] picks the multiplexing strategy: the
+    /// `epoll` reactor (Linux; one event-loop thread plus
+    /// [`ServerConfig::workers`] hash-compute threads) or the blocking
+    /// worker pool.  Requesting the reactor on a non-Linux target quietly
+    /// serves through the pool instead.
     pub fn spawn(self) -> Result<ServerHandle, NetAuthError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let server = Arc::new(self);
+        #[cfg(target_os = "linux")]
+        if server.config.serving == ServingMode::Reactor {
+            let parts = crate::reactor::spawn_reactor(
+                Arc::clone(&server),
+                listener,
+                Arc::clone(&shutdown),
+            )?;
+            return Ok(ServerHandle {
+                addr,
+                shutdown,
+                accept_join: Some(parts.reactor_join),
+                worker_joins: parts.compute_joins,
+                worker_metrics: parts.metrics,
+                server,
+            });
+        }
+        Self::spawn_pool(server, listener, addr, shutdown)
+    }
+
+    /// Blocking worker-pool serving (the pre-reactor shape; the only shape
+    /// on non-Linux targets).
+    fn spawn_pool(
+        server: Arc<AuthServer>,
+        listener: TcpListener,
+        addr: SocketAddr,
+        shutdown: Arc<AtomicBool>,
+    ) -> Result<ServerHandle, NetAuthError> {
         let worker_count = server.config.workers.max(1);
         let (tx, rx) =
             std::sync::mpsc::sync_channel::<TcpStream>(server.config.pending_connections.max(1));
@@ -409,6 +653,7 @@ impl AuthServer {
         }
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let write_timeout = server.config.write_timeout;
         let accept_join = std::thread::Builder::new()
             .name("gp-auth-accept".into())
             .spawn(move || {
@@ -419,22 +664,15 @@ impl AuthServer {
                     let Ok(stream) = stream else { break };
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
-                    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let _ = stream
+                        .set_write_timeout((!write_timeout.is_zero()).then_some(write_timeout));
                     // Blocking send = backpressure once `pending_connections`
-                    // connections are queued; re-check shutdown while full.
-                    let mut pending = stream;
-                    loop {
-                        match tx.try_send(pending) {
-                            Ok(()) => break,
-                            Err(TrySendError::Full(stream)) => {
-                                if accept_shutdown.load(Ordering::SeqCst) {
-                                    return;
-                                }
-                                pending = stream;
-                                std::thread::sleep(Duration::from_millis(1));
-                            }
-                            Err(TrySendError::Disconnected(_)) => return,
-                        }
+                    // connections are queued — the accept thread parks on the
+                    // channel instead of spin-sleeping.  Shutdown unblocks it:
+                    // the workers exit (they poll the flag every 50 ms), the
+                    // receiver drops, and the send fails.
+                    if tx.send(stream).is_err() {
+                        return;
                     }
                 }
                 // `tx` drops here: workers drain the queue and exit.
@@ -507,12 +745,12 @@ impl AuthServer {
             };
 
             // Drain whatever else the pipeline already delivered.
-            let mut frames = vec![first];
+            let mut frames = std::collections::VecDeque::from(vec![first]);
             let mut fatal: Option<NetAuthError> = None;
             while frames.len() < self.config.pipeline_max.max(1) && reader.frame_buffered() {
                 match reader.read_frame() {
-                    Ok(frame) => frames.push(Some(frame)),
-                    Err(NetAuthError::IntegrityFailure) => frames.push(None),
+                    Ok(frame) => frames.push_back(Some(frame)),
+                    Err(NetAuthError::IntegrityFailure) => frames.push_back(None),
                     // Answer what we have before surfacing the failure.
                     Err(e) => {
                         fatal = Some(e);
@@ -521,72 +759,18 @@ impl AuthServer {
                 }
             }
 
-            // Phase 1: decode and prepare, in order; collect hash jobs.
-            let mut planned = Vec::with_capacity(frames.len());
-            let mut jobs = Vec::new();
+            // Prepare / batch-hash / settle, repeating while `prepare_turn`
+            // stops at a write barrier (enrollment) with frames queued.
             let mut quitting = false;
-            for frame in frames {
-                let message = match frame {
-                    None => {
-                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        consecutive_errors += 1;
-                        planned.push(Planned::Respond(ServerMessage::Error {
-                            reason: NetAuthError::IntegrityFailure.to_string(),
-                        }));
-                        continue;
-                    }
-                    Some(frame) => match ClientMessage::decode(frame) {
-                        Ok(message) => message,
-                        Err(e) => {
-                            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                            consecutive_errors += 1;
-                            planned.push(Planned::Respond(ServerMessage::Error {
-                                reason: format!("bad request: {e}"),
-                            }));
-                            continue;
-                        }
-                    },
-                };
-                consecutive_errors = 0;
-                match message {
-                    ClientMessage::Quit => {
-                        planned.push(Planned::Respond(ServerMessage::Goodbye));
-                        quitting = true;
-                        break;
-                    }
-                    ClientMessage::Login { username, clicks } => {
-                        metrics.logins.fetch_add(1, Ordering::Relaxed);
-                        planned.push(self.prepare_login(
-                            username,
-                            &clicks,
-                            &mut scratch,
-                            &mut jobs,
-                        ));
-                    }
-                    other => planned.push(Planned::Respond(self.handle_message(other))),
+            while !frames.is_empty() && !quitting {
+                let prepared =
+                    self.prepare_turn(&mut frames, &mut scratch, metrics, &mut consecutive_errors);
+                let digests = self.verifier.submit(prepared.jobs);
+                quitting = prepared.quitting;
+                for response in self.settle_responses(prepared.planned, &digests) {
+                    writer.write_frame_buffered(&response.encode())?;
+                    metrics.requests.fetch_add(1, Ordering::Relaxed);
                 }
-            }
-
-            // Phase 2: one batched hash run for the whole turn.
-            let digests = self.verifier.submit(jobs);
-
-            // Phase 3: settle and respond, in pipeline order, one flush.
-            for plan in planned {
-                let response = match plan {
-                    Planned::Respond(response) => response,
-                    Planned::LoginNoHash { username } => self.finish_login(&username, None),
-                    Planned::LoginHashed {
-                        username,
-                        stored,
-                        job_index,
-                    } => {
-                        let matched = self.system.finish_verify(&stored, &digests[job_index]);
-                        self.store.note_verified(&username);
-                        self.finish_login(&username, Some(matched))
-                    }
-                };
-                writer.write_frame_buffered(&response.encode())?;
-                metrics.requests.fetch_add(1, Ordering::Relaxed);
             }
             writer.flush()?;
 

@@ -22,6 +22,7 @@ use crate::error::PasswordError;
 use crate::store::PasswordStore;
 use crate::stored::StoredPassword;
 use crate::system::GraphicalPasswordSystem;
+use gp_crypto::SaltedHasher;
 use gp_geometry::Point;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -46,10 +47,30 @@ pub fn shard_index(username: &str, shards: usize) -> usize {
     (hash % shards as u64) as usize
 }
 
+/// A resident account: the stored record plus its precomputed per-salt
+/// hashing state.
+///
+/// [`SaltedHasher::new`] absorbs the salt's full SHA-256 blocks; caching
+/// the result next to the record means a verification never re-absorbs the
+/// salt (the midstate benches put that at 2–3× for long salts), and the
+/// serving layer's hash jobs clone plain stack data instead of hashing.
+#[derive(Debug, Clone)]
+struct CachedAccount {
+    stored: StoredPassword,
+    hasher: SaltedHasher,
+}
+
+impl CachedAccount {
+    fn new(stored: StoredPassword) -> Self {
+        let hasher = SaltedHasher::new(&stored.hash.salt);
+        Self { stored, hasher }
+    }
+}
+
 /// One partition: its own lock, its own accounts, its own counters.
 #[derive(Debug, Default)]
 struct Shard {
-    accounts: RwLock<BTreeMap<String, StoredPassword>>,
+    accounts: RwLock<BTreeMap<String, CachedAccount>>,
     enrolls: AtomicU64,
     verifies: AtomicU64,
     lookups: AtomicU64,
@@ -124,13 +145,33 @@ impl ShardedPasswordStore {
     ) -> Result<(), PasswordError> {
         let stored = system.enroll(username, clicks)?;
         let shard = self.shard_for(username);
+        let entry = CachedAccount::new(stored);
         let mut accounts = shard.accounts.write();
         if accounts.contains_key(username) {
             return Err(PasswordError::DuplicateAccount {
                 username: username.to_string(),
             });
         }
-        accounts.insert(username.to_string(), stored);
+        accounts.insert(username.to_string(), entry);
+        shard.enrolls.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Insert a pre-built record only if the account does not exist yet —
+    /// the duplicate check and insert happen under one shard-lock
+    /// acquisition, so concurrent enrollments of the same name cannot
+    /// both succeed.  The serving layer's split-phase enrollment settles
+    /// through this (the hash was computed before the lock is taken).
+    pub fn insert_new(&self, stored: StoredPassword) -> Result<(), PasswordError> {
+        let shard = self.shard_for(&stored.username);
+        let entry = CachedAccount::new(stored);
+        let mut accounts = shard.accounts.write();
+        if accounts.contains_key(&entry.stored.username) {
+            return Err(PasswordError::DuplicateAccount {
+                username: entry.stored.username.clone(),
+            });
+        }
+        accounts.insert(entry.stored.username.clone(), entry);
         shard.enrolls.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -138,17 +179,35 @@ impl ShardedPasswordStore {
     /// Insert or replace a pre-built record (bulk loading, shard recovery).
     pub fn insert(&self, stored: StoredPassword) {
         let shard = self.shard_for(&stored.username);
+        let entry = CachedAccount::new(stored);
         shard
             .accounts
             .write()
-            .insert(stored.username.clone(), stored);
+            .insert(entry.stored.username.clone(), entry);
     }
 
     /// Fetch a copy of an account's stored record.
     pub fn get(&self, username: &str) -> Option<StoredPassword> {
         let shard = self.shard_for(username);
         shard.lookups.fetch_add(1, Ordering::Relaxed);
-        shard.accounts.read().get(username).cloned()
+        shard
+            .accounts
+            .read()
+            .get(username)
+            .map(|entry| entry.stored.clone())
+    }
+
+    /// Fetch a copy of an account's stored record together with its cached
+    /// per-salt hashing state, so a verify path can skip re-absorbing the
+    /// salt entirely (the hasher clone is a plain stack copy).
+    pub fn get_cached(&self, username: &str) -> Option<(StoredPassword, SaltedHasher)> {
+        let shard = self.shard_for(username);
+        shard.lookups.fetch_add(1, Ordering::Relaxed);
+        shard
+            .accounts
+            .read()
+            .get(username)
+            .map(|entry| (entry.stored.clone(), entry.hasher.clone()))
     }
 
     /// Remove an account; returns whether it existed.
@@ -204,7 +263,13 @@ impl ShardedPasswordStore {
         let mut records: Vec<StoredPassword> = self
             .shards
             .iter()
-            .flat_map(|s| s.accounts.read().values().cloned().collect::<Vec<_>>())
+            .flat_map(|s| {
+                s.accounts
+                    .read()
+                    .values()
+                    .map(|entry| entry.stored.clone())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         records.sort_by(|a, b| a.username.cmp(&b.username));
         records
@@ -233,8 +298,8 @@ impl ShardedPasswordStore {
             "# gp-passwords store v1 (shard {shard}/{})\n",
             self.shards.len()
         );
-        for record in self.shards[shard].accounts.read().values() {
-            out.push_str(&record.to_record());
+        for entry in self.shards[shard].accounts.read().values() {
+            out.push_str(&entry.stored.to_record());
             out.push('\n');
         }
         out
@@ -423,6 +488,28 @@ mod tests {
         assert_eq!(single.len(), store.stats()[0].accounts);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cached_hasher_matches_fresh_salt_absorption() {
+        let store = ShardedPasswordStore::new(4);
+        let sys = system();
+        store.enroll(&sys, "alice", &clicks(0.0)).unwrap();
+        let (stored, cached) = store.get_cached("alice").expect("account exists");
+        let fresh = SaltedHasher::new(&stored.hash.salt);
+        for message in [&b"attempt-a"[..], b"attempt-b", b""] {
+            assert_eq!(
+                cached.iterated(message, stored.hash.iterations),
+                fresh.iterated(message, stored.hash.iterations),
+                "cached per-salt state must be bit-identical to a fresh one"
+            );
+        }
+        // Records loaded through `insert` (bulk load / recovery) cache too.
+        let reloaded = ShardedPasswordStore::new(2);
+        reloaded.insert(stored.clone());
+        let (_, cached2) = reloaded.get_cached("alice").expect("inserted");
+        assert_eq!(cached2.iterated(b"x", 3), fresh.iterated(b"x", 3));
+        assert!(store.get_cached("ghost").is_none());
     }
 
     #[test]

@@ -135,11 +135,30 @@ impl GraphicalPasswordSystem {
         username: &str,
         clicks: &[Point],
     ) -> Result<StoredPassword, PasswordError> {
+        let (record, pre_image) = self.prepare_enroll(username, clicks)?;
+        let salted = SaltedHasher::new(&record.hash.salt);
+        let digest = salted.iterated(&pre_image, record.hash.iterations);
+        Ok(Self::finish_enroll(record, digest))
+    }
+
+    /// Phase 1 of a split enrollment: validate the policy, discretize the
+    /// clicks and build the full stored record *except* its digest (left
+    /// zeroed), returning the record together with the hash pre-image.
+    ///
+    /// The serving layer uses this to keep the expensive iterated hash off
+    /// its event-loop thread: the pre-image is hashed under
+    /// `record.hash.salt` / `record.hash.iterations` wherever convenient
+    /// (e.g. batched with concurrent logins) and the digest installed with
+    /// [`GraphicalPasswordSystem::finish_enroll`].
+    pub fn prepare_enroll(
+        &self,
+        username: &str,
+        clicks: &[Point],
+    ) -> Result<(StoredPassword, Vec<u8>), PasswordError> {
         self.policy.validate_enrollment(clicks)?;
         let discretized = self.discretize_enrollment(clicks);
         let pre_image = StoredPassword::encode_clicks(&discretized);
-        let hash = self.hasher.hash(username.as_bytes(), &pre_image);
-        Ok(StoredPassword {
+        let record = StoredPassword {
             username: username.to_string(),
             config: self.config,
             policy: self.policy,
@@ -147,8 +166,20 @@ impl GraphicalPasswordSystem {
                 .iter()
                 .map(|d| ClickRecord { grid_id: d.grid_id })
                 .collect(),
-            hash,
-        })
+            hash: gp_crypto::PasswordHash {
+                salt: self.hasher.salt_for(username.as_bytes()),
+                iterations: self.hasher.iterations,
+                digest: gp_crypto::Digest::default(),
+            },
+        };
+        Ok((record, pre_image))
+    }
+
+    /// Phase 2 of a split enrollment: install the digest computed from the
+    /// [`GraphicalPasswordSystem::prepare_enroll`] pre-image.
+    pub fn finish_enroll(mut record: StoredPassword, digest: gp_crypto::Digest) -> StoredPassword {
+        record.hash.digest = digest;
+        record
     }
 
     /// Recompute the hash pre-image for a login attempt against a stored
@@ -546,6 +577,26 @@ mod tests {
         assert!(system
             .prepare_verify(&stored, &clicks()[..3], &mut scratch)
             .is_err());
+    }
+
+    #[test]
+    fn split_phase_enroll_agrees_with_one_shot_enroll() {
+        use gp_crypto::SaltedHasher;
+        let system = system_centered();
+        let one_shot = system.enroll("alice", &clicks()).unwrap();
+        let (record, pre_image) = system.prepare_enroll("alice", &clicks()).unwrap();
+        assert_eq!(record.hash.salt, one_shot.hash.salt);
+        assert_eq!(record.hash.iterations, one_shot.hash.iterations);
+        let digest =
+            SaltedHasher::new(&record.hash.salt).iterated(&pre_image, record.hash.iterations);
+        let finished = GraphicalPasswordSystem::finish_enroll(record, digest);
+        assert_eq!(
+            finished, one_shot,
+            "split-phase enrollment is bit-identical"
+        );
+        assert!(system.verify(&finished, &clicks()).unwrap());
+        // Policy violations surface at prepare time.
+        assert!(system.prepare_enroll("bob", &clicks()[..2]).is_err());
     }
 
     #[test]
