@@ -20,6 +20,14 @@
 //!   connections; the reactor serves them all and the cross-connection
 //!   turn queue keeps the hash lanes full — reported as the
 //!   `reactor_highconc_mean_batch` occupancy metric.
+//! * **reactor_durable** — the reactor serving the same login load with
+//!   the crash-safe store enabled (`fsync: Always` by default, overridable
+//!   via `GP_AUTHLOAD_FSYNC` = `always` / `batch:N` / `never`): every
+//!   burst carries one enrollment of a fresh account, whose WAL append +
+//!   fsync must complete before the `EnrollOk` ack, while the background
+//!   thread compacts per-shard logs.  The metric counts all acked
+//!   operations (15 logins + 1 durable enrollment per 16-deep burst), so
+//!   it prices the durability tax the README's fsync-policy table quotes.
 //!
 //! Results merge into `BENCH_results.json` (or `GP_BENCH_OUT`) alongside
 //! the `bench_report` micro-benchmarks: per-login medians under
@@ -41,7 +49,8 @@
 use gp_bench::report::BenchReport;
 use gp_geometry::Point;
 use gp_netauth::{
-    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig, ServerMessage, ServingMode,
+    AuthClient, AuthServer, ClientMessage, DurabilityConfig, FsyncPolicy, LoginDecision,
+    ServerConfig, ServerMessage, ServingMode,
 };
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -54,6 +63,27 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
+
+/// Parse `GP_AUTHLOAD_FSYNC`: `always`, `never`, or `batch:N`.
+fn env_fsync(default: FsyncPolicy) -> FsyncPolicy {
+    let Ok(raw) = std::env::var("GP_AUTHLOAD_FSYNC") else {
+        return default;
+    };
+    match raw.as_str() {
+        "always" => FsyncPolicy::Always,
+        "never" => FsyncPolicy::Never,
+        other => other
+            .strip_prefix("batch:")
+            .and_then(|n| n.parse().ok())
+            .map(FsyncPolicy::Batch)
+            .unwrap_or(default),
+    }
+}
+
+/// Unique account names for durable-enrollment bursts, across threads
+/// and trials (each trial's server starts from a fresh directory, but
+/// uniqueness keeps the stream duplicate-free within a trial too).
+static ENROLL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The enrolled click sequence for one synthetic user (deterministic,
 /// spread over the study image, all well inside the borders).
@@ -76,6 +106,13 @@ struct Scenario {
     /// Connections opened before the load that never send a byte (held
     /// open across the measurement window).
     idle_connections: usize,
+    /// Leading messages of each burst that enroll a fresh unique account
+    /// instead of logging in (exercises the durable-ack path; the rest of
+    /// the burst stays logins).
+    enrolls_per_burst: usize,
+    /// Serve with the crash-safe store (WAL + snapshots in a scratch
+    /// directory, removed after the trial) under this fsync policy.
+    durable_fsync: Option<FsyncPolicy>,
 }
 
 struct LoadResult {
@@ -103,7 +140,23 @@ impl LoadResult {
 /// fixed warmup).  Every response is checked: a rejected or errored login
 /// fails the bench loudly rather than producing a fast wrong number.
 fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> LoadResult {
-    let server = AuthServer::new(scenario.config.clone());
+    let mut config = scenario.config.clone();
+    // Durable trials serve from a fresh scratch directory so recovery
+    // replay never pollutes the measurement; removed after the trial.
+    let scratch = scenario.durable_fsync.map(|fsync| {
+        let dir = std::env::temp_dir().join(format!(
+            "gp-authload-durable-{}-{}",
+            std::process::id(),
+            ENROLL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        config.durability = Some(DurabilityConfig {
+            fsync,
+            ..DurabilityConfig::at(&dir)
+        });
+        dir
+    });
+    let server = AuthServer::open(config).expect("open server store");
     let store = server.store();
     let system = server.system().clone();
     for user in 0..users {
@@ -125,6 +178,7 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
     let warmup = Duration::from_millis(300);
     let measure = Duration::from_secs_f64(secs);
     let (threads, pipeline) = (scenario.threads, scenario.pipeline);
+    let enrolls_per_burst = scenario.enrolls_per_burst.min(pipeline);
 
     let mut clients = Vec::new();
     for thread in 0..threads {
@@ -139,6 +193,16 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
             while !stop.load(Ordering::Relaxed) {
                 let burst: Vec<ClientMessage> = (0..pipeline)
                     .map(|i| {
+                        if i < enrolls_per_burst {
+                            // A fresh unique account: the durable-ack
+                            // path (WAL append + policy fsync before
+                            // EnrollOk), also a pipeline write barrier.
+                            let id = ENROLL_SEQ.fetch_add(1, Ordering::Relaxed);
+                            return ClientMessage::Enroll {
+                                username: format!("durable-{id}"),
+                                clicks: user_clicks(id as usize),
+                            };
+                        }
                         let user = (next_user + i * threads) % users;
                         ClientMessage::Login {
                             username: format!("user{user}"),
@@ -153,8 +217,9 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
                         ServerMessage::LoginResult {
                             decision: LoginDecision::Accepted,
                             ..
-                        } => {}
-                        other => panic!("correct-password login not accepted: {other:?}"),
+                        }
+                        | ServerMessage::EnrollOk => {}
+                        other => panic!("acked operation expected, got: {other:?}"),
                     }
                 }
                 if measuring.load(Ordering::Relaxed) {
@@ -187,6 +252,9 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
         shard_accounts: stats.shards.iter().map(|s| s.accounts).collect(),
     };
     handle.shutdown();
+    if let Some(dir) = scratch {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 
     eprintln!(
         "[authload] {label:<18} {:>9.0} logins/s  ({} logins / {:.2}s, mean batch {:.1}, \
@@ -254,6 +322,8 @@ fn main() {
         threads,
         pipeline,
         idle_connections: 0,
+        enrolls_per_burst: 0,
+        durable_fsync: None,
     };
     let pooled_config = ServerConfig {
         hash_iterations: iterations,
@@ -268,6 +338,8 @@ fn main() {
         threads,
         pipeline,
         idle_connections: 0,
+        enrolls_per_burst: 0,
+        durable_fsync: None,
     };
     // The reactor runs with a *fixed small* thread budget on every host:
     // 1 event-loop thread + 3 hash-compute threads.  The point of the
@@ -284,18 +356,35 @@ fn main() {
         threads,
         pipeline,
         idle_connections: 0,
+        enrolls_per_burst: 0,
+        durable_fsync: None,
     };
     let reactor_idle = Scenario {
         config: reactor_config.clone(),
         threads,
         pipeline,
         idle_connections: idle,
+        enrolls_per_burst: 0,
+        durable_fsync: None,
     };
     let reactor_highconc = Scenario {
-        config: reactor_config,
+        config: reactor_config.clone(),
         threads: conns,
         pipeline: 4,
         idle_connections: 0,
+        enrolls_per_burst: 0,
+        durable_fsync: None,
+    };
+    // The durable scenario: same reactor shape, crash-safe store, one
+    // fresh-account enrollment leading every burst so the WAL-append-
+    // before-ack path (and its fsync policy) is priced into the number.
+    let reactor_durable = Scenario {
+        config: reactor_config,
+        threads,
+        pipeline,
+        idle_connections: 0,
+        enrolls_per_burst: 1,
+        durable_fsync: Some(env_fsync(FsyncPolicy::Always)),
     };
 
     eprintln!(
@@ -339,14 +428,18 @@ fn main() {
         let idle_result = run_scenario_best_of("reactor_idle", &reactor_idle, users, secs, trials);
         let highconc =
             run_scenario_best_of("reactor_highconc", &reactor_highconc, users, secs, trials);
+        let durable =
+            run_scenario_best_of("reactor_durable", &reactor_durable, users, secs, trials);
 
         let reactor_vs_pooled = reactive.logins_per_sec() / pooled.logins_per_sec();
         let idle_vs_pooled = idle_result.logins_per_sec() / pooled.logins_per_sec();
         let highconc_vs_pooled = highconc.logins_per_sec() / pooled.logins_per_sec();
+        let durable_vs_reactor = durable.logins_per_sec() / reactive.logins_per_sec();
         eprintln!(
             "[authload] pooled/single {scaling:.2}x · reactor/pooled {reactor_vs_pooled:.2}x · \
              reactor+{idle} idle/pooled {idle_vs_pooled:.2}x · \
-             reactor {conns}-conn/pooled {highconc_vs_pooled:.2}x"
+             reactor {conns}-conn/pooled {highconc_vs_pooled:.2}x · \
+             durable/reactor {durable_vs_reactor:.2}x"
         );
 
         fresh.set_result("authload/reactor_ns_per_login", reactive.ns_per_login());
@@ -371,9 +464,17 @@ fn main() {
         // multi-lane run (higher = fuller lanes), gated like any
         // throughput.
         fresh.set_throughput("authload/reactor_highconc_mean_batch", highconc.mean_batch);
+        // Durable serving: acked operations/sec (one fsynced enrollment
+        // leading every 16-deep burst, the rest logins).
+        fresh.set_result("authload/reactor_durable_ns_per_op", durable.ns_per_login());
+        fresh.set_throughput(
+            "authload/reactor_durable_ops_per_sec",
+            durable.logins_per_sec(),
+        );
         fresh.set_speedup("authload_reactor_vs_pooled", reactor_vs_pooled);
         fresh.set_speedup("authload_reactor_idle_vs_pooled", idle_vs_pooled);
         fresh.set_speedup("authload_reactor_highconc_vs_pooled", highconc_vs_pooled);
+        fresh.set_speedup("authload_reactor_durable_vs_reactor", durable_vs_reactor);
     } else {
         eprintln!(
             "[authload] pooled/single {scaling:.2}x · reactor scenarios skipped \

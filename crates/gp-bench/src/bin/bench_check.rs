@@ -7,16 +7,36 @@
 //! still exist in the fresh report.  Metrics that only exist in the fresh
 //! report are fine — adding benchmarks is not a regression.
 //!
-//! Usage: `bench_check <committed.json> <fresh.json> [--threshold 0.25]`
+//! `--require <name>` (repeatable) additionally demands that the named
+//! metric exists in *both* reports — the guard that keeps a newly added
+//! scenario (e.g. `throughput/authload/reactor_durable_ops_per_sec`) from
+//! silently dropping out of either the committed baseline or the fresh
+//! measurement.
+//!
+//! Usage: `bench_check <committed.json> <fresh.json> [--threshold 0.25]
+//! [--require <category/name>]...`
 
 use gp_bench::report::{compare, BenchReport};
 use std::path::Path;
 use std::process::ExitCode;
 
+/// Look a `category/name` spec up in a report (`results/...`,
+/// `throughput/...`, or `speedups/...`).
+fn lookup(report: &BenchReport, spec: &str) -> Option<f64> {
+    let (category, name) = spec.split_once('/')?;
+    match category {
+        "results" => report.result(name),
+        "throughput" => report.throughput(name),
+        "speedups" => report.speedup(name),
+        _ => None,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 0.25f64;
+    let mut required: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         if arg == "--threshold" {
@@ -26,12 +46,21 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             threshold = value;
+        } else if arg == "--require" {
+            let Some(name) = iter.next() else {
+                eprintln!("[bench_check] --require needs a metric name");
+                return ExitCode::from(2);
+            };
+            required.push(name.clone());
         } else {
             paths.push(arg.clone());
         }
     }
     let [committed_path, fresh_path] = paths.as_slice() else {
-        eprintln!("usage: bench_check <committed.json> <fresh.json> [--threshold 0.25]");
+        eprintln!(
+            "usage: bench_check <committed.json> <fresh.json> \
+             [--threshold 0.25] [--require <category/name>]..."
+        );
         return ExitCode::from(2);
     };
 
@@ -51,13 +80,23 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "[bench_check] {} committed metrics vs {}, threshold {:.0}%",
+        "[bench_check] {} committed metrics vs {}, threshold {:.0}%, {} required",
         committed.results.len() + committed.throughput.len(),
         fresh_path,
-        threshold * 100.0
+        threshold * 100.0,
+        required.len()
     );
+    let mut missing_required = false;
+    for spec in &required {
+        for (which, report) in [("committed", &committed), ("fresh", &fresh)] {
+            if lookup(report, spec).is_none() {
+                eprintln!("[bench_check] REQUIRED metric {spec} missing from the {which} report");
+                missing_required = true;
+            }
+        }
+    }
     let regressions = compare(&committed, &fresh, threshold);
-    if regressions.is_empty() {
+    if regressions.is_empty() && !missing_required {
         eprintln!("[bench_check] OK — no metric regressed past the threshold");
         return ExitCode::SUCCESS;
     }

@@ -24,7 +24,12 @@
 //!   and a [`ShardedPasswordStore`](gp_passwords::ShardedPasswordStore):
 //!   protocol logic plus two interchangeable multiplexing strategies
 //!   ([`server::ServingMode`]), with graceful shutdown and per-worker
-//!   metrics.
+//!   metrics.  With [`server::DurabilityConfig`] set, the store is
+//!   crash-safe: every enrollment is written (and, per the configured
+//!   [`gp_passwords::FsyncPolicy`], fsynced) to a per-shard write-ahead
+//!   log *before* the `Enroll` frame is acknowledged, a background
+//!   thread compacts logs into atomic snapshots, and a restart recovers
+//!   snapshots + WAL tails — no acked account is ever lost.
 //! * [`reactor`] (Linux) — the event-driven serving path: one `epoll`
 //!   thread owns every connection's nonblocking state machine and a
 //!   dedicated hash-compute pool drains prepared verify jobs, so
@@ -81,9 +86,10 @@ pub use batch::{BatchStats, BatchVerifier, HashJob};
 pub use client::AuthClient;
 pub use error::NetAuthError;
 pub use framing::{FrameReader, FrameWriter, WriteBuffer, MAX_FRAME_LEN};
+pub use gp_passwords::FsyncPolicy;
 pub use lockout::LockoutTracker;
 pub use protocol::{ClientMessage, LoginDecision, ServerMessage};
 pub use server::{
-    AuthServer, ServerConfig, ServerHandle, ServerStats, ServingMode, WorkerMetrics,
-    WorkerStatsSnapshot,
+    AuthServer, DurabilityConfig, ServerConfig, ServerHandle, ServerStats, ServingMode,
+    WorkerMetrics, WorkerStatsSnapshot,
 };

@@ -45,6 +45,12 @@
 //!   for a connection that died mid-hash is dropped by generation
 //!   mismatch (the lockout side effects were already applied, exactly as
 //!   if the reply were lost in flight).
+//! * **Durability ordering** — settling runs on the compute thread, so a
+//!   durable store's WAL append (and fsync, under `FsyncPolicy::Always`)
+//!   for an `Enroll` completes inside `settle_responses`, strictly
+//!   before the completion is posted back to the reactor — i.e. before
+//!   the `EnrollOk` bytes can reach the wire.  An acked enrollment is
+//!   therefore on stable storage no matter when the process dies.
 
 use crate::batch::HashJob;
 use crate::error::NetAuthError;

@@ -37,16 +37,17 @@ use bytes::Bytes;
 use gp_crypto::Digest;
 use gp_geometry::{ImageDims, Point};
 use gp_passwords::{
-    DiscretizationConfig, GraphicalPasswordSystem, PasswordPolicy, ShardStats,
-    ShardedPasswordStore, StoredPassword, VerifyScratch,
+    DiscretizationConfig, DurabilityOptions, FsyncPolicy, GraphicalPasswordSystem, PasswordPolicy,
+    ShardStats, ShardedPasswordStore, StoredPassword, VerifyScratch,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Consecutive undecodable/corrupt frames tolerated on one connection
 /// before the server gives up on it (a desynced or hostile peer).
@@ -84,6 +85,50 @@ impl ServingMode {
             Self::Reactor
         } else {
             Self::WorkerPool
+        }
+    }
+}
+
+/// Crash-safety knobs for the serving layer's account store.
+///
+/// When set on [`ServerConfig::durability`], the store is opened with
+/// [`ShardedPasswordStore::open_durable`]: every enrollment is appended to
+/// the owning shard's write-ahead log — and, under
+/// [`FsyncPolicy::Always`], fsynced — *before* the `Enroll` frame is
+/// acknowledged, a background thread compacts per-shard logs past
+/// `snapshot_threshold_bytes` without blocking verifies, and a restart
+/// recovers the newest intact snapshots plus each WAL's intact tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding the per-shard snapshots (`shard-NNN.pwd`) and
+    /// write-ahead logs (`shard-NNN.wal`).
+    pub dir: PathBuf,
+    /// When WAL appends reach stable storage (acknowledgement latency vs.
+    /// crash loss window).
+    pub fsync: FsyncPolicy,
+    /// Per-shard WAL size (bytes) past which the background snapshot
+    /// thread compacts the shard.
+    pub snapshot_threshold_bytes: u64,
+    /// How often the background snapshot thread checks the thresholds.
+    pub snapshot_interval: Duration,
+}
+
+impl DurabilityConfig {
+    /// Strictest defaults at `dir`: fsync on every enrollment, compact a
+    /// shard once its log passes 1 MiB, check every 200 ms.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            snapshot_threshold_bytes: 1024 * 1024,
+            snapshot_interval: Duration::from_millis(200),
+        }
+    }
+
+    fn options(&self) -> DurabilityOptions {
+        DurabilityOptions {
+            fsync: self.fsync,
+            snapshot_threshold_bytes: self.snapshot_threshold_bytes,
         }
     }
 }
@@ -138,6 +183,10 @@ pub struct ServerConfig {
     /// output made no progress for this long.  `Duration::ZERO` disables
     /// the limit.
     pub write_timeout: Duration,
+    /// Crash-safe durability for the account store (`None` = in-memory:
+    /// the pre-durability behavior, and the right choice for benches and
+    /// tests that never restart).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServerConfig {
@@ -162,6 +211,7 @@ impl ServerConfig {
             lockout_capacity: 65_536,
             idle_timeout: Duration::from_secs(10),
             write_timeout: WRITE_TIMEOUT,
+            durability: None,
         }
     }
 
@@ -294,27 +344,42 @@ pub struct AuthServer {
 }
 
 impl AuthServer {
-    /// Create a server with an empty account store.
+    /// Create a server with an in-memory account store.  Panics if
+    /// [`ServerConfig::durability`] is set and the store cannot be
+    /// opened — durable deployments should call [`AuthServer::open`].
     pub fn new(config: ServerConfig) -> Self {
+        Self::open(config).expect("open account store (use AuthServer::open for durable configs)")
+    }
+
+    /// Create a server, opening (and crash-recovering) the durable
+    /// account store when [`ServerConfig::durability`] is set.
+    pub fn open(config: ServerConfig) -> Result<Self, NetAuthError> {
         let system = GraphicalPasswordSystem::new(
             PasswordPolicy::new(config.image, config.clicks),
             config.discretization,
             config.hash_iterations,
         );
-        let store = Arc::new(ShardedPasswordStore::new(config.shards));
+        let store = Arc::new(match &config.durability {
+            Some(durability) => ShardedPasswordStore::open_durable(
+                &durability.dir,
+                config.shards,
+                durability.options(),
+            )?,
+            None => ShardedPasswordStore::new(config.shards),
+        });
         let lockout = Arc::new(LockoutTracker::with_limits(
             config.max_failures,
             config.lockout_capacity,
             config.shards.max(1),
         ));
         let verifier = Arc::new(BatchVerifier::new(config.batch_max, config.coalesce_window));
-        Self {
+        Ok(Self {
             config,
             system,
             store,
             lockout,
             verifier,
-        }
+        })
     }
 
     /// The server configuration.
@@ -604,6 +669,30 @@ impl AuthServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let server = Arc::new(self);
+        let mut handle = Self::spawn_serving(server, listener, addr, shutdown)?;
+        // Durable stores get a background compaction thread: per-shard
+        // WALs past the size threshold are folded into atomic snapshots
+        // without blocking verifies (readers never wait on a snapshot).
+        if let Some(durability) = handle.server.config().durability.clone() {
+            let store = handle.server.store();
+            let shutdown = Arc::clone(&handle.shutdown);
+            handle.snapshot_join = Some(
+                std::thread::Builder::new()
+                    .name("gp-auth-snapshot".into())
+                    .spawn(move || snapshot_loop(&store, &durability, &shutdown))
+                    .map_err(NetAuthError::Io)?,
+            );
+        }
+        Ok(handle)
+    }
+
+    /// Spawn the serving threads for the configured [`ServingMode`].
+    fn spawn_serving(
+        server: Arc<AuthServer>,
+        listener: TcpListener,
+        addr: SocketAddr,
+        shutdown: Arc<AtomicBool>,
+    ) -> Result<ServerHandle, NetAuthError> {
         #[cfg(target_os = "linux")]
         if server.config.serving == ServingMode::Reactor {
             let parts = crate::reactor::spawn_reactor(
@@ -618,6 +707,8 @@ impl AuthServer {
                 worker_joins: parts.compute_joins,
                 worker_metrics: parts.metrics,
                 server,
+                snapshot_join: None,
+                graceful: true,
             });
         }
         Self::spawn_pool(server, listener, addr, shutdown)
@@ -686,6 +777,8 @@ impl AuthServer {
             worker_joins,
             worker_metrics,
             server,
+            snapshot_join: None,
+            graceful: true,
         })
     }
 
@@ -800,6 +893,26 @@ impl AuthServer {
     }
 }
 
+/// Background compaction loop: every `snapshot_interval`, snapshot the
+/// shards whose WAL grew past the threshold.  Errors are dropped — the
+/// next tick retries, and the WAL itself keeps every acked mutation safe
+/// in the meantime.
+fn snapshot_loop(
+    store: &ShardedPasswordStore,
+    durability: &DurabilityConfig,
+    shutdown: &AtomicBool,
+) {
+    let interval = durability.snapshot_interval.max(Duration::from_millis(1));
+    let mut last = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(SHUTDOWN_POLL.min(interval));
+        if last.elapsed() >= interval {
+            let _ = store.snapshot_if_past(durability.snapshot_threshold_bytes);
+            last = Instant::now();
+        }
+    }
+}
+
 /// Pool worker: pull connections from the shared queue until shutdown.
 fn worker_loop(
     server: &AuthServer,
@@ -827,7 +940,8 @@ fn worker_loop(
     }
 }
 
-/// Handle to a running server; shuts the server down when dropped.
+/// Handle to a running server; shuts the server down (gracefully) when
+/// dropped.
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
@@ -836,6 +950,10 @@ pub struct ServerHandle {
     worker_joins: Vec<JoinHandle<()>>,
     worker_metrics: Vec<Arc<WorkerMetrics>>,
     server: Arc<AuthServer>,
+    snapshot_join: Option<JoinHandle<()>>,
+    /// Whether shutdown performs the final durable compaction.
+    /// [`ServerHandle::abort`] clears it to simulate a crash.
+    graceful: bool,
 }
 
 impl ServerHandle {
@@ -862,8 +980,20 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, let every worker finish the
-    /// connection it is serving, and join the pool.
+    /// connection it is serving, join the pool, and — on a durable store
+    /// — compact every shard into a final atomic snapshot.
     pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    /// Crash-simulation shutdown: stop the threads but *skip* the final
+    /// snapshot compaction, leaving the durability directory exactly as
+    /// the last acknowledged mutation left it (snapshots + WAL tails, a
+    /// torn tail included if one exists).  The crash-recovery tests use
+    /// this to assert that recovery — not an orderly save — restores
+    /// every acked account.
+    pub fn abort(mut self) {
+        self.graceful = false;
         self.shutdown_inner();
     }
 
@@ -876,6 +1006,14 @@ impl ServerHandle {
         }
         for join in self.worker_joins.drain(..) {
             let _ = join.join();
+        }
+        if let Some(join) = self.snapshot_join.take() {
+            let _ = join.join();
+        }
+        if self.graceful {
+            // Workers are parked: no writer races this final compaction.
+            // In-memory stores no-op.
+            let _ = self.server.store.snapshot_all();
         }
     }
 }

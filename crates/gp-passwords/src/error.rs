@@ -49,6 +49,14 @@ pub enum PasswordError {
         /// The account name.
         username: String,
     },
+    /// The durable storage layer failed (WAL append, snapshot
+    /// publication, or recovery scan).  The in-memory store was left
+    /// unchanged: a mutation is never acknowledged unless its log record
+    /// was written.
+    Storage {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl core::fmt::Display for PasswordError {
@@ -79,6 +87,7 @@ impl core::fmt::Display for PasswordError {
             PasswordError::DuplicateAccount { username } => {
                 write!(f, "account {username:?} already exists")
             }
+            PasswordError::Storage { reason } => write!(f, "storage error: {reason}"),
         }
     }
 }

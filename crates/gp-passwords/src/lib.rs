@@ -33,7 +33,14 @@
 //! * [`shard::ShardedPasswordStore`] — the same store partitioned into N
 //!   independently locked shards keyed by account hash, with per-shard
 //!   file persistence and a [`shard::ShardStats`] snapshot API, used by
-//!   the networked server.
+//!   the networked server;
+//! * [`wal`] — the crash-safe durability layer under the sharded store:
+//!   per-shard append-only write-ahead logs (length-prefixed, checksummed,
+//!   torn-tail-tolerant replay), configurable [`wal::FsyncPolicy`], and
+//!   atomic snapshot publication ([`wal::atomic_write`]).  A store opened
+//!   with [`shard::ShardedPasswordStore::open_durable`] logs every
+//!   mutation before acknowledging it and recovers crash-only: newest
+//!   intact snapshots + replayed WAL tails.
 //!
 //! # Quickstart
 //!
@@ -76,14 +83,18 @@ pub mod shard;
 pub mod store;
 pub mod stored;
 pub mod system;
+pub mod wal;
 
 pub use config::DiscretizationConfig;
 pub use error::PasswordError;
 pub use policy::PasswordPolicy;
-pub use shard::{shard_index, ShardStats, ShardedPasswordStore};
+pub use shard::{
+    shard_index, DurabilityOptions, DurabilityStats, ShardStats, ShardedPasswordStore,
+};
 pub use store::PasswordStore;
 pub use stored::{ClickRecord, StoredPassword};
 pub use system::{GraphicalPasswordSystem, VerifyScratch};
+pub use wal::{FsyncPolicy, ShardWal, WalEntry, WalOp, WalReplay};
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {

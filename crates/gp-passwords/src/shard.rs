@@ -1,5 +1,5 @@
 //! Sharded account store: N independently locked partitions keyed by a
-//! hash of the account name.
+//! hash of the account name, with optional crash-safe durability.
 //!
 //! The monolithic [`PasswordStore`] holds one
 //! `RwLock` over every account, which serializes writers and makes the lock
@@ -15,36 +15,44 @@
 //! reduced modulo the shard count.  The mapping is an implementation detail
 //! of the *in-memory* layout only: the per-shard file format is the same
 //! line-oriented format as the monolithic store, and loading routes every
-//! record through [`ShardedPasswordStore::insert`], so shard files written
-//! under one shard count can be reloaded under any other.
+//! record through the account hash, so shard files written under one shard
+//! count can be reloaded under any other.
+//!
+//! # Durability
+//!
+//! A store opened with [`ShardedPasswordStore::open_durable`] pairs every
+//! shard with an append-only [`ShardWal`]: each mutation is logged (and
+//! fsynced per the configured [`FsyncPolicy`]) *before* it is applied in
+//! memory and acknowledged, so a crash at any instant loses no
+//! acknowledged mutation.  Snapshots ([`ShardedPasswordStore::snapshot_shard`])
+//! compact a shard's log: the shard file is atomically published
+//! (tmp + fsync + rename + dir fsync via [`atomic_write`]) and the WAL
+//! truncated.  Recovery is crash-only: load whatever intact snapshots
+//! exist, replay each WAL's intact prefix over them
+//! (tolerating a torn final record), re-snapshot, and serve.
 
 use crate::error::PasswordError;
 use crate::store::PasswordStore;
 use crate::stored::StoredPassword;
 use crate::system::GraphicalPasswordSystem;
+use crate::wal::{atomic_write, fnv1a64, sync_dir, FsyncPolicy, ShardWal, WalEntry, WalOp};
 use gp_crypto::SaltedHasher;
 use gp_geometry::Point;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Stable routing function: which of `shards` partitions owns `username`.
 ///
-/// FNV-1a over the account name, reduced modulo the shard count.  Cheap
-/// (a few ns), well distributed for short ASCII-ish names, and — unlike a
+/// FNV-1a over the account name ([`fnv1a64`], the same hash the WAL uses
+/// as its record checksum), reduced modulo the shard count.  Cheap (a few
+/// ns), well distributed for short ASCII-ish names, and — unlike a
 /// `DefaultHasher` — stable across processes and Rust versions, so shard
 /// assignments are reproducible in tests and benches.
 pub fn shard_index(username: &str, shards: usize) -> usize {
     debug_assert!(shards > 0, "at least one shard");
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = FNV_OFFSET;
-    for byte in username.as_bytes() {
-        hash ^= u64::from(*byte);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    (hash % shards as u64) as usize
+    (fnv1a64(username.as_bytes()) % shards as u64) as usize
 }
 
 /// A resident account: the stored record plus its precomputed per-salt
@@ -95,6 +103,112 @@ pub struct ShardStats {
     pub lookups: u64,
 }
 
+/// Tuning for a durable store: when appends hit stable storage and when
+/// per-shard logs are compacted into snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityOptions {
+    /// When WAL appends are flushed to stable storage (the
+    /// acknowledgement-latency vs. crash-loss-window trade).
+    pub fsync: FsyncPolicy,
+    /// WAL size (bytes) past which [`ShardedPasswordStore::snapshot_if_past`]
+    /// compacts the shard.
+    pub snapshot_threshold_bytes: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::Always,
+            snapshot_threshold_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Aggregate durability counters for a durable store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityStats {
+    /// Total bytes currently held across every shard's WAL.
+    pub wal_bytes: u64,
+    /// WAL records appended since the store was opened.
+    pub wal_appends: u64,
+    /// Fsyncs issued across every WAL since the store was opened.
+    pub wal_syncs: u64,
+    /// Snapshot compactions performed since the store was opened.
+    pub snapshots: u64,
+    /// WAL records replayed during recovery at open.
+    pub replayed_records: u64,
+    /// WAL files whose final record was torn by a crash (recovered by
+    /// dropping only the torn tail).
+    pub torn_tails: u64,
+}
+
+/// The durable half of a store: the directory, the per-shard logs, and
+/// recovery/compaction counters.
+#[derive(Debug)]
+struct DurabilityState {
+    dir: PathBuf,
+    options: DurabilityOptions,
+    wals: Vec<Mutex<ShardWal>>,
+    /// Serializes concurrent snapshots of the same shard (they would
+    /// otherwise race on the snapshot tmp file).  Deliberately separate
+    /// from the WAL mutex so the append path never waits on snapshot
+    /// file I/O.
+    snap_locks: Vec<Mutex<()>>,
+    snapshots: AtomicU64,
+    replayed_records: u64,
+    torn_tails: u64,
+}
+
+fn storage_error(context: &str, e: impl std::fmt::Display) -> PasswordError {
+    PasswordError::Storage {
+        reason: format!("{context}: {e}"),
+    }
+}
+
+fn shard_pwd_name(shard: usize) -> String {
+    format!("shard-{shard:03}.pwd")
+}
+
+fn shard_wal_name(shard: usize) -> String {
+    format!("shard-{shard:03}.wal")
+}
+
+/// Parse `shard-NNN.<ext>` (including `.pwd.tmp` leftovers) into the
+/// shard index, for stale-file cleanup.
+fn parse_shard_file_index(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix("shard-")?;
+    let digits = rest.split('.').next()?;
+    if !matches!(
+        rest.split_once('.'),
+        Some((_, "pwd" | "wal" | "pwd.tmp" | "wal.tmp"))
+    ) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Remove shard files (`.pwd`, `.wal`, stray `.tmp`) whose index is at or
+/// past `shards`.  Without this, saving a store with fewer shards into a
+/// directory previously saved with more leaves stale `shard-NNN.pwd`
+/// files behind, and a later load would merge their outdated records back
+/// in — resurrecting removed or superseded accounts.
+fn remove_stale_shard_files(dir: &Path, shards: usize) -> std::io::Result<()> {
+    let mut removed_any = false;
+    for entry in std::fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if parse_shard_file_index(name).is_some_and(|index| index >= shards) {
+            std::fs::remove_file(entry.path())?;
+            removed_any = true;
+        }
+    }
+    if removed_any {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
 /// A concurrent account store partitioned into independently locked shards.
 ///
 /// The API mirrors [`PasswordStore`] so call sites can switch between the
@@ -102,23 +216,162 @@ pub struct ShardStats {
 /// the shard locks one at a time and are therefore *not* a consistent
 /// global snapshot under concurrent writes — exactly the trade the sharded
 /// design makes.
+///
+/// Stores created with [`ShardedPasswordStore::new`] are purely in-memory
+/// (mutations return `Ok` without touching disk); stores opened with
+/// [`ShardedPasswordStore::open_durable`] write every mutation to a
+/// per-shard WAL before acknowledging it.
 #[derive(Debug)]
 pub struct ShardedPasswordStore {
     shards: Vec<Shard>,
+    durability: Option<DurabilityState>,
 }
 
 impl ShardedPasswordStore {
-    /// Create an empty store with `shards` partitions (clamped to ≥ 1).
+    /// Create an empty in-memory store with `shards` partitions (clamped
+    /// to ≥ 1).
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
         Self {
             shards: (0..shards).map(|_| Shard::default()).collect(),
+            durability: None,
         }
+    }
+
+    /// Open (or create) a crash-safe durable store under `dir` with
+    /// `shards` partitions (clamped to ≥ 1).
+    ///
+    /// Recovery is crash-only and runs unconditionally:
+    ///
+    /// 1. every intact `shard-NNN.pwd` snapshot is loaded (records
+    ///    re-route by account hash, so the on-disk shard count need not
+    ///    match `shards`);
+    /// 2. every `shard-NNN.wal` is replayed over the snapshots, in file
+    ///    order then append order, tolerating a torn final record;
+    /// 3. each shard is re-snapshotted atomically and its WAL truncated,
+    ///    so the directory is compact and `shards`-shaped again;
+    /// 4. shard files beyond `shards` are removed (their records were
+    ///    re-routed into the surviving shards by step 3).
+    ///
+    /// After recovery, every mutation appends to the owning shard's WAL
+    /// (flushed per `options.fsync`) before it is acknowledged.
+    pub fn open_durable(
+        dir: &Path,
+        shards: usize,
+        options: DurabilityOptions,
+    ) -> Result<Self, PasswordError> {
+        let shards = shards.max(1);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| storage_error(&format!("create {}", dir.display()), e))?;
+        let mut store = Self::new(shards);
+
+        // 1) Newest intact snapshots.
+        let mut snapshot_paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| storage_error(&format!("read {}", dir.display()), e))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".pwd"))
+            })
+            .collect();
+        snapshot_paths.sort();
+        for path in snapshot_paths {
+            let contents = std::fs::read_to_string(&path)
+                .map_err(|e| storage_error(&format!("read {}", path.display()), e))?;
+            let parsed = PasswordStore::from_file_contents(&contents).map_err(|e| {
+                PasswordError::CorruptRecord {
+                    reason: format!("{}: {e}", path.display()),
+                }
+            })?;
+            for record in parsed.records() {
+                store.apply_insert(record);
+            }
+        }
+
+        // 2) WAL tails over the snapshots.
+        let mut wal_paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| storage_error(&format!("read {}", dir.display()), e))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| {
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".wal"))
+            })
+            .collect();
+        wal_paths.sort();
+        let mut replayed_records = 0u64;
+        let mut torn_tails = 0u64;
+        for path in wal_paths {
+            let replay = ShardWal::replay(&path)
+                .map_err(|e| storage_error(&format!("replay {}", path.display()), e))?;
+            replayed_records += replay.entries.len() as u64;
+            torn_tails += u64::from(replay.torn_bytes > 0);
+            for entry in replay.entries {
+                match entry {
+                    WalEntry::Enroll(record) | WalEntry::Update(record) => {
+                        store.apply_insert(record)
+                    }
+                    WalEntry::Remove(username) => {
+                        store.apply_remove(&username);
+                    }
+                }
+            }
+        }
+
+        // 3) Open this shard count's logs and compact everything down to
+        //    fresh snapshots + empty WALs.
+        let mut wals = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let path = dir.join(shard_wal_name(shard));
+            let wal = ShardWal::open_or_create(&path, options.fsync)
+                .map_err(|e| storage_error(&format!("open {}", path.display()), e))?;
+            wals.push(Mutex::new(wal));
+        }
+        store.durability = Some(DurabilityState {
+            dir: dir.to_path_buf(),
+            options,
+            wals,
+            snap_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            snapshots: AtomicU64::new(0),
+            replayed_records,
+            torn_tails,
+        });
+        store.snapshot_all()?;
+
+        // 4) Nothing beyond the current shard count may survive to be
+        //    merged back in by a future recovery.
+        remove_stale_shard_files(dir, shards)
+            .map_err(|e| storage_error(&format!("clean {}", dir.display()), e))?;
+        Ok(store)
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Whether mutations are written to a WAL before acknowledgement.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Aggregate WAL/snapshot/recovery counters, when durable.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        let d = self.durability.as_ref()?;
+        let mut stats = DurabilityStats {
+            snapshots: d.snapshots.load(Ordering::Relaxed),
+            replayed_records: d.replayed_records,
+            torn_tails: d.torn_tails,
+            ..DurabilityStats::default()
+        };
+        for wal in &d.wals {
+            let wal = wal.lock();
+            stats.wal_bytes += wal.len_bytes();
+            stats.wal_appends += wal.appends();
+            stats.wal_syncs += wal.syncs();
+        }
+        Some(stats)
     }
 
     fn shard_for(&self, username: &str) -> &Shard {
@@ -136,7 +389,8 @@ impl ShardedPasswordStore {
     }
 
     /// Enroll a new account using the given system.  Fails if the account
-    /// already exists.  Only the owning shard's lock is taken.
+    /// already exists.  Only the owning shard's lock is taken; on a
+    /// durable store the record is logged before the acknowledgement.
     pub fn enroll(
         &self,
         system: &GraphicalPasswordSystem,
@@ -144,26 +398,20 @@ impl ShardedPasswordStore {
         clicks: &[Point],
     ) -> Result<(), PasswordError> {
         let stored = system.enroll(username, clicks)?;
-        let shard = self.shard_for(username);
-        let entry = CachedAccount::new(stored);
-        let mut accounts = shard.accounts.write();
-        if accounts.contains_key(username) {
-            return Err(PasswordError::DuplicateAccount {
-                username: username.to_string(),
-            });
-        }
-        accounts.insert(username.to_string(), entry);
-        shard.enrolls.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.insert_new(stored)
     }
 
     /// Insert a pre-built record only if the account does not exist yet —
-    /// the duplicate check and insert happen under one shard-lock
-    /// acquisition, so concurrent enrollments of the same name cannot
-    /// both succeed.  The serving layer's split-phase enrollment settles
-    /// through this (the hash was computed before the lock is taken).
+    /// the duplicate check, the WAL append and the insert happen under one
+    /// shard-lock acquisition, so concurrent enrollments of the same name
+    /// cannot both succeed.  The serving layer's split-phase enrollment
+    /// settles through this (the hash was computed before the lock is
+    /// taken); on a durable store the WAL append (and, under
+    /// [`FsyncPolicy::Always`], its fsync) completes before `Ok` is
+    /// returned, so an acked enrollment survives any crash.
     pub fn insert_new(&self, stored: StoredPassword) -> Result<(), PasswordError> {
-        let shard = self.shard_for(&stored.username);
+        let index = shard_index(&stored.username, self.shards.len());
+        let shard = &self.shards[index];
         let entry = CachedAccount::new(stored);
         let mut accounts = shard.accounts.write();
         if accounts.contains_key(&entry.stored.username) {
@@ -171,19 +419,59 @@ impl ShardedPasswordStore {
                 username: entry.stored.username.clone(),
             });
         }
+        self.wal_append(index, WalOp::Enroll, &entry.stored)?;
         accounts.insert(entry.stored.username.clone(), entry);
         shard.enrolls.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Insert or replace a pre-built record (bulk loading, shard recovery).
-    pub fn insert(&self, stored: StoredPassword) {
-        let shard = self.shard_for(&stored.username);
+    /// Insert or replace a pre-built record (bulk loading, migration).
+    /// On a durable store the record is logged (as an update) before the
+    /// in-memory apply.
+    pub fn insert(&self, stored: StoredPassword) -> Result<(), PasswordError> {
+        let index = shard_index(&stored.username, self.shards.len());
         let entry = CachedAccount::new(stored);
+        let mut accounts = self.shards[index].accounts.write();
+        self.wal_append(index, WalOp::Update, &entry.stored)?;
+        accounts.insert(entry.stored.username.clone(), entry);
+        Ok(())
+    }
+
+    /// In-memory insert/replace with no logging — recovery replay and
+    /// snapshot loading only (the data is already on disk).
+    fn apply_insert(&self, stored: StoredPassword) {
+        let entry = CachedAccount::new(stored);
+        let shard = self.shard_for(&entry.stored.username);
         shard
             .accounts
             .write()
             .insert(entry.stored.username.clone(), entry);
+    }
+
+    /// In-memory removal with no logging (recovery replay only).
+    fn apply_remove(&self, username: &str) -> bool {
+        self.shard_for(username)
+            .accounts
+            .write()
+            .remove(username)
+            .is_some()
+    }
+
+    /// Append to shard `index`'s WAL, if durable.  Called with the
+    /// shard's account lock held, so WAL order matches apply order.
+    fn wal_append(
+        &self,
+        index: usize,
+        op: WalOp,
+        record: &StoredPassword,
+    ) -> Result<(), PasswordError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        d.wals[index]
+            .lock()
+            .append_record(op, record)
+            .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))
     }
 
     /// Fetch a copy of an account's stored record.
@@ -210,13 +498,23 @@ impl ShardedPasswordStore {
             .map(|entry| (entry.stored.clone(), entry.hasher.clone()))
     }
 
-    /// Remove an account; returns whether it existed.
-    pub fn remove(&self, username: &str) -> bool {
-        self.shard_for(username)
-            .accounts
-            .write()
-            .remove(username)
-            .is_some()
+    /// Remove an account; returns whether it existed.  On a durable store
+    /// the removal is logged before it is applied (and acknowledged), so
+    /// a recovered store cannot resurrect the account.
+    pub fn remove(&self, username: &str) -> Result<bool, PasswordError> {
+        let index = shard_index(username, self.shards.len());
+        let mut accounts = self.shards[index].accounts.write();
+        if !accounts.contains_key(username) {
+            return Ok(false);
+        }
+        if let Some(d) = &self.durability {
+            d.wals[index]
+                .lock()
+                .append_remove(username)
+                .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))?;
+        }
+        accounts.remove(username);
+        Ok(true)
     }
 
     /// Verify a login attempt for an account (scalar path; the serving
@@ -290,39 +588,57 @@ impl ShardedPasswordStore {
             .collect()
     }
 
-    /// Serialize one shard in the line-oriented password-file format (the
-    /// same format the monolithic store writes, so shard files are also
-    /// valid whole-store files).
-    pub fn shard_file_contents(&self, shard: usize) -> String {
-        let mut out = format!(
-            "# gp-passwords store v1 (shard {shard}/{})\n",
-            self.shards.len()
-        );
-        for entry in self.shards[shard].accounts.read().values() {
+    /// Render one shard's accounts in the line-oriented password-file
+    /// format under an already-held lock.
+    fn render_shard(
+        accounts: &BTreeMap<String, CachedAccount>,
+        shard: usize,
+        total: usize,
+    ) -> String {
+        let mut out = format!("# gp-passwords store v1 (shard {shard}/{total})\n");
+        for entry in accounts.values() {
             out.push_str(&entry.stored.to_record());
             out.push('\n');
         }
         out
     }
 
+    /// Serialize one shard in the line-oriented password-file format (the
+    /// same format the monolithic store writes, so shard files are also
+    /// valid whole-store files).
+    pub fn shard_file_contents(&self, shard: usize) -> String {
+        Self::render_shard(
+            &self.shards[shard].accounts.read(),
+            shard,
+            self.shards.len(),
+        )
+    }
+
     /// Persist every shard as `shard-NNN.pwd` under `dir` (created if
-    /// absent).  Each shard is written independently — a crash between two
-    /// writes loses at most the shards not yet flushed, and recovery can
-    /// reload the intact ones.
+    /// absent), then remove shard files beyond the current count.
+    ///
+    /// Each file is published atomically (tmp + fsync + rename + dir
+    /// fsync): a crash mid-save leaves every shard file as either its
+    /// complete old version or its complete new version, never a
+    /// truncated hybrid that poisons the whole directory at load time.  A
+    /// crash between two shards' renames loses at most the not-yet-renamed
+    /// shards' *new* contents — the old snapshots remain intact.
     pub fn save_to_dir(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for shard in 0..self.shards.len() {
-            std::fs::write(
-                dir.join(format!("shard-{shard:03}.pwd")),
-                self.shard_file_contents(shard),
+            atomic_write(
+                &dir.join(shard_pwd_name(shard)),
+                self.shard_file_contents(shard).as_bytes(),
             )?;
         }
-        Ok(())
+        remove_stale_shard_files(dir, self.shards.len())
     }
 
-    /// Load every `shard-NNN.pwd` file under `dir` into a store with
-    /// `shards` partitions.  Records are re-routed by account hash, so the
-    /// on-disk shard count need not match `shards`.
+    /// Load every `shard-NNN.pwd` file under `dir` into an in-memory
+    /// store with `shards` partitions.  Records are re-routed by account
+    /// hash, so the on-disk shard count need not match `shards`.  (For a
+    /// store that also replays WALs and stays durable, use
+    /// [`ShardedPasswordStore::open_durable`].)
     pub fn load_from_dir(dir: &Path, shards: usize) -> Result<Self, PasswordError> {
         let store = Self::new(shards);
         let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
@@ -350,10 +666,102 @@ impl ShardedPasswordStore {
                 }
             })?;
             for record in parsed.records() {
-                store.insert(record);
+                store.apply_insert(record);
             }
         }
         Ok(store)
+    }
+
+    /// Atomically publish shard `index`'s snapshot and truncate its WAL.
+    /// No-op on an in-memory store.
+    ///
+    /// Locking: the shard's account lock is held for *read* (and the WAL
+    /// mutex alongside it) only while the contents are rendered in
+    /// memory — never across file I/O — so concurrent verifies proceed
+    /// untouched and writers wait at most for the render, not for the
+    /// disk.  By that lock order, every record in the WAL at render time
+    /// is also in the rendered contents.  After the snapshot is
+    /// published, the WAL is truncated only if *no* record was appended
+    /// while the file was being written; a raced truncation is simply
+    /// skipped — the log still contains everything (replaying it over
+    /// the new snapshot is idempotent) and the next compaction pass
+    /// retries with fresher contents.
+    pub fn snapshot_shard(&self, index: usize) -> Result<(), PasswordError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        // One snapshot of a given shard at a time (they would race on
+        // the tmp file); appenders never take this lock.
+        let _serialize = d.snap_locks[index].lock();
+        let (contents, covered_len) = {
+            let accounts = self.shards[index].accounts.read();
+            let wal_len = d.wals[index].lock().len_bytes();
+            (
+                Self::render_shard(&accounts, index, self.shards.len()),
+                wal_len,
+            )
+        };
+        let path = d.dir.join(shard_pwd_name(index));
+        atomic_write(&path, contents.as_bytes())
+            .map_err(|e| storage_error(&format!("snapshot {}", path.display()), e))?;
+        let mut wal = d.wals[index].lock();
+        if wal.len_bytes() == covered_len {
+            wal.reset()
+                .map_err(|e| storage_error(&format!("truncate wal (shard {index})"), e))?;
+        }
+        d.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot every shard (graceful shutdown, recovery compaction).
+    /// No-op on an in-memory store.
+    pub fn snapshot_all(&self) -> Result<(), PasswordError> {
+        for shard in 0..self.shards.len() {
+            self.snapshot_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot every shard whose WAL has grown past `threshold_bytes`;
+    /// returns how many were compacted.  The background compaction entry
+    /// point: cheap when nothing crossed the threshold (one short mutex
+    /// acquisition per shard).
+    pub fn snapshot_if_past(&self, threshold_bytes: u64) -> Result<usize, PasswordError> {
+        let Some(d) = &self.durability else {
+            return Ok(0);
+        };
+        let mut compacted = 0;
+        for index in 0..self.shards.len() {
+            if d.wals[index].lock().len_bytes() > threshold_bytes {
+                self.snapshot_shard(index)?;
+                compacted += 1;
+            }
+        }
+        Ok(compacted)
+    }
+
+    /// Snapshot every shard whose WAL crossed the configured threshold
+    /// ([`DurabilityOptions::snapshot_threshold_bytes`]).
+    pub fn snapshot_if_due(&self) -> Result<usize, PasswordError> {
+        match &self.durability {
+            Some(d) => self.snapshot_if_past(d.options.snapshot_threshold_bytes),
+            None => Ok(0),
+        }
+    }
+
+    /// Force every WAL to stable storage now, regardless of the fsync
+    /// policy (graceful shutdown under [`FsyncPolicy::Batch`] /
+    /// [`FsyncPolicy::Never`]).
+    pub fn sync_wals(&self) -> Result<(), PasswordError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        for (index, wal) in d.wals.iter().enumerate() {
+            wal.lock()
+                .sync()
+                .map_err(|e| storage_error(&format!("wal sync (shard {index})"), e))?;
+        }
+        Ok(())
     }
 }
 
@@ -375,6 +783,16 @@ mod tests {
         (0..5)
             .map(|i| Point::new(30.0 + seed + 70.0 * i as f64, 20.0 + seed + 55.0 * i as f64))
             .collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gp-shard-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -401,6 +819,7 @@ mod tests {
         let store = ShardedPasswordStore::new(4);
         let sys = system();
         assert!(store.is_empty());
+        assert!(!store.is_durable());
         for i in 0..16 {
             store
                 .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
@@ -410,8 +829,8 @@ mod tests {
         assert_eq!(store.usernames().len(), 16);
         assert!(store.verify(&sys, "user3", &clicks(3.0)).unwrap());
         assert!(!store.verify(&sys, "user3", &clicks(50.0)).unwrap());
-        assert!(store.remove("user3"));
-        assert!(!store.remove("user3"));
+        assert!(store.remove("user3").unwrap());
+        assert!(!store.remove("user3").unwrap());
         assert!(store.get("user3").is_none());
         assert_eq!(store.len(), 15);
     }
@@ -470,7 +889,7 @@ mod tests {
                 .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
                 .unwrap();
         }
-        let dir = std::env::temp_dir().join(format!("gp-shard-test-{}", std::process::id()));
+        let dir = temp_dir("roundtrip");
         store.save_to_dir(&dir).unwrap();
 
         // Reload under a *different* shard count: records re-route by hash.
@@ -491,6 +910,175 @@ mod tests {
     }
 
     #[test]
+    fn save_is_atomic_and_leaves_no_tmp_files() {
+        let store = ShardedPasswordStore::new(2);
+        let sys = system();
+        for i in 0..6 {
+            store
+                .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap();
+        }
+        let dir = temp_dir("atomic-save");
+        store.save_to_dir(&dir).unwrap();
+        store.save_to_dir(&dir).unwrap(); // overwrite path exercises rename
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| n.ends_with(".pwd")),
+            "only published snapshots remain: {names:?}"
+        );
+        assert_eq!(names.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saving_fewer_shards_removes_stale_files_instead_of_resurrecting() {
+        let sys = system();
+        let dir = temp_dir("stale");
+
+        // Save 8 shards holding 24 accounts…
+        let wide = ShardedPasswordStore::new(8);
+        for i in 0..24 {
+            wide.enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap();
+        }
+        wide.save_to_dir(&dir).unwrap();
+
+        // …then remove half the accounts and save with 2 shards.
+        for i in 12..24 {
+            assert!(wide.remove(&format!("user{i}")).unwrap());
+        }
+        let narrow = ShardedPasswordStore::new(2);
+        for record in wide.records() {
+            narrow.insert(record).unwrap();
+        }
+        narrow.save_to_dir(&dir).unwrap();
+
+        // Stale shard-002..007 files are gone; a load sees exactly the 12
+        // surviving accounts instead of merging removed ones back in.
+        let reloaded = ShardedPasswordStore::load_from_dir(&dir, 4).unwrap();
+        assert_eq!(reloaded.len(), 12, "{:?}", reloaded.usernames());
+        for i in 0..12 {
+            assert!(reloaded.get(&format!("user{i}")).is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_store_recovers_from_wal_alone() {
+        let sys = system();
+        let dir = temp_dir("durable-wal");
+        {
+            let store =
+                ShardedPasswordStore::open_durable(&dir, 4, DurabilityOptions::default()).unwrap();
+            assert!(store.is_durable());
+            for i in 0..10 {
+                store
+                    .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                    .unwrap();
+            }
+            assert!(store.remove("user9").unwrap());
+            let stats = store.durability_stats().unwrap();
+            assert_eq!(stats.wal_appends, 11, "10 enrolls + 1 remove");
+            assert!(stats.wal_syncs >= 11, "Always fsyncs every append");
+            // No graceful save: the store is simply dropped, as in a
+            // crash after the last ack.
+        }
+        let recovered =
+            ShardedPasswordStore::open_durable(&dir, 4, DurabilityOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 9);
+        assert!(recovered.get("user9").is_none(), "removal replayed");
+        for i in 0..9 {
+            assert!(recovered
+                .verify(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap());
+        }
+        let stats = recovered.durability_stats().unwrap();
+        assert_eq!(stats.replayed_records, 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_snapshot_compacts_and_recovery_replays_the_tail() {
+        let sys = system();
+        let dir = temp_dir("durable-snap");
+        {
+            let store =
+                ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+            for i in 0..6 {
+                store
+                    .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                    .unwrap();
+            }
+            // Compact: WALs empty, snapshots hold the 6 accounts.
+            assert_eq!(store.snapshot_if_past(0).unwrap(), 2);
+            let stats = store.durability_stats().unwrap();
+            assert_eq!(stats.wal_bytes, 2 * crate::wal::WAL_MAGIC.len() as u64);
+            // The tail: 2 more enrolls only the WAL knows about.
+            for i in 6..8 {
+                store
+                    .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                    .unwrap();
+            }
+        }
+        let recovered =
+            ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 8, "snapshot + WAL tail");
+        for i in 0..8 {
+            assert!(recovered
+                .verify(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap());
+        }
+        // Recovery replays only the un-compacted tail.
+        assert_eq!(recovered.durability_stats().unwrap().replayed_records, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_reopen_under_different_shard_count_reroutes_and_cleans() {
+        let sys = system();
+        let dir = temp_dir("durable-reshard");
+        {
+            let store =
+                ShardedPasswordStore::open_durable(&dir, 8, DurabilityOptions::default()).unwrap();
+            for i in 0..16 {
+                store
+                    .enroll(&sys, &format!("user{i}"), &clicks(i as f64))
+                    .unwrap();
+            }
+        }
+        let narrow =
+            ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+        assert_eq!(narrow.shard_count(), 2);
+        assert_eq!(narrow.len(), 16);
+        drop(narrow);
+        // Only shard-000/001 files survive on disk.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "shard-000.pwd".to_string(),
+                "shard-000.wal".to_string(),
+                "shard-001.pwd".to_string(),
+                "shard-001.wal".to_string()
+            ]
+        );
+        // And a fresh wide open still sees every account.
+        let wide =
+            ShardedPasswordStore::open_durable(&dir, 5, DurabilityOptions::default()).unwrap();
+        assert_eq!(wide.len(), 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn cached_hasher_matches_fresh_salt_absorption() {
         let store = ShardedPasswordStore::new(4);
         let sys = system();
@@ -506,7 +1094,7 @@ mod tests {
         }
         // Records loaded through `insert` (bulk load / recovery) cache too.
         let reloaded = ShardedPasswordStore::new(2);
-        reloaded.insert(stored.clone());
+        reloaded.insert(stored.clone()).unwrap();
         let (_, cached2) = reloaded.get_cached("alice").expect("inserted");
         assert_eq!(cached2.iterated(b"x", 3), fresh.iterated(b"x", 3));
         assert!(store.get_cached("ghost").is_none());
@@ -537,5 +1125,53 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.len(), 64);
+    }
+
+    #[test]
+    fn concurrent_durable_enrolls_with_concurrent_snapshots() {
+        use std::sync::Arc;
+        let dir = temp_dir("durable-concurrent");
+        let store = Arc::new(
+            ShardedPasswordStore::open_durable(
+                &dir,
+                4,
+                DurabilityOptions {
+                    fsync: FsyncPolicy::Never,
+                    ..DurabilityOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        let sys = system();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = Arc::clone(&store);
+            let sys = sys.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8 {
+                    store
+                        .enroll(&sys, &format!("t{t}-user{i}"), &clicks((t * 8 + i) as f64))
+                        .unwrap();
+                }
+            }));
+        }
+        // Compaction racing the writers: snapshot everything, repeatedly.
+        let snapshotter = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for _ in 0..16 {
+                    store.snapshot_if_past(0).unwrap();
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        snapshotter.join().unwrap();
+        drop(store);
+        let recovered =
+            ShardedPasswordStore::open_durable(&dir, 4, DurabilityOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 32, "no enroll lost to a racing snapshot");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

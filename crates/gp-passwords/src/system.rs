@@ -177,6 +177,13 @@ impl GraphicalPasswordSystem {
 
     /// Phase 2 of a split enrollment: install the digest computed from the
     /// [`GraphicalPasswordSystem::prepare_enroll`] pre-image.
+    ///
+    /// The finished record is what a durable deployment logs: the serving
+    /// layer passes it to
+    /// [`ShardedPasswordStore::insert_new`](crate::shard::ShardedPasswordStore::insert_new),
+    /// which appends it to the owning shard's write-ahead log *before*
+    /// the enrollment is acknowledged on the wire — so an acked account
+    /// survives a crash at any instant.
     pub fn finish_enroll(mut record: StoredPassword, digest: gp_crypto::Digest) -> StoredPassword {
         record.hash.digest = digest;
         record

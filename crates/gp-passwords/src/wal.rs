@@ -1,0 +1,679 @@
+//! Per-shard write-ahead logging and atomic snapshot primitives.
+//!
+//! The sharded store's original persistence (`std::fs::write` per shard)
+//! had a crash window: a power cut mid-write truncates a shard file, the
+//! loader rejects the whole directory, and every account enrolled since
+//! the previous successful save is gone.  This module provides the two
+//! building blocks that close that window, in the crash-only shape the
+//! cheap-recovery literature argues for:
+//!
+//! * [`ShardWal`] — an append-only, length-prefixed, checksummed log of
+//!   mutations (enroll / update / remove).  A mutation is acknowledged
+//!   only after its record is appended (and, under
+//!   [`FsyncPolicy::Always`], fsynced), so recovery can replay everything
+//!   the server ever acked.  [`ShardWal::replay`] tolerates a *torn tail*
+//!   — a final record cut at any byte by a crash — and recovers exactly
+//!   the preceding prefix.
+//! * [`atomic_write`] — snapshot publication as `write tmp → fsync →
+//!   rename → fsync dir`, so a snapshot file is either the complete old
+//!   version or the complete new version, never a truncated hybrid.
+//!
+//! # Log format
+//!
+//! ```text
+//! file   := MAGIC record*
+//! MAGIC  := "GP-WAL1\n"                      (8 bytes)
+//! record := len:u32be  check:u64be  payload  (len = payload length)
+//! payload:= op:u8  data                      (checksum = FNV-1a 64 of payload)
+//! op     := 1 enroll | 2 update | 3 remove
+//! data   := StoredPassword::to_record() line (enroll/update)
+//!         | username bytes                   (remove)
+//! ```
+//!
+//! The log has a single appender (the owning shard, under its lock), so
+//! any checksum/length violation can only be the torn tail of the final
+//! append — replay stops there and reports the dropped byte count.  A
+//! record whose checksum *passes* but whose payload does not parse is
+//! real corruption (or a software bug) and is surfaced as an error.
+
+use crate::stored::StoredPassword;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic at the start of every WAL (8 bytes, versioned).
+pub const WAL_MAGIC: &[u8; 8] = b"GP-WAL1\n";
+
+/// Per-record header size: `u32` payload length + `u64` checksum.
+const RECORD_HEADER: usize = 4 + 8;
+
+/// Sanity cap on a single WAL record's payload.  A declared length past
+/// this is treated as a torn/garbage tail, not an allocation request.
+const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// FNV-1a 64-bit hash — the WAL record checksum (and the stable account
+/// routing hash in [`crate::shard::shard_index`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// When appended WAL records are flushed to stable storage.
+///
+/// The trade is acknowledgement latency against the crash loss window:
+/// see the README's durability section for measured numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: an acknowledged mutation survives any
+    /// crash.  One disk flush per enrollment.
+    Always,
+    /// `fsync` every N appends: a crash loses at most the last N−1
+    /// acknowledged mutations.  `Batch(1)` behaves like `Always`.
+    Batch(u32),
+    /// Never `fsync` from the store; the OS flushes on its own schedule.
+    /// A crash loses whatever the page cache held (typically up to tens
+    /// of seconds).  Process-exit-safe, power-loss-unsafe.
+    Never,
+}
+
+/// One mutation kind recorded in the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// A new account was enrolled.
+    Enroll,
+    /// An existing account's record was inserted/replaced (bulk load).
+    Update,
+    /// An account was removed.
+    Remove,
+}
+
+impl WalOp {
+    fn tag(self) -> u8 {
+        match self {
+            WalOp::Enroll => 1,
+            WalOp::Update => 2,
+            WalOp::Remove => 3,
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalEntry {
+    /// Replay as an account insert (new account).
+    Enroll(StoredPassword),
+    /// Replay as an account insert/replace.
+    Update(StoredPassword),
+    /// Replay as an account removal.
+    Remove(String),
+}
+
+/// The result of replaying one WAL file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Decoded records, in append order.
+    pub entries: Vec<WalEntry>,
+    /// Bytes dropped at the end of the file (a record torn by a crash
+    /// mid-append; zero for a cleanly closed log).
+    pub torn_bytes: u64,
+}
+
+/// An open per-shard write-ahead log (single appender: the owning shard,
+/// under its lock).
+#[derive(Debug)]
+pub struct ShardWal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    /// Appends since the last fsync (drives [`FsyncPolicy::Batch`]).
+    unsynced: u32,
+    /// Current file length in bytes (header included).
+    len: u64,
+    appends: u64,
+    syncs: u64,
+    /// A failed append could not be rolled back: the bytes past the last
+    /// good record are in an unknown state, so further appends would land
+    /// *after* a tear and be silently dropped by replay.  All appends
+    /// fail until the log is recovered (reopened) or reset.
+    poisoned: bool,
+}
+
+impl ShardWal {
+    /// Open `path` for appending, creating it (with the magic header) if
+    /// absent or empty.  Existing contents are preserved — replay them
+    /// with [`ShardWal::replay`] *before* opening for append.
+    pub fn open_or_create(path: &Path, policy: FsyncPolicy) -> std::io::Result<Self> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut len = file.metadata()?.len();
+        if len < WAL_MAGIC.len() as u64 {
+            // Fresh log — or a crash tore the very creation of one.  The
+            // bytes so far carry no records; restart the header cleanly.
+            file.set_len(0)?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            len = WAL_MAGIC.len() as u64;
+        }
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            len,
+            appends: 0,
+            syncs: 0,
+            poisoned: false,
+        })
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log length in bytes (magic header included) — the
+    /// compaction trigger input.
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// Appends since this handle was opened.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Fsyncs issued by this handle (policy-driven and explicit).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Append a stored-password mutation ([`WalOp::Enroll`] or
+    /// [`WalOp::Update`]) and flush per the fsync policy.  When this
+    /// returns `Ok`, the record is in the log (and on stable storage
+    /// under [`FsyncPolicy::Always`]) — only then may the mutation be
+    /// acknowledged.
+    pub fn append_record(&mut self, op: WalOp, record: &StoredPassword) -> std::io::Result<()> {
+        debug_assert!(
+            op != WalOp::Remove,
+            "removals carry a username, not a record"
+        );
+        self.append_payload(op, record.to_record().as_bytes())
+    }
+
+    /// Append an account removal and flush per the fsync policy.
+    pub fn append_remove(&mut self, username: &str) -> std::io::Result<()> {
+        self.append_payload(WalOp::Remove, username.as_bytes())
+    }
+
+    fn append_payload(&mut self, op: WalOp, data: &[u8]) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(std::io::Error::other(format!(
+                "{}: WAL poisoned by an earlier unrecoverable append failure",
+                self.path.display()
+            )));
+        }
+        let mut payload = Vec::with_capacity(1 + data.len());
+        payload.push(op.tag());
+        payload.extend_from_slice(data);
+        let mut buf = Vec::with_capacity(RECORD_HEADER + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&fnv1a64(&payload).to_be_bytes());
+        buf.extend_from_slice(&payload);
+        let start = self.len;
+        match self.write_and_flush(&buf) {
+            Ok(()) => {
+                self.len = start + buf.len() as u64;
+                self.appends += 1;
+                Ok(())
+            }
+            // A failed append (ENOSPC, EIO, fsync failure) is about to be
+            // NACKed to the caller — so its bytes must not stay in the
+            // log: left in place they would either resurrect the refused
+            // mutation at recovery (fsync failed after a complete write)
+            // or, worse, sit as a mid-file tear that replay treats as the
+            // end of the log, silently dropping every *later* acked
+            // record.  Roll back to the last good record; if even that
+            // fails, poison the log so no later append can land past the
+            // tear.
+            Err(e) => {
+                let rolled_back = self.file.set_len(start).is_ok()
+                    && self.file.seek(std::io::SeekFrom::End(0)).is_ok();
+                if rolled_back {
+                    let _ = self.file.sync_all();
+                } else {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// One write call (a crash can still tear it mid-record, but replay
+    /// recovers the full prefix regardless of where the tear lands),
+    /// flushed per the fsync policy.
+    fn write_and_flush(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(buf)?;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch(every) => {
+                self.unsynced += 1;
+                if self.unsynced >= every.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flush appended records to stable storage now, regardless of
+    /// policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()?;
+        self.unsynced = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+
+    /// Truncate the log back to its magic header — called after the
+    /// shard's snapshot has been atomically published, which supersedes
+    /// every logged record.  Durable immediately; but even if the
+    /// truncation itself were lost to a crash, replaying the stale
+    /// records over the snapshot is idempotent.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        // Append mode writes at the (new) end-of-file; rewind is only
+        // needed for platforms that track the cursor independently.
+        self.file.seek(std::io::SeekFrom::End(0))?;
+        self.file.sync_all()?;
+        self.syncs += 1;
+        self.unsynced = 0;
+        self.len = WAL_MAGIC.len() as u64;
+        // Truncating to the header discards any un-rolled-back tear.
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Whether an unrecoverable append failure has disabled this log
+    /// (every further append fails until [`ShardWal::reset`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Test hook: mark the log poisoned, as an unrecoverable append
+    /// failure would.
+    #[cfg(test)]
+    pub(crate) fn poison_for_test(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Decode every intact record in the WAL at `path`, tolerating a torn
+    /// final record (reported via [`WalReplay::torn_bytes`]).
+    ///
+    /// A missing file replays as empty (a crash before the first append).
+    /// A present file with a wrong magic, or an intact (checksummed)
+    /// record that fails to parse, is an error — that is corruption, not
+    /// a crash artifact.
+    pub fn replay(path: &Path) -> std::io::Result<WalReplay> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(WalReplay {
+                    entries: Vec::new(),
+                    torn_bytes: 0,
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < WAL_MAGIC.len() {
+            // The file's very creation was torn; no record can exist.
+            return Ok(WalReplay {
+                entries: Vec::new(),
+                torn_bytes: bytes.len() as u64,
+            });
+        }
+        if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(corrupt(path, "bad WAL magic"));
+        }
+        let mut entries = Vec::new();
+        let mut at = WAL_MAGIC.len();
+        while at < bytes.len() {
+            let rest = &bytes[at..];
+            if rest.len() < RECORD_HEADER {
+                break; // torn mid-header
+            }
+            let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+            if len == 0 || len > MAX_RECORD_LEN {
+                break; // torn mid-header: garbage length
+            }
+            let check = u64::from_be_bytes(rest[4..RECORD_HEADER].try_into().expect("8 bytes"));
+            let end = RECORD_HEADER + len as usize;
+            if rest.len() < end {
+                break; // torn mid-payload
+            }
+            let payload = &rest[RECORD_HEADER..end];
+            if fnv1a64(payload) != check {
+                break; // torn mid-overwrite of the final record
+            }
+            entries.push(decode_payload(path, payload)?);
+            at += end;
+        }
+        Ok(WalReplay {
+            entries,
+            torn_bytes: (bytes.len() - at) as u64,
+        })
+    }
+}
+
+fn decode_payload(path: &Path, payload: &[u8]) -> std::io::Result<WalEntry> {
+    let (tag, data) = payload.split_first().expect("non-empty checked by len > 0");
+    let text = std::str::from_utf8(data).map_err(|_| corrupt(path, "non-UTF-8 WAL payload"))?;
+    match tag {
+        1 | 2 => {
+            let record = StoredPassword::from_record(text)
+                .map_err(|e| corrupt(path, &format!("unparseable WAL record: {e}")))?;
+            Ok(if *tag == 1 {
+                WalEntry::Enroll(record)
+            } else {
+                WalEntry::Update(record)
+            })
+        }
+        3 => Ok(WalEntry::Remove(text.to_string())),
+        other => Err(corrupt(path, &format!("unknown WAL op tag {other}"))),
+    }
+}
+
+fn corrupt(path: &Path, reason: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("{}: {reason}", path.display()),
+    )
+}
+
+/// Atomically publish `contents` at `path`: write `<path>.tmp`, fsync it,
+/// rename over `path`, then fsync the parent directory so the rename
+/// itself is durable.  A reader (or a recovery after a crash at any
+/// point) sees either the complete old file or the complete new one.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let mut file_name = path
+        .file_name()
+        .ok_or_else(|| corrupt(path, "atomic_write target has no file name"))?
+        .to_os_string();
+    file_name.push(".tmp");
+    let tmp = path.with_file_name(file_name);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Flush a directory's entry table (making renames/creates/removes under
+/// it durable).  Best-effort on platforms where directories cannot be
+/// opened for syncing.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    match File::open(dir) {
+        Ok(handle) => handle.sync_all(),
+        // Opening a directory read-only fails on some platforms (e.g.
+        // Windows); the rename is still atomic, only its durability
+        // ordering is left to the OS there.
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DiscretizationConfig;
+    use crate::policy::PasswordPolicy;
+    use crate::system::GraphicalPasswordSystem;
+    use gp_geometry::Point;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gp-wal-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(name: &str, seed: f64) -> StoredPassword {
+        let system = GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(6),
+            2,
+        );
+        let clicks: Vec<Point> = (0..5)
+            .map(|i| Point::new(30.0 + seed + 70.0 * i as f64, 20.0 + seed + 55.0 * i as f64))
+            .collect();
+        system.enroll(name, &clicks).unwrap()
+    }
+
+    #[test]
+    fn append_replay_round_trip_all_ops() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("shard-000.wal");
+        let (a, b) = (sample("alice", 0.0), sample("bob", 3.0));
+        {
+            let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Always).unwrap();
+            wal.append_record(WalOp::Enroll, &a).unwrap();
+            wal.append_record(WalOp::Update, &b).unwrap();
+            wal.append_remove("alice").unwrap();
+            assert_eq!(wal.appends(), 3);
+            assert!(wal.syncs() >= 3, "Always fsyncs every append");
+        }
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.torn_bytes, 0);
+        assert_eq!(
+            replay.entries,
+            vec![
+                WalEntry::Enroll(a),
+                WalEntry::Update(b),
+                WalEntry::Remove("alice".into())
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_appends_after_existing_records() {
+        let dir = temp_dir("reopen");
+        let path = dir.join("w.wal");
+        let (a, b) = (sample("alice", 0.0), sample("bob", 3.0));
+        {
+            let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Never).unwrap();
+            wal.append_record(WalOp::Enroll, &a).unwrap();
+        }
+        {
+            let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Never).unwrap();
+            wal.append_record(WalOp::Enroll, &b).unwrap();
+        }
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(
+            replay.entries,
+            vec![WalEntry::Enroll(a), WalEntry::Enroll(b)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_recovers_the_exact_prefix() {
+        let dir = temp_dir("torn");
+        let path = dir.join("w.wal");
+        let records: Vec<StoredPassword> = (0..3)
+            .map(|i| sample(&format!("user{i}"), i as f64))
+            .collect();
+        let mut boundaries = vec![WAL_MAGIC.len() as u64];
+        {
+            let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Never).unwrap();
+            for record in &records {
+                wal.append_record(WalOp::Enroll, record).unwrap();
+                boundaries.push(wal.len_bytes());
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        let torn = dir.join("torn.wal");
+        for cut in 0..=full.len() {
+            std::fs::write(&torn, &full[..cut]).unwrap();
+            let replay = ShardWal::replay(&torn).unwrap();
+            if cut < WAL_MAGIC.len() {
+                // The file's creation itself was torn: nothing replays.
+                assert!(replay.entries.is_empty(), "cut at byte {cut}");
+                assert_eq!(replay.torn_bytes, cut as u64);
+                continue;
+            }
+            // How many whole records fit below the cut?
+            let intact = boundaries.iter().filter(|b| **b <= cut as u64).count() - 1;
+            assert_eq!(
+                replay.entries.len(),
+                intact,
+                "cut at byte {cut}: exactly the intact prefix replays"
+            );
+            for (entry, record) in replay.entries.iter().zip(&records) {
+                assert_eq!(*entry, WalEntry::Enroll(record.clone()));
+            }
+            assert_eq!(
+                replay.torn_bytes,
+                cut as u64 - boundaries[intact],
+                "cut at byte {cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_tail_checksum_drops_only_the_final_record() {
+        let dir = temp_dir("checksum");
+        let path = dir.join("w.wal");
+        let (a, b) = (sample("alice", 0.0), sample("bob", 3.0));
+        let first_end;
+        {
+            let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Never).unwrap();
+            wal.append_record(WalOp::Enroll, &a).unwrap();
+            first_end = wal.len_bytes() as usize;
+            wal.append_record(WalOp::Enroll, &b).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.entries, vec![WalEntry::Enroll(a)]);
+        assert_eq!(replay.torn_bytes, (bytes.len() - first_end) as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_and_unparseable_payloads_are_errors_not_torn_tails() {
+        let dir = temp_dir("corrupt");
+        let bad_magic = dir.join("m.wal");
+        std::fs::write(&bad_magic, b"NOTAWAL!record-bytes").unwrap();
+        assert!(ShardWal::replay(&bad_magic).is_err());
+
+        // A checksummed record whose payload is not a parseable account
+        // line: corruption, not a crash artifact.
+        let bad_payload = dir.join("p.wal");
+        let payload = [&[1u8][..], b"not a stored password line"].concat();
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_be_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&bad_payload, &bytes).unwrap();
+        assert!(ShardWal::replay(&bad_payload).is_err());
+
+        // Missing file: empty replay (crash before the first append).
+        let missing = ShardWal::replay(&dir.join("nope.wal")).unwrap();
+        assert!(missing.entries.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_policy_syncs_every_n_appends() {
+        let dir = temp_dir("batch");
+        let path = dir.join("w.wal");
+        let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Batch(3)).unwrap();
+        let open_syncs = wal.syncs();
+        for i in 0..7 {
+            wal.append_record(WalOp::Enroll, &sample(&format!("u{i}"), i as f64))
+                .unwrap();
+        }
+        assert_eq!(
+            wal.syncs() - open_syncs,
+            2,
+            "7 appends at Batch(3) = 2 syncs"
+        );
+        wal.sync().unwrap();
+        assert_eq!(wal.syncs() - open_syncs, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_truncates_to_header_and_new_appends_replay_alone() {
+        let dir = temp_dir("reset");
+        let path = dir.join("w.wal");
+        let (a, b) = (sample("alice", 0.0), sample("bob", 3.0));
+        let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Always).unwrap();
+        wal.append_record(WalOp::Enroll, &a).unwrap();
+        wal.reset().unwrap();
+        assert_eq!(wal.len_bytes(), WAL_MAGIC.len() as u64);
+        wal.append_record(WalOp::Enroll, &b).unwrap();
+        drop(wal);
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.entries, vec![WalEntry::Enroll(b)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_log_refuses_appends_until_reset() {
+        let dir = temp_dir("poison");
+        let path = dir.join("w.wal");
+        let (a, b) = (sample("alice", 0.0), sample("bob", 3.0));
+        let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Always).unwrap();
+        wal.append_record(WalOp::Enroll, &a).unwrap();
+        wal.poison_for_test();
+        assert!(wal.is_poisoned());
+        // No append may land past a potential tear: it would be dropped
+        // by replay while its caller believed it was acknowledged.
+        assert!(wal.append_record(WalOp::Enroll, &b).is_err());
+        assert!(wal.append_remove("alice").is_err());
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.entries, vec![WalEntry::Enroll(a)]);
+        // Truncating to the header discards the tear and re-arms the log.
+        wal.reset().unwrap();
+        assert!(!wal.is_poisoned());
+        wal.append_record(WalOp::Enroll, &b.clone()).unwrap();
+        drop(wal);
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.entries, vec![WalEntry::Enroll(b)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_and_leaves_no_tmp() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("shard-000.pwd");
+        atomic_write(&path, b"first\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first\n");
+        atomic_write(&path, b"second\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no tmp files survive publication");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,25 +1,41 @@
 //! End-to-end networked deployment: spawn the sharded, pipelined TCP
-//! authentication server, enroll users, push a pipelined login burst
-//! through the batch verifier, demonstrate the online-attack lockout, and
-//! print the shard / worker-pool / batching statistics.
+//! authentication server with the crash-safe durable store, enroll users,
+//! push a pipelined login burst through the batch verifier, demonstrate
+//! the online-attack lockout, *crash* the server and recover every
+//! acknowledged account from the write-ahead logs, and print the shard /
+//! worker-pool / batching / durability statistics.
 //!
 //! Run with: `cargo run --example auth_server_demo`
 
 use graphical_passwords::geometry::Point;
 use graphical_passwords::netauth::{
-    AuthClient, AuthServer, ClientMessage, LoginDecision, ServerConfig,
+    AuthClient, AuthServer, ClientMessage, DurabilityConfig, FsyncPolicy, LoginDecision,
+    ServerConfig,
 };
 
 fn main() {
+    // A durable deployment: per-shard write-ahead logs under `state_dir`,
+    // fsynced on every enrollment, compacted into atomic snapshots by a
+    // background thread once a shard's log passes the threshold.
+    let state_dir = std::env::temp_dir().join(format!("gp-auth-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
     let config = ServerConfig {
         hash_iterations: 1000,
+        durability: Some(DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            ..DurabilityConfig::at(&state_dir)
+        }),
         ..ServerConfig::study_default()
     };
     println!(
         "deployment: {} shards, {} workers, batches of ≤{} logins per hash run",
         config.shards, config.workers, config.batch_max
     );
-    let server = AuthServer::new(config);
+    println!(
+        "durability: WAL per shard under {}, fsync on every enrollment",
+        state_dir.display()
+    );
+    let server = AuthServer::open(config.clone()).expect("open durable store");
     let handle = server.spawn().expect("spawn server");
     println!("authentication server listening on {}", handle.addr());
 
@@ -98,7 +114,40 @@ fn main() {
         stats.batch.mean_batch(),
         stats.batch.max_run
     );
+    if let Some(durability) = handle.server().store().durability_stats() {
+        println!(
+            "durability: {} WAL appends, {} fsyncs, {} snapshot compactions, {} WAL bytes pending",
+            durability.wal_appends,
+            durability.wal_syncs,
+            durability.snapshots,
+            durability.wal_bytes
+        );
+    }
+
+    // Crash the server: threads stop with *no* orderly save.  Everything
+    // in memory — accounts and lockout state alike — is gone; only the
+    // WAL-backed state directory survives.
+    handle.abort();
+    println!("--- server crashed (no final snapshot) ---");
+
+    // Recovery: reopening the same directory replays snapshots + WAL
+    // tails.  Every acknowledged enrollment is back; the lockout table
+    // was deliberately memory-only, so the locked account is usable again
+    // (lockouts throttle online guessing, they are not account state).
+    let recovered = AuthServer::open(config).expect("recover durable store");
+    let durability = recovered.store().durability_stats().expect("durable");
+    println!(
+        "recovered {} accounts ({} WAL records replayed)",
+        recovered.store().len(),
+        durability.replayed_records
+    );
+    let handle = recovered.spawn().expect("respawn server");
+    let mut client = AuthClient::connect(handle.addr()).expect("reconnect");
+    let (decision, _) = client.login("alice", &alice).expect("login after recovery");
+    println!("alice's correct password after crash recovery: {decision:?}");
+    client.quit().expect("quit");
 
     handle.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
     println!("server shut down cleanly");
 }
