@@ -28,6 +28,14 @@
 //!   thread compacts per-shard logs.  The metric counts all acked
 //!   operations (15 logins + 1 durable enrollment per 16-deep burst), so
 //!   it prices the durability tax the README's fsync-policy table quotes.
+//! * **cluster_sync** — a 3-node replicated cluster
+//!   ([`gp_netauth::Cluster`], per-node durable stores, synchronous
+//!   WAL-streaming replication) driven through the ring-routing
+//!   [`gp_netauth::ClusterClient`]: each thread interleaves fresh
+//!   enrollments (acked only after the backup's durable apply) with
+//!   logins of its own earlier accounts.  This prices the full
+//!   replication tax — ring routing, the extra loopback round trip, and
+//!   the backup's WAL append — on top of the single-node durable number.
 //!
 //! Results merge into `BENCH_results.json` (or `GP_BENCH_OUT`) alongside
 //! the `bench_report` micro-benchmarks: per-login medians under
@@ -44,13 +52,18 @@
 //! `GP_AUTHLOAD_USERS` (enrolled accounts, default 64),
 //! `GP_AUTHLOAD_IDLE` (idle connections in the reactor_idle scenario,
 //! default 256), `GP_AUTHLOAD_CONNS` (active connections in the
-//! reactor_highconc scenario, default 32).
+//! reactor_highconc scenario, default 32), `GP_AUTHLOAD_ONLY`
+//! (comma-separated substrings; only scenarios whose label matches run,
+//! and ratios whose inputs were skipped are simply not emitted — e.g.
+//! `GP_AUTHLOAD_ONLY=cluster` re-measures just the cluster scenario and
+//! merges its metrics into the existing report).
 
 use gp_bench::report::BenchReport;
 use gp_geometry::Point;
+use gp_netauth::replication::ReplicatorConfig;
 use gp_netauth::{
-    AuthClient, AuthServer, ClientMessage, DurabilityConfig, FsyncPolicy, LoginDecision,
-    ServerConfig, ServerMessage, ServingMode,
+    AuthClient, AuthServer, ClientMessage, Cluster, ClusterClient, DurabilityConfig, FsyncPolicy,
+    LoginDecision, ServerConfig, ServerMessage, ServingMode,
 };
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -294,6 +307,137 @@ fn run_scenario_best_of(
     best.expect("at least one trial")
 }
 
+/// What the cluster scenario measures: acked operations through the
+/// routing client (enrollments replicated synchronously + logins).
+struct ClusterLoadResult {
+    ops: u64,
+    elapsed: Duration,
+}
+
+impl ClusterLoadResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn ns_per_op(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// Spawn a `nodes`-node replicated loopback cluster (per-node durable
+/// stores, sync WAL-streaming replication) and drive it through
+/// [`ClusterClient`]s: every 4th operation per thread enrolls a fresh
+/// account (acked only after its backup's durable apply), the rest log in
+/// as that thread's earlier accounts through ring routing.  Every ack is
+/// verified; the count is acked operations in the measurement window.
+fn run_cluster_scenario(
+    label: &str,
+    template: &ServerConfig,
+    nodes: usize,
+    threads: usize,
+    secs: f64,
+) -> ClusterLoadResult {
+    let root = std::env::temp_dir().join(format!(
+        "gp-authload-cluster-{}-{}",
+        std::process::id(),
+        ENROLL_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let cluster = Cluster::spawn(nodes, template.clone(), ReplicatorConfig::default(), &root)
+        .expect("spawn cluster");
+    let members = cluster.members();
+
+    let counted = Arc::new(AtomicU64::new(0));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for _ in 0..threads {
+        let members = members.clone();
+        let counted = Arc::clone(&counted);
+        let measuring = Arc::clone(&measuring);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            let mut client = ClusterClient::new(&members);
+            // This thread's enrolled population: (name, click seed).
+            let mut enrolled: Vec<(String, u64)> = Vec::new();
+            let mut turn = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                if enrolled.is_empty() || turn.is_multiple_of(4) {
+                    let id = ENROLL_SEQ.fetch_add(1, Ordering::Relaxed);
+                    let name = format!("cluster-{id}");
+                    client
+                        .enroll(&name, &user_clicks(id as usize))
+                        .expect("replicated enroll must ack");
+                    enrolled.push((name, id));
+                } else {
+                    let (name, id) = &enrolled[turn % enrolled.len()];
+                    let (decision, _) = client
+                        .login(name, &user_clicks(*id as usize))
+                        .expect("routed login must complete");
+                    assert_eq!(
+                        decision,
+                        LoginDecision::Accepted,
+                        "enrolled account must log in"
+                    );
+                }
+                turn += 1;
+                if measuring.load(Ordering::Relaxed) {
+                    counted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(300));
+    let started = Instant::now();
+    measuring.store(true, Ordering::Relaxed);
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    measuring.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("cluster load thread");
+    }
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let result = ClusterLoadResult {
+        ops: counted.load(Ordering::Relaxed),
+        elapsed,
+    };
+    eprintln!(
+        "[authload] {label:<18} {:>9.0} ops/s  ({} acked ops / {:.2}s, {nodes} nodes, \
+         sync replication, 1-in-4 enrolls)",
+        result.ops_per_sec(),
+        result.ops,
+        result.elapsed.as_secs_f64(),
+    );
+    result
+}
+
+/// Best-of wrapper for the cluster scenario (same reasoning as
+/// [`run_scenario_best_of`]: noise only subtracts throughput).
+fn run_cluster_best_of(
+    label: &str,
+    template: &ServerConfig,
+    nodes: usize,
+    threads: usize,
+    secs: f64,
+    trials: usize,
+) -> ClusterLoadResult {
+    let mut best: Option<ClusterLoadResult> = None;
+    for _ in 0..trials.max(1) {
+        let result = run_cluster_scenario(label, template, nodes, threads, secs);
+        if best
+            .as_ref()
+            .is_none_or(|b| result.ops_per_sec() > b.ops_per_sec())
+        {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one trial")
+}
+
 fn main() {
     let secs: f64 = env_or("GP_AUTHLOAD_SECS", 1.2);
     let trials: usize = env_or("GP_AUTHLOAD_TRIALS", 5).max(1);
@@ -379,7 +523,7 @@ fn main() {
     // fresh-account enrollment leading every burst so the WAL-append-
     // before-ack path (and its fsync policy) is priced into the number.
     let reactor_durable = Scenario {
-        config: reactor_config,
+        config: reactor_config.clone(),
         threads,
         pipeline,
         idle_connections: 0,
@@ -387,97 +531,156 @@ fn main() {
         durable_fsync: Some(env_fsync(FsyncPolicy::Always)),
     };
 
+    // `GP_AUTHLOAD_ONLY` filter: a scenario runs when its label contains
+    // any of the comma-separated patterns; unset/empty runs everything.
+    let only = std::env::var("GP_AUTHLOAD_ONLY")
+        .ok()
+        .filter(|f| !f.trim().is_empty());
+    let enabled = |label: &str| {
+        only.as_deref().is_none_or(|filter| {
+            filter
+                .split(',')
+                .map(str::trim)
+                .any(|pattern| !pattern.is_empty() && label.contains(pattern))
+        })
+    };
+
     eprintln!(
         "[authload] {threads} threads × {pipeline}-deep pipeline, h^{iterations}, \
          {users} users, best of {trials} × {secs:.1}s per scenario \
          (idle={idle}, highconc={conns}×4)"
     );
-    let baseline = run_scenario_best_of("single_worker", &single_worker, users, secs, trials);
-    let pooled = run_scenario_best_of("sharded_pooled", &sharded_pooled, users, secs, trials);
-    let scaling = pooled.logins_per_sec() / baseline.logins_per_sec();
+    if let Some(filter) = &only {
+        eprintln!("[authload] GP_AUTHLOAD_ONLY={filter} — non-matching scenarios skipped");
+    }
+    let baseline = enabled("single_worker")
+        .then(|| run_scenario_best_of("single_worker", &single_worker, users, secs, trials));
+    let pooled = enabled("sharded_pooled")
+        .then(|| run_scenario_best_of("sharded_pooled", &sharded_pooled, users, secs, trials));
 
     let path = std::env::var("GP_BENCH_OUT").unwrap_or_else(|_| "BENCH_results.json".into());
     let path = std::path::PathBuf::from(path);
     let mut out = BenchReport::load(&path).unwrap_or_default();
     let mut fresh = BenchReport::new();
-    fresh.set_result(
-        "authload/single_worker_ns_per_login",
-        baseline.ns_per_login(),
-    );
-    fresh.set_result(
-        "authload/sharded_pooled_ns_per_login",
-        pooled.ns_per_login(),
-    );
-    fresh.set_throughput(
-        "authload/single_worker_logins_per_sec",
-        baseline.logins_per_sec(),
-    );
-    fresh.set_throughput(
-        "authload/sharded_pooled_logins_per_sec",
-        pooled.logins_per_sec(),
-    );
-    fresh.set_speedup("authload_scaling", scaling);
+    if let Some(baseline) = &baseline {
+        fresh.set_result(
+            "authload/single_worker_ns_per_login",
+            baseline.ns_per_login(),
+        );
+        fresh.set_throughput(
+            "authload/single_worker_logins_per_sec",
+            baseline.logins_per_sec(),
+        );
+    }
+    if let Some(pooled) = &pooled {
+        fresh.set_result(
+            "authload/sharded_pooled_ns_per_login",
+            pooled.ns_per_login(),
+        );
+        fresh.set_throughput(
+            "authload/sharded_pooled_logins_per_sec",
+            pooled.logins_per_sec(),
+        );
+    }
+    if let (Some(baseline), Some(pooled)) = (&baseline, &pooled) {
+        let scaling = pooled.logins_per_sec() / baseline.logins_per_sec();
+        eprintln!("[authload] pooled/single {scaling:.2}x");
+        fresh.set_speedup("authload_scaling", scaling);
+    }
 
     // The reactor scenarios measure the epoll path, which only exists on
     // Linux: `AuthServer::spawn` quietly serves through the blocking pool
     // elsewhere, and recording those numbers under reactor metric names
     // would poison the committed baselines (a pool cannot even hold the
     // idle-connection population the reactor_idle scenario is about).
+    // The cluster scenario rides the same gate: its nodes serve in
+    // reactor mode.
     if cfg!(target_os = "linux") {
-        let reactive = run_scenario_best_of("reactor", &reactor, users, secs, trials);
-        let idle_result = run_scenario_best_of("reactor_idle", &reactor_idle, users, secs, trials);
-        let highconc =
-            run_scenario_best_of("reactor_highconc", &reactor_highconc, users, secs, trials);
-        let durable =
-            run_scenario_best_of("reactor_durable", &reactor_durable, users, secs, trials);
+        let reactive = enabled("reactor")
+            .then(|| run_scenario_best_of("reactor", &reactor, users, secs, trials));
+        let idle_result = enabled("reactor_idle")
+            .then(|| run_scenario_best_of("reactor_idle", &reactor_idle, users, secs, trials));
+        let highconc = enabled("reactor_highconc").then(|| {
+            run_scenario_best_of("reactor_highconc", &reactor_highconc, users, secs, trials)
+        });
+        let durable = enabled("reactor_durable").then(|| {
+            run_scenario_best_of("reactor_durable", &reactor_durable, users, secs, trials)
+        });
+        let cluster = enabled("cluster_sync").then(|| {
+            run_cluster_best_of("cluster_sync", &reactor_config, 3, threads, secs, trials)
+        });
 
-        let reactor_vs_pooled = reactive.logins_per_sec() / pooled.logins_per_sec();
-        let idle_vs_pooled = idle_result.logins_per_sec() / pooled.logins_per_sec();
-        let highconc_vs_pooled = highconc.logins_per_sec() / pooled.logins_per_sec();
-        let durable_vs_reactor = durable.logins_per_sec() / reactive.logins_per_sec();
-        eprintln!(
-            "[authload] pooled/single {scaling:.2}x · reactor/pooled {reactor_vs_pooled:.2}x · \
-             reactor+{idle} idle/pooled {idle_vs_pooled:.2}x · \
-             reactor {conns}-conn/pooled {highconc_vs_pooled:.2}x · \
-             durable/reactor {durable_vs_reactor:.2}x"
-        );
-
-        fresh.set_result("authload/reactor_ns_per_login", reactive.ns_per_login());
-        fresh.set_result(
-            "authload/reactor_idle_ns_per_login",
-            idle_result.ns_per_login(),
-        );
-        fresh.set_result(
-            "authload/reactor_highconc_ns_per_login",
-            highconc.ns_per_login(),
-        );
-        fresh.set_throughput("authload/reactor_logins_per_sec", reactive.logins_per_sec());
-        fresh.set_throughput(
-            "authload/reactor_idle_logins_per_sec",
-            idle_result.logins_per_sec(),
-        );
-        fresh.set_throughput(
-            "authload/reactor_highconc_logins_per_sec",
-            highconc.logins_per_sec(),
-        );
-        // Batch occupancy under connection scaling: mean attempts per
-        // multi-lane run (higher = fuller lanes), gated like any
-        // throughput.
-        fresh.set_throughput("authload/reactor_highconc_mean_batch", highconc.mean_batch);
-        // Durable serving: acked operations/sec (one fsynced enrollment
-        // leading every 16-deep burst, the rest logins).
-        fresh.set_result("authload/reactor_durable_ns_per_op", durable.ns_per_login());
-        fresh.set_throughput(
-            "authload/reactor_durable_ops_per_sec",
-            durable.logins_per_sec(),
-        );
-        fresh.set_speedup("authload_reactor_vs_pooled", reactor_vs_pooled);
-        fresh.set_speedup("authload_reactor_idle_vs_pooled", idle_vs_pooled);
-        fresh.set_speedup("authload_reactor_highconc_vs_pooled", highconc_vs_pooled);
-        fresh.set_speedup("authload_reactor_durable_vs_reactor", durable_vs_reactor);
+        if let Some(reactive) = &reactive {
+            fresh.set_result("authload/reactor_ns_per_login", reactive.ns_per_login());
+            fresh.set_throughput("authload/reactor_logins_per_sec", reactive.logins_per_sec());
+        }
+        if let Some(idle_result) = &idle_result {
+            fresh.set_result(
+                "authload/reactor_idle_ns_per_login",
+                idle_result.ns_per_login(),
+            );
+            fresh.set_throughput(
+                "authload/reactor_idle_logins_per_sec",
+                idle_result.logins_per_sec(),
+            );
+        }
+        if let Some(highconc) = &highconc {
+            fresh.set_result(
+                "authload/reactor_highconc_ns_per_login",
+                highconc.ns_per_login(),
+            );
+            fresh.set_throughput(
+                "authload/reactor_highconc_logins_per_sec",
+                highconc.logins_per_sec(),
+            );
+            // Batch occupancy under connection scaling: mean attempts per
+            // multi-lane run (higher = fuller lanes), gated like any
+            // throughput.
+            fresh.set_throughput("authload/reactor_highconc_mean_batch", highconc.mean_batch);
+        }
+        if let Some(durable) = &durable {
+            // Durable serving: acked operations/sec (one fsynced
+            // enrollment leading every 16-deep burst, the rest logins).
+            fresh.set_result("authload/reactor_durable_ns_per_op", durable.ns_per_login());
+            fresh.set_throughput(
+                "authload/reactor_durable_ops_per_sec",
+                durable.logins_per_sec(),
+            );
+        }
+        if let Some(cluster) = &cluster {
+            // Replicated serving: acked operations/sec through the ring-
+            // routing client against a 3-node sync-replicated cluster.
+            fresh.set_result("authload/cluster_sync_ns_per_op", cluster.ns_per_op());
+            fresh.set_throughput("authload/cluster_sync_ops_per_sec", cluster.ops_per_sec());
+        }
+        if let (Some(reactive), Some(pooled)) = (&reactive, &pooled) {
+            let ratio = reactive.logins_per_sec() / pooled.logins_per_sec();
+            eprintln!("[authload] reactor/pooled {ratio:.2}x");
+            fresh.set_speedup("authload_reactor_vs_pooled", ratio);
+        }
+        if let (Some(idle_result), Some(pooled)) = (&idle_result, &pooled) {
+            let ratio = idle_result.logins_per_sec() / pooled.logins_per_sec();
+            eprintln!("[authload] reactor+{idle} idle/pooled {ratio:.2}x");
+            fresh.set_speedup("authload_reactor_idle_vs_pooled", ratio);
+        }
+        if let (Some(highconc), Some(pooled)) = (&highconc, &pooled) {
+            let ratio = highconc.logins_per_sec() / pooled.logins_per_sec();
+            eprintln!("[authload] reactor {conns}-conn/pooled {ratio:.2}x");
+            fresh.set_speedup("authload_reactor_highconc_vs_pooled", ratio);
+        }
+        if let (Some(durable), Some(reactive)) = (&durable, &reactive) {
+            let ratio = durable.logins_per_sec() / reactive.logins_per_sec();
+            eprintln!("[authload] durable/reactor {ratio:.2}x");
+            fresh.set_speedup("authload_reactor_durable_vs_reactor", ratio);
+        }
+        if let (Some(cluster), Some(durable)) = (&cluster, &durable) {
+            let ratio = cluster.ops_per_sec() / durable.logins_per_sec();
+            eprintln!("[authload] cluster/single-durable {ratio:.2}x");
+            fresh.set_speedup("authload_cluster_sync_vs_single_durable", ratio);
+        }
     } else {
         eprintln!(
-            "[authload] pooled/single {scaling:.2}x · reactor scenarios skipped \
+            "[authload] reactor and cluster scenarios skipped \
              (epoll reactor is Linux-only; the pool fallback would be mislabeled)"
         );
     }

@@ -37,7 +37,21 @@
 //! * [`sys`] (Linux) — the minimal `epoll`/`eventfd` FFI the reactor
 //!   stands on (std already links libc; no crates involved).
 //! * [`client`] — a blocking client (with a pipelined burst API) used by
-//!   the examples, integration tests and the `authload` generator.
+//!   the examples, integration tests and the `authload` generator; an
+//!   opt-in [`client::RetryPolicy`] absorbs transient connection deaths
+//!   during failovers under capped exponential backoff with jitter.
+//! * [`replication`] — WAL-streaming replication between nodes: each
+//!   enrollment's WAL record is streamed to the account's backup node
+//!   (chosen on a consistent-hash ring) and, in sync mode, acknowledged
+//!   to the client only after the backup's durable apply.  Failure
+//!   handling is crash-only: a peer whose stream dies twice is evicted
+//!   from the ring and replicas re-route to the next successor.
+//! * [`cluster`] — a loopback [`cluster::Cluster`] of replicated nodes
+//!   with crash-only fault hooks (kill / sever / restart) and the
+//!   ring-routing [`cluster::ClusterClient`], whose transport-failure
+//!   handling promotes exactly the node holding an account's replica.
+//!   The kill-under-load harness (`tests/cluster_failover.rs`) proves no
+//!   acked enrollment is ever lost.
 //!
 //! # Request flow (reactor mode, Linux)
 //!
@@ -72,23 +86,30 @@
 
 pub mod batch;
 pub mod client;
+pub mod cluster;
 pub mod error;
 pub mod framing;
 pub mod lockout;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod replication;
 pub mod server;
 #[cfg(target_os = "linux")]
 pub mod sys;
 
 pub use batch::{BatchStats, BatchVerifier, HashJob};
-pub use client::AuthClient;
+pub use client::{AuthClient, RetryPolicy};
+pub use cluster::{Cluster, ClusterClient};
 pub use error::NetAuthError;
 pub use framing::{FrameReader, FrameWriter, WriteBuffer, MAX_FRAME_LEN};
 pub use gp_passwords::FsyncPolicy;
 pub use lockout::LockoutTracker;
 pub use protocol::{ClientMessage, LoginDecision, ServerMessage};
+pub use replication::{
+    ReplicaMessage, ReplicationHandle, ReplicationMode, ReplicationSink, Replicator,
+    ReplicatorConfig,
+};
 pub use server::{
     AuthServer, DurabilityConfig, ServerConfig, ServerHandle, ServerStats, ServingMode,
     WorkerMetrics, WorkerStatsSnapshot,

@@ -1,0 +1,860 @@
+//! WAL-streaming replication between cluster nodes.
+//!
+//! Each node runs a *replication listener* alongside its auth listener.
+//! When a primary accepts an enrollment it appends the record to its own
+//! WAL as usual, then streams the **same WAL payload bytes** (see
+//! [`gp_passwords::WalEntry::to_payload`]) to the account's backup — the
+//! key's second ring successor.  The backup appends the record to *its*
+//! durable store (WAL-first, via
+//! [`gp_passwords::ShardedPasswordStore::apply_replicated`]) before
+//! acknowledging, so a synchronous-mode `EnrollOk` means the account is
+//! durable on two nodes.  Applying is insert-or-replace, which makes
+//! redelivery after a reconnect or a primary retry harmless.
+//!
+//! Wire format: the same length-prefixed, integrity-checked frames as the
+//! client protocol ([`crate::framing`]), carrying [`ReplicaMessage`]s in
+//! their own tag space:
+//!
+//! ```text
+//! Hello   { node_id }        sender introduces itself (once per conn)
+//! HelloOk { node_id }        listener's reply
+//! Record  { seq, payload }   one WAL entry, payload = WalEntry::to_payload
+//! Ack     { seq }            the record is durable on the replica
+//! ```
+//!
+//! `seq` is assigned under the per-connection write lock, so records hit
+//! the stream in sequence order and acks (which the listener sends in
+//! processing order) advance a high-water mark: `acked >= seq` proves
+//! *this* record was applied.
+//!
+//! Failure handling is crash-only: a send failure is retried once on a
+//! fresh connection (transient drop), after which the peer is declared
+//! dead and removed from the sender's ring — the next successor (or, with
+//! no live peer left, local-only operation) takes over.  A dead peer that
+//! restarts is re-admitted with [`Replicator::revive`].
+
+use crate::error::NetAuthError;
+use crate::framing::{FrameReader, FrameWriter};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gp_passwords::wal::WalEntry;
+use gp_passwords::{HashRing, ShardedPasswordStore};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked replication I/O loops wake to poll the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+const TAG_HELLO: u8 = 0x41;
+const TAG_HELLO_OK: u8 = 0x42;
+const TAG_RECORD: u8 = 0x43;
+const TAG_ACK: u8 = 0x44;
+
+/// Maximum node-ID length accepted in a handshake.
+const MAX_NODE_ID_LEN: usize = 256;
+
+/// Messages exchanged on a replication connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaMessage {
+    /// The sender introduces itself (first frame on every connection).
+    Hello {
+        /// Sending node's ID.
+        node_id: String,
+    },
+    /// The listener's handshake reply.
+    HelloOk {
+        /// Listening node's ID.
+        node_id: String,
+    },
+    /// One WAL entry to apply.
+    Record {
+        /// Connection-scoped sequence number (monotone per sender).
+        seq: u64,
+        /// [`WalEntry::to_payload`] bytes — bit-identical to the bytes the
+        /// primary appended to its own WAL.
+        payload: Vec<u8>,
+    },
+    /// The record with this sequence number is durable on the replica.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+}
+
+fn malformed(reason: &str) -> NetAuthError {
+    NetAuthError::Malformed {
+        reason: reason.to_string(),
+    }
+}
+
+fn put_node_id(buf: &mut BytesMut, id: &str) {
+    buf.put_u16(id.len() as u16);
+    buf.put_slice(id.as_bytes());
+}
+
+fn get_node_id(buf: &mut Bytes) -> Result<String, NetAuthError> {
+    if buf.remaining() < 2 {
+        return Err(malformed("truncated node id length"));
+    }
+    let len = buf.get_u16() as usize;
+    if len > MAX_NODE_ID_LEN {
+        return Err(malformed("node id too long"));
+    }
+    if buf.remaining() < len {
+        return Err(malformed("truncated node id"));
+    }
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| malformed("invalid utf-8 in node id"))
+}
+
+impl ReplicaMessage {
+    /// Encode to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            ReplicaMessage::Hello { node_id } => {
+                buf.put_u8(TAG_HELLO);
+                put_node_id(&mut buf, node_id);
+            }
+            ReplicaMessage::HelloOk { node_id } => {
+                buf.put_u8(TAG_HELLO_OK);
+                put_node_id(&mut buf, node_id);
+            }
+            ReplicaMessage::Record { seq, payload } => {
+                buf.put_u8(TAG_RECORD);
+                buf.put_u64(*seq);
+                buf.put_u32(payload.len() as u32);
+                buf.put_slice(payload);
+            }
+            ReplicaMessage::Ack { seq } => {
+                buf.put_u8(TAG_ACK);
+                buf.put_u64(*seq);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from bytes.
+    pub fn decode(mut buf: Bytes) -> Result<Self, NetAuthError> {
+        if buf.is_empty() {
+            return Err(malformed("empty replication message"));
+        }
+        let tag = buf.get_u8();
+        let msg = match tag {
+            TAG_HELLO => ReplicaMessage::Hello {
+                node_id: get_node_id(&mut buf)?,
+            },
+            TAG_HELLO_OK => ReplicaMessage::HelloOk {
+                node_id: get_node_id(&mut buf)?,
+            },
+            TAG_RECORD => {
+                if buf.remaining() < 12 {
+                    return Err(malformed("truncated record header"));
+                }
+                let seq = buf.get_u64();
+                let len = buf.get_u32() as usize;
+                if buf.remaining() < len {
+                    return Err(malformed("truncated record payload"));
+                }
+                let payload = buf.copy_to_bytes(len).to_vec();
+                ReplicaMessage::Record { seq, payload }
+            }
+            TAG_ACK => {
+                if buf.remaining() < 8 {
+                    return Err(malformed("truncated ack"));
+                }
+                ReplicaMessage::Ack { seq: buf.get_u64() }
+            }
+            other => return Err(malformed(&format!("unknown replication tag {other:#04x}"))),
+        };
+        if buf.has_remaining() {
+            return Err(malformed("trailing bytes after replication message"));
+        }
+        Ok(msg)
+    }
+}
+
+/// When an enrollment is acknowledged to the client relative to
+/// replication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Wait for the backup's `Ack` before releasing `EnrollOk` — an acked
+    /// enrollment is durable on two nodes and survives a primary kill.
+    Sync,
+    /// Release `EnrollOk` after the local WAL append; the record streams
+    /// to the backup in the background.  Faster, but an enrollment acked
+    /// in the window before the backup applies it is lost if the primary
+    /// dies.
+    Async,
+}
+
+/// Something a server can hand each locally-durable enrollment to for
+/// replication before acknowledging the client.
+pub trait ReplicationSink: Send + Sync + std::fmt::Debug {
+    /// Replicate `entry`; in synchronous mode, returns only once a backup
+    /// has acknowledged durability (or no live backup exists).
+    fn replicate(&self, entry: &WalEntry) -> Result<(), NetAuthError>;
+}
+
+// ---------------------------------------------------------------------------
+// Listener (replica side)
+// ---------------------------------------------------------------------------
+
+/// Handle to a running replication listener.
+///
+/// The listener accepts connections from peer primaries and applies every
+/// [`ReplicaMessage::Record`] to the node's own durable store before
+/// acking.  Dropping the handle shuts the listener down.
+#[derive(Debug)]
+pub struct ReplicationHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_join: Option<std::thread::JoinHandle<()>>,
+    applied: Arc<AtomicU64>,
+}
+
+impl ReplicationHandle {
+    /// Address peers should stream records to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of records applied to the local store so far.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and applying.  Connection threads notice within one
+    /// poll tick; records already applied stay durable (crash-only — there
+    /// is no other stop path for the fault harness to diverge from).
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(join) = self.accept_join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ReplicationHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn a replication listener on an ephemeral loopback port, applying
+/// records to `store`.
+pub fn spawn_replication_listener(
+    node_id: &str,
+    store: Arc<ShardedPasswordStore>,
+) -> Result<ReplicationHandle, NetAuthError> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let applied = Arc::new(AtomicU64::new(0));
+    let node_id = node_id.to_string();
+
+    let accept_join = {
+        let shutdown = Arc::clone(&shutdown);
+        let applied = Arc::clone(&applied);
+        std::thread::Builder::new()
+            .name(format!("repl-accept-{node_id}"))
+            .spawn(move || {
+                let mut conn_joins = Vec::new();
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let store = Arc::clone(&store);
+                            let shutdown = Arc::clone(&shutdown);
+                            let applied = Arc::clone(&applied);
+                            let node_id = node_id.clone();
+                            if let Ok(join) = std::thread::Builder::new()
+                                .name(format!("repl-conn-{node_id}"))
+                                .spawn(move || {
+                                    serve_replica_conn(
+                                        stream, &node_id, &store, &shutdown, &applied,
+                                    )
+                                })
+                            {
+                                conn_joins.push(join);
+                            }
+                        }
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) =>
+                        {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for join in conn_joins {
+                    let _ = join.join();
+                }
+            })?
+    };
+
+    Ok(ReplicationHandle {
+        addr,
+        shutdown,
+        accept_join: Some(accept_join),
+        applied,
+    })
+}
+
+/// One inbound replication connection: handshake, then apply-and-ack
+/// records until the peer hangs up or shutdown is requested.
+fn serve_replica_conn(
+    stream: TcpStream,
+    node_id: &str,
+    store: &ShardedPasswordStore,
+    shutdown: &AtomicBool,
+    applied: &AtomicU64,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = FrameReader::new(BufReader::new(read_half));
+    let mut writer = FrameWriter::new(BufWriter::new(stream));
+
+    let mut greeted = false;
+    while !shutdown.load(Ordering::SeqCst) {
+        let frame = match reader.read_frame() {
+            Ok(frame) => frame,
+            Err(NetAuthError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        let message = match ReplicaMessage::decode(frame) {
+            Ok(message) => message,
+            Err(_) => return,
+        };
+        match message {
+            ReplicaMessage::Hello { .. } if !greeted => {
+                greeted = true;
+                let reply = ReplicaMessage::HelloOk {
+                    node_id: node_id.to_string(),
+                };
+                if writer.write_frame(&reply.encode()).is_err() {
+                    return;
+                }
+            }
+            ReplicaMessage::Record { seq, payload } if greeted => {
+                let Ok(entry) = WalEntry::from_payload(&payload) else {
+                    return;
+                };
+                // Durable (WAL-first) apply *before* the ack leaves: an
+                // acked record survives this node crashing right after.
+                if store.apply_replicated(&entry).is_err() {
+                    return;
+                }
+                applied.fetch_add(1, Ordering::Relaxed);
+                if writer
+                    .write_frame(&ReplicaMessage::Ack { seq }.encode())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            // Hello out of order, HelloOk/Ack from a sender, or a record
+            // before the handshake: protocol violation, drop the conn.
+            _ => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replicator (primary side)
+// ---------------------------------------------------------------------------
+
+/// Tuning for a [`Replicator`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicatorConfig {
+    /// Sync (ack-gated) or async (fire-and-forget) replication.
+    pub mode: ReplicationMode,
+    /// How long a synchronous send waits for the backup's ack before
+    /// treating the attempt as failed.
+    pub ack_timeout: Duration,
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl Default for ReplicatorConfig {
+    fn default() -> Self {
+        Self {
+            mode: ReplicationMode::Sync,
+            ack_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Ack high-water mark for one outbound connection.
+#[derive(Debug, Default)]
+struct AckState {
+    highest: StdMutex<u64>,
+    advanced: Condvar,
+    broken: AtomicBool,
+}
+
+impl AckState {
+    fn record(&self, seq: u64) {
+        let mut highest = self.highest.lock().unwrap_or_else(|e| e.into_inner());
+        if seq > *highest {
+            *highest = seq;
+        }
+        drop(highest);
+        self.advanced.notify_all();
+    }
+
+    fn mark_broken(&self) {
+        self.broken.store(true, Ordering::SeqCst);
+        self.advanced.notify_all();
+    }
+
+    /// Wait until the high-water mark reaches `seq`, the connection
+    /// breaks, or `timeout` elapses.
+    fn wait_for(&self, seq: u64, timeout: Duration) -> Result<(), NetAuthError> {
+        let deadline = Instant::now() + timeout;
+        let mut highest = self.highest.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if *highest >= seq {
+                return Ok(());
+            }
+            if self.broken.load(Ordering::SeqCst) {
+                return Err(NetAuthError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "replication connection broke before the ack",
+                )));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetAuthError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "timed out waiting for replication ack",
+                )));
+            }
+            let (guard, _) = self
+                .advanced
+                .wait_timeout(highest, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            highest = guard;
+        }
+    }
+}
+
+/// One live outbound connection to a peer's replication listener.
+#[derive(Debug)]
+struct PeerConn {
+    /// Kept for [`TcpStream::shutdown`] on teardown (the writer owns a
+    /// buffered clone of the same socket).
+    stream: TcpStream,
+    writer: FrameWriter<BufWriter<TcpStream>>,
+    acks: Arc<AckState>,
+}
+
+impl Drop for PeerConn {
+    fn drop(&mut self) {
+        // Wake the detached ack-reader thread so it exits promptly.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+#[derive(Debug)]
+struct PeerState {
+    /// Behind a lock so a restarted node's fresh ephemeral port can be
+    /// installed ([`Replicator::update_peer`]) without rebuilding the map.
+    addr: Mutex<SocketAddr>,
+    conn: Mutex<Option<PeerConn>>,
+}
+
+/// The primary-side replication sender.
+///
+/// Owns a [`HashRing`] over the full cluster membership (itself included)
+/// and, for each entry, streams the WAL payload to the entry's backup —
+/// the first ring successor of the account that is not this node.  Peers
+/// that fail a send twice are declared dead and leave the ring, shifting
+/// subsequent traffic to the next successor.
+#[derive(Debug)]
+pub struct Replicator {
+    node_id: String,
+    config: ReplicatorConfig,
+    ring: Mutex<HashRing>,
+    peers: BTreeMap<String, PeerState>,
+    next_seq: AtomicU64,
+}
+
+impl Replicator {
+    /// A replicator for node `node_id` with the given peer replication
+    /// addresses (`node_id` itself must not be in `peers`).
+    pub fn new(
+        node_id: &str,
+        peers: BTreeMap<String, SocketAddr>,
+        config: ReplicatorConfig,
+    ) -> Self {
+        let mut ring = HashRing::with_nodes(peers.keys());
+        ring.join(node_id);
+        Self {
+            node_id: node_id.to_string(),
+            config,
+            ring: Mutex::new(ring),
+            peers: peers
+                .into_iter()
+                .map(|(id, addr)| {
+                    (
+                        id,
+                        PeerState {
+                            addr: Mutex::new(addr),
+                            conn: Mutex::new(None),
+                        },
+                    )
+                })
+                .collect(),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// This node's ID.
+    pub fn node_id(&self) -> &str {
+        &self.node_id
+    }
+
+    /// The configured replication mode.
+    pub fn mode(&self) -> ReplicationMode {
+        self.config.mode
+    }
+
+    /// Whether `node` is currently considered live.
+    pub fn is_live(&self, node: &str) -> bool {
+        self.ring.lock().contains(node)
+    }
+
+    /// Re-admit a previously dead peer (e.g. after an operator restarts
+    /// it); the ring is deterministic, so its old key ranges come back.
+    pub fn revive(&self, node: &str) -> bool {
+        self.peers.contains_key(node) && self.ring.lock().join(node)
+    }
+
+    /// Point `node` at a new replication address (a restarted node binds a
+    /// fresh ephemeral port) and re-admit it to the ring.  Returns whether
+    /// the node was known.
+    pub fn update_peer(&self, node: &str, addr: SocketAddr) -> bool {
+        let Some(peer) = self.peers.get(node) else {
+            return false;
+        };
+        *peer.addr.lock() = addr;
+        *peer.conn.lock() = None;
+        self.ring.lock().join(node);
+        true
+    }
+
+    /// Drop every open outbound connection (fault-injection hook: the next
+    /// send sees a cold connection, exactly as after a network blip).
+    pub fn drop_connections(&self) {
+        for peer in self.peers.values() {
+            *peer.conn.lock() = None;
+        }
+    }
+
+    /// Connect to `peer` and start its detached ack-reader thread.
+    fn connect(&self, peer: &PeerState) -> Result<PeerConn, NetAuthError> {
+        let addr = *peer.addr.lock();
+        let stream = TcpStream::connect_timeout(&addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        read_half.set_read_timeout(Some(SHUTDOWN_POLL))?;
+        let acks = Arc::new(AckState::default());
+        let write_half = stream.try_clone()?;
+        let mut conn = PeerConn {
+            stream,
+            writer: FrameWriter::new(BufWriter::new(write_half)),
+            acks: Arc::clone(&acks),
+        };
+        let hello = ReplicaMessage::Hello {
+            node_id: self.node_id.clone(),
+        };
+        conn.writer.write_frame(&hello.encode())?;
+        // The ack reader owns the read half until the socket dies; it is
+        // detached — PeerConn::drop shuts the socket down to unpark it.
+        let _ = std::thread::Builder::new()
+            .name(format!("repl-acks-{}", self.node_id))
+            .spawn(move || {
+                let mut reader = FrameReader::new(BufReader::new(read_half));
+                loop {
+                    match reader.read_frame() {
+                        Ok(frame) => match ReplicaMessage::decode(frame) {
+                            Ok(ReplicaMessage::Ack { seq }) => acks.record(seq),
+                            Ok(ReplicaMessage::HelloOk { .. }) => {}
+                            _ => {
+                                acks.mark_broken();
+                                return;
+                            }
+                        },
+                        Err(NetAuthError::Io(e))
+                            if matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => {
+                            acks.mark_broken();
+                            return;
+                        }
+                    }
+                }
+            });
+        Ok(conn)
+    }
+
+    /// One send attempt: write the record on `peer`'s connection (opening
+    /// it if needed) and, in sync mode, wait for the ack.
+    fn send_once(&self, peer: &PeerState, payload: &[u8]) -> Result<(), NetAuthError> {
+        let (seq, acks) = {
+            let mut guard = peer.conn.lock();
+            if guard.is_none() {
+                *guard = Some(self.connect(peer)?);
+            }
+            let conn = guard.as_mut().expect("connection just ensured");
+            // Seq assigned under the write lock: stream order == seq
+            // order, so `acked >= seq` proves this record was applied.
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let message = ReplicaMessage::Record {
+                seq,
+                payload: payload.to_vec(),
+            };
+            if let Err(e) = conn.writer.write_frame(&message.encode()) {
+                *guard = None;
+                return Err(e);
+            }
+            (seq, Arc::clone(&conn.acks))
+        };
+        match self.config.mode {
+            ReplicationMode::Async => Ok(()),
+            ReplicationMode::Sync => {
+                let waited = acks.wait_for(seq, self.config.ack_timeout);
+                if waited.is_err() {
+                    // The connection is suspect; force a fresh one next time.
+                    *peer.conn.lock() = None;
+                }
+                waited
+            }
+        }
+    }
+}
+
+impl ReplicationSink for Replicator {
+    /// Stream `entry` to its backup, walking the successor list on
+    /// failure.  With no live peer left the entry is accepted locally
+    /// (single-survivor operation) — the alternative is refusing all
+    /// writes, which the crash-only design rejects.
+    fn replicate(&self, entry: &WalEntry) -> Result<(), NetAuthError> {
+        let payload = entry.to_payload();
+        let key = entry.username();
+        loop {
+            let target = {
+                let ring = self.ring.lock();
+                let n = ring.node_count();
+                ring.successors(key, n)
+                    .into_iter()
+                    .find(|node| *node != self.node_id)
+                    .map(String::from)
+            };
+            let Some(target) = target else {
+                return Ok(());
+            };
+            let peer = self
+                .peers
+                .get(&target)
+                .expect("every ring member except self has a peer entry");
+            if self.send_once(peer, &payload).is_ok() {
+                return Ok(());
+            }
+            // Retry once on a fresh connection: a listener restart or a
+            // dropped socket looks identical to a dead peer on the first
+            // failed write.
+            *peer.conn.lock() = None;
+            if self.send_once(peer, &payload).is_ok() {
+                return Ok(());
+            }
+            // Two straight failures: declare the peer dead and let the
+            // ring promote the next successor for all its keys.
+            self.ring.lock().leave(&target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_geometry::Point;
+    use gp_passwords::prelude::*;
+    use gp_passwords::DurabilityOptions;
+
+    fn messages() -> Vec<ReplicaMessage> {
+        vec![
+            ReplicaMessage::Hello {
+                node_id: "node-0".into(),
+            },
+            ReplicaMessage::HelloOk {
+                node_id: "node-1".into(),
+            },
+            ReplicaMessage::Record {
+                seq: 42,
+                payload: vec![1, 2, 3, 4],
+            },
+            ReplicaMessage::Record {
+                seq: u64::MAX,
+                payload: vec![],
+            },
+            ReplicaMessage::Ack { seq: 7 },
+        ]
+    }
+
+    #[test]
+    fn replica_messages_round_trip() {
+        for m in messages() {
+            let decoded = ReplicaMessage::decode(m.encode()).unwrap();
+            assert_eq!(decoded, m);
+        }
+    }
+
+    #[test]
+    fn truncated_and_unknown_replica_messages_rejected() {
+        assert!(ReplicaMessage::decode(Bytes::new()).is_err());
+        assert!(ReplicaMessage::decode(Bytes::from_static(&[0x7f])).is_err());
+        for m in messages() {
+            let full = m.encode();
+            for len in 0..full.len() {
+                assert!(
+                    ReplicaMessage::decode(full.slice(0..len)).is_err(),
+                    "prefix of {len} bytes of {m:?}"
+                );
+            }
+            let mut trailing = full.to_vec();
+            trailing.push(0xff);
+            assert!(ReplicaMessage::decode(Bytes::from(trailing)).is_err());
+        }
+    }
+
+    fn system() -> GraphicalPasswordSystem {
+        GraphicalPasswordSystem::new(
+            PasswordPolicy::study_default(),
+            DiscretizationConfig::centered(6),
+            2,
+        )
+    }
+
+    fn clicks(seed: u32) -> Vec<Point> {
+        (0..5)
+            .map(|i| {
+                let x = 30.0 + f64::from(seed % 50) + 70.0 * f64::from(i);
+                let y = 20.0 + f64::from(seed / 50 % 40) + 55.0 * f64::from(i);
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gp-replication-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// End-to-end over loopback: a replicator streams enrollments to a
+    /// listener backed by a durable store; after a simulated backup crash
+    /// (listener handle dropped) the store recovers every acked record.
+    #[test]
+    fn sync_replication_is_durable_on_the_replica() {
+        let sys = system();
+        let dir = temp_dir("sync");
+        let store = Arc::new(
+            ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap(),
+        );
+        let mut listener = spawn_replication_listener("backup", Arc::clone(&store)).unwrap();
+
+        let peers = BTreeMap::from([("backup".to_string(), listener.addr())]);
+        let replicator = Replicator::new("primary", peers, ReplicatorConfig::default());
+        for i in 0..8u32 {
+            let record = sys.enroll(&format!("user{i}"), &clicks(i)).unwrap();
+            replicator.replicate(&WalEntry::Enroll(record)).unwrap();
+        }
+        assert_eq!(listener.applied(), 8);
+        // Redelivery is harmless (insert-or-replace).
+        let record = sys.enroll("user0", &clicks(0)).unwrap();
+        replicator.replicate(&WalEntry::Enroll(record)).unwrap();
+        assert_eq!(store.len(), 8);
+
+        listener.shutdown();
+        drop(store);
+        let recovered =
+            ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 8);
+        for i in 0..8u32 {
+            assert!(recovered
+                .verify(&sys, &format!("user{i}"), &clicks(i))
+                .unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A dead backup (nothing listening) must not wedge the primary: the
+    /// peer is declared dead after the retry and the entry is accepted
+    /// locally (no other member on the ring).
+    #[test]
+    fn dead_backup_is_evicted_and_the_primary_keeps_serving() {
+        let sys = system();
+        // Grab a port that is then closed again: connection refused.
+        let dead_addr = TcpListener::bind(("127.0.0.1", 0))
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let peers = BTreeMap::from([("backup".to_string(), dead_addr)]);
+        let replicator = Replicator::new("primary", peers, ReplicatorConfig::default());
+        assert!(replicator.is_live("backup"));
+        let record = sys.enroll("alice", &clicks(1)).unwrap();
+        replicator.replicate(&WalEntry::Enroll(record)).unwrap();
+        assert!(!replicator.is_live("backup"), "two failures evict the peer");
+        // Revive readmits it (and the next send would reconnect).
+        assert!(replicator.revive("backup"));
+        assert!(replicator.is_live("backup"));
+        assert!(!replicator.revive("unknown"), "unknown nodes stay out");
+    }
+
+    /// Dropping the outbound connection mid-stream is transparent: the
+    /// next replicate() reconnects and the record still lands.
+    #[test]
+    fn connection_drop_is_retried_transparently() {
+        let sys = system();
+        let store = Arc::new(ShardedPasswordStore::new(2));
+        let mut listener = spawn_replication_listener("backup", Arc::clone(&store)).unwrap();
+        let peers = BTreeMap::from([("backup".to_string(), listener.addr())]);
+        let replicator = Replicator::new("primary", peers, ReplicatorConfig::default());
+
+        let record = sys.enroll("alice", &clicks(1)).unwrap();
+        replicator.replicate(&WalEntry::Enroll(record)).unwrap();
+        replicator.drop_connections();
+        let record = sys.enroll("bob", &clicks(2)).unwrap();
+        replicator.replicate(&WalEntry::Enroll(record)).unwrap();
+        assert!(replicator.is_live("backup"), "a drop is not a death");
+        assert_eq!(store.len(), 2);
+        listener.shutdown();
+    }
+}

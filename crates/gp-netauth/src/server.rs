@@ -33,12 +33,13 @@ use crate::error::NetAuthError;
 use crate::framing::{FrameReader, FrameWriter};
 use crate::lockout::LockoutTracker;
 use crate::protocol::{ClientMessage, LoginDecision, ServerMessage};
+use crate::replication::ReplicationSink;
 use bytes::Bytes;
 use gp_crypto::Digest;
 use gp_geometry::{ImageDims, Point};
 use gp_passwords::{
     DiscretizationConfig, DurabilityOptions, FsyncPolicy, GraphicalPasswordSystem, PasswordPolicy,
-    ShardStats, ShardedPasswordStore, StoredPassword, VerifyScratch,
+    ShardStats, ShardedPasswordStore, StoredPassword, VerifyScratch, WalEntry,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -341,6 +342,9 @@ pub struct AuthServer {
     store: Arc<ShardedPasswordStore>,
     lockout: Arc<LockoutTracker>,
     verifier: Arc<BatchVerifier>,
+    /// When set, every successful enrollment is streamed here before the
+    /// `EnrollOk` is released (see [`crate::replication`]).
+    replication: Option<Arc<dyn ReplicationSink>>,
 }
 
 impl AuthServer {
@@ -379,7 +383,17 @@ impl AuthServer {
             store,
             lockout,
             verifier,
+            replication: None,
         })
+    }
+
+    /// Attach a replication sink: from now on an enrollment is only
+    /// acknowledged after `sink.replicate(..)` returns (which, for a
+    /// synchronous [`crate::replication::Replicator`], means the record
+    /// is durable on the account's backup node too).
+    pub fn with_replication(mut self, sink: Arc<dyn ReplicationSink>) -> Self {
+        self.replication = Some(sink);
+        self
     }
 
     /// The server configuration.
@@ -613,8 +627,24 @@ impl AuthServer {
                 Planned::EnrollHashed { record, job_index } => {
                     let record =
                         GraphicalPasswordSystem::finish_enroll(*record, digests[job_index]);
+                    // Clone taken only when a sink is attached: the local
+                    // insert consumes the record, the sink streams the copy.
+                    let entry = self
+                        .replication
+                        .as_ref()
+                        .map(|_| WalEntry::Enroll(record.clone()));
                     match self.store.insert_new(record) {
-                        Ok(()) => ServerMessage::EnrollOk,
+                        Ok(()) => match (&self.replication, entry) {
+                            (Some(sink), Some(entry)) => match sink.replicate(&entry) {
+                                // Ack gated on replication: EnrollOk means
+                                // the record is durable per the sink's mode.
+                                Ok(()) => ServerMessage::EnrollOk,
+                                Err(e) => ServerMessage::Error {
+                                    reason: format!("replication failed: {e}"),
+                                },
+                            },
+                            _ => ServerMessage::EnrollOk,
+                        },
                         Err(e) => ServerMessage::Error {
                             reason: e.to_string(),
                         },
@@ -1011,8 +1041,11 @@ impl ServerHandle {
             let _ = join.join();
         }
         if self.graceful {
-            // Workers are parked: no writer races this final compaction.
-            // In-memory stores no-op.
+            // Workers are parked: no writer races the final flush. Force
+            // any unsynced Batch(n) WAL tail to stable storage *first*, so
+            // the last sub-batch survives even if the compaction below
+            // fails partway; then compact. In-memory stores no-op both.
+            let _ = self.server.store.sync_wals();
             let _ = self.server.store.snapshot_all();
         }
     }

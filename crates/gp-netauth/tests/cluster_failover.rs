@@ -1,0 +1,292 @@
+//! Kill-under-load fault harness for the replicated cluster.
+//!
+//! Each scenario spawns a real N-node loopback cluster (per-node durable
+//! stores, WAL-streaming sync replication, ring routing) and injects a
+//! fault while authload-style enrollment traffic is running:
+//!
+//! * **kill** — [`Cluster::kill`] aborts a primary mid-burst (no flush,
+//!   no farewell: `ServerHandle::abort` plus a dead replication
+//!   listener).  The invariant under test is the headline one: **no
+//!   enrollment that was acknowledged to a client is ever lost** — after
+//!   the kill every acked account still logs in on the survivors.
+//! * **connection drops** — every replicator's outbound connections are
+//!   torn down mid-stream; the next record must reconnect transparently.
+//! * **partition** — a node's replication listener is severed while its
+//!   auth listener stays up; peers evict it and re-route replicas, and a
+//!   subsequent primary kill still loses nothing.
+//! * **restart** — the operator runbook: a killed node crash-recovers
+//!   from its own WAL + snapshots, rejoins every survivor's ring, and
+//!   the cluster serves all accounts, including those enrolled while it
+//!   was dead.
+//!
+//! Set `GP_CLUSTER_LOG_DIR` to keep per-node stores and the cluster
+//! event log under that directory for post-mortem (CI uploads it as an
+//! artifact when a scenario fails).
+
+use gp_geometry::Point;
+use gp_netauth::cluster::{Cluster, ClusterClient};
+use gp_netauth::replication::ReplicatorConfig;
+use gp_netauth::server::ServerConfig;
+use gp_netauth::LoginDecision;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn fnv(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic per-account clicks, derived from the username so any
+/// thread (or a later verification pass) can recompute them.
+fn clicks_for(name: &str) -> Vec<Point> {
+    let seed = fnv(name);
+    (0..5)
+        .map(|i| {
+            let x = 40.0 + ((seed >> (i * 7)) % 360) as f64;
+            let y = 30.0 + ((seed >> (i * 9 + 3)) % 260) as f64;
+            Point::new(x, y)
+        })
+        .collect()
+}
+
+/// Scenario root: under `GP_CLUSTER_LOG_DIR` when set (so CI can pick the
+/// node stores + event log up as artifacts on failure), else the temp dir.
+fn data_root(tag: &str) -> PathBuf {
+    let base = std::env::var_os("GP_CLUSTER_LOG_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let dir = base.join(format!("gp-cluster-failover-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cluster_of(nodes: usize, tag: &str) -> (Cluster, PathBuf) {
+    let root = data_root(tag);
+    let cluster = Cluster::spawn(
+        nodes,
+        ServerConfig::fast_for_tests(),
+        ReplicatorConfig::default(),
+        &root,
+    )
+    .expect("spawn cluster");
+    (cluster, root)
+}
+
+/// Names acked so far, shared between enroller threads and the harness.
+type AckLog = Arc<Mutex<Vec<String>>>;
+
+/// Spawn `threads` enrollment workers, each with its own routing client,
+/// pushing every acknowledged username into the shared log until `stop`.
+fn spawn_load(
+    members: &[(String, std::net::SocketAddr)],
+    threads: usize,
+    acked: &AckLog,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..threads)
+        .map(|t| {
+            let members = members.to_vec();
+            let acked = Arc::clone(acked);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut client = ClusterClient::new(&members);
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let name = format!("t{t}-user{i}");
+                    client
+                        .enroll(&name, &clicks_for(&name))
+                        .unwrap_or_else(|e| panic!("enroll {name} must survive faults: {e}"));
+                    // Only names the cluster acknowledged enter the log —
+                    // these are the ones that must never be lost.
+                    acked.lock().unwrap().push(name);
+                    i += 1;
+                }
+            })
+        })
+        .collect()
+}
+
+fn acked_count(acked: &AckLog) -> usize {
+    acked.lock().unwrap().len()
+}
+
+fn wait_for_acks(acked: &AckLog, at_least: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while acked_count(acked) < at_least {
+        assert!(
+            Instant::now() < deadline,
+            "load generator stalled below {at_least} acks"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Log in as every acked account through a fresh routing client over the
+/// current membership; every one must be Accepted.
+fn verify_every_acked_account(cluster: &Cluster, acked: &AckLog) {
+    let mut client = ClusterClient::new(&cluster.members());
+    let names = acked.lock().unwrap().clone();
+    assert!(!names.is_empty(), "the scenario must have acked something");
+    for name in &names {
+        let (decision, _) = client
+            .login(name, &clicks_for(name))
+            .unwrap_or_else(|e| panic!("acked account {name} lost: {e}"));
+        assert_eq!(
+            decision,
+            LoginDecision::Accepted,
+            "acked account {name} must log in"
+        );
+    }
+}
+
+/// The acceptance scenario: kill a primary mid-burst under concurrent
+/// multi-client load; the backup promotes (ring re-resolution on both the
+/// clients and the surviving replicators) and zero acked data is lost.
+#[test]
+fn killing_a_primary_under_load_loses_no_acked_enrollment() {
+    let (mut cluster, root) = cluster_of(3, "kill");
+    let members = cluster.members();
+    let acked: AckLog = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = spawn_load(&members, 3, &acked, &stop);
+
+    // Let a healthy prefix land, then pull the trigger mid-burst.
+    wait_for_acks(&acked, 30);
+    let before_kill = acked_count(&acked);
+    cluster.kill(0);
+    cluster.log_event(&format!("harness: killed node-0 after {before_kill} acks"));
+
+    // The survivors must keep acking enrollments after the kill.
+    wait_for_acks(&acked, before_kill + 30);
+    stop.store(true, Ordering::Relaxed);
+    for join in load {
+        join.join().expect("enroller must survive the kill");
+    }
+
+    assert_eq!(cluster.members().len(), 2, "one node down, two serving");
+    verify_every_acked_account(&cluster, &acked);
+    cluster.log_event(&format!(
+        "harness: verified all {} acked accounts after the kill",
+        acked_count(&acked)
+    ));
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Outbound replication connections are dropped on every node mid-burst
+/// (a network blip, not a death): the next record reconnects
+/// transparently, no node is evicted, and nothing acked is lost.
+#[test]
+fn replication_connection_drops_are_survived_without_evictions() {
+    let (cluster, root) = cluster_of(3, "drops");
+    let members = cluster.members();
+    let acked: AckLog = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = spawn_load(&members, 2, &acked, &stop);
+
+    for round in 0..3 {
+        wait_for_acks(&acked, (round + 1) * 15);
+        cluster.log_event(&format!(
+            "harness: dropping all replication conns ({round})"
+        ));
+        for i in 0..cluster.len() {
+            if let Some(replicator) = cluster.replicator(i) {
+                replicator.drop_connections();
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for join in load {
+        join.join().expect("enroller must survive connection drops");
+    }
+
+    // A blip is not a death: every node still considers every peer live.
+    for i in 0..cluster.len() {
+        let replicator = cluster.replicator(i).expect("all nodes alive");
+        for j in 0..cluster.len() {
+            assert!(
+                replicator.is_live(cluster.node_id(j)),
+                "node-{i} must not have evicted node-{j} over a reconnectable drop"
+            );
+        }
+    }
+    verify_every_acked_account(&cluster, &acked);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Asymmetric partition: node-1's replication listener is severed while
+/// its auth listener keeps serving.  Peers evict it and re-route replicas
+/// to the next successor, so even a follow-up kill of node-0 loses
+/// nothing: every acked account is durable on two *reachable* stores.
+#[test]
+fn severed_replication_reroutes_backups_so_a_later_kill_loses_nothing() {
+    let (mut cluster, root) = cluster_of(3, "sever");
+    let members = cluster.members();
+    let acked: AckLog = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = spawn_load(&members, 2, &acked, &stop);
+
+    wait_for_acks(&acked, 20);
+    cluster.sever_replication(1);
+    // Keep enrolling through the partition, then kill a primary.
+    let at_sever = acked_count(&acked);
+    wait_for_acks(&acked, at_sever + 20);
+    cluster.kill(0);
+    let at_kill = acked_count(&acked);
+    wait_for_acks(&acked, at_kill + 20);
+    stop.store(true, Ordering::Relaxed);
+    for join in load {
+        join.join().expect("enroller must survive sever + kill");
+    }
+
+    verify_every_acked_account(&cluster, &acked);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// The operator runbook, end to end: kill a node under load, let the
+/// cluster absorb the failover, then restart the node from its own
+/// durable directory.  It rejoins every survivor's ring and the whole
+/// account population — including accounts enrolled while it was dead —
+/// keeps logging in.
+#[test]
+fn a_restarted_node_rejoins_and_every_account_still_logs_in() {
+    let (mut cluster, root) = cluster_of(3, "restart");
+    let members = cluster.members();
+    let acked: AckLog = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = spawn_load(&members, 2, &acked, &stop);
+
+    wait_for_acks(&acked, 20);
+    cluster.kill(2);
+    let at_kill = acked_count(&acked);
+    // Traffic enrolled while node-2 is dead lands entirely on the others.
+    wait_for_acks(&acked, at_kill + 20);
+    cluster.restart(2).expect("restart from own durable dir");
+    let at_restart = acked_count(&acked);
+    // And traffic after the restart may pick node-2 as primary again.
+    wait_for_acks(&acked, at_restart + 20);
+    stop.store(true, Ordering::Relaxed);
+    for join in load {
+        join.join().expect("enroller must survive kill + restart");
+    }
+
+    assert_eq!(cluster.members().len(), 3, "full strength after restart");
+    for i in 0..cluster.len() {
+        let replicator = cluster.replicator(i).expect("all nodes alive");
+        assert!(
+            replicator.is_live(cluster.node_id(2)) || i == 2,
+            "node-{i} must have re-admitted node-2"
+        );
+    }
+    verify_every_acked_account(&cluster, &acked);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -40,7 +40,11 @@
 //!   atomic snapshot publication ([`wal::atomic_write`]).  A store opened
 //!   with [`shard::ShardedPasswordStore::open_durable`] logs every
 //!   mutation before acknowledging it and recovers crash-only: newest
-//!   intact snapshots + replayed WAL tails.
+//!   intact snapshots + replayed WAL tails;
+//! * [`ring::HashRing`] — consistent-hash placement of accounts onto a
+//!   ring of node IDs (virtual points, per-key successor lists), the
+//!   routing and backup-selection substrate for the replicated cluster
+//!   in `gp-netauth`.
 //!
 //! # Quickstart
 //!
@@ -78,6 +82,7 @@
 pub mod config;
 pub mod error;
 pub mod policy;
+pub mod ring;
 pub mod schemes;
 pub mod shard;
 pub mod store;
@@ -88,6 +93,7 @@ pub mod wal;
 pub use config::DiscretizationConfig;
 pub use error::PasswordError;
 pub use policy::PasswordPolicy;
+pub use ring::HashRing;
 pub use shard::{
     shard_index, DurabilityOptions, DurabilityStats, ShardStats, ShardedPasswordStore,
 };

@@ -437,6 +437,39 @@ impl ShardedPasswordStore {
         Ok(())
     }
 
+    /// Durably apply a WAL entry streamed from a replication primary.
+    ///
+    /// The entry is appended to the owning shard's local WAL (flushed per
+    /// the fsync policy) *before* the in-memory apply, under one
+    /// shard-lock acquisition — so when this returns `Ok`, acknowledging
+    /// the replication message gives the primary the same durability
+    /// guarantee a local ack carries.  Inserts apply as insert-or-replace
+    /// (no duplicate check): a primary that retried a send after a
+    /// connection drop may deliver the same record twice, and redelivery
+    /// must be idempotent.
+    pub fn apply_replicated(&self, entry: &WalEntry) -> Result<(), PasswordError> {
+        let index = shard_index(entry.username(), self.shards.len());
+        match entry {
+            WalEntry::Enroll(record) | WalEntry::Update(record) => {
+                let cached = CachedAccount::new(record.clone());
+                let mut accounts = self.shards[index].accounts.write();
+                self.wal_append(index, entry.op(), record)?;
+                accounts.insert(cached.stored.username.clone(), cached);
+            }
+            WalEntry::Remove(username) => {
+                let mut accounts = self.shards[index].accounts.write();
+                if let Some(d) = &self.durability {
+                    d.wals[index]
+                        .lock()
+                        .append_remove(username)
+                        .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))?;
+                }
+                accounts.remove(username);
+            }
+        }
+        Ok(())
+    }
+
     /// In-memory insert/replace with no logging — recovery replay and
     /// snapshot loading only (the data is already on disk).
     fn apply_insert(&self, stored: StoredPassword) {
@@ -1075,6 +1108,38 @@ mod tests {
         let wide =
             ShardedPasswordStore::open_durable(&dir, 5, DurabilityOptions::default()).unwrap();
         assert_eq!(wide.len(), 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn apply_replicated_is_durable_and_idempotent() {
+        use crate::wal::WalEntry;
+        let sys = system();
+        let dir = temp_dir("replicated");
+        {
+            let store =
+                ShardedPasswordStore::open_durable(&dir, 4, DurabilityOptions::default()).unwrap();
+            let record = sys.enroll("alice", &clicks(0.0)).unwrap();
+            store
+                .apply_replicated(&WalEntry::Enroll(record.clone()))
+                .unwrap();
+            // Redelivery (a primary retrying after a dropped connection)
+            // must not fail on the duplicate.
+            store.apply_replicated(&WalEntry::Enroll(record)).unwrap();
+            let bob = sys.enroll("bob", &clicks(5.0)).unwrap();
+            store.apply_replicated(&WalEntry::Update(bob)).unwrap();
+            store
+                .apply_replicated(&WalEntry::Remove("bob".into()))
+                .unwrap();
+            assert_eq!(store.len(), 1);
+            // No graceful save — the ack's durability must come from the
+            // WAL append inside apply_replicated alone.
+        }
+        let recovered =
+            ShardedPasswordStore::open_durable(&dir, 4, DurabilityOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert!(recovered.verify(&sys, "alice", &clicks(0.0)).unwrap());
+        assert!(recovered.get("bob").is_none(), "removal replicated");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

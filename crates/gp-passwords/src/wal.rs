@@ -30,11 +30,15 @@
 //!         | username bytes                   (remove)
 //! ```
 //!
-//! The log has a single appender (the owning shard, under its lock), so
-//! any checksum/length violation can only be the torn tail of the final
-//! append — replay stops there and reports the dropped byte count.  A
-//! record whose checksum *passes* but whose payload does not parse is
-//! real corruption (or a software bug) and is surfaced as an error.
+//! The log has a single appender (the owning shard, under its lock)
+//! writing strictly forward, so a checksum/length violation on the
+//! *final* record can only be the torn tail of a crashed append — replay
+//! stops there and reports the dropped byte count.  A violation with
+//! intact records *after* it cannot be a tear (nothing appends past an
+//! unfinished record): that is mid-file corruption and replay surfaces
+//! it as an error rather than silently truncating the acked suffix.
+//! Likewise a record whose checksum *passes* but whose payload does not
+//! parse is real corruption (or a software bug) and is an error.
 
 use crate::stored::StoredPassword;
 use std::fs::{File, OpenOptions};
@@ -112,6 +116,65 @@ pub enum WalEntry {
     Update(StoredPassword),
     /// Replay as an account removal.
     Remove(String),
+}
+
+impl WalEntry {
+    /// The mutation kind this entry records.
+    pub fn op(&self) -> WalOp {
+        match self {
+            WalEntry::Enroll(_) => WalOp::Enroll,
+            WalEntry::Update(_) => WalOp::Update,
+            WalEntry::Remove(_) => WalOp::Remove,
+        }
+    }
+
+    /// The account the entry mutates.
+    pub fn username(&self) -> &str {
+        match self {
+            WalEntry::Enroll(record) | WalEntry::Update(record) => &record.username,
+            WalEntry::Remove(username) => username,
+        }
+    }
+
+    /// Encode as a WAL record payload (`op:u8` + data) — the exact bytes
+    /// [`ShardWal`] appends, reused verbatim as the replication stream's
+    /// record body so primary and backup log bit-identical records.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let data: String = match self {
+            WalEntry::Enroll(record) | WalEntry::Update(record) => record.to_record(),
+            WalEntry::Remove(username) => username.clone(),
+        };
+        let mut payload = Vec::with_capacity(1 + data.len());
+        payload.push(self.op().tag());
+        payload.extend_from_slice(data.as_bytes());
+        payload
+    }
+
+    /// Decode a WAL record payload (the inverse of
+    /// [`WalEntry::to_payload`]).  Errors are `InvalidData`: an intact
+    /// checksum over an unparseable payload is corruption, not a crash
+    /// artifact.
+    pub fn from_payload(payload: &[u8]) -> std::io::Result<Self> {
+        let invalid = |reason: String| std::io::Error::new(std::io::ErrorKind::InvalidData, reason);
+        let (tag, data) = payload
+            .split_first()
+            .ok_or_else(|| invalid("empty WAL payload".into()))?;
+        let text =
+            std::str::from_utf8(data).map_err(|_| invalid("non-UTF-8 WAL payload".into()))?;
+        match tag {
+            1 | 2 => {
+                let record = StoredPassword::from_record(text)
+                    .map_err(|e| invalid(format!("unparseable WAL record: {e}")))?;
+                Ok(if *tag == 1 {
+                    WalEntry::Enroll(record)
+                } else {
+                    WalEntry::Update(record)
+                })
+            }
+            3 => Ok(WalEntry::Remove(text.to_string())),
+            other => Err(invalid(format!("unknown WAL op tag {other}"))),
+        }
+    }
 }
 
 /// The result of replaying one WAL file.
@@ -208,6 +271,16 @@ impl ShardWal {
     /// Append an account removal and flush per the fsync policy.
     pub fn append_remove(&mut self, username: &str) -> std::io::Result<()> {
         self.append_payload(WalOp::Remove, username.as_bytes())
+    }
+
+    /// Append a decoded entry (replication apply path: the backup logs
+    /// the streamed record into its own WAL before acknowledging it).
+    pub fn append_entry(&mut self, entry: &WalEntry) -> std::io::Result<()> {
+        match entry {
+            WalEntry::Enroll(record) => self.append_record(WalOp::Enroll, record),
+            WalEntry::Update(record) => self.append_record(WalOp::Update, record),
+            WalEntry::Remove(username) => self.append_remove(username),
+        }
     }
 
     fn append_payload(&mut self, op: WalOp, data: &[u8]) -> std::io::Result<()> {
@@ -316,9 +389,10 @@ impl ShardWal {
     /// final record (reported via [`WalReplay::torn_bytes`]).
     ///
     /// A missing file replays as empty (a crash before the first append).
-    /// A present file with a wrong magic, or an intact (checksummed)
-    /// record that fails to parse, is an error — that is corruption, not
-    /// a crash artifact.
+    /// A present file with a wrong magic, an intact (checksummed) record
+    /// that fails to parse, or a checksum failure on an *interior* record
+    /// (intact records follow the damage, so it cannot be a tear) is an
+    /// error — that is corruption, not a crash artifact.
     pub fn replay(path: &Path) -> std::io::Result<WalReplay> {
         let bytes = match std::fs::read(path) {
             Ok(bytes) => bytes,
@@ -358,6 +432,24 @@ impl ShardWal {
             }
             let payload = &rest[RECORD_HEADER..end];
             if fnv1a64(payload) != check {
+                // A failed checksum on the *final* record is the torn
+                // tail of a crashed append.  But the log has a single
+                // appender writing strictly forward, so if intact
+                // records follow the damaged one, the damage happened
+                // *after* the record was written — that is mid-file
+                // corruption (bit rot, a misdirected write), and
+                // stopping here would silently drop every later acked
+                // record.  Surface it instead.
+                let following = intact_records_at(&bytes[at + end..]);
+                if following > 0 {
+                    return Err(corrupt(
+                        path,
+                        &format!(
+                            "mid-file corruption: record at byte {at} fails its checksum \
+                             but {following} intact record(s) follow — not a torn tail"
+                        ),
+                    ));
+                }
                 break; // torn mid-overwrite of the final record
             }
             entries.push(decode_payload(path, payload)?);
@@ -371,21 +463,33 @@ impl ShardWal {
 }
 
 fn decode_payload(path: &Path, payload: &[u8]) -> std::io::Result<WalEntry> {
-    let (tag, data) = payload.split_first().expect("non-empty checked by len > 0");
-    let text = std::str::from_utf8(data).map_err(|_| corrupt(path, "non-UTF-8 WAL payload"))?;
-    match tag {
-        1 | 2 => {
-            let record = StoredPassword::from_record(text)
-                .map_err(|e| corrupt(path, &format!("unparseable WAL record: {e}")))?;
-            Ok(if *tag == 1 {
-                WalEntry::Enroll(record)
-            } else {
-                WalEntry::Update(record)
-            })
+    WalEntry::from_payload(payload).map_err(|e| corrupt(path, &e.to_string()))
+}
+
+/// How many intact (length + checksum) records sit at the *start* of
+/// `bytes`.  Replay's look-ahead: records that parse cleanly after a
+/// damaged one prove the damage is interior corruption, not a torn tail.
+fn intact_records_at(bytes: &[u8]) -> usize {
+    let mut count = 0;
+    let mut at = 0;
+    while bytes.len() - at >= RECORD_HEADER {
+        let rest = &bytes[at..];
+        let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_RECORD_LEN {
+            break;
         }
-        3 => Ok(WalEntry::Remove(text.to_string())),
-        other => Err(corrupt(path, &format!("unknown WAL op tag {other}"))),
+        let end = RECORD_HEADER + len as usize;
+        if rest.len() < end {
+            break;
+        }
+        let check = u64::from_be_bytes(rest[4..RECORD_HEADER].try_into().expect("8 bytes"));
+        if fnv1a64(&rest[RECORD_HEADER..end]) != check {
+            break;
+        }
+        count += 1;
+        at += end;
     }
+    count
 }
 
 fn corrupt(path: &Path, reason: &str) -> std::io::Error {
@@ -597,6 +701,63 @@ mod tests {
         let missing = ShardWal::replay(&dir.join("nope.wal")).unwrap();
         assert!(missing.entries.is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interior_checksum_flip_is_an_error_not_a_silent_truncation() {
+        let dir = temp_dir("interior");
+        let path = dir.join("w.wal");
+        let records: Vec<StoredPassword> = (0..3)
+            .map(|i| sample(&format!("user{i}"), i as f64))
+            .collect();
+        let mut boundaries = vec![WAL_MAGIC.len()];
+        {
+            let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Never).unwrap();
+            for record in &records {
+                wal.append_record(WalOp::Enroll, record).unwrap();
+                boundaries.push(wal.len_bytes() as usize);
+            }
+        }
+        let pristine = std::fs::read(&path).unwrap();
+        // Flip one payload byte in each *interior* record (0 and 1):
+        // intact records follow, so replay must refuse rather than drop
+        // the acked suffix.
+        for interior in 0..2 {
+            let mut bytes = pristine.clone();
+            bytes[boundaries[interior + 1] - 1] ^= 0xff;
+            std::fs::write(&path, &bytes).unwrap();
+            let err = ShardWal::replay(&path).expect_err("interior damage must error");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert!(
+                err.to_string().contains("mid-file corruption"),
+                "distinct report, got: {err}"
+            );
+        }
+        // The same flip on the *final* record stays a torn tail.
+        let mut bytes = pristine.clone();
+        *bytes.last_mut().unwrap() ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert!(replay.torn_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_payload_codec_round_trips_all_ops() {
+        let record = sample("alice", 1.0);
+        for entry in [
+            WalEntry::Enroll(record.clone()),
+            WalEntry::Update(record),
+            WalEntry::Remove("alice".into()),
+        ] {
+            let payload = entry.to_payload();
+            assert_eq!(WalEntry::from_payload(&payload).unwrap(), entry);
+            assert_eq!(entry.username(), "alice");
+            assert_eq!(payload[0], entry.op().tag());
+        }
+        assert!(WalEntry::from_payload(&[]).is_err());
+        assert!(WalEntry::from_payload(&[9, b'x']).is_err(), "unknown tag");
     }
 
     #[test]

@@ -144,6 +144,62 @@ fn stray_snapshot_tmp_files_are_ignored_and_cleaned() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A checksum flip in an *interior* WAL record (intact records follow
+/// it) is real corruption: `open_durable` must refuse with a distinct
+/// mid-file-corruption report, never silently truncate the acked suffix
+/// the way a torn *tail* is (correctly) dropped.
+#[test]
+fn interior_wal_corruption_fails_recovery_distinctly_from_a_torn_tail() {
+    let sys = system();
+    let dir = temp_dir("mid-file");
+    {
+        let store = ShardedPasswordStore::open_durable(
+            &dir,
+            1,
+            DurabilityOptions {
+                fsync: FsyncPolicy::Always,
+                ..DurabilityOptions::default()
+            },
+        )
+        .unwrap();
+        for i in 0..4 {
+            store.enroll(&sys, &format!("user{i}"), &clicks(i)).unwrap();
+        }
+    }
+    let wal = dir.join("shard-000.wal");
+    let pristine = std::fs::read(&wal).unwrap();
+
+    // Flip a payload byte of the *second* record: interior damage with
+    // intact records following it.  Record framing: 8-byte magic, then
+    // per record a 4-byte length + 8-byte checksum + payload.
+    let second_start = {
+        let len0 = u32::from_be_bytes(pristine[8..12].try_into().unwrap()) as usize;
+        8 + 12 + len0
+    };
+    let mut corrupted = pristine.clone();
+    corrupted[second_start + 12] ^= 0xff;
+    std::fs::write(&wal, &corrupted).unwrap();
+    let err = ShardedPasswordStore::open_durable(&dir, 1, DurabilityOptions::default())
+        .expect_err("interior corruption must fail recovery");
+    assert!(
+        err.to_string().contains("mid-file corruption"),
+        "distinct report for interior damage, got: {err}"
+    );
+
+    // The same flip on the final byte is a torn tail: recovery proceeds,
+    // drops only the damaged last record, and counts the tail.
+    let mut torn = pristine;
+    *torn.last_mut().unwrap() ^= 0xff;
+    std::fs::write(&wal, &torn).unwrap();
+    let recovered = ShardedPasswordStore::open_durable(&dir, 1, DurabilityOptions::default())
+        .expect("a torn tail is a crash artifact, not corruption");
+    assert_eq!(recovered.len(), 3);
+    let stats = recovered.durability_stats().unwrap();
+    assert_eq!(stats.torn_tails, 1);
+    assert_eq!(stats.replayed_records, 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// One interleaved mutation against both stores.  `op`: 0 = enroll,
 /// 1 = update (insert/replace), 2 = remove.
 fn apply_op(

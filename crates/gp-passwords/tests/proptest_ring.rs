@@ -1,0 +1,145 @@
+//! Property tests for the consistent-hash ring, in the style of Zave's
+//! Chord-correctness obligations: whatever the membership and whatever
+//! the key, ownership must be total and unique, and membership changes
+//! must move only the key ranges adjacent to the changed node.  The
+//! final property is the one the failover design rests on: removing a
+//! key's owner promotes exactly the key's old second successor — the
+//! node the replication layer streamed the backup copy to.
+
+use gp_passwords::HashRing;
+use proptest::prelude::*;
+
+/// Build a ring from a case's node-name pool (deduplicated by `join`).
+fn ring_of(nodes: &[String]) -> HashRing {
+    HashRing::with_nodes(nodes)
+}
+
+fn distinct(nodes: &[String]) -> Vec<String> {
+    let mut seen = std::collections::BTreeSet::new();
+    nodes
+        .iter()
+        .filter(|n| seen.insert(n.as_str().to_string()))
+        .cloned()
+        .collect()
+}
+
+proptest! {
+    /// Coverage + uniqueness: on a non-empty ring, every key resolves to
+    /// exactly one owner, and that owner is a member.  Two independently
+    /// constructed rings over the same membership (any insertion order)
+    /// agree on every placement — routing needs no coordination.
+    #[test]
+    fn every_key_has_exactly_one_member_owner(
+        nodes in proptest::collection::vec("[a-z]{1,12}", 1..8),
+        keys in proptest::collection::vec("[a-zA-Z0-9_.-]{0,24}", 1..32),
+    ) {
+        let ring = ring_of(&nodes);
+        let mut reversed = nodes.clone();
+        reversed.reverse();
+        let mirror = ring_of(&reversed);
+        for key in &keys {
+            let owner = ring.owner(key);
+            prop_assert!(owner.is_some(), "non-empty ring must own {key:?}");
+            let owner = owner.unwrap();
+            prop_assert!(ring.contains(owner));
+            prop_assert_eq!(mirror.owner(key), Some(owner),
+                "placement must not depend on join order");
+        }
+    }
+
+    /// Successor lists start at the owner, contain no duplicates, and
+    /// enumerate every member when asked for enough nodes.
+    #[test]
+    fn successor_lists_are_distinct_prefixes_of_the_membership(
+        nodes in proptest::collection::vec("[a-z]{1,12}", 1..8),
+        key in "[a-zA-Z0-9_.-]{0,24}",
+        n in 0usize..10,
+    ) {
+        let ring = ring_of(&nodes);
+        let members = distinct(&nodes);
+        let succ = ring.successors(&key, n);
+        prop_assert_eq!(succ.len(), n.min(members.len()));
+        if n > 0 {
+            prop_assert_eq!(succ.first().copied(), ring.owner(&key));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for node in &succ {
+            prop_assert!(ring.contains(node));
+            prop_assert!(seen.insert(node.to_string()), "duplicate {node} in successors");
+        }
+    }
+
+    /// Join moves keys only *to* the joining node: every key either keeps
+    /// its owner or is now owned by the joiner.
+    #[test]
+    fn join_transfers_only_the_moved_range(
+        nodes in proptest::collection::vec("[a-z]{1,12}", 1..7),
+        joiner in "[A-Z]{1,12}",
+        keys in proptest::collection::vec("[a-zA-Z0-9_.-]{0,24}", 1..32),
+    ) {
+        // The joiner's name class ([A-Z]) is disjoint from the pool's
+        // ([a-z]), so it is genuinely new.
+        let mut ring = ring_of(&nodes);
+        let before: Vec<Option<String>> =
+            keys.iter().map(|k| ring.owner(k).map(String::from)).collect();
+        prop_assert!(ring.join(&joiner));
+        for (key, old) in keys.iter().zip(&before) {
+            let new = ring.owner(key).map(String::from);
+            prop_assert!(
+                new == *old || new.as_deref() == Some(joiner.as_str()),
+                "{key:?} moved from {old:?} to {new:?}, not to the joiner"
+            );
+        }
+    }
+
+    /// Leave moves keys only *from* the leaving node: every key owned by
+    /// someone else keeps its owner exactly.
+    #[test]
+    fn leave_transfers_only_the_departed_range(
+        nodes in proptest::collection::vec("[a-z]{1,12}", 2..8),
+        pick in 0usize..8,
+        keys in proptest::collection::vec("[a-zA-Z0-9_.-]{0,24}", 1..32),
+    ) {
+        let members = distinct(&nodes);
+        prop_assume!(members.len() >= 2);
+        let leaver = &members[pick % members.len()];
+        let mut ring = ring_of(&nodes);
+        let before: Vec<String> =
+            keys.iter().map(|k| ring.owner(k).unwrap().to_string()).collect();
+        prop_assert!(ring.leave(leaver));
+        for (key, old) in keys.iter().zip(&before) {
+            if old != leaver {
+                prop_assert_eq!(
+                    ring.owner(key), Some(old.as_str()),
+                    "{:?} must keep its owner when an unrelated node leaves", key
+                );
+            }
+        }
+    }
+
+    /// The failover theorem: for any key, removing its owner promotes the
+    /// key's old *second* successor — the node the replication layer
+    /// placed the backup on.  This is what makes kill-the-primary safe:
+    /// re-resolving the ring lands every orphaned key exactly where its
+    /// replica already lives.
+    #[test]
+    fn killing_the_owner_promotes_the_backup(
+        nodes in proptest::collection::vec("[a-z]{1,12}", 2..8),
+        keys in proptest::collection::vec("[a-zA-Z0-9_.-]{0,24}", 1..32),
+    ) {
+        let members = distinct(&nodes);
+        prop_assume!(members.len() >= 2);
+        let ring = ring_of(&nodes);
+        for key in &keys {
+            let owner = ring.owner(key).unwrap().to_string();
+            let backup = ring.backup(key).expect("≥2 members").to_string();
+            prop_assert_ne!(&owner, &backup);
+            let mut survivor = ring.clone();
+            prop_assert!(survivor.leave(&owner));
+            prop_assert_eq!(
+                survivor.owner(key), Some(backup.as_str()),
+                "{:?}: owner death must promote the replica holder", key
+            );
+        }
+    }
+}
