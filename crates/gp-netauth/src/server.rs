@@ -41,12 +41,13 @@ use gp_passwords::{
     DiscretizationConfig, DurabilityOptions, FsyncPolicy, GraphicalPasswordSystem, PasswordPolicy,
     ShardStats, ShardedPasswordStore, StoredPassword, VerifyScratch, WalEntry,
 };
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -332,6 +333,108 @@ pub(crate) struct PreparedTurn {
     pub(crate) planned: Vec<Planned>,
     pub(crate) jobs: Vec<HashJob>,
     pub(crate) quitting: bool,
+    /// `Some(account)` when the turn stopped early at a login for an
+    /// account whose enrollment is in flight but not yet group-committed
+    /// (the per-account write barrier).  The login's frame is back at the
+    /// front of the queue; prepare again once the account's barrier lands.
+    pub(crate) parked: Option<String>,
+}
+
+/// Accounts with an enrollment accepted into a turn but not yet
+/// group-committed.
+///
+/// Under group commit an enrollment becomes visible in memory *before*
+/// its WAL record is fsynced, so a login racing it could be acknowledged
+/// against a record a crash would lose.  [`AuthServer::prepare_turn`]
+/// consults this table so only a login for the *same* account parks until
+/// its enroll's barrier; every other account's traffic keeps flowing
+/// (the per-connection write barrier this replaces split the whole
+/// pipeline at every enrollment).
+///
+/// Entries are reference-counted: concurrent enrollments of one name
+/// (only one can win the duplicate check) each hold the account pending
+/// until their own settle/commit releases it.
+#[derive(Debug, Default)]
+pub(crate) struct PendingAccounts {
+    accounts: Mutex<HashMap<String, usize>>,
+    cleared: Condvar,
+}
+
+impl PendingAccounts {
+    /// Mark an enrollment in flight for `username` (at prepare time).
+    fn begin(&self, username: &str) {
+        let mut accounts = self.accounts.lock().expect("pending-accounts lock");
+        *accounts.entry(username.to_string()).or_insert(0) += 1;
+    }
+
+    /// Release one in-flight enrollment for `username` (after its group
+    /// commit, or at settle time if the insert was refused) and wake
+    /// every parked waiter.
+    fn end(&self, username: &str) {
+        let mut accounts = self.accounts.lock().expect("pending-accounts lock");
+        if let Some(count) = accounts.get_mut(username) {
+            *count -= 1;
+            if *count == 0 {
+                accounts.remove(username);
+            }
+        }
+        drop(accounts);
+        self.cleared.notify_all();
+    }
+
+    /// Whether `username` has an enrollment awaiting its group commit.
+    pub(crate) fn is_pending(&self, username: &str) -> bool {
+        self.accounts
+            .lock()
+            .expect("pending-accounts lock")
+            .contains_key(username)
+    }
+
+    /// Block until `username` has no in-flight enrollment, or `timeout`
+    /// passes (the blocking pool's park; the reactor re-drives parked
+    /// connections from its event loop instead).
+    pub(crate) fn wait_clear(&self, username: &str, timeout: Duration) {
+        let accounts = self.accounts.lock().expect("pending-accounts lock");
+        if !accounts.contains_key(username) {
+            return;
+        }
+        let _ = self
+            .cleared
+            .wait_timeout_while(accounts, timeout, |accounts| {
+                accounts.contains_key(username)
+            });
+    }
+
+    /// Test hook: mark an enrollment in flight without a real turn.
+    #[cfg(test)]
+    pub(crate) fn begin_for_test(&self, username: &str) {
+        self.begin(username);
+    }
+
+    /// Test hook: release an enrollment marked via
+    /// [`PendingAccounts::begin_for_test`].
+    #[cfg(test)]
+    pub(crate) fn end_for_test(&self, username: &str) {
+        self.end(username);
+    }
+}
+
+/// One settled enrollment awaiting its group-commit barrier: which
+/// response to patch if the barrier fails, which shard to flush, and the
+/// record clone to stream to the replication sink (when one is attached).
+pub(crate) struct EnrollCommit {
+    response_index: usize,
+    username: String,
+    shard: usize,
+    entry: Option<WalEntry>,
+}
+
+/// One turn after phase 3 ([`AuthServer::settle_turn`]): the in-order
+/// responses, plus the enrollments whose `EnrollOk`s are provisional
+/// until [`AuthServer::commit_enrolls`] runs their barrier.
+pub(crate) struct SettledTurn {
+    pub(crate) responses: Vec<ServerMessage>,
+    enrolls: Vec<EnrollCommit>,
 }
 
 /// The authentication server.
@@ -342,6 +445,9 @@ pub struct AuthServer {
     store: Arc<ShardedPasswordStore>,
     lockout: Arc<LockoutTracker>,
     verifier: Arc<BatchVerifier>,
+    /// Accounts whose enrollment is accepted but not yet group-committed
+    /// (the per-account write barrier).
+    pending: PendingAccounts,
     /// When set, every successful enrollment is streamed here before the
     /// `EnrollOk` is released (see [`crate::replication`]).
     replication: Option<Arc<dyn ReplicationSink>>,
@@ -383,6 +489,7 @@ impl AuthServer {
             store,
             lockout,
             verifier,
+            pending: PendingAccounts::default(),
             replication: None,
         })
     }
@@ -420,6 +527,11 @@ impl AuthServer {
     /// The underlying password system.
     pub fn system(&self) -> &GraphicalPasswordSystem {
         &self.system
+    }
+
+    /// The per-account write barrier table (serving internals and tests).
+    pub(crate) fn pending(&self) -> &PendingAccounts {
+        &self.pending
     }
 
     /// Handle a single request (protocol logic, no I/O).
@@ -470,6 +582,10 @@ impl AuthServer {
                 reason: e.to_string(),
             }),
             Ok((record, pre_image)) => {
+                // The account is pending from this moment until the
+                // enrollment's group commit (or its settle-time refusal):
+                // a login for it parks instead of racing the barrier.
+                self.pending.begin(&record.username);
                 let job_index = jobs.len();
                 jobs.push(HashJob {
                     hasher: gp_crypto::SaltedHasher::new(&record.hash.salt),
@@ -538,12 +654,17 @@ impl AuthServer {
     /// `consecutive_errors` carries the connection's bad-frame streak
     /// across turns; a decodable frame resets it.
     ///
-    /// Two messages end a turn early, leaving later frames queued:
+    /// Enrollments do **not** end the turn: they batch with the logins
+    /// behind them, and their `EnrollOk`s are released together after the
+    /// turn's single group-commit barrier.  Two things end a turn early,
+    /// leaving later frames queued:
     ///
     /// * `Quit` — the connection is done (callers drop the rest);
-    /// * `Enroll` — a *write barrier*: a pipelined login for the account
-    ///   being enrolled must be prepared only after the enrollment
-    ///   settles, so the remaining frames form the next turn.
+    /// * a login for an account whose enrollment is pending (the
+    ///   *per-account* write barrier, [`PendingAccounts`]): its frame
+    ///   goes back to the front of the queue and the turn reports
+    ///   `parked`, to be prepared again once the enrollment's group
+    ///   commit lands.  Logins for every *other* account flow untouched.
     pub(crate) fn prepare_turn(
         &self,
         frames: &mut std::collections::VecDeque<Option<Bytes>>,
@@ -554,8 +675,9 @@ impl AuthServer {
         let mut planned = Vec::with_capacity(frames.len());
         let mut jobs = Vec::new();
         let mut quitting = false;
+        let mut parked = None;
         while let Some(frame) = frames.pop_front() {
-            let message = match frame {
+            let (message, raw) = match frame {
                 None => {
                     metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     *consecutive_errors += 1;
@@ -564,17 +686,22 @@ impl AuthServer {
                     }));
                     continue;
                 }
-                Some(frame) => match ClientMessage::decode(frame) {
-                    Ok(message) => message,
-                    Err(e) => {
-                        metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                        *consecutive_errors += 1;
-                        planned.push(Planned::Respond(ServerMessage::Error {
-                            reason: format!("bad request: {e}"),
-                        }));
-                        continue;
+                Some(frame) => {
+                    // Cheap refcount clone, kept only in case this frame
+                    // parks and must be re-queued for the next turn.
+                    let raw = frame.clone();
+                    match ClientMessage::decode(frame) {
+                        Ok(message) => (message, raw),
+                        Err(e) => {
+                            metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            *consecutive_errors += 1;
+                            planned.push(Planned::Respond(ServerMessage::Error {
+                                reason: format!("bad request: {e}"),
+                            }));
+                            continue;
+                        }
                     }
-                },
+                }
             };
             *consecutive_errors = 0;
             match message {
@@ -584,12 +711,20 @@ impl AuthServer {
                     break;
                 }
                 ClientMessage::Login { username, clicks } => {
+                    if self.pending.is_pending(&username) {
+                        // Same-account barrier: this login may only be
+                        // prepared after the enrollment it races is
+                        // committed (in-order pipelining keeps the frames
+                        // behind it queued too).
+                        frames.push_front(Some(raw));
+                        parked = Some(username);
+                        break;
+                    }
                     metrics.logins.fetch_add(1, Ordering::Relaxed);
                     planned.push(self.prepare_login(username, &clicks, scratch, &mut jobs));
                 }
                 ClientMessage::Enroll { username, clicks } => {
                     planned.push(self.prepare_enroll(username, &clicks, &mut jobs));
-                    break;
                 }
                 other => planned.push(Planned::Respond(self.handle_message(other))),
             }
@@ -598,6 +733,7 @@ impl AuthServer {
             planned,
             jobs,
             quitting,
+            parked,
         }
     }
 
@@ -605,14 +741,19 @@ impl AuthServer {
     /// lockout state, in pipeline order, and produce the in-order
     /// responses.  `digests` are the turn's hash results, indexed by each
     /// job's `job_index`.
-    pub(crate) fn settle_responses(
-        &self,
-        planned: Vec<Planned>,
-        digests: &[Digest],
-    ) -> Vec<ServerMessage> {
-        planned
+    ///
+    /// Enrollments are settled *provisionally*: the record lands in the
+    /// in-memory store and its WAL append is staged (no fsync), the
+    /// response slot holds `EnrollOk`, and an [`EnrollCommit`] remembers
+    /// the slot.  Nothing from the returned [`SettledTurn`] may reach a
+    /// client until [`AuthServer::commit_enrolls`] runs the group-commit
+    /// barrier over it.
+    pub(crate) fn settle_turn(&self, planned: Vec<Planned>, digests: &[Digest]) -> SettledTurn {
+        let mut enrolls = Vec::new();
+        let responses = planned
             .into_iter()
-            .map(|plan| match plan {
+            .enumerate()
+            .map(|(index, plan)| match plan {
                 Planned::Respond(response) => response,
                 Planned::LoginNoHash { username } => self.finish_login(&username, None),
                 Planned::LoginHashed {
@@ -627,31 +768,100 @@ impl AuthServer {
                 Planned::EnrollHashed { record, job_index } => {
                     let record =
                         GraphicalPasswordSystem::finish_enroll(*record, digests[job_index]);
+                    let username = record.username.clone();
                     // Clone taken only when a sink is attached: the local
                     // insert consumes the record, the sink streams the copy.
                     let entry = self
                         .replication
                         .as_ref()
                         .map(|_| WalEntry::Enroll(record.clone()));
-                    match self.store.insert_new(record) {
-                        Ok(()) => match (&self.replication, entry) {
-                            (Some(sink), Some(entry)) => match sink.replicate(&entry) {
-                                // Ack gated on replication: EnrollOk means
-                                // the record is durable per the sink's mode.
-                                Ok(()) => ServerMessage::EnrollOk,
-                                Err(e) => ServerMessage::Error {
-                                    reason: format!("replication failed: {e}"),
-                                },
-                            },
-                            _ => ServerMessage::EnrollOk,
-                        },
-                        Err(e) => ServerMessage::Error {
-                            reason: e.to_string(),
-                        },
+                    match self.store.insert_new_deferred(record) {
+                        Ok(shard) => {
+                            enrolls.push(EnrollCommit {
+                                response_index: index,
+                                username,
+                                shard,
+                                entry,
+                            });
+                            // Provisional: patched to an error if the group
+                            // commit (or replication) fails.
+                            ServerMessage::EnrollOk
+                        }
+                        Err(e) => {
+                            // Refused before any WAL append: the account
+                            // barrier lifts right here.
+                            self.pending.end(&username);
+                            ServerMessage::Error {
+                                reason: e.to_string(),
+                            }
+                        }
                     }
                 }
             })
-            .collect()
+            .collect();
+        SettledTurn { responses, enrolls }
+    }
+
+    /// Phase 4: the group-commit barrier.  One `fsync` per distinct shard
+    /// across *all* the turns in the batch, then one grouped replication
+    /// round, then every pending account barrier lifts.  On failure the
+    /// provisional `EnrollOk`s are patched to errors in place — callers
+    /// must not have released any response before this returns.
+    pub(crate) fn commit_enrolls(&self, turns: &mut [SettledTurn]) {
+        if turns.iter().all(|turn| turn.enrolls.is_empty()) {
+            return;
+        }
+        let committed = self.store.commit_shards(
+            turns
+                .iter()
+                .flat_map(|turn| turn.enrolls.iter().map(|enroll| enroll.shard)),
+        );
+        // Sync-mode backup acks join the same barrier: all of the batch's
+        // entries stream out pipelined and one ack-wait covers them,
+        // instead of a send/wait round-trip per enrollment.
+        let replicated = match (&committed, &self.replication) {
+            (Ok(()), Some(sink)) => {
+                let entries: Vec<WalEntry> = turns
+                    .iter_mut()
+                    .flat_map(|turn| turn.enrolls.iter_mut().filter_map(|e| e.entry.take()))
+                    .collect();
+                if entries.is_empty() {
+                    Ok(())
+                } else {
+                    sink.replicate_group(&entries)
+                }
+            }
+            _ => Ok(()),
+        };
+        for turn in turns.iter_mut() {
+            for enroll in &turn.enrolls {
+                if let Err(e) = &committed {
+                    turn.responses[enroll.response_index] = ServerMessage::Error {
+                        reason: e.to_string(),
+                    };
+                } else if let Err(e) = &replicated {
+                    turn.responses[enroll.response_index] = ServerMessage::Error {
+                        reason: format!("replication failed: {e}"),
+                    };
+                }
+                self.pending.end(&enroll.username);
+            }
+        }
+    }
+
+    /// Settle one turn and commit it immediately: the single-turn
+    /// convenience over [`AuthServer::settle_turn`] +
+    /// [`AuthServer::commit_enrolls`] used by the blocking pool path and
+    /// direct callers.  The reactor's compute loop calls the two phases
+    /// itself so one barrier covers a whole coalesced batch.
+    pub(crate) fn settle_responses(
+        &self,
+        planned: Vec<Planned>,
+        digests: &[Digest],
+    ) -> Vec<ServerMessage> {
+        let mut turn = self.settle_turn(planned, digests);
+        self.commit_enrolls(std::slice::from_mut(&mut turn));
+        turn.responses
     }
 
     /// Phase 2 of login handling: settle one attempt against the lockout
@@ -883,11 +1093,24 @@ impl AuthServer {
             }
 
             // Prepare / batch-hash / settle, repeating while `prepare_turn`
-            // stops at a write barrier (enrollment) with frames queued.
+            // stops at a per-account write barrier with frames queued.
             let mut quitting = false;
             while !frames.is_empty() && !quitting {
                 let prepared =
                     self.prepare_turn(&mut frames, &mut scratch, metrics, &mut consecutive_errors);
+                if prepared.planned.is_empty() && prepared.jobs.is_empty() {
+                    if let Some(username) = prepared.parked {
+                        // The turn opened on a login racing another
+                        // connection's in-flight enroll for the same
+                        // account: wait (shutdown-aware) for its group
+                        // commit, then re-prepare the queued frames.
+                        if shutdown.load(Ordering::SeqCst) {
+                            return Ok(());
+                        }
+                        self.pending.wait_clear(&username, SHUTDOWN_POLL);
+                        continue;
+                    }
+                }
                 let digests = self.verifier.submit(prepared.jobs);
                 quitting = prepared.quitting;
                 for response in self.settle_responses(prepared.planned, &digests) {
@@ -1530,5 +1753,73 @@ mod tests {
             stats.max_run >= 8,
             "one turn's logins coalesce into one run: {stats:?}"
         );
+    }
+
+    #[test]
+    fn login_racing_an_uncommitted_enroll_parks_while_unrelated_logins_proceed() {
+        use std::io::{Read as _, Write as _};
+        let config = ServerConfig {
+            serving: ServingMode::WorkerPool,
+            workers: 2,
+            ..ServerConfig::fast_for_tests()
+        };
+        let handle = AuthServer::new(config).spawn().expect("spawn server");
+        {
+            let mut client = crate::client::AuthClient::connect(handle.addr()).unwrap();
+            client.enroll("carol", &clicks()).unwrap();
+            client.quit().unwrap();
+        }
+        // Hold victor's account barrier open, exactly as if his
+        // enrollment's group commit were still in flight on another
+        // connection.
+        handle.server().pending().begin_for_test("victor");
+
+        let mut racing = TcpStream::connect(handle.addr()).unwrap();
+        racing
+            .set_read_timeout(Some(Duration::from_millis(400)))
+            .unwrap();
+        let mut request = Vec::new();
+        FrameWriter::new(&mut request)
+            .write_frame(
+                &ClientMessage::Login {
+                    username: "victor".into(),
+                    clicks: clicks(),
+                }
+                .encode(),
+            )
+            .unwrap();
+        racing.write_all(&request).unwrap();
+
+        // An unrelated account's login flows around the parked one.
+        let mut other = crate::client::AuthClient::connect(handle.addr()).unwrap();
+        let (decision, _) = other.login("carol", &clicks()).unwrap();
+        assert_eq!(decision, LoginDecision::Accepted);
+        other.quit().unwrap();
+
+        // The racing login is still parked: nothing on the wire.
+        let mut buf = [0u8; 1];
+        match racing.read(&mut buf) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            other => panic!("parked login answered before the barrier cleared: {other:?}"),
+        }
+
+        // Lift the barrier: the parked worker wakes and answers (Rejected
+        // — the account was never actually enrolled in this test).
+        handle.server().pending().end_for_test("victor");
+        racing
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = FrameReader::new(&mut racing).read_frame().unwrap();
+        match ServerMessage::decode(frame).unwrap() {
+            ServerMessage::Error { reason } => {
+                assert!(reason.contains("unknown account"), "{reason}");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        handle.shutdown();
     }
 }

@@ -140,6 +140,10 @@ pub struct DurabilityStats {
     /// WAL files whose final record was torn by a crash (recovered by
     /// dropping only the torn tail).
     pub torn_tails: u64,
+    /// Group-commit barriers executed ([`ShardedPasswordStore::commit_shards`]):
+    /// each one flushes *every* deferred append across its shard set in
+    /// at most one fsync per shard.
+    pub group_commits: u64,
 }
 
 /// The durable half of a store: the directory, the per-shard logs, and
@@ -155,6 +159,7 @@ struct DurabilityState {
     /// file I/O.
     snap_locks: Vec<Mutex<()>>,
     snapshots: AtomicU64,
+    group_commits: AtomicU64,
     replayed_records: u64,
     torn_tails: u64,
 }
@@ -334,6 +339,7 @@ impl ShardedPasswordStore {
             wals,
             snap_locks: (0..shards).map(|_| Mutex::new(())).collect(),
             snapshots: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
             replayed_records,
             torn_tails,
         });
@@ -361,6 +367,7 @@ impl ShardedPasswordStore {
         let d = self.durability.as_ref()?;
         let mut stats = DurabilityStats {
             snapshots: d.snapshots.load(Ordering::Relaxed),
+            group_commits: d.group_commits.load(Ordering::Relaxed),
             replayed_records: d.replayed_records,
             torn_tails: d.torn_tails,
             ..DurabilityStats::default()
@@ -423,6 +430,79 @@ impl ShardedPasswordStore {
         accounts.insert(entry.stored.username.clone(), entry);
         shard.enrolls.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The group-commit half of [`ShardedPasswordStore::insert_new`]:
+    /// duplicate check, *deferred* WAL append (no per-record fsync) and
+    /// in-memory insert under one shard-lock acquisition.  Returns the
+    /// owning shard's index — the caller's group-commit set.
+    ///
+    /// The record is in the log and visible in memory, but **not yet
+    /// committed**: a crash before the next
+    /// [`ShardedPasswordStore::commit_shards`] barrier over that shard
+    /// may lose it.  The caller must not acknowledge the enrollment (and
+    /// must hold back same-account reads it intends to ack — the serving
+    /// layer's per-account pending table) until the barrier returns.
+    pub fn insert_new_deferred(&self, stored: StoredPassword) -> Result<usize, PasswordError> {
+        let index = shard_index(&stored.username, self.shards.len());
+        let shard = &self.shards[index];
+        let entry = CachedAccount::new(stored);
+        let mut accounts = shard.accounts.write();
+        if accounts.contains_key(&entry.stored.username) {
+            return Err(PasswordError::DuplicateAccount {
+                username: entry.stored.username.clone(),
+            });
+        }
+        if let Some(d) = &self.durability {
+            d.wals[index]
+                .lock()
+                .append_record_deferred(WalOp::Enroll, &entry.stored)
+                .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))?;
+        }
+        accounts.insert(entry.stored.username.clone(), entry);
+        shard.enrolls.fetch_add(1, Ordering::Relaxed);
+        Ok(index)
+    }
+
+    /// The group-commit barrier: flush every deferred append in the named
+    /// shards per the fsync policy — at most **one** fsync per distinct
+    /// shard, however many records each accumulated.  Only after this
+    /// returns `Ok` may the mutations inserted via
+    /// [`ShardedPasswordStore::insert_new_deferred`] be acknowledged.
+    /// Duplicate shard indices are welcome (the per-shard flush is
+    /// idempotent); a no-op on an in-memory store or an empty set.
+    pub fn commit_shards(
+        &self,
+        shards: impl IntoIterator<Item = usize>,
+    ) -> Result<(), PasswordError> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let mut seen = vec![false; self.shards.len()];
+        let mut any = false;
+        for index in shards {
+            if std::mem::replace(&mut seen[index], true) {
+                continue;
+            }
+            d.wals[index]
+                .lock()
+                .group_commit()
+                .map_err(|e| storage_error(&format!("wal group commit (shard {index})"), e))?;
+            any = true;
+        }
+        if any {
+            d.group_commits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Commit-sequence watermark of one shard's WAL, when durable:
+    /// `(appended, durable)`.  Test/observability hook for the
+    /// group-commit invariant `durable == appended` after a barrier.
+    pub fn wal_watermark(&self, shard: usize) -> Option<(u64, u64)> {
+        let d = self.durability.as_ref()?;
+        let wal = d.wals[shard].lock();
+        Some((wal.appended_seq(), wal.durable_seq()))
     }
 
     /// Insert or replace a pre-built record (bulk loading, migration).
@@ -1140,6 +1220,80 @@ mod tests {
         assert_eq!(recovered.len(), 1);
         assert!(recovered.verify(&sys, "alice", &clicks(0.0)).unwrap());
         assert!(recovered.get("bob").is_none(), "removal replicated");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_inserts_group_commit_with_one_fsync_per_shard() {
+        let sys = system();
+        let dir = temp_dir("group-commit");
+        {
+            let store =
+                ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+            let syncs_before = store.durability_stats().unwrap().wal_syncs;
+            let mut touched = Vec::new();
+            for i in 0..8 {
+                let record = sys.enroll(&format!("user{i}"), &clicks(i as f64)).unwrap();
+                touched.push(store.insert_new_deferred(record).unwrap());
+            }
+            // Before the barrier: appended but not durable.
+            for shard in 0..2 {
+                let (appended, durable) = store.wal_watermark(shard).unwrap();
+                assert!(durable <= appended);
+            }
+            store.commit_shards(touched.iter().copied()).unwrap();
+            let stats = store.durability_stats().unwrap();
+            assert!(
+                stats.wal_syncs - syncs_before <= 2,
+                "8 enrolls over 2 shards: at most one fsync per shard, got {}",
+                stats.wal_syncs - syncs_before
+            );
+            assert_eq!(stats.group_commits, 1);
+            for shard in 0..2 {
+                let (appended, durable) = store.wal_watermark(shard).unwrap();
+                assert_eq!(appended, durable, "the barrier commits every append");
+            }
+            // Crash (drop without snapshot): every committed record must
+            // recover from the WAL alone.
+        }
+        let recovered =
+            ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+        assert_eq!(recovered.len(), 8);
+        for i in 0..8 {
+            assert!(recovered
+                .verify(&sys, &format!("user{i}"), &clicks(i as f64))
+                .unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_insert_still_rejects_duplicates_and_commit_is_cheap_when_empty() {
+        let sys = system();
+        let dir = temp_dir("group-dup");
+        let store =
+            ShardedPasswordStore::open_durable(&dir, 2, DurabilityOptions::default()).unwrap();
+        let record = sys.enroll("alice", &clicks(0.0)).unwrap();
+        store.insert_new_deferred(record.clone()).unwrap();
+        assert!(matches!(
+            store.insert_new_deferred(record),
+            Err(PasswordError::DuplicateAccount { .. })
+        ));
+        store.commit_shards([0usize, 0, 0]).unwrap();
+        let syncs = store.durability_stats().unwrap().wal_syncs;
+        // An empty barrier issues no fsync at all.
+        store.commit_shards(std::iter::empty()).unwrap();
+        store.commit_shards([0usize]).unwrap();
+        assert_eq!(store.durability_stats().unwrap().wal_syncs, syncs);
+        // In-memory stores take the same path as a no-op.
+        let plain = ShardedPasswordStore::new(2);
+        let r2 = sys.enroll("bob", &clicks(1.0)).unwrap();
+        assert_eq!(
+            plain.insert_new_deferred(r2).unwrap(),
+            shard_index("bob", 2)
+        );
+        plain.commit_shards([shard_index("bob", 2)]).unwrap();
+        assert!(plain.wal_watermark(0).is_none());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

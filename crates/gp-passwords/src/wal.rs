@@ -200,6 +200,15 @@ pub struct ShardWal {
     len: u64,
     appends: u64,
     syncs: u64,
+    /// Commit sequence: incremented per appended record.  Monotonic for
+    /// the life of the handle (a snapshot reset does not rewind it).
+    seq: u64,
+    /// Commit-sequence watermark: the highest `seq` known to be on
+    /// stable storage (advanced by every fsync).  Records with
+    /// `seq > durable_seq` are appended but not yet committed — they may
+    /// not be acknowledged until a sync (or [`ShardWal::group_commit`])
+    /// carries the watermark past them.
+    durable_seq: u64,
     /// A failed append could not be rolled back: the bytes past the last
     /// good record are in an unknown state, so further appends would land
     /// *after* a tear and be silently dropped by replay.  All appends
@@ -230,6 +239,8 @@ impl ShardWal {
             len,
             appends: 0,
             syncs: 0,
+            seq: 0,
+            durable_seq: 0,
             poisoned: false,
         })
     }
@@ -255,6 +266,20 @@ impl ShardWal {
         self.syncs
     }
 
+    /// Commit sequence of the last appended record (0 before any append).
+    pub fn appended_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The commit-sequence watermark: the highest appended sequence known
+    /// to be on stable storage.  `durable_seq() == appended_seq()` means
+    /// every append is committed; anything above the watermark is still
+    /// awaiting its group-commit barrier (or rides the OS page cache
+    /// under [`FsyncPolicy::Never`]).
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
     /// Append a stored-password mutation ([`WalOp::Enroll`] or
     /// [`WalOp::Update`]) and flush per the fsync policy.  When this
     /// returns `Ok`, the record is in the log (and on stable storage
@@ -265,12 +290,56 @@ impl ShardWal {
             op != WalOp::Remove,
             "removals carry a username, not a record"
         );
-        self.append_payload(op, record.to_record().as_bytes())
+        self.append_payload(op, record.to_record().as_bytes(), false)
+            .map(|_| ())
+    }
+
+    /// Append a stored-password mutation *without* the per-append policy
+    /// flush — the group-commit fast path.  The record is in the log (a
+    /// crash may still lose it until a barrier lands) but **must not be
+    /// acknowledged** until [`ShardWal::group_commit`] or
+    /// [`ShardWal::sync`] advances the durable watermark past the
+    /// returned commit sequence.
+    pub fn append_record_deferred(
+        &mut self,
+        op: WalOp,
+        record: &StoredPassword,
+    ) -> std::io::Result<u64> {
+        debug_assert!(
+            op != WalOp::Remove,
+            "removals carry a username, not a record"
+        );
+        self.append_payload(op, record.to_record().as_bytes(), true)
     }
 
     /// Append an account removal and flush per the fsync policy.
     pub fn append_remove(&mut self, username: &str) -> std::io::Result<()> {
-        self.append_payload(WalOp::Remove, username.as_bytes())
+        self.append_payload(WalOp::Remove, username.as_bytes(), false)
+            .map(|_| ())
+    }
+
+    /// The group-commit barrier: flush every deferred append per the
+    /// fsync policy in **one** disk operation, instead of one per
+    /// append.  `Always` syncs if anything is outstanding, `Batch(n)`
+    /// syncs once `n` appends (deferred or not) have accumulated,
+    /// `Never` leaves the flush to the OS as usual.  Returns the durable
+    /// commit-sequence watermark after the barrier — under `Always`,
+    /// every previously appended record is committed when this returns.
+    pub fn group_commit(&mut self) -> std::io::Result<u64> {
+        match self.policy {
+            FsyncPolicy::Always => {
+                if self.unsynced > 0 {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Batch(every) => {
+                if self.unsynced >= every.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(self.durable_seq)
     }
 
     /// Append a decoded entry (replication apply path: the backup logs
@@ -283,7 +352,7 @@ impl ShardWal {
         }
     }
 
-    fn append_payload(&mut self, op: WalOp, data: &[u8]) -> std::io::Result<()> {
+    fn append_payload(&mut self, op: WalOp, data: &[u8], deferred: bool) -> std::io::Result<u64> {
         if self.poisoned {
             return Err(std::io::Error::other(format!(
                 "{}: WAL poisoned by an earlier unrecoverable append failure",
@@ -298,11 +367,13 @@ impl ShardWal {
         buf.extend_from_slice(&fnv1a64(&payload).to_be_bytes());
         buf.extend_from_slice(&payload);
         let start = self.len;
-        match self.write_and_flush(&buf) {
+        let seq_before = self.seq;
+        self.seq += 1;
+        match self.write_and_flush(&buf, deferred) {
             Ok(()) => {
                 self.len = start + buf.len() as u64;
                 self.appends += 1;
-                Ok(())
+                Ok(self.seq)
             }
             // A failed append (ENOSPC, EIO, fsync failure) is about to be
             // NACKed to the caller — so its bytes must not stay in the
@@ -314,6 +385,8 @@ impl ShardWal {
             // fails, poison the log so no later append can land past the
             // tear.
             Err(e) => {
+                self.seq = seq_before;
+                self.durable_seq = self.durable_seq.min(self.seq);
                 let rolled_back = self.file.set_len(start).is_ok()
                     && self.file.seek(std::io::SeekFrom::End(0)).is_ok();
                 if rolled_back {
@@ -327,10 +400,15 @@ impl ShardWal {
     }
 
     /// One write call (a crash can still tear it mid-record, but replay
-    /// recovers the full prefix regardless of where the tear lands),
-    /// flushed per the fsync policy.
-    fn write_and_flush(&mut self, buf: &[u8]) -> std::io::Result<()> {
+    /// recovers the full prefix regardless of where the tear lands).
+    /// Non-deferred appends flush per the fsync policy; deferred ones
+    /// only accumulate toward the next [`ShardWal::group_commit`].
+    fn write_and_flush(&mut self, buf: &[u8], deferred: bool) -> std::io::Result<()> {
         self.file.write_all(buf)?;
+        if deferred {
+            self.unsynced += 1;
+            return Ok(());
+        }
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::Batch(every) => {
@@ -345,11 +423,12 @@ impl ShardWal {
     }
 
     /// Flush appended records to stable storage now, regardless of
-    /// policy.
+    /// policy, advancing the durable commit-sequence watermark.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.file.sync_all()?;
         self.unsynced = 0;
         self.syncs += 1;
+        self.durable_seq = self.seq;
         Ok(())
     }
 
@@ -367,6 +446,9 @@ impl ShardWal {
         self.syncs += 1;
         self.unsynced = 0;
         self.len = WAL_MAGIC.len() as u64;
+        // Every logged record is superseded by the published snapshot:
+        // the watermark catches up (monotonic — it never rewinds).
+        self.durable_seq = self.seq;
         // Truncating to the header discards any un-rolled-back tear.
         self.poisoned = false;
         Ok(())
@@ -818,6 +900,89 @@ mod tests {
         drop(wal);
         let replay = ShardWal::replay(&path).unwrap();
         assert_eq!(replay.entries, vec![WalEntry::Enroll(b)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deferred_appends_commit_once_per_group_and_advance_the_watermark() {
+        let dir = temp_dir("group");
+        let path = dir.join("w.wal");
+        let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Always).unwrap();
+        let open_syncs = wal.syncs();
+        let mut seqs = Vec::new();
+        for i in 0..5 {
+            let seq = wal
+                .append_record_deferred(WalOp::Enroll, &sample(&format!("u{i}"), i as f64))
+                .unwrap();
+            seqs.push(seq);
+        }
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5], "commit sequences are dense");
+        assert_eq!(wal.appended_seq(), 5);
+        assert_eq!(
+            wal.durable_seq(),
+            0,
+            "deferred appends stay below the watermark until the barrier"
+        );
+        assert_eq!(wal.syncs() - open_syncs, 0, "no per-append fsync");
+        let watermark = wal.group_commit().unwrap();
+        assert_eq!(watermark, 5, "one barrier commits the whole group");
+        assert_eq!(wal.durable_seq(), 5);
+        assert_eq!(wal.syncs() - open_syncs, 1, "5 appends, 1 fsync");
+        // An empty barrier is free.
+        assert_eq!(wal.group_commit().unwrap(), 5);
+        assert_eq!(wal.syncs() - open_syncs, 1);
+        // Every deferred record replays.
+        drop(wal);
+        let replay = ShardWal::replay(&path).unwrap();
+        assert_eq!(replay.entries.len(), 5);
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_respects_batch_and_never_policies() {
+        let dir = temp_dir("group-policy");
+        let batch = dir.join("b.wal");
+        let mut wal = ShardWal::open_or_create(&batch, FsyncPolicy::Batch(4)).unwrap();
+        let open_syncs = wal.syncs();
+        for i in 0..3 {
+            wal.append_record_deferred(WalOp::Enroll, &sample(&format!("u{i}"), i as f64))
+                .unwrap();
+        }
+        wal.group_commit().unwrap();
+        assert_eq!(wal.syncs() - open_syncs, 0, "3 deferred < Batch(4)");
+        wal.append_record_deferred(WalOp::Enroll, &sample("u3", 3.0))
+            .unwrap();
+        wal.group_commit().unwrap();
+        assert_eq!(wal.syncs() - open_syncs, 1, "4th append fills the batch");
+        assert_eq!(wal.durable_seq(), 4);
+
+        let never = dir.join("n.wal");
+        let mut wal = ShardWal::open_or_create(&never, FsyncPolicy::Never).unwrap();
+        wal.append_record_deferred(WalOp::Enroll, &sample("alice", 0.0))
+            .unwrap();
+        assert_eq!(wal.group_commit().unwrap(), 0, "Never leaves it to the OS");
+        assert_eq!(wal.syncs(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_and_reset_catch_the_watermark_up() {
+        let dir = temp_dir("watermark");
+        let path = dir.join("w.wal");
+        let mut wal = ShardWal::open_or_create(&path, FsyncPolicy::Never).unwrap();
+        wal.append_record_deferred(WalOp::Enroll, &sample("alice", 0.0))
+            .unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_seq(), 1, "explicit sync commits regardless");
+        wal.append_record_deferred(WalOp::Enroll, &sample("bob", 3.0))
+            .unwrap();
+        wal.reset().unwrap();
+        assert_eq!(
+            (wal.appended_seq(), wal.durable_seq()),
+            (2, 2),
+            "a snapshot supersedes the log; the watermark never rewinds"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -276,3 +276,76 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The group-commit path: arbitrary interleavings of deferred enrolls
+    /// and logins, batched into groups that commit with one barrier per
+    /// group — and a simulated crash (directory copy) at *every*
+    /// group-commit boundary.  Recovery of each crash image must
+    /// reproduce the in-memory mirror exactly: everything acknowledged
+    /// (committed) survives, and nothing the barrier did not cover is
+    /// required to.
+    #[test]
+    fn group_committed_recovery_matches_the_mirror_at_every_commit_boundary(
+        groups in proptest::collection::vec(
+            proptest::collection::vec((0usize..12usize, 0u32..2000u32, 0u8..2u8), 1..6),
+            1..6,
+        ),
+        shards in 1usize..4usize,
+    ) {
+        let sys = system();
+        let dir = temp_dir("group-prop");
+        let scratch = temp_dir("group-prop-crash");
+        let options = DurabilityOptions::default();
+        let mirror = ShardedPasswordStore::new(shards);
+        {
+            let durable =
+                ShardedPasswordStore::open_durable(&dir, shards, options).unwrap();
+            for (boundary, group) in groups.iter().enumerate() {
+                // Settle the group: enrolls stage deferred WAL appends
+                // (no fsync yet), logins interleave freely as reads.
+                let mut touched = Vec::new();
+                for (user, seed, kind) in group {
+                    let name = format!("user{user}");
+                    if *kind == 0 {
+                        let record = sys.enroll(&name, &clicks(*seed)).unwrap();
+                        let a = durable.insert_new_deferred(record.clone());
+                        let b = mirror.insert_new(record);
+                        prop_assert_eq!(
+                            a.is_ok(),
+                            b.is_ok(),
+                            "duplicate-enroll outcomes agree at boundary {}",
+                            boundary
+                        );
+                        if let Ok(shard) = a {
+                            touched.push(shard);
+                        }
+                    } else {
+                        let _ = durable.verify(&sys, &name, &clicks(*seed));
+                    }
+                }
+                // The single barrier that releases the group's EnrollOks.
+                durable.commit_shards(touched).unwrap();
+
+                // Crash exactly at this boundary: a recovered copy of the
+                // state directory must equal the mirror.
+                copy_dir(&dir, &scratch);
+                let recovered =
+                    ShardedPasswordStore::open_durable(&scratch, shards, options)
+                        .unwrap_or_else(|e| {
+                            panic!("recovery at group boundary {boundary} failed: {e}")
+                        });
+                prop_assert_eq!(
+                    recovered.records(),
+                    mirror.records(),
+                    "crash at group-commit boundary {} recovers the acked state",
+                    boundary
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+}
