@@ -42,6 +42,12 @@
 //!   logins of its own earlier accounts.  This prices the full
 //!   replication tax — ring routing, the extra loopback round trip, and
 //!   the backup's WAL append — on top of the single-node durable number.
+//! * **cluster_rejoin** — the same replicated load, but one node is
+//!   killed a quarter into the measured window and restarted (crash
+//!   recovery + ring re-admission + catch-up transfer, gated behind the
+//!   auth listener) at the halfway mark.  The metric counts acked
+//!   operations over the *whole* window, so it prices what a failover
+//!   plus a catch-up-gated rejoin costs the serving path.
 //!
 //! Results merge into `BENCH_results.json` (or `GP_BENCH_OUT`) alongside
 //! the `bench_report` micro-benchmarks: per-login medians under
@@ -353,12 +359,64 @@ impl ClusterLoadResult {
     }
 }
 
+/// Spawn the per-thread routing clients driving a cluster scenario: every
+/// 4th operation per thread enrolls a fresh account (acked only after its
+/// backup's durable apply), the rest log in as that thread's earlier
+/// accounts.  Every ack is verified; operations count toward `counted`
+/// only while `measuring` is set.  The clients absorb failovers the way
+/// the fault harness proves they do: transport failures mark the node
+/// dead and re-resolve onto the replica holder.
+fn spawn_cluster_workers(
+    members: &[(String, std::net::SocketAddr)],
+    threads: usize,
+    counted: &Arc<AtomicU64>,
+    measuring: &Arc<AtomicBool>,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..threads)
+        .map(|_| {
+            let members = members.to_vec();
+            let counted = Arc::clone(counted);
+            let measuring = Arc::clone(measuring);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut client = ClusterClient::new(&members);
+                // This thread's enrolled population: (name, click seed).
+                let mut enrolled: Vec<(String, u64)> = Vec::new();
+                let mut turn = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    if enrolled.is_empty() || turn.is_multiple_of(4) {
+                        let id = ENROLL_SEQ.fetch_add(1, Ordering::Relaxed);
+                        let name = format!("cluster-{id}");
+                        client
+                            .enroll(&name, &user_clicks(id as usize))
+                            .expect("replicated enroll must ack");
+                        enrolled.push((name, id));
+                    } else {
+                        let (name, id) = &enrolled[turn % enrolled.len()];
+                        let (decision, _) = client
+                            .login(name, &user_clicks(*id as usize))
+                            .expect("routed login must complete");
+                        assert_eq!(
+                            decision,
+                            LoginDecision::Accepted,
+                            "enrolled account must log in"
+                        );
+                    }
+                    turn += 1;
+                    if measuring.load(Ordering::Relaxed) {
+                        counted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
 /// Spawn a `nodes`-node replicated loopback cluster (per-node durable
 /// stores, sync WAL-streaming replication) and drive it through
-/// [`ClusterClient`]s: every 4th operation per thread enrolls a fresh
-/// account (acked only after its backup's durable apply), the rest log in
-/// as that thread's earlier accounts through ring routing.  Every ack is
-/// verified; the count is acked operations in the measurement window.
+/// [`ClusterClient`]s (see [`spawn_cluster_workers`] for the load shape).
+/// The count is acked operations in the measurement window.
 fn run_cluster_scenario(
     label: &str,
     template: &ServerConfig,
@@ -381,43 +439,7 @@ fn run_cluster_scenario(
     let counted = Arc::new(AtomicU64::new(0));
     let measuring = Arc::new(AtomicBool::new(false));
     let stop = Arc::new(AtomicBool::new(false));
-    let mut workers = Vec::new();
-    for _ in 0..threads {
-        let members = members.clone();
-        let counted = Arc::clone(&counted);
-        let measuring = Arc::clone(&measuring);
-        let stop = Arc::clone(&stop);
-        workers.push(std::thread::spawn(move || {
-            let mut client = ClusterClient::new(&members);
-            // This thread's enrolled population: (name, click seed).
-            let mut enrolled: Vec<(String, u64)> = Vec::new();
-            let mut turn = 0usize;
-            while !stop.load(Ordering::Relaxed) {
-                if enrolled.is_empty() || turn.is_multiple_of(4) {
-                    let id = ENROLL_SEQ.fetch_add(1, Ordering::Relaxed);
-                    let name = format!("cluster-{id}");
-                    client
-                        .enroll(&name, &user_clicks(id as usize))
-                        .expect("replicated enroll must ack");
-                    enrolled.push((name, id));
-                } else {
-                    let (name, id) = &enrolled[turn % enrolled.len()];
-                    let (decision, _) = client
-                        .login(name, &user_clicks(*id as usize))
-                        .expect("routed login must complete");
-                    assert_eq!(
-                        decision,
-                        LoginDecision::Accepted,
-                        "enrolled account must log in"
-                    );
-                }
-                turn += 1;
-                if measuring.load(Ordering::Relaxed) {
-                    counted.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }));
-    }
+    let workers = spawn_cluster_workers(&members, threads, &counted, &measuring, &stop);
 
     std::thread::sleep(Duration::from_millis(300));
     let started = Instant::now();
@@ -458,6 +480,100 @@ fn run_cluster_best_of(
     let mut best: Option<ClusterLoadResult> = None;
     for _ in 0..trials.max(1) {
         let result = run_cluster_scenario(label, template, nodes, threads, secs);
+        if best
+            .as_ref()
+            .is_none_or(|b| result.ops_per_sec() > b.ops_per_sec())
+        {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one trial")
+}
+
+/// The rejoin scenario: the same replicated load as
+/// [`run_cluster_scenario`], but the last node is killed a quarter into
+/// the measured window and restarted — crash recovery, ring re-admission,
+/// catch-up transfer, traffic gate — at the halfway mark.  The count is
+/// acked operations over the *whole* window, pricing a failover plus a
+/// catch-up-gated rejoin end to end.
+fn run_cluster_rejoin_scenario(
+    label: &str,
+    template: &ServerConfig,
+    nodes: usize,
+    threads: usize,
+    secs: f64,
+) -> ClusterLoadResult {
+    let root = ScratchDir::create("cluster-rejoin");
+    let mut cluster = Cluster::spawn(
+        nodes,
+        template.clone(),
+        ReplicatorConfig::default(),
+        root.path(),
+    )
+    .expect("spawn cluster");
+    let members = cluster.members();
+
+    let counted = Arc::new(AtomicU64::new(0));
+    let measuring = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = spawn_cluster_workers(&members, threads, &counted, &measuring, &stop);
+
+    std::thread::sleep(Duration::from_millis(300));
+    let quarter = Duration::from_secs_f64(secs / 4.0);
+    let started = Instant::now();
+    measuring.store(true, Ordering::Relaxed);
+    std::thread::sleep(quarter);
+    cluster.kill(nodes - 1);
+    std::thread::sleep(quarter);
+    // The restart call blocks through catch-up — that wall-clock is part
+    // of the measured window, exactly as an operator would experience it.
+    let report = cluster.restart(nodes - 1).expect("rejoin restart");
+    assert!(
+        report.completed(),
+        "catch-up must complete against live peers: {report:?}"
+    );
+    // Run out the window (the catch-up may have eaten into it; ops/s is
+    // computed over the true elapsed time either way).
+    let deadline = started + quarter * 4;
+    let now = Instant::now();
+    if now < deadline {
+        std::thread::sleep(deadline - now);
+    }
+    measuring.store(false, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        worker.join().expect("cluster rejoin load thread");
+    }
+    cluster.shutdown();
+
+    let result = ClusterLoadResult {
+        ops: counted.load(Ordering::Relaxed),
+        elapsed,
+    };
+    eprintln!(
+        "[authload] {label:<18} {:>9.0} ops/s  ({} acked ops / {:.2}s, {nodes} nodes, \
+         kill@25% + catch-up rejoin@50%, {} records caught up)",
+        result.ops_per_sec(),
+        result.ops,
+        result.elapsed.as_secs_f64(),
+        report.records_applied(),
+    );
+    result
+}
+
+/// Best-of wrapper for the rejoin scenario.
+fn run_cluster_rejoin_best_of(
+    label: &str,
+    template: &ServerConfig,
+    nodes: usize,
+    threads: usize,
+    secs: f64,
+    trials: usize,
+) -> ClusterLoadResult {
+    let mut best: Option<ClusterLoadResult> = None;
+    for _ in 0..trials.max(1) {
+        let result = run_cluster_rejoin_scenario(label, template, nodes, threads, secs);
         if best
             .as_ref()
             .is_none_or(|b| result.ops_per_sec() > b.ops_per_sec())
@@ -663,6 +779,9 @@ fn main() {
         let cluster = enabled("cluster_sync").then(|| {
             run_cluster_best_of("cluster_sync", &reactor_config, 3, threads, secs, trials)
         });
+        let cluster_rejoin = enabled("cluster_rejoin").then(|| {
+            run_cluster_rejoin_best_of("cluster_rejoin", &reactor_config, 3, threads, secs, trials)
+        });
 
         if let Some(reactive) = &reactive {
             fresh.set_result("authload/reactor_ns_per_login", reactive.ns_per_login());
@@ -720,6 +839,12 @@ fn main() {
             fresh.set_result("authload/cluster_sync_ns_per_op", cluster.ns_per_op());
             fresh.set_throughput("authload/cluster_sync_ops_per_sec", cluster.ops_per_sec());
         }
+        if let Some(rejoin) = &cluster_rejoin {
+            // Replicated serving across a kill + catch-up-gated rejoin:
+            // acked ops/s over the whole window, failover included.
+            fresh.set_result("authload/cluster_rejoin_ns_per_op", rejoin.ns_per_op());
+            fresh.set_throughput("authload/cluster_rejoin_ops_per_sec", rejoin.ops_per_sec());
+        }
         if let (Some(reactive), Some(pooled)) = (&reactive, &pooled) {
             let ratio = reactive.logins_per_sec() / pooled.logins_per_sec();
             eprintln!("[authload] reactor/pooled {ratio:.2}x");
@@ -749,6 +874,11 @@ fn main() {
             let ratio = cluster.ops_per_sec() / durable.logins_per_sec();
             eprintln!("[authload] cluster/single-durable {ratio:.2}x");
             fresh.set_speedup("authload_cluster_sync_vs_single_durable", ratio);
+        }
+        if let (Some(rejoin), Some(cluster)) = (&cluster_rejoin, &cluster) {
+            let ratio = rejoin.ops_per_sec() / cluster.ops_per_sec();
+            eprintln!("[authload] rejoin-window/steady cluster {ratio:.2}x");
+            fresh.set_speedup("authload_cluster_rejoin_vs_steady", ratio);
         }
     } else {
         eprintln!(

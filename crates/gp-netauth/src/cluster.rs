@@ -16,8 +16,20 @@
 //!   listener (an asymmetric partition: clients still reach the node,
 //!   peers cannot);
 //! * [`Cluster::restart`] — crash-recover the node from its own
-//!   snapshots + WAL tails and re-admit it to every survivor's ring (the
-//!   operator runbook in the README is exactly this call, by hand).
+//!   snapshots + WAL tails, re-admit it to every survivor's ring, *catch
+//!   it up* ([`crate::replication::catch_up_from_peers`]) and only then
+//!   start its auth listener (the operator runbook in the README is
+//!   exactly this call, by hand).
+//!
+//! Restart ordering is load-bearing for rejoin completeness: survivors'
+//! rings re-admit the node **before** catch-up starts, so every record
+//! enrolled concurrently either streams live to the joiner or is already
+//! in the snapshot a peer scans — and the auth listener (the only address
+//! clients route to) starts **after** catch-up, so the node takes no
+//! traffic for ranges it does not yet hold.  Each node also runs a
+//! background anti-entropy thread ([`crate::replication::spawn_anti_entropy`])
+//! that digest-compares its primary ranges against their backups and
+//! repairs divergence.
 //!
 //! [`ClusterClient`] mirrors the placement logic with its own
 //! [`HashRing`] (deterministic placement needs no coordination): each
@@ -32,11 +44,13 @@ use crate::client::AuthClient;
 use crate::error::NetAuthError;
 use crate::protocol::LoginDecision;
 use crate::replication::{
-    spawn_replication_listener, ReplicationHandle, ReplicationSink, Replicator, ReplicatorConfig,
+    catch_up_from_peers, spawn_anti_entropy, spawn_replication_listener, AntiEntropyHandle,
+    AntiEntropyRound, CatchupOptions, CatchupReport, ReplicationHandle, ReplicationSink,
+    Replicator, ReplicatorConfig,
 };
 use crate::server::{AuthServer, DurabilityConfig, ServerConfig, ServerHandle};
 use gp_geometry::Point;
-use gp_passwords::HashRing;
+use gp_passwords::{HashRing, ShardedPasswordStore};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -52,6 +66,8 @@ struct RunningNode {
     /// `None` after [`Cluster::sever_replication`].
     repl: Option<ReplicationHandle>,
     replicator: Arc<Replicator>,
+    /// `None` when [`ReplicatorConfig::anti_entropy_interval`] is zero.
+    anti_entropy: Option<AntiEntropyHandle>,
 }
 
 /// One cluster slot: identity and storage outlive kills.
@@ -126,6 +142,7 @@ impl Cluster {
                 peers,
                 cluster.repl_config,
             ));
+            let store = server.store();
             let sink: Arc<dyn ReplicationSink> = Arc::clone(&replicator) as _;
             let auth = server.with_replication(sink).spawn()?;
             cluster.log_event(&format!(
@@ -134,13 +151,33 @@ impl Cluster {
                 auth.addr(),
                 repl.addr()
             ));
+            let anti_entropy = cluster.spawn_node_anti_entropy(&replicator, &store);
             cluster.slots[i].running = Some(RunningNode {
                 auth,
                 repl: Some(repl),
                 replicator,
+                anti_entropy,
             });
         }
         Ok(cluster)
+    }
+
+    /// Start a node's background anti-entropy thread, unless disabled by
+    /// a zero [`ReplicatorConfig::anti_entropy_interval`].
+    fn spawn_node_anti_entropy(
+        &self,
+        replicator: &Arc<Replicator>,
+        store: &Arc<ShardedPasswordStore>,
+    ) -> Option<AntiEntropyHandle> {
+        let interval = self.repl_config.anti_entropy_interval;
+        if interval.is_zero() {
+            return None;
+        }
+        Some(spawn_anti_entropy(
+            Arc::clone(replicator),
+            Arc::clone(store),
+            interval,
+        ))
     }
 
     fn open_node(&self, node_id: &str, data_dir: &Path) -> Result<AuthServer, NetAuthError> {
@@ -206,8 +243,11 @@ impl Cluster {
     /// last acked mutation left it) and stop its replication listener.
     /// No-op on an already-dead node.
     pub fn kill(&mut self, i: usize) {
-        if let Some(running) = self.slots[i].running.take() {
+        if let Some(mut running) = self.slots[i].running.take() {
             self.log_event(&format!("kill {}", self.slots[i].node_id));
+            if let Some(mut anti_entropy) = running.anti_entropy.take() {
+                anti_entropy.shutdown();
+            }
             running.auth.abort();
             if let Some(mut repl) = running.repl {
                 repl.shutdown();
@@ -229,9 +269,22 @@ impl Cluster {
 
     /// Recover a dead node from its own durable directory and re-admit it
     /// everywhere: crash-recover the store (snapshots + WAL tails), start
-    /// fresh listeners, and point every survivor's replicator at the new
-    /// replication address.  This is the operator runbook, as a method.
-    pub fn restart(&mut self, i: usize) -> Result<(), NetAuthError> {
+    /// a fresh replication listener, re-admit the node to every
+    /// survivor's ring, catch it up from its peers, and only then start
+    /// the auth listener.  This is the operator runbook, as a method.
+    pub fn restart(&mut self, i: usize) -> Result<CatchupReport, NetAuthError> {
+        self.restart_with_catchup(i, CatchupOptions::default())
+    }
+
+    /// [`Cluster::restart`] with explicit [`CatchupOptions`] — the fault
+    /// harness sets [`CatchupOptions::abort_after_records`] to interrupt
+    /// the state transfer mid-stream and observe the gated, partially
+    /// caught-up node.
+    pub fn restart_with_catchup(
+        &mut self,
+        i: usize,
+        options: CatchupOptions,
+    ) -> Result<CatchupReport, NetAuthError> {
         assert!(
             self.slots[i].running.is_none(),
             "restart targets a dead node"
@@ -239,7 +292,8 @@ impl Cluster {
         let node_id = self.slots[i].node_id.clone();
         let data_dir = self.slots[i].data_dir.clone();
         let server = self.open_node(&node_id, &data_dir)?;
-        let repl = spawn_replication_listener(&node_id, server.store())?;
+        let store = server.store();
+        let repl = spawn_replication_listener(&node_id, Arc::clone(&store))?;
 
         // The restarted node replicates to the peers as they are *now*
         // (their replication addresses never changed while they lived).
@@ -253,7 +307,45 @@ impl Cluster {
                 Some((slot.node_id.clone(), addr))
             })
             .collect();
-        let replicator = Arc::new(Replicator::new(&node_id, peers, self.repl_config));
+        let replicator = Arc::new(Replicator::new(&node_id, peers.clone(), self.repl_config));
+
+        // Re-admit the node to every survivor's ring *before* catch-up:
+        // from this instant new writes for its ranges stream to it live,
+        // so per peer everything is either in the live stream or in the
+        // snapshot that peer scans next (overlap is harmless — applying
+        // is idempotent).  Clients cannot route here yet: the auth
+        // listener — the traffic gate — is still down.
+        let new_repl_addr = repl.addr();
+        for slot in &self.slots {
+            if let Some(running) = slot.running.as_ref() {
+                running.replicator.update_peer(&node_id, new_repl_addr);
+            }
+        }
+
+        self.log_event(&format!("catchup-begin {node_id}"));
+        let members: Vec<String> = self
+            .slots
+            .iter()
+            .filter(|slot| slot.node_id == node_id || slot.running.is_some())
+            .map(|slot| slot.node_id.clone())
+            .collect();
+        let report = catch_up_from_peers(&node_id, &members, &peers, &store, &options);
+        if report.completed() {
+            self.log_event(&format!(
+                "admitted-after-catchup {node_id} records={}",
+                report.records_applied()
+            ));
+        } else {
+            // Availability over completeness: the node serves anyway (its
+            // own recovered WAL plus whatever streamed), anti-entropy and
+            // a manual [`Cluster::catch_up`] close the gap.
+            self.log_event(&format!(
+                "catchup-incomplete {node_id} records={}",
+                report.records_applied()
+            ));
+        }
+
+        // Traffic gate: only now does the node take client traffic.
         let sink: Arc<dyn ReplicationSink> = Arc::clone(&replicator) as _;
         let auth = server.with_replication(sink).spawn()?;
         self.log_event(&format!(
@@ -261,27 +353,82 @@ impl Cluster {
             auth.addr(),
             repl.addr()
         ));
-
-        // Survivors learn the fresh replication port and re-admit the
-        // node to their rings.
-        let new_repl_addr = repl.addr();
-        for slot in &self.slots {
-            if let Some(running) = slot.running.as_ref() {
-                running.replicator.update_peer(&node_id, new_repl_addr);
-            }
-        }
+        let anti_entropy = self.spawn_node_anti_entropy(&replicator, &store);
         self.slots[i].running = Some(RunningNode {
             auth,
             repl: Some(repl),
             replicator,
+            anti_entropy,
         });
-        Ok(())
+        Ok(report)
+    }
+
+    /// Re-run catch-up on a *live* node (e.g. after a restart whose
+    /// transfer was interrupted): stream every record the node backs from
+    /// its live peers and apply idempotently.
+    pub fn catch_up(&self, i: usize, options: CatchupOptions) -> CatchupReport {
+        let node_id = self.slots[i].node_id.clone();
+        let store = {
+            let running = self.slots[i]
+                .running
+                .as_ref()
+                .expect("catch_up targets a live node");
+            running.auth.server().store()
+        };
+        let peers: BTreeMap<String, SocketAddr> = self
+            .slots
+            .iter()
+            .filter(|slot| slot.node_id != node_id)
+            .filter_map(|slot| {
+                let running = slot.running.as_ref()?;
+                let addr = running.repl.as_ref()?.addr();
+                Some((slot.node_id.clone(), addr))
+            })
+            .collect();
+        let members: Vec<String> = self
+            .slots
+            .iter()
+            .filter(|slot| slot.node_id == node_id || slot.running.is_some())
+            .map(|slot| slot.node_id.clone())
+            .collect();
+        self.log_event(&format!("catchup-begin {node_id}"));
+        let report = catch_up_from_peers(&node_id, &members, &peers, &store, &options);
+        self.log_event(&format!(
+            "{} {node_id} records={}",
+            if report.completed() {
+                "admitted-after-catchup"
+            } else {
+                "catchup-incomplete"
+            },
+            report.records_applied()
+        ));
+        report
+    }
+
+    /// Run one synchronous anti-entropy round on node `i` (in addition to
+    /// whatever the background thread does).  `None` on a dead node.
+    pub fn anti_entropy_round(&self, i: usize) -> Option<AntiEntropyRound> {
+        let running = self.slots[i].running.as_ref()?;
+        let store = running.auth.server().store();
+        Some(running.replicator.anti_entropy_round(&store))
+    }
+
+    /// A live node's account store (the harness inspects *local* replica
+    /// completeness with it).  `None` on a dead node.
+    pub fn store(&self, i: usize) -> Option<Arc<ShardedPasswordStore>> {
+        self.slots[i]
+            .running
+            .as_ref()
+            .map(|r| r.auth.server().store())
     }
 
     /// Gracefully stop every live node.
     pub fn shutdown(mut self) {
         for slot in &mut self.slots {
-            if let Some(running) = slot.running.take() {
+            if let Some(mut running) = slot.running.take() {
+                if let Some(mut anti_entropy) = running.anti_entropy.take() {
+                    anti_entropy.shutdown();
+                }
                 running.auth.shutdown();
                 if let Some(mut repl) = running.repl {
                     repl.shutdown();

@@ -45,13 +45,20 @@
 //!   (chosen on a consistent-hash ring) and, in sync mode, acknowledged
 //!   to the client only after the backup's durable apply.  Failure
 //!   handling is crash-only: a peer whose stream dies twice is evicted
-//!   from the ring and replicas re-route to the next successor.
+//!   from the ring and replicas re-route to the next successor.  Two
+//!   back-fill paths keep replicas complete: **catch-up**
+//!   ([`replication::catch_up_from_peers`]) streams a (re)joining node a
+//!   snapshot of every record it backs, and **anti-entropy**
+//!   ([`replication::spawn_anti_entropy`]) periodically digest-compares
+//!   each primary→backup range and repairs divergence record-by-record.
 //! * [`cluster`] — a loopback [`cluster::Cluster`] of replicated nodes
 //!   with crash-only fault hooks (kill / sever / restart) and the
 //!   ring-routing [`cluster::ClusterClient`], whose transport-failure
 //!   handling promotes exactly the node holding an account's replica.
-//!   The kill-under-load harness (`tests/cluster_failover.rs`) proves no
-//!   acked enrollment is ever lost.
+//!   A restarted node is ring-admitted but traffic-gated until catch-up
+//!   completes.  The kill-under-load harness (`tests/cluster_failover.rs`)
+//!   proves no acked enrollment is ever lost — including across a kill +
+//!   rejoin.
 //!
 //! # Request flow (reactor mode, Linux)
 //!
@@ -107,8 +114,9 @@ pub use gp_passwords::FsyncPolicy;
 pub use lockout::LockoutTracker;
 pub use protocol::{ClientMessage, LoginDecision, ServerMessage};
 pub use replication::{
-    ReplicaMessage, ReplicationHandle, ReplicationMode, ReplicationSink, Replicator,
-    ReplicatorConfig,
+    catch_up_from_peers, spawn_anti_entropy, AntiEntropyHandle, AntiEntropyRound, CatchupOptions,
+    CatchupReport, PeerCatchup, ReplicaMessage, ReplicationHandle, ReplicationMode,
+    ReplicationSink, ReplicationStats, Replicator, ReplicatorConfig,
 };
 pub use server::{
     AuthServer, DurabilityConfig, ServerConfig, ServerHandle, ServerStats, ServingMode,

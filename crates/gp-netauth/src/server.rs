@@ -297,6 +297,9 @@ pub struct ServerStats {
     pub shards: Vec<ShardStats>,
     /// Batch-verifier coalescing counters.
     pub batch: BatchStats,
+    /// Replication and anti-entropy repair counters, when a sink that
+    /// tracks them (a [`crate::replication::Replicator`]) is attached.
+    pub replication: Option<crate::replication::ReplicationStats>,
 }
 
 /// What phase 1 of request processing decided for one pipelined request.
@@ -893,6 +896,7 @@ impl AuthServer {
             workers,
             shards: self.store.stats(),
             batch: self.verifier.stats(),
+            replication: self.replication.as_ref().and_then(|sink| sink.stats()),
         }
     }
 

@@ -18,6 +18,12 @@
 //!   from its own WAL + snapshots, rejoins every survivor's ring, and
 //!   the cluster serves all accounts, including those enrolled while it
 //!   was dead.
+//! * **rejoin completeness** (`rejoin_*` scenarios, run as their own CI
+//!   leg) — the stronger, *local* invariant: after a kill + rejoin under
+//!   load, the restarted node's own store holds **every** acked record
+//!   it backs under the full-membership ring (not merely "some replica
+//!   answers").  Variants interrupt the catch-up transfer mid-stream and
+//!   inject record-level divergence for anti-entropy to repair.
 //!
 //! Set `GP_CLUSTER_LOG_DIR` to keep per-node stores and the cluster
 //! event log under that directory for post-mortem (CI uploads it as an
@@ -25,9 +31,10 @@
 
 use gp_geometry::Point;
 use gp_netauth::cluster::{Cluster, ClusterClient};
-use gp_netauth::replication::ReplicatorConfig;
+use gp_netauth::replication::{CatchupOptions, ReplicatorConfig};
 use gp_netauth::server::ServerConfig;
 use gp_netauth::LoginDecision;
+use gp_passwords::HashRing;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -143,6 +150,37 @@ fn verify_every_acked_account(cluster: &Cluster, acked: &AckLog) {
             "acked account {name} must log in"
         );
     }
+}
+
+/// Assert the *local* replica-completeness invariant on node `i`: its
+/// own store holds every acked account the full-membership ring says it
+/// backs (as owner or backup).  This is stronger than "every account
+/// still logs in somewhere" — it proves the rejoin actually transferred
+/// the node's ranges, not that the other replicas are covering for it.
+fn assert_local_replica_complete(cluster: &Cluster, i: usize, acked: &[String]) {
+    let ids: Vec<String> = (0..cluster.len())
+        .map(|j| cluster.node_id(j).to_string())
+        .collect();
+    let ring = HashRing::with_nodes(&ids);
+    let node = cluster.node_id(i).to_string();
+    let store = cluster.store(i).expect("inspected node must be live");
+    let mut backed = 0usize;
+    for name in acked {
+        if ring.holds(name, &node) {
+            backed += 1;
+            assert!(
+                store.get(name).is_some(),
+                "{node} backs acked account {name} but its local store lacks it"
+            );
+        }
+    }
+    assert!(
+        backed > 0,
+        "the scenario must have acked accounts in {node}'s ranges"
+    );
+    cluster.log_event(&format!(
+        "harness: {node} locally holds all {backed} acked accounts it backs"
+    ));
 }
 
 /// The acceptance scenario: kill a primary mid-burst under concurrent
@@ -287,6 +325,174 @@ fn a_restarted_node_rejoins_and_every_account_still_logs_in() {
         );
     }
     verify_every_acked_account(&cluster, &acked);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Rejoin completeness under load: enroll concurrently, kill a node, keep
+/// enrolling (the dead node's ranges shift to survivors), restart it —
+/// catch-up must complete before the node takes traffic — and then prove
+/// the restarted node's *local* store holds every acked record it backs
+/// under the full ring, including records enrolled while it was dead and
+/// records enrolled concurrently with the catch-up itself.
+#[test]
+fn rejoin_completeness_after_catchup_under_load() {
+    let (mut cluster, root) = cluster_of(3, "rejoin-complete");
+    let members = cluster.members();
+    let acked: AckLog = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let load = spawn_load(&members, 3, &acked, &stop);
+
+    wait_for_acks(&acked, 30);
+    cluster.kill(1);
+    let at_kill = acked_count(&acked);
+    // A solid chunk of traffic lands while node-1 is dead: these are the
+    // records catch-up must transfer back.
+    wait_for_acks(&acked, at_kill + 40);
+    let report = cluster.restart(1).expect("restart from own durable dir");
+    assert!(
+        report.completed(),
+        "catch-up must complete against both live peers: {report:?}"
+    );
+    let at_restart = acked_count(&acked);
+    wait_for_acks(&acked, at_restart + 20);
+    stop.store(true, Ordering::Relaxed);
+    for join in load {
+        join.join().expect("enroller must survive kill + rejoin");
+    }
+
+    verify_every_acked_account(&cluster, &acked);
+    let names = acked.lock().unwrap().clone();
+    assert_local_replica_complete(&cluster, 1, &names);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// An interrupted state transfer (the stream aborted mid-catch-up) leaves
+/// the joiner consistent: the applied prefix is durable, the range is
+/// *not* counted caught-up, and a retried catch-up replays idempotently
+/// to full completeness.
+#[test]
+fn rejoin_interrupted_catchup_retries_idempotently() {
+    let (mut cluster, root) = cluster_of(3, "rejoin-interrupt");
+    let members = cluster.members();
+
+    // A settled population, no concurrent load: the record counts below
+    // must be exact.
+    let mut client = ClusterClient::new(&members);
+    let mut names = Vec::new();
+    for i in 0..40u32 {
+        let name = format!("steady-user{i}");
+        client.enroll(&name, &clicks_for(&name)).unwrap();
+        names.push(name);
+    }
+    cluster.kill(2);
+    // Enroll more while node-2 is dead — the records catch-up must carry.
+    let mut client = ClusterClient::new(&cluster.members());
+    for i in 0..40u32 {
+        let name = format!("while-dead-user{i}");
+        client.enroll(&name, &clicks_for(&name)).unwrap();
+        names.push(name);
+    }
+
+    // Interrupt the transfer after 3 records: the node comes up gated on
+    // an incomplete report, with exactly the applied prefix extra.
+    let aborted = cluster
+        .restart_with_catchup(
+            2,
+            CatchupOptions {
+                abort_after_records: Some(3),
+                ..CatchupOptions::default()
+            },
+        )
+        .expect("restart itself must succeed");
+    assert!(
+        !aborted.completed(),
+        "an aborted stream must not count as caught-up: {aborted:?}"
+    );
+
+    // Retry on the live node: idempotent replay converges to complete.
+    let retried = cluster.catch_up(2, CatchupOptions::default());
+    assert!(retried.completed(), "retried catch-up: {retried:?}");
+
+    verify_every_acked_account(&cluster, &Arc::new(Mutex::new(names.clone())));
+    assert_local_replica_complete(&cluster, 2, &names);
+    cluster.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Anti-entropy repairs injected record-level divergence in one round,
+/// in both directions: a backup that lost a record gets it pushed back,
+/// and a primary that lost a record pulls it from the backup.
+#[test]
+fn rejoin_anti_entropy_repairs_injected_divergence() {
+    let root = data_root("rejoin-entropy");
+    // Manual rounds only: a zero interval disables the background thread
+    // so the injected divergence stays until *we* repair it.
+    let repl_config = ReplicatorConfig {
+        anti_entropy_interval: Duration::ZERO,
+        ..ReplicatorConfig::default()
+    };
+    let cluster = Cluster::spawn(3, ServerConfig::fast_for_tests(), repl_config, &root)
+        .expect("spawn cluster");
+    let mut client = ClusterClient::new(&cluster.members());
+    let names: Vec<String> = (0..60u32).map(|i| format!("user{i}")).collect();
+    for name in &names {
+        client.enroll(name, &clicks_for(name)).unwrap();
+    }
+
+    // Two accounts in the (node-0 → node-1) range: one to lose on the
+    // backup (push repair), one to lose on the primary (pull repair).
+    let ids: Vec<String> = (0..cluster.len())
+        .map(|j| cluster.node_id(j).to_string())
+        .collect();
+    let ring = HashRing::with_nodes(&ids);
+    let in_range: Vec<&String> = names
+        .iter()
+        .filter(|name| ring.replica_pair(name) == Some(("node-0", Some("node-1"))))
+        .collect();
+    assert!(
+        in_range.len() >= 2,
+        "60 accounts must land at least twice in the (node-0, node-1) range"
+    );
+    let (lost_on_backup, lost_on_primary) = (in_range[0].clone(), in_range[1].clone());
+    assert!(cluster
+        .store(1)
+        .unwrap()
+        .remove(&lost_on_backup)
+        .expect("remove on backup"));
+    assert!(cluster
+        .store(0)
+        .unwrap()
+        .remove(&lost_on_primary)
+        .expect("remove on primary"));
+    cluster.log_event(&format!(
+        "harness: injected divergence — {lost_on_backup} off node-1, {lost_on_primary} off node-0"
+    ));
+
+    // One round on the range's primary repairs both directions.
+    let round = cluster
+        .anti_entropy_round(0)
+        .expect("node-0 is live")
+        .clone();
+    assert!(round.failed_peers.is_empty(), "{round:?}");
+    assert!(round.ranges_divergent >= 1, "{round:?}");
+    assert!(round.records_pushed >= 1, "push repair ran: {round:?}");
+    assert!(round.records_pulled >= 1, "pull repair ran: {round:?}");
+    assert!(
+        cluster.store(1).unwrap().get(&lost_on_backup).is_some(),
+        "push repair must restore the backup's copy"
+    );
+    assert!(
+        cluster.store(0).unwrap().get(&lost_on_primary).is_some(),
+        "pull repair must restore the primary's copy"
+    );
+
+    // A second round finds nothing left to repair in that range.
+    let quiet = cluster.anti_entropy_round(0).expect("node-0 is live");
+    assert_eq!(quiet.ranges_divergent, 0, "{quiet:?}");
+
+    verify_every_acked_account(&cluster, &Arc::new(Mutex::new(names)));
     cluster.shutdown();
     std::fs::remove_dir_all(&root).unwrap();
 }

@@ -95,7 +95,8 @@ pub use error::PasswordError;
 pub use policy::PasswordPolicy;
 pub use ring::HashRing;
 pub use shard::{
-    shard_index, DurabilityOptions, DurabilityStats, ShardStats, ShardedPasswordStore,
+    diff_range_entries, record_digest, shard_index, DurabilityOptions, DurabilityStats, RangeDiff,
+    RangeDigest, ShardStats, ShardedPasswordStore,
 };
 pub use store::PasswordStore;
 pub use stored::{ClickRecord, StoredPassword};

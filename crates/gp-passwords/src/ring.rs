@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// half the circle.  The multiply-xorshift finalizer spreads the entropy
 /// across all 64 bits, restoring the near-uniform arc lengths the
 /// vnode-count math assumes.
-fn mix64(mut z: u64) -> u64 {
+pub(crate) fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -175,6 +175,24 @@ impl HashRing {
     pub fn backup(&self, key: &str) -> Option<&str> {
         self.successors(key, 2).into_iter().nth(1)
     }
+
+    /// `key`'s replica pair: `(owner, backup)`.  The backup is `None` on
+    /// a single-node ring, the whole pair is `None` on an empty one.
+    /// This is the unit the anti-entropy digest exchange ranges over: a
+    /// *range* is the set of keys sharing one `(owner, backup)` pair.
+    pub fn replica_pair(&self, key: &str) -> Option<(&str, Option<&str>)> {
+        let mut succ = self.successors(key, 2).into_iter();
+        let owner = succ.next()?;
+        Some((owner, succ.next()))
+    }
+
+    /// Whether `node` holds a copy of `key` under this membership — i.e.
+    /// it is the key's owner or its backup.  This is the predicate a
+    /// (re)joining node's catch-up transfer filters by: every peer
+    /// streams exactly the records the joiner now backs.
+    pub fn holds(&self, key: &str, node: &str) -> bool {
+        self.successors(key, 2).contains(&node)
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +289,30 @@ mod tests {
                 "{key}: moved to {new_owner}, not the joiner"
             );
         }
+    }
+
+    #[test]
+    fn replica_pair_and_holds_agree_with_successors() {
+        let ring = HashRing::with_nodes(["a", "b", "c", "d"]);
+        for key in keys() {
+            let succ = ring.successors(&key, 2);
+            let (owner, backup) = ring.replica_pair(&key).unwrap();
+            assert_eq!(owner, succ[0]);
+            assert_eq!(backup, Some(succ[1]));
+            for node in ["a", "b", "c", "d"] {
+                assert_eq!(
+                    ring.holds(&key, node),
+                    succ.contains(&node),
+                    "{key} on {node}"
+                );
+            }
+        }
+        assert!(HashRing::new(8).replica_pair("alice").is_none());
+        let mut solo = HashRing::new(8);
+        solo.join("only");
+        assert_eq!(solo.replica_pair("alice"), Some(("only", None)));
+        assert!(solo.holds("alice", "only"));
+        assert!(!solo.holds("alice", "other"));
     }
 
     #[test]

@@ -55,6 +55,109 @@ pub fn shard_index(username: &str, shards: usize) -> usize {
     (fnv1a64(username.as_bytes()) % shards as u64) as usize
 }
 
+/// Canonical content hash of one stored record: FNV-1a over the record's
+/// line serialization ([`StoredPassword::to_record`], the exact bytes the
+/// WAL and the replication stream carry), finalized with the same
+/// splitmix mixer the ring uses so the value diffuses into all 64 bits.
+///
+/// Two replicas that applied the same WAL payload hold byte-identical
+/// serializations, so equal records hash equal on every node — this is
+/// the unit the anti-entropy digest and the record-level diff compare.
+pub fn record_digest(record: &StoredPassword) -> u64 {
+    crate::ring::mix64(fnv1a64(record.to_record().as_bytes()))
+}
+
+/// Order-independent digest of a *set* of account records.
+///
+/// Records are folded commutatively (count, wrapping sum and xor of each
+/// record's [`record_digest`]), so two stores that iterate their shards
+/// in different orders — or hold the same accounts under different shard
+/// counts — still produce identical digests.  Two digests are equal iff
+/// the underlying record sets are equal, up to 64-bit hash collisions
+/// (checked by the proptest suite in `tests/proptest_digest.rs`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeDigest {
+    /// Number of records in the range.
+    pub count: u64,
+    /// Wrapping sum of the records' [`record_digest`]s.
+    pub sum: u64,
+    /// Xor of the records' [`record_digest`]s.
+    pub xor: u64,
+}
+
+impl RangeDigest {
+    /// Fold one record into the digest.
+    pub fn add(&mut self, record: &StoredPassword) {
+        self.add_hash(record_digest(record));
+    }
+
+    /// Fold an already-computed [`record_digest`] into the digest.
+    pub fn add_hash(&mut self, hash: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(hash);
+        self.xor ^= hash;
+    }
+
+    /// Whether the range holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// The record-level difference between a primary's range and a backup's,
+/// computed by [`diff_range_entries`].  Conflicts (same account, different
+/// record bytes) resolve primary-wins: the primary is the node that acked
+/// the entry to a client, so its copy is authoritative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeDiff {
+    /// Accounts the primary must push: missing on the backup, or present
+    /// with different record bytes.
+    pub push: Vec<String>,
+    /// Accounts the primary must pull: present only on the backup (e.g.
+    /// a primary that rejoined after records were written in its absence).
+    pub pull: Vec<String>,
+}
+
+impl RangeDiff {
+    /// Whether the two ranges already agree.
+    pub fn is_empty(&self) -> bool {
+        self.push.is_empty() && self.pull.is_empty()
+    }
+}
+
+/// Diff two ranges given their sorted `(username, record_digest)` entry
+/// lists (as produced by [`ShardedPasswordStore::range_entries`]).  One
+/// merge pass; after copying `push` primary→backup and `pull`
+/// backup→primary, both sides' [`RangeDigest`]s are equal.
+pub fn diff_range_entries(primary: &[(String, u64)], backup: &[(String, u64)]) -> RangeDiff {
+    let mut diff = RangeDiff::default();
+    let (mut p, mut b) = (0, 0);
+    while p < primary.len() && b < backup.len() {
+        match primary[p].0.cmp(&backup[b].0) {
+            std::cmp::Ordering::Less => {
+                diff.push.push(primary[p].0.clone());
+                p += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                diff.pull.push(backup[b].0.clone());
+                b += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if primary[p].1 != backup[b].1 {
+                    diff.push.push(primary[p].0.clone());
+                }
+                p += 1;
+                b += 1;
+            }
+        }
+    }
+    diff.push
+        .extend(primary[p..].iter().map(|(name, _)| name.clone()));
+    diff.pull
+        .extend(backup[b..].iter().map(|(name, _)| name.clone()));
+    diff
+}
+
 /// A resident account: the stored record plus its precomputed per-salt
 /// hashing state.
 ///
@@ -684,6 +787,64 @@ impl ShardedPasswordStore {
             .collect();
         records.sort_by(|a, b| a.username.cmp(&b.username));
         records
+    }
+
+    /// The stored records whose account name satisfies `range`, sorted by
+    /// name.  Each shard is scanned under its own read lock (shard-level
+    /// consistency: a record is either in the result or not, never torn),
+    /// which is what a catch-up transfer streams to a (re)joining node.
+    pub fn records_in_range(&self, range: impl Fn(&str) -> bool) -> Vec<StoredPassword> {
+        let mut records: Vec<StoredPassword> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.accounts
+                    .read()
+                    .values()
+                    .filter(|entry| range(&entry.stored.username))
+                    .map(|entry| entry.stored.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        records.sort_by(|a, b| a.username.cmp(&b.username));
+        records
+    }
+
+    /// `(username, record_digest)` pairs for every account in `range`,
+    /// sorted by name — the record-level summary two replicas exchange
+    /// (and [`diff_range_entries`] merges) once their [`RangeDigest`]s
+    /// disagree.
+    pub fn range_entries(&self, range: impl Fn(&str) -> bool) -> Vec<(String, u64)> {
+        let mut entries: Vec<(String, u64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.accounts
+                    .read()
+                    .values()
+                    .filter(|entry| range(&entry.stored.username))
+                    .map(|entry| (entry.stored.username.clone(), record_digest(&entry.stored)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Order-independent digest over every account in `range` — the flat
+    /// per-range digest the anti-entropy exchange compares between a
+    /// primary and its backup.  Equal iff the two record sets are equal
+    /// (modulo 64-bit collisions).
+    pub fn range_digest(&self, range: impl Fn(&str) -> bool) -> RangeDigest {
+        let mut digest = RangeDigest::default();
+        for shard in &self.shards {
+            for entry in shard.accounts.read().values() {
+                if range(&entry.stored.username) {
+                    digest.add(&entry.stored);
+                }
+            }
+        }
+        digest
     }
 
     /// Per-shard size and traffic snapshot.
