@@ -1,0 +1,5 @@
+//! L1 clean counterpart: the barrier runs first, then the ack is built.
+fn settle_enroll_after_barrier(turn: Turn) -> ServerMessage {
+    store.group_commit(&turn.records);
+    ServerMessage::EnrollOk { user: turn.user }
+}

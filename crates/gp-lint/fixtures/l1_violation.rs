@@ -1,0 +1,7 @@
+//! L1 fixture: the `EnrollOk` ack is constructed before the durability
+//! barrier, so a crash between the two lines could ack a lost enroll.
+fn settle_enroll_early_ack(turn: Turn) -> ServerMessage {
+    let ack = ServerMessage::EnrollOk { user: turn.user };
+    store.group_commit(&turn.records);
+    ack
+}

@@ -1,0 +1,7 @@
+//! L2 clean counterpart: accounts before wal, the canonical order.
+fn index_then_append(&self, shard: usize) {
+    let mut accounts = self.accounts.write();
+    let wal = self.wals[shard].lock();
+    wal.append(3);
+    accounts.insert(1, 2);
+}

@@ -1,0 +1,8 @@
+//! L2 fixture: the WAL mutex is taken before the accounts RwLock,
+//! inverting the canonical `snap -> accounts -> wal` order.
+fn append_then_index(&self, shard: usize) {
+    let wal = self.wals[shard].lock();
+    let mut accounts = self.accounts.write();
+    accounts.insert(1, 2);
+    wal.append(3);
+}

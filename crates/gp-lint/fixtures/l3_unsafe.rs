@@ -1,0 +1,5 @@
+//! L3 fixture: an `unsafe` block. Flagged anywhere except
+//! `gp-netauth/src/sys.rs`; the test lints this file under both paths.
+fn read_raw(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,7 @@
+//! L4 clean counterpart: defensive handling instead of panicking calls.
+fn drive_defensively(conn: Option<&mut Conn>) -> bool {
+    let Some(conn) = conn else {
+        return false;
+    };
+    conn.ready
+}

@@ -1,0 +1,22 @@
+//! L4 fixture: panicking calls in a hot-path module, one suppressed via
+//! the counted allow escape hatch, one inside test code (ignored).
+fn drive(conn: Option<&mut Conn>) {
+    let conn = conn.unwrap();
+    conn.try_flush().expect("flush failed");
+    if conn.broken {
+        panic!("broken connection");
+    }
+}
+
+fn checked(v: Option<u32>) -> u32 {
+    // gp-lint: allow(L4, fixture-proven escape hatch)
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! L5 clean counterpart: the same graph, but the blocking hop is cut by
+//! an allow on the call-site line (the refresh is dispatched off-loop).
+// gp-lint: reactor-root
+fn run_loop() {
+    poll_once();
+}
+
+fn poll_once() {
+    // gp-lint: allow(L5, snapshot refresh is dispatched to the worker pool)
+    refresh_snapshot();
+}
+
+fn refresh_snapshot() {
+    let _f = File::open("snapshot.bin");
+}

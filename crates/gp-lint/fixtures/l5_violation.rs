@@ -1,0 +1,14 @@
+//! L5 fixture: a blocking `File::open` is reachable from the reactor
+//! event loop through two call hops.
+// gp-lint: reactor-root
+fn run_loop() {
+    poll_once();
+}
+
+fn poll_once() {
+    refresh_snapshot();
+}
+
+fn refresh_snapshot() {
+    let _f = File::open("snapshot.bin");
+}

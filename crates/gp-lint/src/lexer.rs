@@ -1,0 +1,399 @@
+//! Hand-rolled Rust lexer, just enough for the gp-lint rules.
+//!
+//! Produces a flat token stream with 1-based line numbers. It understands the
+//! lexical features that would otherwise corrupt a naive text scan: line and
+//! block comments (nested), string literals with escapes, raw strings with
+//! arbitrary `#` fencing, byte strings, char literals vs. lifetimes, and
+//! numeric literals. Everything else is an identifier or a one-character
+//! punctuation token.
+//!
+//! `// gp-lint:` directives are *not* thrown away with other comments — they
+//! are captured as [`Directive`]s so rules can honour allow-comments and root
+//! annotations.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// Single punctuation character (`{`, `}`, `.`, `(`, ...).
+    Punct(char),
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (for `Punct` this is the single character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True if this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct(ch)
+    }
+}
+
+/// A `// gp-lint: ...` comment captured from the source.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Text after the `gp-lint:` marker, trimmed.
+    pub body: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream in source order.
+    pub tokens: Vec<Token>,
+    /// All `// gp-lint:` directives, in source order.
+    pub directives: Vec<Directive>,
+}
+
+const DIRECTIVE_MARKER: &str = "gp-lint:";
+
+/// Lex `source` into tokens and gp-lint directives.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                capture_directive(source, start, i, line, &mut out.directives);
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Nested block comment; track newlines inside it.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                let (end, newlines) = scan_raw_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'\'' => {
+                let end = scan_char_literal(bytes, i + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = end;
+            }
+            b'"' => {
+                let (end, newlines) = scan_string(bytes, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+                let (end, newlines) = scan_string(bytes, i + 1);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                line += newlines;
+                i = end;
+            }
+            b'\'' => {
+                // Either a char literal or a lifetime. A char literal closes
+                // with `'` after one (possibly escaped) character; a lifetime
+                // is `'` followed by an identifier with no closing quote.
+                if is_char_literal(bytes, i) {
+                    let end = scan_char_literal(bytes, i);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                while i < bytes.len()
+                    && (is_ident_continue(bytes[i]) || bytes[i] == b'.')
+                    && !(bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.')
+                {
+                    // Stop a numeric scan before `..` so range punctuation
+                    // survives (`0..n`).
+                    if bytes[i] == b'.' && i + 1 < bytes.len() && !bytes[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(b as char),
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn capture_directive(
+    source: &str,
+    start: usize,
+    end: usize,
+    line: u32,
+    directives: &mut Vec<Directive>,
+) {
+    let comment = &source[start..end];
+    if let Some(pos) = comment.find(DIRECTIVE_MARKER) {
+        directives.push(Directive {
+            body: comment[pos + DIRECTIVE_MARKER.len()..].trim().to_string(),
+            line,
+        });
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Does the text at `i` start a raw (byte) string: `r"`, `r#`, `br"`, `br#`?
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    j < bytes.len() && (bytes[j] == b'"' || bytes[j] == b'#')
+}
+
+/// Scan a raw string starting at `i`; returns (index past it, newline count).
+fn scan_raw_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // skip 'r'
+    let mut hashes = 0usize;
+    while j < bytes.len() && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'"' {
+        return (j, 0); // malformed; treat conservatively
+    }
+    j += 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+            j += 1;
+        } else if bytes[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, newlines);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j, newlines)
+}
+
+/// Scan a normal string starting at the opening quote at `i`.
+fn scan_string(bytes: &[u8], i: usize) -> (usize, u32) {
+    let mut j = i + 1;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (j, newlines)
+}
+
+/// Is the quote at `i` the start of a char literal (vs. a lifetime)?
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    // `'\...'` is always a char literal.
+    if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+        return true;
+    }
+    // `'x'` — one char then a closing quote.
+    if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+        return true;
+    }
+    false
+}
+
+/// Scan a char literal starting at the opening quote at `i`.
+fn scan_char_literal(bytes: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let src = r##"
+// unsafe in a comment
+/* unsafe /* nested */ still comment */
+let s = "unsafe in a string";
+let r = r#"unsafe raw "quoted" string"#;
+let c = 'u';
+fn real() {}
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()), "ids: {ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+    }
+
+    #[test]
+    fn directives_are_captured_with_lines() {
+        let src = "fn a() {}\n// gp-lint: allow(L4, infallible by construction)\nfn b() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 1);
+        assert_eq!(lexed.directives[0].line, 2);
+        assert!(lexed.directives[0].body.starts_with("allow(L4"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\nthree\";\nfn after() {}\n";
+        let lexed = lex(src);
+        let f = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after");
+        assert_eq!(f.line, 4);
+    }
+}

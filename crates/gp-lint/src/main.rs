@@ -1,0 +1,138 @@
+//! CLI for `gp-lint`.
+//!
+//! ```text
+//! cargo run -p gp-lint -- --workspace [--report PATH]
+//! cargo run -p gp-lint -- FILE.rs [FILE.rs ...]
+//! ```
+//!
+//! `--workspace` scans `crates/` and `src/` from the current directory,
+//! skipping `vendor/`, `target/`, `fixtures/`, `tests/`, `benches/`, and
+//! `examples/`. Exit status is 1 when any rule fires. `--report` writes the
+//! full report (diagnostics plus the allow-directive inventory) to a file,
+//! which CI uploads as an artifact.
+
+use gp_lint::{lint_sources, Report, SourceFile};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directory names never descended into during a workspace scan.
+const SKIP_DIRS: &[&str] = &[
+    "vendor", "target", "fixtures", "tests", "benches", "examples", ".git",
+];
+
+fn main() -> ExitCode {
+    let mut workspace = false;
+    let mut report_path: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("gp-lint: --report requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: gp-lint [--workspace] [--report PATH] [FILE.rs ...]");
+                return ExitCode::SUCCESS;
+            }
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    if workspace {
+        for root in ["crates", "src"] {
+            collect_rs_files(Path::new(root), &mut files);
+        }
+        files.sort();
+    }
+    if files.is_empty() {
+        eprintln!("gp-lint: no input files (use --workspace or pass paths)");
+        return ExitCode::from(2);
+    }
+
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(content) => sources.push(SourceFile {
+                path: path.display().to_string(),
+                content,
+            }),
+            Err(err) => {
+                eprintln!("gp-lint: cannot read {}: {err}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = lint_sources(&sources);
+    let rendered = render(&report, sources.len());
+    print!("{rendered}");
+    if let Some(path) = report_path {
+        if let Err(err) = std::fs::write(&path, &rendered) {
+            eprintln!("gp-lint: cannot write report {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Recursively collect `.rs` files, skipping [`SKIP_DIRS`] components.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Render the report: diagnostics, allow inventory, summary line.
+fn render(report: &Report, scanned: usize) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}", d.render());
+    }
+    if !report.allows.is_empty() {
+        let _ = writeln!(out, "allow directives in effect ({}):", report.allows.len());
+        for a in &report.allows {
+            let _ = writeln!(
+                out,
+                "  {}:{}: allow({}) — {}",
+                a.file,
+                a.line,
+                a.rule.id(),
+                if a.reason.is_empty() {
+                    "(no reason)"
+                } else {
+                    &a.reason
+                }
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "gp-lint: {} file(s) scanned, {} violation(s), {} allow directive(s)",
+        scanned,
+        report.diagnostics.len(),
+        report.allows.len()
+    );
+    out
+}

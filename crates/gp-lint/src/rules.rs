@@ -1,0 +1,505 @@
+//! The five lint rules, evaluated over the [`crate::model::Model`].
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L1 | `EnrollOk` may not be constructed/encoded before the group-commit barrier in the same function |
+//! | L2 | lock acquisitions must follow the canonical `snap → accounts → wal` order, inter-function |
+//! | L3 | `unsafe` is confined to `gp-netauth/src/sys.rs` |
+//! | L4 | no `unwrap`/`expect`/`panic!` in non-test hot-path modules |
+//! | L5 | no blocking fs / un-timed connect calls reachable from the reactor event loop |
+//!
+//! Suppression: `// gp-lint: allow(<rule>, <reason>)` on the offending line or
+//! the line above. For L5 an allow on a *call site* line also cuts that call
+//! edge out of the reachability walk. `// gp-lint: reactor-root` marks the
+//! next `fn` in the file as an L5 reachability root.
+
+use crate::lexer::{Token, TokenKind};
+use crate::model::{LockClass, Model};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Durability ordering (ack-after-barrier).
+    L1,
+    /// Lock-order conformance.
+    L2,
+    /// Unsafe confinement.
+    L3,
+    /// Panic-freedom of hot-path modules.
+    L4,
+    /// Non-blocking reactor event loop.
+    L5,
+}
+
+impl Rule {
+    /// Stable id used in diagnostics and allow-comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+            Rule::L5 => "L5",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "L1" => Some(Rule::L1),
+            "L2" => Some(Rule::L2),
+            "L3" => Some(Rule::L3),
+            "L4" => Some(Rule::L4),
+            "L5" => Some(Rule::L5),
+            _ => None,
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File path as supplied to the linter.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Render as `file:line: error[Lx]: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: error[{}]: {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+/// A parsed `allow(...)` directive (counted and reported, not hidden).
+#[derive(Debug, Clone)]
+pub struct AllowUse {
+    /// File containing the directive.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Rule being suppressed.
+    pub rule: Rule,
+    /// The stated reason.
+    pub reason: String,
+}
+
+/// Full lint output: findings plus the allow-directive inventory.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every `allow(...)` directive seen, sorted by (file, line).
+    pub allows: Vec<AllowUse>,
+}
+
+/// Hot-path modules subject to L4 (path suffixes within the serving crates).
+const HOT_PATH_FILES: &[&str] = &[
+    "reactor.rs",
+    "server.rs",
+    "replication.rs",
+    "cluster.rs",
+    "wal.rs",
+    "shard.rs",
+];
+
+/// Function names that form the durability barrier for L1.
+const BARRIER_CALLS: &[&str] = &["commit_enrolls", "commit_shards", "group_commit"];
+
+/// Per-file directive state.
+struct FileDirectives {
+    allows: Vec<AllowUse>,
+    root_lines: Vec<u32>,
+}
+
+fn parse_directives(model: &Model) -> Vec<FileDirectives> {
+    let mut out = Vec::with_capacity(model.files.len());
+    for file in &model.files {
+        let mut allows = Vec::new();
+        let mut root_lines = Vec::new();
+        for d in &file.directives {
+            if d.body == "reactor-root" {
+                root_lines.push(d.line);
+            } else if let Some(rest) = d.body.strip_prefix("allow(") {
+                if let Some(inner) = rest.strip_suffix(')') {
+                    let (id, reason) = match inner.split_once(',') {
+                        Some((id, reason)) => (id.trim(), reason.trim()),
+                        None => (inner.trim(), ""),
+                    };
+                    if let Some(rule) = Rule::from_id(id) {
+                        allows.push(AllowUse {
+                            file: file.path.clone(),
+                            line: d.line,
+                            rule,
+                            reason: reason.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        out.push(FileDirectives { allows, root_lines });
+    }
+    out
+}
+
+impl FileDirectives {
+    /// Is `rule` suppressed at `line` (allow on the same or previous line)?
+    fn allowed(&self, rule: Rule, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Run every rule; returns the combined report.
+pub fn run(model: &Model) -> Report {
+    let directives = parse_directives(model);
+    let mut diagnostics = Vec::new();
+    check_l1(model, &directives, &mut diagnostics);
+    check_l2(model, &directives, &mut diagnostics);
+    check_l3(model, &directives, &mut diagnostics);
+    check_l4(model, &directives, &mut diagnostics);
+    check_l5(model, &directives, &mut diagnostics);
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diagnostics.dedup();
+    let mut allows: Vec<AllowUse> = directives.into_iter().flat_map(|d| d.allows).collect();
+    allows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Report {
+        diagnostics,
+        allows,
+    }
+}
+
+/// L1: in gp-netauth, `EnrollOk` construction may not precede the
+/// group-commit barrier call within the same function body.
+fn check_l1(model: &Model, directives: &[FileDirectives], out: &mut Vec<Diagnostic>) {
+    for (fi, file) in model.files.iter().enumerate() {
+        if !file.path.contains("gp-netauth") {
+            continue;
+        }
+        for f in &file.functions {
+            let body = &file.tokens[f.body.0..f.body.1];
+            let enroll = body
+                .iter()
+                .position(|t| t.is_ident("EnrollOk"))
+                .map(|i| (i, body[i].line));
+            let barrier = body.iter().position(|t| {
+                t.kind == TokenKind::Ident && BARRIER_CALLS.contains(&t.text.as_str())
+            });
+            if let (Some((ei, eline)), Some(bi)) = (enroll, barrier) {
+                if ei < bi && !directives[fi].allowed(Rule::L1, eline) {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: eline,
+                        rule: Rule::L1,
+                        message: format!(
+                            "`EnrollOk` is constructed before the durability barrier \
+                             ({}) in `{}`; acks must not precede the WAL group commit",
+                            BARRIER_CALLS.join("/"),
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Per-function transitive lock-class footprints (direct + unique-name calls).
+fn transitive_classes(model: &Model) -> Vec<Vec<BTreeSet<LockClass>>> {
+    let mut classes: Vec<Vec<BTreeSet<LockClass>>> = model
+        .files
+        .iter()
+        .map(|file| {
+            file.functions
+                .iter()
+                .map(|f| f.acquisitions.iter().filter_map(|a| a.class).collect())
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for (fi, file) in model.files.iter().enumerate() {
+            for (gi, f) in file.functions.iter().enumerate() {
+                for call in &f.calls {
+                    if let Some((cfi, cgi)) = model.resolve_unique(&call.name) {
+                        let callee: Vec<LockClass> = classes[cfi][cgi].iter().copied().collect();
+                        for c in callee {
+                            if classes[fi][gi].insert(c) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    classes
+}
+
+/// L2: build the acquisition-order graph and flag edges that do not go
+/// strictly up the canonical `snap < accounts < wal` ranking.
+fn check_l2(model: &Model, directives: &[FileDirectives], out: &mut Vec<Diagnostic>) {
+    let footprints = transitive_classes(model);
+    let mut seen: HashSet<(LockClass, LockClass, String, u32)> = HashSet::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        for f in &file.functions {
+            // Merge acquisitions and calls into token order.
+            enum Ev<'a> {
+                Acq(&'a crate::model::Acquisition),
+                Call(&'a crate::model::CallSite),
+            }
+            let mut events: Vec<(usize, Ev)> = f
+                .acquisitions
+                .iter()
+                .map(|a| (a.token_index, Ev::Acq(a)))
+                .chain(f.calls.iter().map(|c| (c.token_index, Ev::Call(c))))
+                .collect();
+            events.sort_by_key(|(i, _)| *i);
+            let mut held: Vec<&crate::model::Acquisition> = Vec::new();
+            for (tok, ev) in events {
+                held.retain(|h| h.release_index > tok);
+                match ev {
+                    Ev::Acq(a) => {
+                        if let Some(to) = a.class {
+                            for h in &held {
+                                let from = h.class.unwrap_or(to);
+                                if seen.insert((from, to, file.path.clone(), a.line)) {
+                                    emit_l2(from, to, file, a.line, &f.name, &directives[fi], out);
+                                }
+                            }
+                        }
+                        if a.held && a.class.is_some() {
+                            held.push(a);
+                        }
+                    }
+                    Ev::Call(c) => {
+                        if held.is_empty() {
+                            continue;
+                        }
+                        if let Some((cfi, cgi)) = model.resolve_unique(&c.name) {
+                            for to in footprints[cfi][cgi].iter().copied() {
+                                for h in &held {
+                                    let from = h.class.unwrap_or(to);
+                                    if seen.insert((from, to, file.path.clone(), c.line)) {
+                                        emit_l2(
+                                            from,
+                                            to,
+                                            file,
+                                            c.line,
+                                            &f.name,
+                                            &directives[fi],
+                                            out,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn emit_l2(
+    from: LockClass,
+    to: LockClass,
+    file: &crate::model::FileModel,
+    line: u32,
+    func: &str,
+    directives: &FileDirectives,
+    out: &mut Vec<Diagnostic>,
+) {
+    if from.rank() >= to.rank() && !directives.allowed(Rule::L2, line) {
+        out.push(Diagnostic {
+            file: file.path.clone(),
+            line,
+            rule: Rule::L2,
+            message: format!(
+                "lock-order inversion in `{}`: `{}` acquired while holding `{}` \
+                 (canonical order is snap -> accounts -> wal)",
+                func,
+                to.name(),
+                from.name()
+            ),
+        });
+    }
+}
+
+/// L3: `unsafe` tokens outside `gp-netauth/src/sys.rs`.
+fn check_l3(model: &Model, directives: &[FileDirectives], out: &mut Vec<Diagnostic>) {
+    for (fi, file) in model.files.iter().enumerate() {
+        if file.path.ends_with("gp-netauth/src/sys.rs") {
+            continue;
+        }
+        for t in &file.tokens {
+            if t.is_ident("unsafe") && !directives[fi].allowed(Rule::L3, t.line) {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: t.line,
+                    rule: Rule::L3,
+                    message: "`unsafe` outside the confined `gp-netauth/src/sys.rs` module"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn is_hot_path(path: &str) -> bool {
+    (path.contains("gp-netauth") || path.contains("gp-passwords"))
+        && HOT_PATH_FILES
+            .iter()
+            .any(|f| path.ends_with(&format!("src/{f}")) || path == *f)
+}
+
+/// L4: `unwrap`/`expect`/`panic!` in non-test code of hot-path modules.
+fn check_l4(model: &Model, directives: &[FileDirectives], out: &mut Vec<Diagnostic>) {
+    for (fi, file) in model.files.iter().enumerate() {
+        if !is_hot_path(&file.path) {
+            continue;
+        }
+        for f in &file.functions {
+            let body = &file.tokens[f.body.0..f.body.1];
+            for (i, t) in body.iter().enumerate() {
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let flagged = match t.text.as_str() {
+                    "unwrap" | "expect" => {
+                        i > 0
+                            && body[i - 1].is_punct('.')
+                            && matches!(body.get(i + 1), Some(n) if n.is_punct('('))
+                    }
+                    "panic" => matches!(body.get(i + 1), Some(n) if n.is_punct('!')),
+                    _ => false,
+                };
+                if flagged && !directives[fi].allowed(Rule::L4, t.line) {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: t.line,
+                        rule: Rule::L4,
+                        message: format!(
+                            "`{}` in hot-path function `{}`; return an error or add \
+                             `// gp-lint: allow(L4, <why infallible>)`",
+                            if t.text == "panic" { "panic!" } else { &t.text },
+                            f.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Blocking-call patterns for L5, matched against a function body.
+fn blocking_sites(body: &[Token]) -> Vec<(u32, String)> {
+    let mut sites = Vec::new();
+    for (i, t) in body.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let next_is = |k: usize, ch: char| matches!(body.get(i + k), Some(n) if n.is_punct(ch));
+        match t.text.as_str() {
+            "connect" if next_is(1, '(') => {
+                sites.push((
+                    t.line,
+                    "`connect` without a timeout blocks the caller".into(),
+                ));
+            }
+            "sync_all" | "sync_data" if next_is(1, '(') => {
+                sites.push((t.line, format!("blocking fsync (`{}`)", t.text)));
+            }
+            "File" if next_is(1, ':') && next_is(2, ':') => {
+                if let Some(m) = body.get(i + 3) {
+                    if m.is_ident("open") || m.is_ident("create") || m.is_ident("options") {
+                        sites.push((t.line, format!("blocking file {} call", m.text)));
+                    }
+                }
+            }
+            "OpenOptions" => {
+                sites.push((t.line, "blocking file open via `OpenOptions`".into()));
+            }
+            "fs" if next_is(1, ':') && next_is(2, ':') => {
+                sites.push((t.line, "blocking `std::fs` call".into()));
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// L5: walk the call graph from `reactor-root` functions; flag blocking
+/// calls in everything reachable. An `allow(L5, ...)` on a call-site line
+/// cuts that edge.
+fn check_l5(model: &Model, directives: &[FileDirectives], out: &mut Vec<Diagnostic>) {
+    // Roots: nearest fn after each `reactor-root` directive.
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut reachable: HashSet<(usize, usize)> = HashSet::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        for &root_line in &directives[fi].root_lines {
+            let next_fn = file
+                .functions
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.line > root_line)
+                .min_by_key(|(_, f)| f.line)
+                .map(|(gi, _)| gi);
+            if let Some(gi) = next_fn {
+                if reachable.insert((fi, gi)) {
+                    queue.push_back((fi, gi));
+                }
+            }
+        }
+    }
+    // Map (file, fn) for resolution caching.
+    let mut resolve_cache: HashMap<String, Option<(usize, usize)>> = HashMap::new();
+    while let Some((fi, gi)) = queue.pop_front() {
+        let f = &model.files[fi].functions[gi];
+        for call in &f.calls {
+            if directives[fi].allowed(Rule::L5, call.line) {
+                continue; // explicitly reasoned-about edge cut
+            }
+            let target = resolve_cache
+                .entry(call.name.clone())
+                .or_insert_with(|| model.resolve_unique(&call.name));
+            if let Some(t) = *target {
+                if reachable.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    for (fi, gi) in reachable {
+        let file = &model.files[fi];
+        let f = &file.functions[gi];
+        for (line, what) in blocking_sites(&file.tokens[f.body.0..f.body.1]) {
+            if !directives[fi].allowed(Rule::L5, line) {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line,
+                    rule: Rule::L5,
+                    message: format!(
+                        "{} in `{}`, reachable from the reactor event loop",
+                        what, f.name
+                    ),
+                });
+            }
+        }
+    }
+}

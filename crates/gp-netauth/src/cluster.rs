@@ -372,6 +372,7 @@ impl Cluster {
             let running = self.slots[i]
                 .running
                 .as_ref()
+                // gp-lint: allow(L4, fault-harness precondition; callers restart the node first)
                 .expect("catch_up targets a live node");
             running.auth.server().store()
         };
@@ -511,11 +512,23 @@ impl ClusterClient {
         node: &str,
         run: impl FnOnce(&mut AuthClient) -> Result<T, NetAuthError>,
     ) -> Result<T, NetAuthError> {
-        let entry = self.nodes.get_mut(node).expect("ring members have entries");
+        let Some(entry) = self.nodes.get_mut(node) else {
+            // Routing handed back a node this client was never told about;
+            // surface it as unreachable so the caller fails over.
+            return Err(NetAuthError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                format!("no client entry for ring member {node}"),
+            )));
+        };
         if entry.conn.is_none() {
             entry.conn = Some(AuthClient::connect(entry.addr)?);
         }
-        let conn = entry.conn.as_mut().expect("connection just ensured");
+        let Some(conn) = entry.conn.as_mut() else {
+            return Err(NetAuthError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connection missing after connect",
+            )));
+        };
         let result = run(conn);
         if result.is_err() {
             // Whatever happened, the stream state is suspect; reconnect

@@ -150,21 +150,33 @@ impl TurnQueue {
     }
 
     fn push(&self, turn: Turn) {
-        let mut state = self.state.lock().expect("turn queue poisoned");
+        // Poisoning only means another thread panicked while queueing; the
+        // queue itself is a plain VecDeque, so keep serving rather than
+        // cascading the panic through the reactor.
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.turns.push_back(turn);
         drop(state);
         self.available.notify_one();
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().expect("turn queue poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         state.closed = true;
         drop(state);
         self.available.notify_all();
     }
 
     fn pop_coalesced(&self, max_jobs: usize, timeout: std::time::Duration) -> Popped {
-        let mut state = self.state.lock().expect("turn queue poisoned");
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if state.turns.is_empty() {
             if state.closed {
                 return Popped::Closed;
@@ -172,7 +184,7 @@ impl TurnQueue {
             let (guard, _) = self
                 .available
                 .wait_timeout(state, timeout)
-                .expect("turn queue poisoned");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             state = guard;
             if state.turns.is_empty() {
                 return if state.closed {
@@ -463,7 +475,9 @@ fn compute_loop(
             });
         }
         {
-            let mut queue = completions.lock().expect("completion queue poisoned");
+            let mut queue = completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             queue.extend(settled);
         }
         waker.signal();
@@ -471,6 +485,7 @@ fn compute_loop(
 }
 
 impl Reactor {
+    // gp-lint: reactor-root
     fn run(&mut self) {
         let mut events = vec![EpollEvent::zeroed(); 256];
         while !self.shutdown.load(Ordering::SeqCst) {
@@ -576,10 +591,10 @@ impl Reactor {
             }
         }
         if mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
-            let busy = {
-                let conn = self.conns[slot].as_ref().expect("checked above");
-                conn.turn_in_flight || conn.closing
+            let Some(conn) = self.conns.get(slot).and_then(Option::as_ref) else {
+                return;
             };
+            let busy = conn.turn_in_flight || conn.closing;
             if !busy {
                 self.drive_read(slot);
             } else if mask & EPOLLHUP != 0 {
@@ -608,7 +623,9 @@ impl Reactor {
     fn drive_read_once(&mut self, slot: usize) -> bool {
         let pipeline_max = self.server.config().pipeline_max.max(1);
         let outcome = {
-            let conn = self.conns[slot].as_mut().expect("live connection");
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return false;
+            };
             // Top up the frame queue from the socket (unless a previous
             // turn stopped at a barrier and left frames queued, or the
             // socket already ended).
@@ -665,7 +682,9 @@ impl Reactor {
                 false
             }
             ReadOutcome::Close => {
-                let conn = self.conns[slot].as_mut().expect("live connection");
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    return false;
+                };
                 if conn.out.is_empty() {
                     self.close_connection(slot);
                 } else {
@@ -680,7 +699,9 @@ impl Reactor {
             ReadOutcome::Prepare => {
                 let server = Arc::clone(&self.server);
                 let (prepared, close_after) = {
-                    let conn = self.conns[slot].as_mut().expect("live connection");
+                    let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                        return false;
+                    };
                     let prepared = server.prepare_turn(
                         &mut conn.pending,
                         &mut conn.scratch,
@@ -713,12 +734,18 @@ impl Reactor {
                     // No hashing anywhere in the turn: settle on the
                     // reactor thread (lockout bookkeeping and encoding
                     // only — microseconds; everything `h^k`-priced became
-                    // a job above).
+                    // a job above).  The settle path statically reaches the
+                    // WAL group commit, but a turn with zero hash jobs by
+                    // construction carries no enrollment, so the commit
+                    // branch cannot execute here.
+                    // gp-lint: allow(L5, no-hash turns carry no enrolls; commit path unreachable)
                     let responses = server.settle_responses(prepared.planned, &[]);
                     self.metrics
                         .requests
                         .fetch_add(responses.len() as u64, Ordering::Relaxed);
-                    let conn = self.conns[slot].as_mut().expect("live connection");
+                    let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                        return false;
+                    };
                     let mut encode_failed = false;
                     for response in &responses {
                         // Same policy as the compute path: an oversized
@@ -733,7 +760,9 @@ impl Reactor {
                     self.drive_write(slot);
                     self.frame_ready(slot)
                 } else {
-                    let conn = self.conns[slot].as_mut().expect("live connection");
+                    let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                        return false;
+                    };
                     conn.turn_in_flight = true;
                     let turn = Turn {
                         slot,
@@ -767,7 +796,9 @@ impl Reactor {
     /// otherwise reconcile epoll interest (EPOLLOUT while backed up).
     fn drive_write(&mut self, slot: usize) {
         let result = {
-            let conn = self.conns[slot].as_mut().expect("live connection");
+            let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                return;
+            };
             let before = conn.out.pending();
             let result = conn.out.flush_to(conn.reader.get_mut().get_mut());
             // Track write progress: any accepted byte restarts the stall
@@ -784,7 +815,11 @@ impl Reactor {
         };
         match result {
             Ok(true) => {
-                let closing = self.conns[slot].as_ref().expect("live connection").closing;
+                let closing = self
+                    .conns
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|conn| conn.closing);
                 if closing {
                     self.close_connection(slot);
                 } else {
@@ -799,7 +834,10 @@ impl Reactor {
     /// Apply settled turns from the compute pool to their connections.
     fn process_completions(&mut self) {
         let drained: Vec<Completion> = {
-            let mut queue = self.completions.lock().expect("completion queue poisoned");
+            let mut queue = self
+                .completions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             queue.drain(..).collect()
         };
         for completion in drained {

@@ -1076,7 +1076,12 @@ impl Replicator {
             if guard.is_none() {
                 *guard = Some(self.connect(peer)?);
             }
-            let conn = guard.as_mut().expect("connection just ensured");
+            let Some(conn) = guard.as_mut() else {
+                return Err(NetAuthError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotConnected,
+                    "replication connection missing after connect",
+                )));
+            };
             // Seqs assigned under the write lock: stream order == seq
             // order, so `acked >= seq` proves this record was applied.
             let mut last_seq = 0;
@@ -1599,10 +1604,13 @@ impl ReplicationSink for Replicator {
             let Some(target) = target else {
                 return Ok(());
             };
-            let peer = self
-                .peers
-                .get(&target)
-                .expect("every ring member except self has a peer entry");
+            let Some(peer) = self.peers.get(&target) else {
+                // A ring member without a peer entry can only come from a
+                // stale ring view; evict it and re-route to the next
+                // successor rather than bringing the commit path down.
+                self.ring.lock().leave(&target);
+                continue;
+            };
             if self.send_once(peer, &payload).is_ok() {
                 return Ok(());
             }
@@ -1657,10 +1665,13 @@ impl ReplicationSink for Replicator {
             }
             let mut still_pending = Vec::new();
             for (target, indices) in groups {
-                let peer = self
-                    .peers
-                    .get(&target)
-                    .expect("every ring member except self has a peer entry");
+                let Some(peer) = self.peers.get(&target) else {
+                    // Same stale-ring defense as `replicate`: evict and
+                    // re-route these entries on the next pass.
+                    self.ring.lock().leave(&target);
+                    still_pending.extend(indices);
+                    continue;
+                };
                 let batch: Vec<&[u8]> = indices.iter().map(|&i| payloads[i].as_slice()).collect();
                 if self.send_group_once(peer, &batch).is_ok() {
                     continue;

@@ -366,7 +366,13 @@ pub(crate) struct PendingAccounts {
 impl PendingAccounts {
     /// Mark an enrollment in flight for `username` (at prepare time).
     fn begin(&self, username: &str) {
-        let mut accounts = self.accounts.lock().expect("pending-accounts lock");
+        // Poisoning just means some other thread panicked mid-update of the
+        // plain HashMap; recover the guard instead of cascading the panic
+        // through every enrollment.
+        let mut accounts = self
+            .accounts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *accounts.entry(username.to_string()).or_insert(0) += 1;
     }
 
@@ -374,7 +380,10 @@ impl PendingAccounts {
     /// commit, or at settle time if the insert was refused) and wake
     /// every parked waiter.
     fn end(&self, username: &str) {
-        let mut accounts = self.accounts.lock().expect("pending-accounts lock");
+        let mut accounts = self
+            .accounts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(count) = accounts.get_mut(username) {
             *count -= 1;
             if *count == 0 {
@@ -389,7 +398,7 @@ impl PendingAccounts {
     pub(crate) fn is_pending(&self, username: &str) -> bool {
         self.accounts
             .lock()
-            .expect("pending-accounts lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .contains_key(username)
     }
 
@@ -397,7 +406,10 @@ impl PendingAccounts {
     /// passes (the blocking pool's park; the reactor re-drives parked
     /// connections from its event loop instead).
     pub(crate) fn wait_clear(&self, username: &str, timeout: Duration) {
-        let accounts = self.accounts.lock().expect("pending-accounts lock");
+        let accounts = self
+            .accounts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !accounts.contains_key(username) {
             return;
         }
@@ -461,6 +473,7 @@ impl AuthServer {
     /// [`ServerConfig::durability`] is set and the store cannot be
     /// opened — durable deployments should call [`AuthServer::open`].
     pub fn new(config: ServerConfig) -> Self {
+        // gp-lint: allow(L4, documented panic contract; durable configs use AuthServer::open)
         Self::open(config).expect("open account store (use AuthServer::open for durable configs)")
     }
 
@@ -555,7 +568,9 @@ impl AuthServer {
                 let digests = self.verifier.submit(jobs);
                 self.settle_responses(vec![planned], &digests)
                     .pop()
-                    .expect("one planned request yields one response")
+                    .unwrap_or_else(|| ServerMessage::Error {
+                        reason: "internal: settle produced no response".to_string(),
+                    })
             }
             ClientMessage::Login { username, clicks } => {
                 let mut scratch = VerifyScratch::new();
@@ -564,7 +579,9 @@ impl AuthServer {
                 let digests = self.verifier.submit(jobs);
                 self.settle_responses(vec![planned], &digests)
                     .pop()
-                    .expect("one planned request yields one response")
+                    .unwrap_or_else(|| ServerMessage::Error {
+                        reason: "internal: settle produced no response".to_string(),
+                    })
             }
         }
     }
@@ -729,6 +746,10 @@ impl AuthServer {
                 ClientMessage::Enroll { username, clicks } => {
                     planned.push(self.prepare_enroll(username, &clicks, &mut jobs));
                 }
+                // Only GetConfig/Quit reach here (Login/Enroll matched
+                // above), and neither touches the store or the WAL; the
+                // static call graph cannot see the match narrowing.
+                // gp-lint: allow(L5, only store-free GetConfig/Quit reach handle_message here)
                 other => planned.push(Planned::Respond(self.handle_message(other))),
             }
         }
@@ -1179,7 +1200,7 @@ fn worker_loop(
 ) {
     loop {
         let received = {
-            let guard = rx.lock().expect("connection queue poisoned");
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             guard.recv_timeout(SHUTDOWN_POLL)
         };
         match received {

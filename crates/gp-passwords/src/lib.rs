@@ -44,7 +44,12 @@
 //! * [`ring::HashRing`] — consistent-hash placement of accounts onto a
 //!   ring of node IDs (virtual points, per-key successor lists), the
 //!   routing and backup-selection substrate for the replicated cluster
-//!   in `gp-netauth`.
+//!   in `gp-netauth`;
+//! * [`lockdep`] — debug-build runtime lock-order checking: the sharded
+//!   store's locks are [`lockdep::OrderedMutex`] / [`lockdep::OrderedRwLock`]
+//!   wrappers tagged with a [`lockdep::LockClass`] rank, and any
+//!   acquisition that violates the canonical `snap → accounts → wal`
+//!   order panics on the spot (see also the static side, `gp-lint`).
 //!
 //! # Quickstart
 //!
@@ -81,6 +86,7 @@
 
 pub mod config;
 pub mod error;
+pub mod lockdep;
 pub mod policy;
 pub mod ring;
 pub mod schemes;
@@ -92,6 +98,7 @@ pub mod wal;
 
 pub use config::DiscretizationConfig;
 pub use error::PasswordError;
+pub use lockdep::{LockClass, OrderedMutex, OrderedRwLock};
 pub use policy::PasswordPolicy;
 pub use ring::HashRing;
 pub use shard::{

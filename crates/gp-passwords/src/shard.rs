@@ -30,15 +30,31 @@
 //! truncated.  Recovery is crash-only: load whatever intact snapshots
 //! exist, replay each WAL's intact prefix over them
 //! (tolerating a torn final record), re-snapshot, and serve.
+//!
+//! # Lock order (machine-checked)
+//!
+//! Every lock in this module belongs to the canonical hierarchy
+//! `snap → accounts → wal` ([`crate::lockdep::LockClass`]): a thread may
+//! acquire a shard's snapshot lock, then its account map, then its WAL, and
+//! never the other way around. This used to be a comment-only invariant; it
+//! is now enforced twice over:
+//!
+//! * statically — `gp-lint` rule **L2** extracts every acquisition site,
+//!   builds the inter-function acquisition-order graph, and fails CI on any
+//!   inversion (`cargo run -p gp-lint -- --workspace`);
+//! * dynamically — the locks below are [`crate::lockdep`] wrappers
+//!   ([`OrderedMutex`] / [`OrderedRwLock`]), so in debug builds (i.e. every
+//!   `cargo test` run) an out-of-order acquisition panics at the acquiring
+//!   call site the first time it executes, with both lock sites named.
 
 use crate::error::PasswordError;
+use crate::lockdep::{LockClass, OrderedMutex, OrderedRwLock};
 use crate::store::PasswordStore;
 use crate::stored::StoredPassword;
 use crate::system::GraphicalPasswordSystem;
 use crate::wal::{atomic_write, fnv1a64, sync_dir, FsyncPolicy, ShardWal, WalEntry, WalOp};
 use gp_crypto::SaltedHasher;
 use gp_geometry::Point;
-use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -179,12 +195,23 @@ impl CachedAccount {
 }
 
 /// One partition: its own lock, its own accounts, its own counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
-    accounts: RwLock<BTreeMap<String, CachedAccount>>,
+    accounts: OrderedRwLock<BTreeMap<String, CachedAccount>>,
     enrolls: AtomicU64,
     verifies: AtomicU64,
     lookups: AtomicU64,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Self {
+            accounts: OrderedRwLock::new(LockClass::ACCOUNTS, BTreeMap::new()),
+            enrolls: AtomicU64::new(0),
+            verifies: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Point-in-time snapshot of one shard's size and traffic counters.
@@ -255,12 +282,12 @@ pub struct DurabilityStats {
 struct DurabilityState {
     dir: PathBuf,
     options: DurabilityOptions,
-    wals: Vec<Mutex<ShardWal>>,
+    wals: Vec<OrderedMutex<ShardWal>>,
     /// Serializes concurrent snapshots of the same shard (they would
     /// otherwise race on the snapshot tmp file).  Deliberately separate
     /// from the WAL mutex so the append path never waits on snapshot
     /// file I/O.
-    snap_locks: Vec<Mutex<()>>,
+    snap_locks: Vec<OrderedMutex<()>>,
     snapshots: AtomicU64,
     group_commits: AtomicU64,
     replayed_records: u64,
@@ -434,13 +461,15 @@ impl ShardedPasswordStore {
             let path = dir.join(shard_wal_name(shard));
             let wal = ShardWal::open_or_create(&path, options.fsync)
                 .map_err(|e| storage_error(&format!("open {}", path.display()), e))?;
-            wals.push(Mutex::new(wal));
+            wals.push(OrderedMutex::new(LockClass::WAL, wal));
         }
         store.durability = Some(DurabilityState {
             dir: dir.to_path_buf(),
             options,
             wals,
-            snap_locks: (0..shards).map(|_| Mutex::new(())).collect(),
+            snap_locks: (0..shards)
+                .map(|_| OrderedMutex::new(LockClass::SNAP, ()))
+                .collect(),
             snapshots: AtomicU64::new(0),
             group_commits: AtomicU64::new(0),
             replayed_records,

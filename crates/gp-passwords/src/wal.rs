@@ -503,10 +503,12 @@ impl ShardWal {
             if rest.len() < RECORD_HEADER {
                 break; // torn mid-header
             }
+            // gp-lint: allow(L4, fixed-width slice of a len-checked buffer)
             let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
             if len == 0 || len > MAX_RECORD_LEN {
                 break; // torn mid-header: garbage length
             }
+            // gp-lint: allow(L4, fixed-width slice of a len-checked buffer)
             let check = u64::from_be_bytes(rest[4..RECORD_HEADER].try_into().expect("8 bytes"));
             let end = RECORD_HEADER + len as usize;
             if rest.len() < end {
@@ -556,6 +558,7 @@ fn intact_records_at(bytes: &[u8]) -> usize {
     let mut at = 0;
     while bytes.len() - at >= RECORD_HEADER {
         let rest = &bytes[at..];
+        // gp-lint: allow(L4, fixed-width slice of a len-checked buffer)
         let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
         if len == 0 || len > MAX_RECORD_LEN {
             break;
@@ -564,6 +567,7 @@ fn intact_records_at(bytes: &[u8]) -> usize {
         if rest.len() < end {
             break;
         }
+        // gp-lint: allow(L4, fixed-width slice of a len-checked buffer)
         let check = u64::from_be_bytes(rest[4..RECORD_HEADER].try_into().expect("8 bytes"));
         if fnv1a64(&rest[RECORD_HEADER..end]) != check {
             break;
