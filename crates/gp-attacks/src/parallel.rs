@@ -73,6 +73,7 @@ fn evaluate_work_stealing(
                 scope.spawn(|| {
                     let mut partial = AttackSummary::new();
                     loop {
+                        // gp-lint: allow(L6, work-index claim: only atomicity matters; targets are read-only)
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         let Some((stored, original)) = targets.get(index) else {
                             break;

@@ -122,6 +122,7 @@ impl ScratchDir {
         let dir = std::env::temp_dir().join(format!(
             "gp-authload-{tag}-{}-{}",
             std::process::id(),
+            // gp-lint: allow(L6, unique-id claim: only atomicity of the increment matters)
             ENROLL_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let _ = std::fs::remove_dir_all(&dir);
@@ -241,6 +242,7 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
             // Each thread walks its own slice of the user space so bursts
             // spread across store shards.
             let mut next_user = thread;
+            // gp-lint: allow(L6, monotone stop flag: eventual visibility suffices; no data is published through it)
             while !stop.load(Ordering::Relaxed) {
                 let burst: Vec<ClientMessage> = (0..pipeline)
                     .map(|i| {
@@ -248,6 +250,7 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
                             // A fresh unique account: the durable-ack
                             // path (WAL append + policy fsync before
                             // EnrollOk), also a pipeline write barrier.
+                            // gp-lint: allow(L6, unique-id claim: only atomicity of the increment matters)
                             let id = ENROLL_SEQ.fetch_add(1, Ordering::Relaxed);
                             return ClientMessage::Enroll {
                                 username: format!("durable-{id}"),
@@ -273,6 +276,7 @@ fn run_scenario(label: &str, scenario: &Scenario, users: usize, secs: f64) -> Lo
                         other => panic!("acked operation expected, got: {other:?}"),
                     }
                 }
+                // gp-lint: allow(L6, measurement-window flag gates only a stat counter; edge skew is tolerable)
                 if measuring.load(Ordering::Relaxed) {
                     counted.fetch_add(responses.len() as u64, Ordering::Relaxed);
                 }
@@ -384,8 +388,10 @@ fn spawn_cluster_workers(
                 // This thread's enrolled population: (name, click seed).
                 let mut enrolled: Vec<(String, u64)> = Vec::new();
                 let mut turn = 0usize;
+                // gp-lint: allow(L6, monotone stop flag: eventual visibility suffices; no data is published through it)
                 while !stop.load(Ordering::Relaxed) {
                     if enrolled.is_empty() || turn.is_multiple_of(4) {
+                        // gp-lint: allow(L6, unique-id claim: only atomicity of the increment matters)
                         let id = ENROLL_SEQ.fetch_add(1, Ordering::Relaxed);
                         let name = format!("cluster-{id}");
                         client
@@ -404,6 +410,7 @@ fn spawn_cluster_workers(
                         );
                     }
                     turn += 1;
+                    // gp-lint: allow(L6, measurement-window flag gates only a stat counter; edge skew is tolerable)
                     if measuring.load(Ordering::Relaxed) {
                         counted.fetch_add(1, Ordering::Relaxed);
                     }

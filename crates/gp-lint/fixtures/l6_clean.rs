@@ -1,0 +1,20 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn spin_until_ready(flag: &AtomicBool) {
+    while !flag.load(Ordering::Acquire) {
+        std::hint::spin_loop();
+    }
+}
+
+fn issue_sequence(seq: &AtomicU64) -> u64 {
+    seq.fetch_add(1, Ordering::AcqRel) + 1
+}
+
+fn bump_counter(stats: &AtomicU64) {
+    stats.fetch_add(1, Ordering::Relaxed);
+}
+
+fn claim_slot(next: &AtomicU64) -> u64 {
+    // gp-lint: allow(L6, slot ids need uniqueness only; slots publish via the queue mutex)
+    next.fetch_add(1, Ordering::Relaxed)
+}

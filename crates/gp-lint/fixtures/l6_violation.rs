@@ -1,0 +1,15 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+fn spin_until_ready(flag: &AtomicBool) {
+    while !flag.load(Ordering::Relaxed) {
+        std::hint::spin_loop();
+    }
+}
+
+fn issue_sequence(seq: &AtomicU64) -> u64 {
+    seq.fetch_add(1, Ordering::Relaxed) + 1
+}
+
+fn bump_counter(stats: &AtomicU64) {
+    stats.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,35 @@
+use std::sync::{Condvar, Mutex};
+
+struct Queue {
+    items: Mutex<Vec<u64>>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn pop_looped(&self) -> u64 {
+        let mut items = self.items.lock().unwrap();
+        while items.is_empty() {
+            items = self.ready.wait(items).unwrap();
+        }
+        items.pop().unwrap()
+    }
+
+    fn pop_predicate(&self) -> u64 {
+        let mut items = self
+            .ready
+            .wait_while(self.items.lock().unwrap(), |i| i.is_empty())
+            .unwrap();
+        items.pop().unwrap()
+    }
+
+    fn poll_readiness(&self, epoll: &Epoll, events: &mut Events) {
+        epoll.wait(&mut events, 10);
+    }
+
+    fn coalesce_once(&self) -> Option<u64> {
+        let items = self.items.lock().unwrap();
+        // gp-lint: allow(L7, bounded coalescing nap; the caller's loop re-polls)
+        let (mut items, _) = self.ready.wait_timeout(items, NAP).unwrap();
+        items.pop()
+    }
+}

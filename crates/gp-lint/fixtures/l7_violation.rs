@@ -1,0 +1,26 @@
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+struct Queue {
+    items: Mutex<Vec<u64>>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn pop_naked(&self) -> Option<u64> {
+        let mut items = self.items.lock().unwrap();
+        if items.is_empty() {
+            items = self.ready.wait(items).unwrap();
+        }
+        items.pop()
+    }
+
+    fn pop_timed(&self) -> Option<u64> {
+        let mut items = self.items.lock().unwrap();
+        if items.is_empty() {
+            let (guard, _) = self.ready.wait_timeout(items, Duration::from_millis(1)).unwrap();
+            items = guard;
+        }
+        items.pop()
+    }
+}

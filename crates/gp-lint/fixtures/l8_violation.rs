@@ -1,0 +1,23 @@
+use std::fs;
+
+impl Store {
+    fn flush_under_lock(&self) {
+        let wal = self.wals[0].lock();
+        wal.file.sync_all().expect("fsync");
+    }
+
+    fn persist(&self) {
+        let accounts = self.shard.accounts.write();
+        write_snapshot(&accounts);
+    }
+
+    fn notify_under_lock(&self, tx: &Sender<u64>) {
+        let guard = self.snap_locks[0].lock();
+        tx.send(1).expect("receiver alive");
+        drop(guard);
+    }
+}
+
+fn write_snapshot(accounts: &AccountMap) {
+    fs::write("snapshot.json", render(accounts)).expect("snapshot write");
+}

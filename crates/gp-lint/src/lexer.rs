@@ -186,6 +186,7 @@ pub fn lex(source: &str) -> Lexed {
                 });
             }
             _ if b.is_ascii_digit() => {
+                let start = i;
                 while i < bytes.len()
                     && (is_ident_continue(bytes[i]) || bytes[i] == b'.')
                     && !(bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1] == b'.')
@@ -197,9 +198,11 @@ pub fn lex(source: &str) -> Lexed {
                     }
                     i += 1;
                 }
+                // Number text is kept (unlike string literals): L9 parses
+                // opcode values out of `const TAG_X: u8 = 0x41;`.
                 out.tokens.push(Token {
                     kind: TokenKind::Number,
-                    text: String::new(),
+                    text: source[start..i].to_string(),
                     line,
                 });
             }
@@ -383,6 +386,19 @@ fn real() {}
         assert_eq!(lexed.directives.len(), 1);
         assert_eq!(lexed.directives[0].line, 2);
         assert!(lexed.directives[0].body.starts_with("allow(L4"));
+    }
+
+    #[test]
+    fn number_tokens_keep_their_text() {
+        let src = "const TAG_HELLO: u8 = 0x41;\nlet n = 10_000u64;\nfor i in 0..7 {}\n";
+        let lexed = lex(src);
+        let numbers: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(numbers, vec!["0x41", "10_000u64", "0", "7"]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod lexer;
 pub mod model;
 pub mod rules;
 
-pub use rules::{AllowUse, Diagnostic, Report, Rule};
+pub use rules::{AllowUse, Diagnostic, Report, Rule, ALL_RULES};
 
 /// One in-memory source file to lint.
 ///

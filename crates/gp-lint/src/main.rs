@@ -1,17 +1,19 @@
 //! CLI for `gp-lint`.
 //!
 //! ```text
-//! cargo run -p gp-lint -- --workspace [--report PATH]
+//! cargo run -p gp-lint -- --workspace [--report PATH] [--json PATH]
 //! cargo run -p gp-lint -- FILE.rs [FILE.rs ...]
 //! ```
 //!
 //! `--workspace` scans `crates/` and `src/` from the current directory,
 //! skipping `vendor/`, `target/`, `fixtures/`, `tests/`, `benches/`, and
 //! `examples/`. Exit status is 1 when any rule fires. `--report` writes the
-//! full report (diagnostics plus the allow-directive inventory) to a file,
-//! which CI uploads as an artifact.
+//! human-readable report (diagnostics plus the allow-directive inventory) to
+//! a file; `--json` writes the same data machine-readably (per-rule counts,
+//! every diagnostic, the full allow inventory). CI uploads both as
+//! artifacts.
 
-use gp_lint::{lint_sources, Report, SourceFile};
+use gp_lint::{lint_sources, Report, SourceFile, ALL_RULES};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -24,6 +26,7 @@ const SKIP_DIRS: &[&str] = &[
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut report_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,8 +39,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("gp-lint: --json requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: gp-lint [--workspace] [--report PATH] [FILE.rs ...]");
+                eprintln!(
+                    "usage: gp-lint [--workspace] [--report PATH] [--json PATH] [FILE.rs ...]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => files.push(PathBuf::from(other)),
@@ -75,6 +87,13 @@ fn main() -> ExitCode {
     if let Some(path) = report_path {
         if let Err(err) = std::fs::write(&path, &rendered) {
             eprintln!("gp-lint: cannot write report {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = json_path {
+        let json = render_json(&report, sources.len());
+        if let Err(err) = std::fs::write(&path, &json) {
+            eprintln!("gp-lint: cannot write json {}: {err}", path.display());
             return ExitCode::from(2);
         }
     }
@@ -134,5 +153,84 @@ fn render(report: &Report, scanned: usize) -> String {
         report.diagnostics.len(),
         report.allows.len()
     );
+    out
+}
+
+/// Render the report as JSON for CI artifact consumption.
+///
+/// Hand-rolled (no serde in this workspace): the shape is flat enough that
+/// escaping strings is the only subtlety. Per-rule counts cover every rule,
+/// including zeros, so dashboards can diff runs without knowing the rule set.
+fn render_json(report: &Report, scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {scanned},");
+    let _ = writeln!(out, "  \"violations\": {},", report.diagnostics.len());
+    let _ = writeln!(out, "  \"allows\": {},", report.allows.len());
+    out.push_str("  \"per_rule\": {");
+    for (i, rule) in ALL_RULES.into_iter().enumerate() {
+        let count = report.diagnostics.iter().filter(|d| d.rule == rule).count();
+        let sep = if i + 1 < ALL_RULES.len() { "," } else { "" };
+        let _ = write!(out, " \"{}\": {count}{sep}", rule.id());
+    }
+    out.push_str(" },\n");
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let sep = if i + 1 < report.diagnostics.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            out,
+            "\n    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\" }}{sep}",
+            json_escape(&d.file),
+            d.line,
+            d.rule.id(),
+            json_escape(&d.message)
+        );
+    }
+    if report.diagnostics.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"allow_inventory\": [");
+    for (i, a) in report.allows.iter().enumerate() {
+        let sep = if i + 1 < report.allows.len() { "," } else { "" };
+        let _ = write!(
+            out,
+            "\n    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"reason\": \"{}\" }}{sep}",
+            json_escape(&a.file),
+            a.line,
+            a.rule.id(),
+            json_escape(&a.reason)
+        );
+    }
+    if report.allows.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n  ]\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
     out
 }

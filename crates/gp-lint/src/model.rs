@@ -1,10 +1,12 @@
 //! Lightweight per-function model built on top of the token stream.
 //!
-//! For every scanned file this extracts the non-test functions with their
-//! body token spans, every lock-acquisition site (`.lock()` / `.read()` /
-//! `.write()`, classified by receiver name into the repo's canonical lock
-//! classes), and a name-based call graph. Test code — `#[cfg(test)]` modules
-//! and `#[test]` functions — is excluded from analysis entirely.
+//! For every scanned file this extracts every function with its body token
+//! span, every lock-acquisition site (`.lock()` / `.read()` / `.write()`,
+//! classified by receiver name into the repo's canonical lock classes), and
+//! a name-based call graph. Test code — `#[cfg(test)]` modules and `#[test]`
+//! functions — is carried with [`FunctionInfo::is_test`] set: rules L1–L8
+//! skip it, while L9 (frame-coverage) reads test bodies to prove round-trip
+//! and truncation coverage of replication opcodes.
 //!
 //! The model is deliberately approximate: calls resolve by bare name and only
 //! when that name is defined exactly once across the scanned set, guards are
@@ -76,7 +78,7 @@ pub struct CallSite {
     pub token_index: usize,
 }
 
-/// A non-test function with its extracted facts.
+/// A function with its extracted facts.
 #[derive(Debug)]
 pub struct FunctionInfo {
     /// Function name as written (no path / receiver qualification).
@@ -89,6 +91,10 @@ pub struct FunctionInfo {
     pub acquisitions: Vec<Acquisition>,
     /// Call sites in token order.
     pub calls: Vec<CallSite>,
+    /// True for `#[test]` functions and anything inside `#[cfg(test)]`
+    /// regions. Production-invariant rules skip these; coverage rules
+    /// (L9) read them.
+    pub is_test: bool,
 }
 
 /// Model of one source file.
@@ -100,7 +106,7 @@ pub struct FileModel {
     pub tokens: Vec<Token>,
     /// `// gp-lint:` directives.
     pub directives: Vec<Directive>,
-    /// Non-test functions.
+    /// Every function, test and non-test (see [`FunctionInfo::is_test`]).
     pub functions: Vec<FunctionInfo>,
 }
 
@@ -115,14 +121,15 @@ pub struct Model {
 
 impl Model {
     /// Resolve a callee name to `(file index, function index)` — only when
-    /// the name is defined exactly once across the scanned set.
+    /// the name is defined exactly once among non-test functions across the
+    /// scanned set (test helpers never absorb production call edges).
     pub fn resolve_unique(&self, name: &str) -> Option<(usize, usize)> {
         if self.definition_counts.get(name).copied() != Some(1) {
             return None;
         }
         for (fi, file) in self.files.iter().enumerate() {
             for (gi, f) in file.functions.iter().enumerate() {
-                if f.name == name {
+                if !f.is_test && f.name == name {
                     return Some((fi, gi));
                 }
             }
@@ -163,7 +170,7 @@ pub fn build(sources: &[(String, String)]) -> Model {
     }
     let mut definition_counts: HashMap<String, usize> = HashMap::new();
     for file in &files {
-        for f in &file.functions {
+        for f in file.functions.iter().filter(|f| !f.is_test) {
             *definition_counts.entry(f.name.clone()).or_insert(0) += 1;
         }
     }
@@ -258,19 +265,16 @@ fn extract_functions(tokens: &[Token]) -> Vec<FunctionInfo> {
                     continue;
                 };
                 let end = matching_brace(tokens, start);
-                if !is_test {
-                    let (acquisitions, calls) = scan_body(tokens, start, end);
-                    functions.push(FunctionInfo {
-                        name,
-                        line: fn_line,
-                        body: (start, end),
-                        acquisitions,
-                        calls,
-                    });
-                    i = end;
-                } else {
-                    i = end;
-                }
+                let (acquisitions, calls) = scan_body(tokens, start, end);
+                functions.push(FunctionInfo {
+                    name,
+                    line: fn_line,
+                    body: (start, end),
+                    acquisitions,
+                    calls,
+                    is_test,
+                });
+                i = end;
             }
             _ => i += 1,
         }
@@ -491,7 +495,7 @@ mod tests {
     }
 
     #[test]
-    fn extracts_functions_and_skips_test_code() {
+    fn extracts_functions_and_flags_test_code() {
         let src = r#"
 fn real_one() { helper(); }
 
@@ -508,12 +512,23 @@ fn top_level_test() {}
 fn real_two() {}
 "#;
         let m = model_of(src);
-        let names: Vec<_> = m.files[0]
+        let non_test: Vec<_> = m.files[0]
             .functions
             .iter()
+            .filter(|f| !f.is_test)
             .map(|f| f.name.as_str())
             .collect();
-        assert_eq!(names, vec!["real_one", "real_two"]);
+        assert_eq!(non_test, vec!["real_one", "real_two"]);
+        let test_fns: Vec<_> = m.files[0]
+            .functions
+            .iter()
+            .filter(|f| f.is_test)
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(test_fns, vec!["test_helper", "a_test", "top_level_test"]);
+        // Test helpers never enter the production name registry.
+        assert!(m.resolve_unique("test_helper").is_none());
+        assert!(m.resolve_unique("a_test").is_none());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Fixture tests: each rule L1–L5 is proven live against a seeded-violation
+//! Fixture tests: each rule L1–L9 is proven live against a seeded-violation
 //! fixture (exact file, line, and rule asserted) and proven quiet against a
 //! clean counterpart. Fixtures live in `fixtures/` and are linted under
 //! virtual hot-path paths, exactly as the CLI would see the real modules.
@@ -21,6 +21,14 @@ const L4_VIOLATION: &str = include_str!("../fixtures/l4_violation.rs");
 const L4_CLEAN: &str = include_str!("../fixtures/l4_clean.rs");
 const L5_VIOLATION: &str = include_str!("../fixtures/l5_violation.rs");
 const L5_CLEAN: &str = include_str!("../fixtures/l5_clean.rs");
+const L6_VIOLATION: &str = include_str!("../fixtures/l6_violation.rs");
+const L6_CLEAN: &str = include_str!("../fixtures/l6_clean.rs");
+const L7_VIOLATION: &str = include_str!("../fixtures/l7_violation.rs");
+const L7_CLEAN: &str = include_str!("../fixtures/l7_clean.rs");
+const L8_VIOLATION: &str = include_str!("../fixtures/l8_violation.rs");
+const L8_CLEAN: &str = include_str!("../fixtures/l8_clean.rs");
+const L9_VIOLATION: &str = include_str!("../fixtures/l9_violation.rs");
+const L9_CLEAN: &str = include_str!("../fixtures/l9_clean.rs");
 
 #[test]
 fn l1_fires_on_ack_before_barrier() {
@@ -147,6 +155,125 @@ fn l5_allow_on_call_site_cuts_the_edge() {
     assert_eq!(report.allows.len(), 1);
     assert_eq!(report.allows[0].rule, Rule::L5);
     assert_eq!(report.allows[0].line, 9);
+}
+
+#[test]
+fn l6_fires_on_load_bearing_relaxed_only() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/metrics.rs", L6_VIOLATION)]);
+    let got: Vec<(u32, Rule)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(4, Rule::L6), (10, Rule::L6)],
+        "{:#?}",
+        report.diagnostics
+    );
+    assert!(
+        report.diagnostics[0].message.contains("gates control flow"),
+        "{}",
+        report.diagnostics[0].message
+    );
+    assert!(
+        report.diagnostics[1].message.contains("result consumed"),
+        "{}",
+        report.diagnostics[1].message
+    );
+    // The discarded stat-counter fetch_add on line 14 is deliberately legal.
+}
+
+#[test]
+fn l6_is_quiet_on_ordered_atomics_and_reasoned_allows() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/metrics.rs", L6_CLEAN)]);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, Rule::L6);
+}
+
+#[test]
+fn l7_fires_on_naked_waits_with_exact_lines() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/queue.rs", L7_VIOLATION)]);
+    let got: Vec<(u32, Rule)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(13, Rule::L7), (21, Rule::L7)],
+        "{:#?}",
+        report.diagnostics
+    );
+    assert!(report.diagnostics[0].message.contains("`.wait()`"));
+    assert!(report.diagnostics[1].message.contains("`.wait_timeout()`"));
+}
+
+#[test]
+fn l7_is_quiet_on_loops_wait_while_and_non_condvar_waits() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/queue.rs", L7_CLEAN)]);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, Rule::L7);
+}
+
+#[test]
+fn l8_fires_on_direct_transitive_and_channel_blocking() {
+    let report = lint_sources(&[file("crates/gp-passwords/src/store.rs", L8_VIOLATION)]);
+    let got: Vec<(u32, Rule)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(6, Rule::L8), (11, Rule::L8), (16, Rule::L8)],
+        "{:#?}",
+        report.diagnostics
+    );
+    assert!(report.diagnostics[0].message.contains("`wal` lock"));
+    assert!(
+        report.diagnostics[1]
+            .message
+            .contains("transitively blocks"),
+        "{}",
+        report.diagnostics[1].message
+    );
+    assert!(report.diagnostics[2].message.contains("`snap` lock"));
+}
+
+#[test]
+fn l8_is_quiet_when_io_is_hoisted_or_allowed() {
+    let report = lint_sources(&[file("crates/gp-passwords/src/store.rs", L8_CLEAN)]);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+    assert_eq!(report.allows.len(), 1);
+    assert_eq!(report.allows[0].rule, Rule::L8);
+}
+
+#[test]
+fn l9_fires_per_uncovered_opcode() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/replication.rs", L9_VIOLATION)]);
+    assert_eq!(report.diagnostics.len(), 1, "{:#?}", report.diagnostics);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.rule, Rule::L9);
+    assert_eq!(d.line, 2, "flags the uncovered TAG_PONG const");
+    assert!(d.message.contains("TAG_PONG"), "{}", d.message);
+    assert!(d.message.contains("ReplicaMessage::Pong"), "{}", d.message);
+    assert!(d.message.contains("round-trip"), "{}", d.message);
+    assert!(d.message.contains("truncation"), "{}", d.message);
+}
+
+#[test]
+fn l9_coverage_follows_helper_indirection() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/replication.rs", L9_CLEAN)]);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+}
+
+#[test]
+fn l9_is_scoped_to_replication_files() {
+    let report = lint_sources(&[file("crates/gp-netauth/src/framing.rs", L9_VIOLATION)]);
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
 }
 
 #[test]

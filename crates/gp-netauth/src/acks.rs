@@ -1,0 +1,152 @@
+//! Replication ack high-water mark.
+//!
+//! Extracted from `replication.rs` so the waiter/recorder coordination can
+//! be model tested: the primitives come from [`gp_sched::sync`], which is
+//! `std::sync` in release builds and the gp-sched deterministic-scheduler
+//! shims under `--cfg gp_sched` (see `tests/sched_models.rs`).
+
+use crate::error::NetAuthError;
+use gp_sched::sync::{AtomicBool, Condvar, Mutex, Ordering};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Ack high-water mark for one outbound replication connection.
+///
+/// The ack-reader thread [`AckState::record`]s sequence numbers as frames
+/// are acknowledged; committing threads [`AckState::wait_for`] their last
+/// written sequence. [`AckState::mark_broken`] (connection teardown) wakes
+/// every waiter with an error so nobody hangs on a dead socket.
+#[derive(Default)]
+pub struct AckState {
+    highest: Mutex<u64>,
+    advanced: Condvar,
+    broken: AtomicBool,
+}
+
+impl fmt::Debug for AckState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AckState")
+            .field("highest", &*self.highest.lock())
+            .field("broken", &self.broken.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl AckState {
+    /// A fresh high-water mark at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the high-water mark to `seq` and wake waiters.
+    pub fn record(&self, seq: u64) {
+        let mut highest = self.highest.lock();
+        if seq > *highest {
+            *highest = seq;
+        }
+        drop(highest);
+        self.advanced.notify_all();
+    }
+
+    /// Mark the connection broken and wake every waiter.
+    pub fn mark_broken(&self) {
+        self.broken.store(true, Ordering::SeqCst);
+        self.advanced.notify_all();
+    }
+
+    /// Whether [`AckState::mark_broken`] has run.
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::SeqCst)
+    }
+
+    /// Wait until the high-water mark reaches `seq`, the connection
+    /// breaks, or `timeout` elapses.
+    pub fn wait_for(&self, seq: u64, timeout: Duration) -> Result<(), NetAuthError> {
+        let deadline = Instant::now() + timeout;
+        let mut highest = self.highest.lock();
+        loop {
+            if *highest >= seq {
+                return Ok(());
+            }
+            if self.broken.load(Ordering::SeqCst) {
+                return Err(NetAuthError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "replication connection broke before the ack",
+                )));
+            }
+            // A wake can land at or past the deadline; saturating avoids
+            // the `deadline - now` underflow panic and turns the final
+            // iteration into an immediate timeout check.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(NetAuthError::Io(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "timed out waiting for replication ack",
+                )));
+            }
+            let (guard, _) = self.advanced.wait_timeout(highest, remaining);
+            highest = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+    use std::sync::Arc;
+
+    /// Regression: wakes landing exactly at (or past) the deadline must
+    /// fall out as a clean timeout. A notify storm that never satisfies
+    /// the predicate lands wakes at arbitrary points around the deadline;
+    /// computing `deadline - now` after such a wake would panic on
+    /// underflow, `saturating_duration_since` must not.
+    #[test]
+    fn wake_at_the_deadline_times_out_cleanly() {
+        let acks = Arc::new(AckState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (a2, s2) = (Arc::clone(&acks), Arc::clone(&stop));
+        let spammer = std::thread::spawn(move || {
+            // seq 0 never raises the mark past 0, but every call notifies.
+            while !s2.load(StdOrdering::SeqCst) {
+                a2.record(0);
+            }
+        });
+        let waited = acks.wait_for(1, Duration::from_millis(2));
+        let err = waited.expect_err("seq 1 is never recorded");
+        assert!(
+            err.to_string().contains("timed out"),
+            "unexpected error: {err}"
+        );
+        stop.store(true, StdOrdering::SeqCst);
+        spammer.join().unwrap();
+    }
+
+    /// A recorded ack at the awaited seq satisfies the waiter.
+    #[test]
+    fn recorded_seq_satisfies_waiter() {
+        let acks = Arc::new(AckState::new());
+        let a2 = Arc::clone(&acks);
+        let recorder = std::thread::spawn(move || a2.record(3));
+        assert!(acks.wait_for(3, Duration::from_secs(5)).is_ok());
+        recorder.join().unwrap();
+        assert!(
+            acks.wait_for(2, Duration::ZERO).is_ok(),
+            "lower seqs are already covered"
+        );
+    }
+
+    /// mark_broken errors waiters out instead of letting them hang.
+    #[test]
+    fn broken_connection_errors_waiters() {
+        let acks = Arc::new(AckState::new());
+        let a2 = Arc::clone(&acks);
+        let breaker = std::thread::spawn(move || a2.mark_broken());
+        let err = acks
+            .wait_for(1, Duration::from_secs(5))
+            .expect_err("broken, not acked");
+        assert!(err.to_string().contains("broke"), "unexpected error: {err}");
+        breaker.join().unwrap();
+        assert!(acks.is_broken());
+    }
+}

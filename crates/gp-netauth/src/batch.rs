@@ -19,8 +19,14 @@
 
 use gp_crypto::{iterated_hash_many_salted_into, Digest, SaltedHasher};
 use std::collections::VecDeque;
+// The Mutex/Condvar pair coordinating leader election and result
+// delivery comes from the gp-sched facade so `--cfg gp_sched` model
+// tests can explore every leader/follower interleaving; the stats
+// counters stay on plain std atomics (they are not control flow, and
+// instrumenting them would explode the model state space).
+use gp_sched::sync::{Condvar, Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One hash job: iterate `salt || pre_image` under the job's own salt.
@@ -165,7 +171,7 @@ impl BatchVerifier {
             }),
         });
         {
-            let mut inner = self.inner.lock().expect("batch verifier poisoned");
+            let mut inner = self.inner.lock();
             for (index, job) in jobs.into_iter().enumerate() {
                 inner.queue.push_back(QueuedJob {
                     job,
@@ -178,7 +184,7 @@ impl BatchVerifier {
 
         loop {
             {
-                let state = submission.state.lock().expect("submission poisoned");
+                let state = submission.state.lock();
                 if state.remaining == 0 {
                     let mut results = Vec::with_capacity(n);
                     // `state` is final; unwrap is safe because remaining==0
@@ -189,16 +195,15 @@ impl BatchVerifier {
                     return results;
                 }
             }
-            let inner = self.inner.lock().expect("batch verifier poisoned");
+            let inner = self.inner.lock();
             if !inner.leader_active && !inner.queue.is_empty() {
                 self.lead(inner);
             } else {
                 // Short timed wait: re-check the submission either on a
                 // leader's notify or after 1 ms, whichever comes first.
-                let _ = self
-                    .work
-                    .wait_timeout(inner, Duration::from_millis(1))
-                    .expect("batch verifier poisoned");
+                // (Fixed interval, no deadline arithmetic: the loop's exit
+                // predicate is `remaining == 0`, re-checked above.)
+                let _ = self.work.wait_timeout(inner, Duration::from_millis(1));
             }
         }
     }
@@ -223,19 +228,18 @@ impl BatchVerifier {
 
     /// Take the leader role: optionally wait out the coalescing window,
     /// drain up to `max_batch` jobs, hash them, deliver results.
-    fn lead(&self, mut inner: std::sync::MutexGuard<'_, Inner>) {
+    fn lead(&self, mut inner: MutexGuard<'_, Inner>) {
         inner.leader_active = true;
         if !self.coalesce_window.is_zero() && self.max_batch > 1 {
             let deadline = Instant::now() + self.coalesce_window;
             while inner.queue.len() < self.max_batch {
-                let now = Instant::now();
-                if now >= deadline {
+                // Saturating: a notify can wake this loop at or past the
+                // deadline, and `deadline - now` would panic on underflow.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
                     break;
                 }
-                let (guard, _) = self
-                    .work
-                    .wait_timeout(inner, deadline - now)
-                    .expect("batch verifier poisoned");
+                let (guard, _) = self.work.wait_timeout(inner, remaining);
                 inner = guard;
             }
         }
@@ -245,7 +249,7 @@ impl BatchVerifier {
 
         self.execute(&batch);
 
-        let mut inner = self.inner.lock().expect("batch verifier poisoned");
+        let mut inner = self.inner.lock();
         inner.leader_active = false;
         drop(inner);
         self.work.notify_all();
@@ -301,7 +305,7 @@ impl BatchVerifier {
         let jobs: Vec<&HashJob> = batch.iter().map(|q| &q.job).collect();
         let digests = self.run_groups(&jobs);
         for (queued, digest) in batch.iter().zip(digests) {
-            let mut state = queued.submission.state.lock().expect("submission poisoned");
+            let mut state = queued.submission.state.lock();
             state.results[queued.index] = Some(digest);
             state.remaining -= 1;
         }

@@ -91,12 +91,14 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acks;
 pub mod batch;
 pub mod client;
 pub mod cluster;
 pub mod error;
 pub mod framing;
 pub mod lockout;
+pub mod pending;
 pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod reactor;

@@ -183,6 +183,7 @@ impl TurnQueue {
             }
             let (guard, _) = self
                 .available
+                // gp-lint: allow(L7, bounded coalescing nap: an early wake only yields a smaller batch; the reader loop re-polls)
                 .wait_timeout(state, timeout)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             state = guard;
@@ -1134,7 +1135,7 @@ mod tests {
         // Hold victor's account barrier open, exactly as if his
         // enrollment's group commit were still in flight on another
         // connection.
-        handle.server().pending().begin_for_test("victor");
+        handle.server().pending().begin("victor");
 
         let mut racing = std::net::TcpStream::connect(handle.addr()).unwrap();
         racing
@@ -1172,7 +1173,7 @@ mod tests {
         // Lift the barrier: `redrive_parked` re-prepares the slot within
         // one loop wake and the response arrives (Rejected — the account
         // was never actually enrolled in this test).
-        handle.server().pending().end_for_test("victor");
+        handle.server().pending().end("victor");
         racing
             .set_read_timeout(Some(Duration::from_secs(5)))
             .unwrap();

@@ -63,6 +63,7 @@
 //!   while it was away.  Repair counters surface in
 //!   [`ReplicationStats`].
 
+use crate::acks::AckState;
 use crate::error::NetAuthError;
 use crate::framing::{FrameReader, FrameWriter};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -73,7 +74,7 @@ use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often blocked replication I/O loops wake to poll the shutdown flag.
@@ -796,60 +797,6 @@ impl Default for ReplicatorConfig {
     }
 }
 
-/// Ack high-water mark for one outbound connection.
-#[derive(Debug, Default)]
-struct AckState {
-    highest: StdMutex<u64>,
-    advanced: Condvar,
-    broken: AtomicBool,
-}
-
-impl AckState {
-    fn record(&self, seq: u64) {
-        let mut highest = self.highest.lock().unwrap_or_else(|e| e.into_inner());
-        if seq > *highest {
-            *highest = seq;
-        }
-        drop(highest);
-        self.advanced.notify_all();
-    }
-
-    fn mark_broken(&self) {
-        self.broken.store(true, Ordering::SeqCst);
-        self.advanced.notify_all();
-    }
-
-    /// Wait until the high-water mark reaches `seq`, the connection
-    /// breaks, or `timeout` elapses.
-    fn wait_for(&self, seq: u64, timeout: Duration) -> Result<(), NetAuthError> {
-        let deadline = Instant::now() + timeout;
-        let mut highest = self.highest.lock().unwrap_or_else(|e| e.into_inner());
-        loop {
-            if *highest >= seq {
-                return Ok(());
-            }
-            if self.broken.load(Ordering::SeqCst) {
-                return Err(NetAuthError::Io(std::io::Error::new(
-                    std::io::ErrorKind::ConnectionReset,
-                    "replication connection broke before the ack",
-                )));
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(NetAuthError::Io(std::io::Error::new(
-                    std::io::ErrorKind::TimedOut,
-                    "timed out waiting for replication ack",
-                )));
-            }
-            let (guard, _) = self
-                .advanced
-                .wait_timeout(highest, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
-            highest = guard;
-        }
-    }
-}
-
 /// One live outbound connection to a peer's replication listener.
 #[derive(Debug)]
 struct PeerConn {
@@ -1087,7 +1034,11 @@ impl Replicator {
             let mut last_seq = 0;
             let mut failed = None;
             for payload in payloads {
-                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                // AcqRel: the issued seq orders the ack protocol (the
+                // waiter compares it against the reader thread's high-water
+                // mark), so the RMW must not be reordered around the
+                // frame write it numbers.
+                let seq = self.next_seq.fetch_add(1, Ordering::AcqRel) + 1;
                 let message = ReplicaMessage::Record {
                     seq,
                     payload: payload.to_vec(),

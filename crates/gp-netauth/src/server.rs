@@ -32,6 +32,7 @@ use crate::batch::{BatchStats, BatchVerifier, HashJob};
 use crate::error::NetAuthError;
 use crate::framing::{FrameReader, FrameWriter};
 use crate::lockout::LockoutTracker;
+use crate::pending::PendingAccounts;
 use crate::protocol::{ClientMessage, LoginDecision, ServerMessage};
 use crate::replication::ReplicationSink;
 use bytes::Bytes;
@@ -41,13 +42,12 @@ use gp_passwords::{
     DiscretizationConfig, DurabilityOptions, FsyncPolicy, GraphicalPasswordSystem, PasswordPolicy,
     ShardStats, ShardedPasswordStore, StoredPassword, VerifyScratch, WalEntry,
 };
-use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -343,97 +343,6 @@ pub(crate) struct PreparedTurn {
     pub(crate) parked: Option<String>,
 }
 
-/// Accounts with an enrollment accepted into a turn but not yet
-/// group-committed.
-///
-/// Under group commit an enrollment becomes visible in memory *before*
-/// its WAL record is fsynced, so a login racing it could be acknowledged
-/// against a record a crash would lose.  [`AuthServer::prepare_turn`]
-/// consults this table so only a login for the *same* account parks until
-/// its enroll's barrier; every other account's traffic keeps flowing
-/// (the per-connection write barrier this replaces split the whole
-/// pipeline at every enrollment).
-///
-/// Entries are reference-counted: concurrent enrollments of one name
-/// (only one can win the duplicate check) each hold the account pending
-/// until their own settle/commit releases it.
-#[derive(Debug, Default)]
-pub(crate) struct PendingAccounts {
-    accounts: Mutex<HashMap<String, usize>>,
-    cleared: Condvar,
-}
-
-impl PendingAccounts {
-    /// Mark an enrollment in flight for `username` (at prepare time).
-    fn begin(&self, username: &str) {
-        // Poisoning just means some other thread panicked mid-update of the
-        // plain HashMap; recover the guard instead of cascading the panic
-        // through every enrollment.
-        let mut accounts = self
-            .accounts
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        *accounts.entry(username.to_string()).or_insert(0) += 1;
-    }
-
-    /// Release one in-flight enrollment for `username` (after its group
-    /// commit, or at settle time if the insert was refused) and wake
-    /// every parked waiter.
-    fn end(&self, username: &str) {
-        let mut accounts = self
-            .accounts
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if let Some(count) = accounts.get_mut(username) {
-            *count -= 1;
-            if *count == 0 {
-                accounts.remove(username);
-            }
-        }
-        drop(accounts);
-        self.cleared.notify_all();
-    }
-
-    /// Whether `username` has an enrollment awaiting its group commit.
-    pub(crate) fn is_pending(&self, username: &str) -> bool {
-        self.accounts
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .contains_key(username)
-    }
-
-    /// Block until `username` has no in-flight enrollment, or `timeout`
-    /// passes (the blocking pool's park; the reactor re-drives parked
-    /// connections from its event loop instead).
-    pub(crate) fn wait_clear(&self, username: &str, timeout: Duration) {
-        let accounts = self
-            .accounts
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if !accounts.contains_key(username) {
-            return;
-        }
-        let _ = self
-            .cleared
-            .wait_timeout_while(accounts, timeout, |accounts| {
-                accounts.contains_key(username)
-            });
-    }
-
-    /// Test hook: mark an enrollment in flight without a real turn.
-    #[cfg(test)]
-    pub(crate) fn begin_for_test(&self, username: &str) {
-        self.begin(username);
-    }
-
-    /// Test hook: release an enrollment marked via
-    /// [`PendingAccounts::begin_for_test`].
-    #[cfg(test)]
-    pub(crate) fn end_for_test(&self, username: &str) {
-        self.end(username);
-    }
-}
-
 /// One settled enrollment awaiting its group-commit barrier: which
 /// response to patch if the barrier fails, which shard to flush, and the
 /// record clone to stream to the replication sink (when one is attached).
@@ -505,7 +414,7 @@ impl AuthServer {
             store,
             lockout,
             verifier,
-            pending: PendingAccounts::default(),
+            pending: PendingAccounts::new(),
             replication: None,
         })
     }
@@ -1797,7 +1706,7 @@ mod tests {
         // Hold victor's account barrier open, exactly as if his
         // enrollment's group commit were still in flight on another
         // connection.
-        handle.server().pending().begin_for_test("victor");
+        handle.server().pending().begin("victor");
 
         let mut racing = TcpStream::connect(handle.addr()).unwrap();
         racing
@@ -1834,7 +1743,7 @@ mod tests {
 
         // Lift the barrier: the parked worker wakes and answers (Rejected
         // — the account was never actually enrolled in this test).
-        handle.server().pending().end_for_test("victor");
+        handle.server().pending().end("victor");
         racing
             .set_read_timeout(Some(Duration::from_secs(5)))
             .unwrap();

@@ -95,6 +95,7 @@ pub mod store;
 pub mod stored;
 pub mod system;
 pub mod wal;
+pub mod watermark;
 
 pub use config::DiscretizationConfig;
 pub use error::PasswordError;

@@ -106,6 +106,7 @@ mod tracking {
                         .or_insert_with(|| (prior.location.to_string(), location.to_string()));
                 }
             }
+            // gp-lint: allow(L6, token ids need uniqueness only; edges publish via the graph mutex)
             let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
             held.push(Held {
                 class,

@@ -558,6 +558,7 @@ impl ShardedPasswordStore {
                 username: entry.stored.username.clone(),
             });
         }
+        // gp-lint: allow(L8, by-design durability barrier: the accounts lock orders the WAL append ahead of the map mutation)
         self.wal_append(index, WalOp::Enroll, &entry.stored)?;
         accounts.insert(entry.stored.username.clone(), entry);
         shard.enrolls.fetch_add(1, Ordering::Relaxed);
@@ -588,6 +589,7 @@ impl ShardedPasswordStore {
         if let Some(d) = &self.durability {
             d.wals[index]
                 .lock()
+                // gp-lint: allow(L8, by-design durability barrier: the accounts lock orders the WAL append ahead of the map mutation)
                 .append_record_deferred(WalOp::Enroll, &entry.stored)
                 .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))?;
         }
@@ -644,6 +646,7 @@ impl ShardedPasswordStore {
         let index = shard_index(&stored.username, self.shards.len());
         let entry = CachedAccount::new(stored);
         let mut accounts = self.shards[index].accounts.write();
+        // gp-lint: allow(L8, by-design durability barrier: the accounts lock orders the WAL append ahead of the map mutation)
         self.wal_append(index, WalOp::Update, &entry.stored)?;
         accounts.insert(entry.stored.username.clone(), entry);
         Ok(())
@@ -665,6 +668,7 @@ impl ShardedPasswordStore {
             WalEntry::Enroll(record) | WalEntry::Update(record) => {
                 let cached = CachedAccount::new(record.clone());
                 let mut accounts = self.shards[index].accounts.write();
+                // gp-lint: allow(L8, by-design durability barrier: the accounts lock orders the WAL append ahead of the map mutation)
                 self.wal_append(index, entry.op(), record)?;
                 accounts.insert(cached.stored.username.clone(), cached);
             }
@@ -673,6 +677,7 @@ impl ShardedPasswordStore {
                 if let Some(d) = &self.durability {
                     d.wals[index]
                         .lock()
+                        // gp-lint: allow(L8, by-design durability barrier: the accounts lock orders the WAL append ahead of the map mutation)
                         .append_remove(username)
                         .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))?;
                 }
@@ -755,6 +760,7 @@ impl ShardedPasswordStore {
         if let Some(d) = &self.durability {
             d.wals[index]
                 .lock()
+                // gp-lint: allow(L8, by-design durability barrier: the accounts lock orders the WAL append ahead of the map mutation)
                 .append_remove(username)
                 .map_err(|e| storage_error(&format!("wal append (shard {index})"), e))?;
         }
@@ -1005,6 +1011,7 @@ impl ShardedPasswordStore {
             )
         };
         let path = d.dir.join(shard_pwd_name(index));
+        // gp-lint: allow(L8, the snap lock exists to serialize snapshot writers; the blocking write is the protected work)
         atomic_write(&path, contents.as_bytes())
             .map_err(|e| storage_error(&format!("snapshot {}", path.display()), e))?;
         let mut wal = d.wals[index].lock();

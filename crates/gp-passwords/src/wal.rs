@@ -41,6 +41,7 @@
 //! parse is real corruption (or a software bug) and is an error.
 
 use crate::stored::StoredPassword;
+use crate::watermark::Watermark;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, Write};
 use std::path::{Path, PathBuf};
@@ -193,22 +194,13 @@ pub struct WalReplay {
 pub struct ShardWal {
     file: File,
     path: PathBuf,
-    policy: FsyncPolicy,
-    /// Appends since the last fsync (drives [`FsyncPolicy::Batch`]).
-    unsynced: u32,
+    /// Commit sequencing and fsync-policy decisions (pure state machine,
+    /// model tested under gp-sched — see [`crate::watermark::Watermark`]).
+    mark: Watermark,
     /// Current file length in bytes (header included).
     len: u64,
     appends: u64,
     syncs: u64,
-    /// Commit sequence: incremented per appended record.  Monotonic for
-    /// the life of the handle (a snapshot reset does not rewind it).
-    seq: u64,
-    /// Commit-sequence watermark: the highest `seq` known to be on
-    /// stable storage (advanced by every fsync).  Records with
-    /// `seq > durable_seq` are appended but not yet committed — they may
-    /// not be acknowledged until a sync (or [`ShardWal::group_commit`])
-    /// carries the watermark past them.
-    durable_seq: u64,
     /// A failed append could not be rolled back: the bytes past the last
     /// good record are in an unknown state, so further appends would land
     /// *after* a tear and be silently dropped by replay.  All appends
@@ -234,13 +226,10 @@ impl ShardWal {
         Ok(Self {
             file,
             path: path.to_path_buf(),
-            policy,
-            unsynced: 0,
+            mark: Watermark::new(policy),
             len,
             appends: 0,
             syncs: 0,
-            seq: 0,
-            durable_seq: 0,
             poisoned: false,
         })
     }
@@ -268,7 +257,7 @@ impl ShardWal {
 
     /// Commit sequence of the last appended record (0 before any append).
     pub fn appended_seq(&self) -> u64 {
-        self.seq
+        self.mark.appended_seq()
     }
 
     /// The commit-sequence watermark: the highest appended sequence known
@@ -277,7 +266,7 @@ impl ShardWal {
     /// awaiting its group-commit barrier (or rides the OS page cache
     /// under [`FsyncPolicy::Never`]).
     pub fn durable_seq(&self) -> u64 {
-        self.durable_seq
+        self.mark.durable_seq()
     }
 
     /// Append a stored-password mutation ([`WalOp::Enroll`] or
@@ -326,20 +315,10 @@ impl ShardWal {
     /// commit-sequence watermark after the barrier — under `Always`,
     /// every previously appended record is committed when this returns.
     pub fn group_commit(&mut self) -> std::io::Result<u64> {
-        match self.policy {
-            FsyncPolicy::Always => {
-                if self.unsynced > 0 {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::Batch(every) => {
-                if self.unsynced >= every.max(1) {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::Never => {}
+        if self.mark.barrier_needs_sync() {
+            self.sync()?;
         }
-        Ok(self.durable_seq)
+        Ok(self.mark.durable_seq())
     }
 
     /// Append a decoded entry (replication apply path: the backup logs
@@ -367,13 +346,12 @@ impl ShardWal {
         buf.extend_from_slice(&fnv1a64(&payload).to_be_bytes());
         buf.extend_from_slice(&payload);
         let start = self.len;
-        let seq_before = self.seq;
-        self.seq += 1;
+        let seq = self.mark.begin_append();
         match self.write_and_flush(&buf, deferred) {
             Ok(()) => {
                 self.len = start + buf.len() as u64;
                 self.appends += 1;
-                Ok(self.seq)
+                Ok(seq)
             }
             // A failed append (ENOSPC, EIO, fsync failure) is about to be
             // NACKed to the caller — so its bytes must not stay in the
@@ -385,8 +363,7 @@ impl ShardWal {
             // fails, poison the log so no later append can land past the
             // tear.
             Err(e) => {
-                self.seq = seq_before;
-                self.durable_seq = self.durable_seq.min(self.seq);
+                self.mark.rollback_append();
                 let rolled_back = self.file.set_len(start).is_ok()
                     && self.file.seek(std::io::SeekFrom::End(0)).is_ok();
                 if rolled_back {
@@ -406,18 +383,11 @@ impl ShardWal {
     fn write_and_flush(&mut self, buf: &[u8], deferred: bool) -> std::io::Result<()> {
         self.file.write_all(buf)?;
         if deferred {
-            self.unsynced += 1;
+            self.mark.note_deferred();
             return Ok(());
         }
-        match self.policy {
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::Batch(every) => {
-                self.unsynced += 1;
-                if self.unsynced >= every.max(1) {
-                    self.sync()?;
-                }
-            }
-            FsyncPolicy::Never => {}
+        if self.mark.note_flushed_append() {
+            self.sync()?;
         }
         Ok(())
     }
@@ -426,9 +396,8 @@ impl ShardWal {
     /// policy, advancing the durable commit-sequence watermark.
     pub fn sync(&mut self) -> std::io::Result<()> {
         self.file.sync_all()?;
-        self.unsynced = 0;
         self.syncs += 1;
-        self.durable_seq = self.seq;
+        self.mark.note_synced();
         Ok(())
     }
 
@@ -444,11 +413,10 @@ impl ShardWal {
         self.file.seek(std::io::SeekFrom::End(0))?;
         self.file.sync_all()?;
         self.syncs += 1;
-        self.unsynced = 0;
         self.len = WAL_MAGIC.len() as u64;
         // Every logged record is superseded by the published snapshot:
         // the watermark catches up (monotonic — it never rewinds).
-        self.durable_seq = self.seq;
+        self.mark.note_synced();
         // Truncating to the header discards any un-rolled-back tear.
         self.poisoned = false;
         Ok(())

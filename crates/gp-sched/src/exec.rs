@@ -1,0 +1,584 @@
+//! Execution-state machine: one deterministic run of a model.
+//!
+//! An [`Execution`] serialises the model's OS threads so that exactly one
+//! runs at a time. Every shim operation (lock, unlock, condvar wait/notify,
+//! atomic access, spawn, join, yield) is a *yield point*: the running thread
+//! hands the baton back to the scheduler, which records a scheduling choice
+//! and wakes the chosen thread. The recorded choice list is the schedule
+//! trace; replaying the same trace reproduces the run exactly.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+use std::time::Duration;
+
+/// Global generation counter; each [`Execution`] gets a unique generation so
+/// shim objects can detect that a cached object id belongs to a dead run.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Sentinel panic payload used to unwind model threads when the execution
+/// halts (failure detected elsewhere, or the depth bound pruned the run).
+/// The thread wrapper swallows it; it never escapes to the test harness.
+pub(crate) struct HaltToken;
+
+/// How the scheduler resolves multi-candidate choice points.
+#[derive(Clone)]
+pub(crate) enum Mode {
+    /// Follow `script` for as long as it lasts, then always pick the first
+    /// candidate. The DFS explorer and `replay` both use this.
+    Scripted(Vec<usize>),
+    /// Seeded xorshift choice at every decision; still fully recorded, so a
+    /// failing random walk yields a scripted repro.
+    Random(u64),
+}
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    /// Thread ids that were eligible at this point (post preemption bound).
+    pub candidates: Vec<usize>,
+    /// The thread id that actually ran.
+    pub chosen: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedCondvar { cv: u64, timed: bool },
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadInfo {
+    state: ThreadState,
+    /// Set when a timed condvar wait was woken by the timeout transition
+    /// rather than a notify; consumed by the wait shim.
+    timed_out: bool,
+}
+
+#[derive(Default)]
+struct MutexInfo {
+    owner: Option<usize>,
+    waiters: Vec<usize>,
+}
+
+#[derive(Default)]
+struct CondvarInfo {
+    waiters: Vec<usize>,
+}
+
+/// Why the execution stopped early.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Halt {
+    Failure,
+    Pruned,
+}
+
+struct ExecState {
+    mode: Mode,
+    threads: Vec<ThreadInfo>,
+    active: Option<usize>,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    max_depth: usize,
+    choices: Vec<Choice>,
+    halt: Option<Halt>,
+    failure: Option<String>,
+    next_object: u64,
+    mutexes: BTreeMap<u64, MutexInfo>,
+    condvars: BTreeMap<u64, CondvarInfo>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    fn mutex_mut(&mut self, id: u64) -> &mut MutexInfo {
+        self.mutexes.entry(id).or_default()
+    }
+
+    fn condvar_mut(&mut self, id: u64) -> &mut CondvarInfo {
+        self.condvars.entry(id).or_default()
+    }
+}
+
+/// Outcome of a single run, consumed by the explorer.
+pub(crate) struct RunOutcome {
+    pub choices: Vec<Choice>,
+    pub failure: Option<String>,
+    pub pruned: bool,
+}
+
+/// One deterministic execution of a model under the scheduler.
+pub(crate) struct Execution {
+    generation: u64,
+    state: StdMutex<ExecState>,
+    turn: StdCondvar,
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    // The scheduler's own lock is never left inconsistent by an unwinding
+    // model thread; recover rather than cascade poison panics.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    x
+}
+
+impl Execution {
+    pub(crate) fn new(mode: Mode, preemption_bound: Option<usize>, max_depth: usize) -> Arc<Self> {
+        // gp-lint: allow(L6, generation ids need uniqueness only; objects publish via the execution lock)
+        let generation = NEXT_GENERATION.fetch_add(1, Ordering::Relaxed);
+        Arc::new(Execution {
+            generation,
+            state: StdMutex::new(ExecState {
+                mode,
+                threads: vec![ThreadInfo {
+                    state: ThreadState::Runnable,
+                    timed_out: false,
+                }],
+                active: Some(0),
+                preemptions: 0,
+                preemption_bound,
+                max_depth,
+                choices: Vec::new(),
+                halt: None,
+                failure: None,
+                next_object: 0,
+                mutexes: BTreeMap::new(),
+                condvars: BTreeMap::new(),
+                os_handles: Vec::new(),
+            }),
+            turn: StdCondvar::new(),
+        })
+    }
+
+    /// Generation truncated to 32 bits for object tokens.
+    pub(crate) fn generation32(&self) -> u64 {
+        self.generation & 0xffff_ffff
+    }
+
+    /// The execution (and thread id) driving the calling OS thread, if any.
+    pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Allocate a fresh per-execution object id for a shim primitive.
+    pub(crate) fn alloc_object_id(&self) -> u64 {
+        let mut st = unpoison(self.state.lock());
+        st.next_object += 1;
+        st.next_object
+    }
+
+    /// Run `model` as thread 0 of a fresh execution and wait for every
+    /// model thread to exit. Returns the recorded schedule and any failure.
+    pub(crate) fn run<F>(self: &Arc<Self>, model: F) -> RunOutcome
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let exec = Arc::clone(self);
+        let root = std::thread::spawn(move || exec.thread_main(0, model));
+        root.join().ok();
+        // Spawned threads register their handles in the state; drain until
+        // everyone has exited (a joined thread may have spawned more).
+        loop {
+            let handle = {
+                let mut st = unpoison(self.state.lock());
+                st.os_handles.pop()
+            };
+            match handle {
+                Some(h) => {
+                    h.join().ok();
+                }
+                None => break,
+            }
+        }
+        let st = unpoison(self.state.lock());
+        RunOutcome {
+            choices: st.choices.clone(),
+            failure: st.failure.clone(),
+            pruned: st.halt == Some(Halt::Pruned),
+        }
+    }
+
+    /// Body of every model OS thread: park until first scheduled, run the
+    /// closure, translate panics into failures, then retire.
+    pub(crate) fn thread_main<F>(self: Arc<Self>, tid: usize, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&self), tid)));
+        if self.wait_until_scheduled(tid) {
+            let result = panic::catch_unwind(AssertUnwindSafe(f));
+            if let Err(payload) = result {
+                if !payload.is::<HaltToken>() {
+                    let msg = panic_message(payload.as_ref());
+                    let mut st = unpoison(self.state.lock());
+                    if st.failure.is_none() {
+                        st.failure = Some(format!("thread {tid} panicked: {msg}"));
+                        st.halt = Some(Halt::Failure);
+                    }
+                }
+            }
+        }
+        self.retire(tid);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+
+    fn wait_until_scheduled(&self, tid: usize) -> bool {
+        let mut st = unpoison(self.state.lock());
+        loop {
+            if st.halt.is_some() {
+                return false;
+            }
+            if st.active == Some(tid) {
+                return true;
+            }
+            st = unpoison(self.turn.wait(st));
+        }
+    }
+
+    /// Mark `tid` finished, wake joiners, and hand the baton onwards.
+    fn retire(&self, tid: usize) {
+        let mut st = unpoison(self.state.lock());
+        st.threads[tid].state = ThreadState::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t].state == ThreadState::BlockedJoin(tid) {
+                st.threads[t].state = ThreadState::Runnable;
+            }
+        }
+        if st.halt.is_none() && st.active == Some(tid) {
+            self.pick_next(&mut st);
+        }
+        self.turn.notify_all();
+    }
+
+    /// Record a scheduling decision and set `active` to the chosen thread.
+    /// Detects deadlock (incl. lost wakeups), fires quiescent timeouts, and
+    /// prunes at the depth bound.
+    fn pick_next(&self, st: &mut ExecState) {
+        if st.halt.is_some() {
+            return;
+        }
+        let prev = st.active;
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThreadState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        let mut candidates = runnable;
+        let mut timeout_fire = false;
+        if candidates.is_empty() {
+            // Timed condvar waits only fire their timeout at quiescence:
+            // the timeout is a scheduling transition of last resort, which
+            // keeps the state space small and models "the notify path is
+            // live" separately from "the timeout path is correct".
+            let timed: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.state, ThreadState::BlockedCondvar { timed: true, .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if !timed.is_empty() {
+                candidates = timed;
+                timeout_fire = true;
+            } else if st.threads.iter().any(|t| t.state != ThreadState::Finished) {
+                st.failure = Some(describe_deadlock(st));
+                st.halt = Some(Halt::Failure);
+                return;
+            } else {
+                st.active = None;
+                return;
+            }
+        } else if let (Some(p), Some(bound)) = (prev, st.preemption_bound) {
+            // Preempting a still-runnable thread spends budget; once the
+            // budget is gone the previous thread must continue.
+            if st.preemptions >= bound
+                && st.threads[p].state == ThreadState::Runnable
+                && candidates.contains(&p)
+            {
+                candidates = vec![p];
+            }
+        }
+        if st.choices.len() >= st.max_depth {
+            st.halt = Some(Halt::Pruned);
+            return;
+        }
+        let decision = st.choices.len();
+        let chosen = match &mut st.mode {
+            Mode::Scripted(script) => {
+                if decision < script.len() {
+                    let want = script[decision];
+                    if !candidates.contains(&want) {
+                        st.failure = Some(format!(
+                            "schedule replay diverged at decision {decision}: scripted thread {want} \
+                             is not among candidates {candidates:?} (model is nondeterministic \
+                             beyond scheduling?)"
+                        ));
+                        st.halt = Some(Halt::Failure);
+                        return;
+                    }
+                    want
+                } else {
+                    candidates[0]
+                }
+            }
+            Mode::Random(seed) => {
+                let r = xorshift(seed);
+                candidates[(r % candidates.len() as u64) as usize]
+            }
+        };
+        st.choices.push(Choice {
+            candidates: candidates.clone(),
+            chosen,
+        });
+        if let Some(p) = prev {
+            if p != chosen && st.threads[p].state == ThreadState::Runnable {
+                st.preemptions += 1;
+            }
+        }
+        if timeout_fire {
+            if let ThreadState::BlockedCondvar { cv, .. } = st.threads[chosen].state {
+                let info = st.condvar_mut(cv);
+                info.waiters.retain(|&w| w != chosen);
+                st.threads[chosen].state = ThreadState::Runnable;
+                st.threads[chosen].timed_out = true;
+            }
+        }
+        st.active = Some(chosen);
+    }
+
+    /// Pick the next thread, wake it, and park until this thread is active
+    /// again (or the execution halts). Must be entered with the state the
+    /// caller wants recorded (Runnable for a plain yield, Blocked* when the
+    /// caller just blocked itself).
+    fn reschedule(&self, mut st: StdMutexGuard<'_, ExecState>, tid: usize) {
+        if std::thread::panicking() {
+            // Called from a guard Drop while a model assertion unwinds:
+            // release bookkeeping already happened, do not park or panic
+            // again (a second panic would abort the process).
+            self.turn.notify_all();
+            return;
+        }
+        if st.halt.is_none() {
+            self.pick_next(&mut st);
+        }
+        self.turn.notify_all();
+        loop {
+            if st.halt.is_some() {
+                drop(st);
+                panic::panic_any(HaltToken);
+            }
+            if st.active == Some(tid) && st.threads[tid].state == ThreadState::Runnable {
+                return;
+            }
+            st = unpoison(self.turn.wait(st));
+        }
+    }
+
+    /// A plain preemption point: the calling thread stays runnable but the
+    /// scheduler may move the baton elsewhere.
+    pub(crate) fn yield_point(&self, tid: usize) {
+        let st = unpoison(self.state.lock());
+        self.reschedule(st, tid);
+    }
+
+    /// Acquire shim mutex `id`, blocking (in scheduler terms) if held.
+    /// `yield_first` inserts the pre-acquire branch point; condvar
+    /// reacquisition skips it because the wake itself was the decision.
+    pub(crate) fn mutex_lock(&self, tid: usize, id: u64, yield_first: bool) {
+        if yield_first {
+            self.yield_point(tid);
+        }
+        loop {
+            let mut st = unpoison(self.state.lock());
+            if st.halt.is_some() {
+                drop(st);
+                panic::panic_any(HaltToken);
+            }
+            let m = st.mutex_mut(id);
+            if m.owner.is_none() {
+                m.owner = Some(tid);
+                return;
+            }
+            m.waiters.push(tid);
+            st.threads[tid].state = ThreadState::BlockedMutex(id);
+            self.reschedule(st, tid);
+        }
+    }
+
+    /// Release shim mutex `id`; all scheduler-level waiters become runnable
+    /// and race for reacquisition under the explorer's choices.
+    pub(crate) fn mutex_unlock(&self, tid: usize, id: u64) {
+        let mut st = unpoison(self.state.lock());
+        let m = st.mutex_mut(id);
+        m.owner = None;
+        let waiters: Vec<usize> = m.waiters.drain(..).collect();
+        for w in waiters {
+            st.threads[w].state = ThreadState::Runnable;
+        }
+        if st.halt.is_some() {
+            self.turn.notify_all();
+            return;
+        }
+        self.reschedule(st, tid);
+    }
+
+    /// Atomically release `mutex_id` and wait on condvar `cv_id`.
+    /// Returns `true` when woken by the quiescent-timeout transition.
+    pub(crate) fn condvar_wait(
+        &self,
+        tid: usize,
+        cv_id: u64,
+        mutex_id: u64,
+        timeout: Option<Duration>,
+    ) -> bool {
+        {
+            let mut st = unpoison(self.state.lock());
+            let m = st.mutex_mut(mutex_id);
+            m.owner = None;
+            let waiters: Vec<usize> = m.waiters.drain(..).collect();
+            for w in waiters {
+                st.threads[w].state = ThreadState::Runnable;
+            }
+            st.condvar_mut(cv_id).waiters.push(tid);
+            st.threads[tid].state = ThreadState::BlockedCondvar {
+                cv: cv_id,
+                timed: timeout.is_some(),
+            };
+            st.threads[tid].timed_out = false;
+            self.reschedule(st, tid);
+        }
+        let fired = {
+            let mut st = unpoison(self.state.lock());
+            std::mem::take(&mut st.threads[tid].timed_out)
+        };
+        if fired {
+            if let Some(d) = timeout {
+                // Burn the real duration so wall-clock deadline arithmetic in
+                // production wait loops observes an expired deadline. Model
+                // tests therefore use millisecond-scale timeouts.
+                std::thread::sleep(d);
+            }
+        }
+        self.mutex_lock(tid, mutex_id, false);
+        fired
+    }
+
+    /// Wake one or all waiters of condvar `cv_id`.
+    pub(crate) fn condvar_notify(&self, tid: usize, cv_id: u64, all: bool) {
+        let mut st = unpoison(self.state.lock());
+        let info = st.condvar_mut(cv_id);
+        let woken: Vec<usize> = if all {
+            info.waiters.drain(..).collect()
+        } else {
+            info.waiters.drain(..1.min(info.waiters.len())).collect()
+        };
+        for w in woken {
+            st.threads[w].state = ThreadState::Runnable;
+            st.threads[w].timed_out = false;
+        }
+        if st.halt.is_some() {
+            self.turn.notify_all();
+            return;
+        }
+        self.reschedule(st, tid);
+    }
+
+    /// Register a new model thread and start its OS thread. Returns the new
+    /// thread id.
+    pub(crate) fn spawn_thread<F>(self: &Arc<Self>, parent: usize, f: F) -> usize
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let child = {
+            let mut st = unpoison(self.state.lock());
+            st.threads.push(ThreadInfo {
+                state: ThreadState::Runnable,
+                timed_out: false,
+            });
+            st.threads.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::spawn(move || exec.thread_main(child, f));
+        {
+            let mut st = unpoison(self.state.lock());
+            st.os_handles.push(handle);
+        }
+        self.yield_point(parent);
+        child
+    }
+
+    /// Block until thread `target` finishes.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        loop {
+            let mut st = unpoison(self.state.lock());
+            if st.halt.is_some() {
+                drop(st);
+                panic::panic_any(HaltToken);
+            }
+            if st.threads[target].state == ThreadState::Finished {
+                return;
+            }
+            st.threads[tid].state = ThreadState::BlockedJoin(target);
+            self.reschedule(st, tid);
+        }
+    }
+}
+
+fn describe_deadlock(st: &ExecState) -> String {
+    let mut lost_wakeup = false;
+    let mut lines = Vec::new();
+    for (i, t) in st.threads.iter().enumerate() {
+        match t.state {
+            ThreadState::BlockedMutex(id) => {
+                lines.push(format!("  thread {i} blocked on Mutex#{id}"))
+            }
+            ThreadState::BlockedCondvar { cv, timed } => {
+                if !timed {
+                    lost_wakeup = true;
+                }
+                lines.push(format!(
+                    "  thread {i} blocked in Condvar#{cv}::{}",
+                    if timed { "wait_timeout" } else { "wait" }
+                ));
+            }
+            ThreadState::BlockedJoin(target) => {
+                lines.push(format!("  thread {i} blocked joining thread {target}"))
+            }
+            ThreadState::Runnable | ThreadState::Finished => {}
+        }
+    }
+    let headline = if lost_wakeup {
+        "deadlock (suspected lost wakeup: a thread is parked in an untimed Condvar::wait with no runnable notifier)"
+    } else {
+        "deadlock"
+    };
+    format!("{headline}\n{}", lines.join("\n"))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

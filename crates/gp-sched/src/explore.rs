@@ -1,0 +1,204 @@
+//! Schedule exploration: exhaustive DFS over scheduling choices, seeded
+//! random walks for deeper state spaces, and exact trace replay.
+
+use crate::exec::{Choice, Execution, Mode, RunOutcome};
+use std::sync::Arc;
+
+/// Statistics returned by a completed exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Exploration {
+    /// Number of complete schedules executed.
+    pub schedules: usize,
+    /// Of those, how many were truncated by the depth bound. Non-zero means
+    /// the exploration was bounded-exhaustive rather than exhaustive.
+    pub pruned: usize,
+}
+
+/// Deterministic interleaving explorer.
+///
+/// Runs a model closure many times, each under a different thread schedule,
+/// until every schedule reachable within the preemption and depth bounds has
+/// been executed. A model failure (assertion panic, deadlock, lost wakeup)
+/// aborts the exploration by panicking with the failing schedule trace; feed
+/// that trace to [`Explorer::replay`] to re-run the exact interleaving under
+/// a debugger or with extra logging.
+///
+/// ```
+/// use gp_sched::{Explorer, shim};
+/// use std::sync::Arc;
+///
+/// Explorer::new().explore(|| {
+///     let m = Arc::new(shim::Mutex::new(0u64));
+///     let m2 = Arc::clone(&m);
+///     let t = gp_sched::thread::spawn(move || *m2.lock() += 1);
+///     *m.lock() += 1;
+///     t.join();
+///     assert_eq!(*m.lock(), 2);
+/// });
+/// ```
+pub struct Explorer {
+    preemption_bound: Option<usize>,
+    max_depth: usize,
+    max_schedules: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            preemption_bound: Some(2),
+            max_depth: 5_000,
+            max_schedules: 200_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// An explorer with the default bounds (preemption bound 2, depth 5000,
+    /// at most 200k schedules).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limit the number of times the scheduler may preempt a runnable
+    /// thread. `None` removes the bound (full exhaustive search).
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Truncate any schedule after this many decisions. Truncated runs are
+    /// counted in [`Exploration::pruned`].
+    pub fn max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Panic (state space not exhausted) after this many schedules.
+    pub fn max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Exhaustively run `model` under every schedule within the bounds.
+    /// Panics with a replayable trace on the first failing schedule.
+    pub fn explore<F>(&self, model: F) -> Exploration
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model = Arc::new(model);
+        let mut script: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        let mut pruned = 0usize;
+        loop {
+            let out = self.run_one(Mode::Scripted(script.clone()), &model);
+            schedules += 1;
+            if out.pruned {
+                pruned += 1;
+            }
+            if let Some(f) = out.failure {
+                panic!("{}", format_failure(&f, &out.choices));
+            }
+            if schedules >= self.max_schedules {
+                panic!(
+                    "gp-sched: state space not exhausted within {} schedules; tighten the model \
+                     or raise max_schedules",
+                    self.max_schedules
+                );
+            }
+            match next_script(&out.choices) {
+                Some(next) => script = next,
+                None => break,
+            }
+        }
+        Exploration { schedules, pruned }
+    }
+
+    /// Run `walks` random schedules seeded from `seed`. Reaches states far
+    /// beyond the DFS depth budget; failures still panic with an exact
+    /// scripted trace.
+    pub fn random_walks<F>(&self, seed: u64, walks: usize, model: F) -> Exploration
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let model = Arc::new(model);
+        let mut pruned = 0usize;
+        for i in 0..walks {
+            let walk_seed = seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                | 1;
+            let out = self.run_one(Mode::Random(walk_seed), &model);
+            if out.pruned {
+                pruned += 1;
+            }
+            if let Some(f) = out.failure {
+                panic!(
+                    "{}",
+                    format_failure(&format!("{f} (random walk {i}, seed {seed})"), &out.choices)
+                );
+            }
+        }
+        Exploration {
+            schedules: walks,
+            pruned,
+        }
+    }
+
+    /// Re-run `model` under the exact schedule in `trace` (the
+    /// comma-separated thread ids printed by a failure panic). Panics with
+    /// the reproduced failure, or returns normally if the trace no longer
+    /// fails.
+    pub fn replay<F>(&self, trace: &str, model: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let script: Vec<usize> = trace
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("gp-sched: bad trace element {s:?}"))
+            })
+            .collect();
+        let model = Arc::new(model);
+        let out = self.run_one(Mode::Scripted(script), &model);
+        if let Some(f) = out.failure {
+            panic!("{}", format_failure(&f, &out.choices));
+        }
+    }
+
+    fn run_one<F>(&self, mode: Mode, model: &Arc<F>) -> RunOutcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let exec = Execution::new(mode, self.preemption_bound, self.max_depth);
+        let m = Arc::clone(model);
+        exec.run(move || m())
+    }
+}
+
+/// Compute the next DFS script: deepest decision with an untried candidate,
+/// prefix preserved, that candidate substituted. `None` when exhausted.
+fn next_script(choices: &[Choice]) -> Option<Vec<usize>> {
+    for i in (0..choices.len()).rev() {
+        let c = &choices[i];
+        let pos = c.candidates.iter().position(|&t| t == c.chosen)?;
+        if pos + 1 < c.candidates.len() {
+            let mut script: Vec<usize> = choices[..i].iter().map(|c| c.chosen).collect();
+            script.push(c.candidates[pos + 1]);
+            return Some(script);
+        }
+    }
+    None
+}
+
+fn format_failure(failure: &str, choices: &[Choice]) -> String {
+    let trace: Vec<String> = choices.iter().map(|c| c.chosen.to_string()).collect();
+    let trace = trace.join(",");
+    format!(
+        "gp-sched: {failure}\n  after {} scheduling decisions\n  schedule trace: {trace}\n  \
+         replay with: Explorer::new().replay(\"{trace}\", model)",
+        choices.len()
+    )
+}

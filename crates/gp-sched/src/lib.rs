@@ -1,0 +1,193 @@
+//! # gp-sched — deterministic thread-interleaving explorer
+//!
+//! A loom-style model checker for the workspace's blocking coordination
+//! protocols. Models run on real OS threads, but a scheduler serialises
+//! them: every sync operation (lock, condvar wait/notify, atomic access,
+//! spawn, join) is a yield point where the scheduler picks which thread
+//! runs next. [`Explorer::explore`] enumerates those choices exhaustively
+//! (DFS with a preemption bound and depth bound); [`Explorer::random_walks`]
+//! samples deeper schedules from a seed. Deadlocks, lost wakeups, and model
+//! assertion failures panic with a comma-separated schedule trace that
+//! [`Explorer::replay`] re-executes exactly.
+//!
+//! ## Shims and the `sync` facade
+//!
+//! [`shim`] holds the instrumented primitives. Production types that want
+//! model coverage import [`sync`], which is the shims under
+//! `--cfg gp_sched` and thin zero-cost wrappers over `std::sync` otherwise,
+//! so release builds pay nothing. The facade API is deliberately
+//! non-poisoning (`lock()` returns the guard directly) and `wait_timeout`
+//! returns `(guard, timed_out: bool)`.
+//!
+//! Timeout semantics under the scheduler: a `wait_timeout` only times out
+//! when no other thread is runnable, and then sleeps the real remaining
+//! duration first — so production deadline loops behave identically, and
+//! model tests should use millisecond-scale timeouts.
+//!
+//! No `unsafe` anywhere: the shim mutex wraps a std mutex that is never
+//! contended while the scheduler serialises threads.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod explore;
+pub mod shim;
+
+pub use explore::{Exploration, Explorer};
+pub use shim::thread;
+
+/// Cooperative yield point (see [`shim::thread::yield_now`]).
+pub fn yield_now() {
+    shim::thread::yield_now();
+}
+
+/// Sync primitives facade: gp-sched shims under `--cfg gp_sched`, thin
+/// non-poisoning wrappers over `std::sync` otherwise. Code written against
+/// this module compiles identically in both worlds.
+#[cfg(gp_sched)]
+pub mod sync {
+    pub use crate::shim::{AtomicBool, AtomicU64, Condvar, Mutex, MutexGuard};
+    pub use std::sync::atomic::Ordering;
+}
+
+/// Sync primitives facade: gp-sched shims under `--cfg gp_sched`, thin
+/// non-poisoning wrappers over `std::sync` otherwise. Code written against
+/// this module compiles identically in both worlds.
+#[cfg(not(gp_sched))]
+pub mod sync {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    pub use std::sync::MutexGuard;
+    use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+    use std::time::Duration;
+
+    /// Non-poisoning wrapper over `std::sync::Mutex` matching the shim API.
+    pub struct Mutex<T> {
+        inner: StdMutex<T>,
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Mutex { .. }")
+        }
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a new mutex holding `value`.
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: StdMutex::new(value),
+            }
+        }
+
+        /// Acquire the lock, recovering from poison (a panicking holder
+        /// must not wedge later lockers).
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Consume the mutex and return its value.
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Non-poisoning wrapper over `std::sync::Condvar` matching the shim
+    /// API: `wait_timeout` returns `(guard, timed_out)`.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: StdCondvar,
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Condvar { .. }")
+        }
+    }
+
+    impl Condvar {
+        /// Create a new condition variable.
+        pub const fn new() -> Self {
+            Condvar {
+                inner: StdCondvar::new(),
+            }
+        }
+
+        /// Block until notified.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.inner
+                // gp-lint: allow(L7, facade forwards a single wait; predicate loops are the caller's contract as with std)
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Block until notified or `timeout` elapses; the boolean is `true`
+        /// on timeout.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timeout: Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            // gp-lint: allow(L7, facade forwards a single wait; predicate loops are the caller's contract as with std)
+            match self.inner.wait_timeout(guard, timeout) {
+                Ok((g, res)) => (g, res.timed_out()),
+                Err(e) => {
+                    let (g, res) = e.into_inner();
+                    (g, res.timed_out())
+                }
+            }
+        }
+
+        /// Wait until `condition` returns false.
+        pub fn wait_while<'a, T, F>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            condition: F,
+        ) -> MutexGuard<'a, T>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            self.inner
+                .wait_while(guard, condition)
+                .unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Wait until `condition` returns false or `timeout` elapses; the
+        /// boolean is `true` when the deadline passed with the condition
+        /// still holding.
+        pub fn wait_timeout_while<'a, T, F>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            timeout: Duration,
+            condition: F,
+        ) -> (MutexGuard<'a, T>, bool)
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            match self.inner.wait_timeout_while(guard, timeout, condition) {
+                Ok((g, res)) => (g, res.timed_out()),
+                Err(e) => {
+                    let (g, res) = e.into_inner();
+                    (g, res.timed_out())
+                }
+            }
+        }
+
+        /// Wake one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wake all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+}

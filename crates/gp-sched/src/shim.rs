@@ -1,0 +1,477 @@
+//! Instrumented sync primitives. Under an active [`crate::Explorer`]
+//! execution every operation is a scheduling yield point; outside one they
+//! degrade to plain std behaviour, so code built against the shims still
+//! works in ordinary tests.
+//!
+//! The shims contain no `unsafe`: each `Mutex` wraps a real `std` mutex
+//! that is never contended while the scheduler serialises threads, so guard
+//! lifetimes and `Deref` come from std for free.
+
+use crate::exec::Execution;
+use std::sync::atomic::Ordering;
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+};
+use std::time::{Duration, Instant};
+
+/// Lazily-bound identity of a shim object within the current execution.
+/// Packed as `generation << 32 | id`; a stale generation means the object
+/// outlived a previous execution and gets a fresh id.
+struct ObjToken(std::sync::atomic::AtomicU64);
+
+impl ObjToken {
+    const fn new() -> Self {
+        ObjToken(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    fn resolve(&self, exec: &Arc<Execution>) -> u64 {
+        let packed = self.0.load(Ordering::SeqCst);
+        if packed >> 32 == exec.generation32() {
+            return packed & 0xffff_ffff;
+        }
+        let id = exec.alloc_object_id();
+        self.0
+            .store((exec.generation32() << 32) | id, Ordering::SeqCst);
+        id
+    }
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutual exclusion with scheduler-visible acquire/release points.
+/// Non-poisoning: a panicking holder does not wedge later lockers.
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+    token: ObjToken,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never locks: a Debug that acquired the lock would itself be a
+        // scheduling point and could deadlock inside assertions.
+        f.pad("Mutex { .. }")
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Create a new shim mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+            token: ObjToken::new(),
+        }
+    }
+
+    /// Acquire the lock, parking this model thread in the scheduler if it
+    /// is held. Returns the guard directly (no poison `Result`).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match Execution::current() {
+            None => MutexGuard {
+                lock: self,
+                inner: Some(unpoison(self.inner.lock())),
+                sched: None,
+            },
+            Some((exec, tid)) => {
+                let id = self.token.resolve(&exec);
+                exec.mutex_lock(tid, id, true);
+                // The scheduler has granted exclusive ownership, so the
+                // inner std lock is uncontended by construction.
+                let g = unpoison(self.inner.lock());
+                MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    sched: Some((exec, tid, id)),
+                }
+            }
+        }
+    }
+
+    /// Consume the mutex and return its value.
+    pub fn into_inner(self) -> T {
+        unpoison(self.inner.into_inner())
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduler yield point.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    sched: Option<(Arc<Execution>, usize, u64)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((exec, tid, id)) = self.sched.take() {
+            exec.mutex_unlock(tid, id);
+        }
+    }
+}
+
+/// Condition variable with lost-wakeup-detecting waits.
+///
+/// `wait_timeout` under the scheduler blocks like `wait`; the timeout
+/// transition only fires when no other thread is runnable (quiescence), and
+/// then sleeps the real remaining duration so wall-clock deadline checks in
+/// the woken code observe an expired deadline.
+pub struct Condvar {
+    inner: StdCondvar,
+    token: ObjToken,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}
+
+impl Condvar {
+    /// Create a new shim condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+            token: ObjToken::new(),
+        }
+    }
+
+    /// Block until notified, releasing and reacquiring the guard's mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.wait_inner(guard, None).0
+    }
+
+    /// Block until notified or the timeout fires. The boolean is `true`
+    /// when the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        self.wait_inner(guard, Some(timeout))
+    }
+
+    /// Wait until `condition` returns false (std `wait_while` semantics).
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wait until `condition` returns false or `timeout` elapses. The
+    /// boolean is `true` when the deadline passed with the condition still
+    /// holding (std `WaitTimeoutResult::timed_out` semantics).
+    pub fn wait_timeout_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Duration,
+        mut condition: F,
+    ) -> (MutexGuard<'a, T>, bool)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if !condition(&mut guard) {
+                return (guard, false);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return (guard, true);
+            }
+            let (g, _) = self.wait_timeout(guard, remaining);
+            guard = g;
+        }
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match guard.sched.take() {
+            None => {
+                let inner = guard.inner.take().expect("guard already released");
+                let lock = guard.lock;
+                drop(guard);
+                match timeout {
+                    None => {
+                        // gp-lint: allow(L7, shim wait primitive: predicate re-check loops live at call sites)
+                        let g = unpoison(self.inner.wait(inner));
+                        (
+                            MutexGuard {
+                                lock,
+                                inner: Some(g),
+                                sched: None,
+                            },
+                            false,
+                        )
+                    }
+                    Some(d) => {
+                        // gp-lint: allow(L7, shim wait primitive: predicate re-check loops live at call sites)
+                        let (g, res) = unpoison(self.inner.wait_timeout(inner, d));
+                        (
+                            MutexGuard {
+                                lock,
+                                inner: Some(g),
+                                sched: None,
+                            },
+                            res.timed_out(),
+                        )
+                    }
+                }
+            }
+            Some((exec, tid, mutex_id)) => {
+                let cv_id = self.token.resolve(&exec);
+                guard.inner.take();
+                let lock = guard.lock;
+                drop(guard);
+                let fired = exec.condvar_wait(tid, cv_id, mutex_id, timeout);
+                let g = unpoison(lock.inner.lock());
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        sched: Some((exec, tid, mutex_id)),
+                    },
+                    fired,
+                )
+            }
+        }
+    }
+
+    /// Wake one waiter (scheduler yield point).
+    pub fn notify_one(&self) {
+        match Execution::current() {
+            None => self.inner.notify_one(),
+            Some((exec, tid)) => {
+                let cv_id = self.token.resolve(&exec);
+                exec.condvar_notify(tid, cv_id, false);
+            }
+        }
+    }
+
+    /// Wake all waiters (scheduler yield point).
+    pub fn notify_all(&self) {
+        match Execution::current() {
+            None => self.inner.notify_all(),
+            Some((exec, tid)) => {
+                let cv_id = self.token.resolve(&exec);
+                exec.condvar_notify(tid, cv_id, true);
+            }
+        }
+    }
+}
+
+fn maybe_yield() {
+    if let Some((exec, tid)) = Execution::current() {
+        exec.yield_point(tid);
+    }
+}
+
+/// Instrumented `AtomicU64`: every access is a scheduler yield point, so
+/// the explorer interleaves around it.
+pub struct AtomicU64 {
+    v: std::sync::atomic::AtomicU64,
+}
+
+impl Default for AtomicU64 {
+    fn default() -> Self {
+        AtomicU64::new(0)
+    }
+}
+
+impl AtomicU64 {
+    /// Create a new atomic with `value`.
+    pub const fn new(value: u64) -> Self {
+        AtomicU64 {
+            v: std::sync::atomic::AtomicU64::new(value),
+        }
+    }
+
+    /// Load the value.
+    pub fn load(&self, order: Ordering) -> u64 {
+        maybe_yield();
+        self.v.load(order)
+    }
+
+    /// Store `value`.
+    pub fn store(&self, value: u64, order: Ordering) {
+        maybe_yield();
+        self.v.store(value, order)
+    }
+
+    /// Add and return the previous value.
+    pub fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        maybe_yield();
+        self.v.fetch_add(value, order)
+    }
+
+    /// Max and return the previous value.
+    pub fn fetch_max(&self, value: u64, order: Ordering) -> u64 {
+        maybe_yield();
+        self.v.fetch_max(value, order)
+    }
+
+    /// Swap and return the previous value.
+    pub fn swap(&self, value: u64, order: Ordering) -> u64 {
+        maybe_yield();
+        self.v.swap(value, order)
+    }
+}
+
+/// Instrumented `AtomicBool`: every access is a scheduler yield point.
+pub struct AtomicBool {
+    v: std::sync::atomic::AtomicBool,
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        AtomicBool::new(false)
+    }
+}
+
+impl AtomicBool {
+    /// Create a new atomic with `value`.
+    pub const fn new(value: bool) -> Self {
+        AtomicBool {
+            v: std::sync::atomic::AtomicBool::new(value),
+        }
+    }
+
+    /// Load the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        maybe_yield();
+        self.v.load(order)
+    }
+
+    /// Store `value`.
+    pub fn store(&self, value: bool, order: Ordering) {
+        maybe_yield();
+        self.v.store(value, order)
+    }
+
+    /// Swap and return the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        maybe_yield();
+        self.v.swap(value, order)
+    }
+}
+
+/// Scheduler-aware threading: spawn registers the thread with the active
+/// execution; outside one it is a plain `std::thread::spawn`.
+pub mod thread {
+    use super::{unpoison, Execution};
+    use std::panic;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    enum Inner<T> {
+        Native(std::thread::JoinHandle<T>),
+        Sched {
+            exec: Arc<Execution>,
+            tid: usize,
+            result: Arc<StdMutex<Option<T>>>,
+        },
+    }
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and return its value. Panics from
+        /// the thread propagate (under the scheduler they surface as model
+        /// failures with a schedule trace).
+        pub fn join(self) -> T {
+            match self.inner {
+                Inner::Native(h) => match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => panic::resume_unwind(payload),
+                },
+                Inner::Sched { exec, tid, result } => {
+                    let (_, me) =
+                        Execution::current().expect("joining a sched thread outside its execution");
+                    exec.join_thread(me, tid);
+                    match unpoison(result.lock()).take() {
+                        Some(v) => v,
+                        // The child unwound without producing a value: the
+                        // execution is halting, so unwind this thread too.
+                        None => panic::panic_any(crate::exec::HaltToken),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawn a thread. Inside an execution the new thread becomes part of
+    /// the explored schedule; the spawn itself is a yield point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match Execution::current() {
+            None => JoinHandle {
+                inner: Inner::Native(std::thread::spawn(f)),
+            },
+            Some((exec, tid)) => {
+                let result = Arc::new(StdMutex::new(None));
+                let slot = Arc::clone(&result);
+                let child = exec.spawn_thread(tid, move || {
+                    let v = f();
+                    *unpoison(slot.lock()) = Some(v);
+                });
+                JoinHandle {
+                    inner: Inner::Sched {
+                        exec,
+                        tid: child,
+                        result,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Cooperative yield: a pure scheduling point under the explorer, a
+    /// `std::thread::yield_now` otherwise.
+    pub fn yield_now() {
+        match Execution::current() {
+            None => std::thread::yield_now(),
+            Some((exec, tid)) => exec.yield_point(tid),
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! gp-sched self-tests: the explorer must find seeded concurrency bugs,
+//! produce replayable traces, and terminate on correct models.
+
+use gp_sched::{shim, thread, Explorer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Extract the comma-separated schedule trace from a failure panic message.
+fn trace_of(message: &str) -> String {
+    let marker = "schedule trace: ";
+    let start = message
+        .find(marker)
+        .expect("failure message carries a schedule trace")
+        + marker.len();
+    let rest = &message[start..];
+    rest.lines().next().unwrap().trim().to_string()
+}
+
+fn panic_message<F: FnOnce() + Send + Sync + 'static>(f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(f)).expect_err("expected a model failure");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        panic!("non-string panic payload")
+    }
+}
+
+#[test]
+fn mutex_counter_is_exhaustively_correct() {
+    let exploration = Explorer::new().explore(|| {
+        let m = Arc::new(shim::Mutex::new(0u64));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || *m2.lock() += 1);
+        *m.lock() += 1;
+        t.join();
+        assert_eq!(*m.lock(), 2);
+    });
+    assert!(
+        exploration.schedules > 1,
+        "two racing lockers must branch the schedule"
+    );
+    assert_eq!(exploration.pruned, 0);
+}
+
+#[test]
+fn atomic_rmw_is_exhaustively_correct() {
+    let exploration = Explorer::new().explore(|| {
+        let a = Arc::new(shim::AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || a2.fetch_add(1, Ordering::SeqCst));
+        a.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(exploration.schedules > 1);
+}
+
+/// A load/store "increment" loses updates under preemption. The explorer
+/// must catch the seeded bug, and the trace must replay to the same
+/// failure; with a preemption bound of 0 (pure co-operative scheduling)
+/// the bug is unreachable and exploration completes clean.
+#[test]
+fn seeded_lost_update_is_caught_and_replayable() {
+    fn model() {
+        let a = Arc::new(shim::AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    }
+
+    let message = panic_message(|| {
+        Explorer::new().explore(model);
+    });
+    assert!(
+        message.contains("lost update"),
+        "unexpected failure: {message}"
+    );
+    let trace = trace_of(&message);
+
+    let replayed = panic_message(move || {
+        Explorer::new().replay(&trace, model);
+    });
+    assert!(
+        replayed.contains("lost update"),
+        "replay must reproduce: {replayed}"
+    );
+
+    // Co-operative-only scheduling cannot interleave mid-sequence.
+    let exploration = Explorer::new().preemption_bound(Some(0)).explore(model);
+    assert_eq!(exploration.pruned, 0);
+}
+
+/// The acceptance fixture: a waiter that checks its flag outside the lock
+/// and then parks in an untimed wait. The schedule "check, then notify,
+/// then park" loses the wakeup forever; the explorer must report a lost
+/// wakeup with a replayable trace.
+#[test]
+fn seeded_lost_wakeup_is_caught_with_replayable_trace() {
+    fn model() {
+        let state = Arc::new((shim::Mutex::new(()), shim::Condvar::new()));
+        let done = Arc::new(shim::AtomicBool::new(false));
+        let (state2, done2) = (Arc::clone(&state), Arc::clone(&done));
+        let waiter = thread::spawn(move || {
+            let (lock, cv) = &*state2;
+            let guard = lock.lock();
+            // BUG (deliberate): no predicate — a notify that lands before
+            // this park is lost and the wait never returns.
+            let _guard = cv.wait(guard);
+            done2.store(true, Ordering::SeqCst);
+        });
+        let (_, cv) = &*state;
+        cv.notify_one();
+        waiter.join();
+        assert!(done.load(Ordering::SeqCst));
+    }
+
+    let message = panic_message(|| {
+        Explorer::new().explore(model);
+    });
+    assert!(
+        message.contains("lost wakeup"),
+        "expected lost-wakeup diagnosis, got: {message}"
+    );
+    let trace = trace_of(&message);
+    let replayed = panic_message(move || {
+        Explorer::new().replay(&trace, model);
+    });
+    assert!(
+        replayed.contains("lost wakeup"),
+        "replay must reproduce: {replayed}"
+    );
+}
+
+/// Classic ABBA ordering deadlock must be diagnosed (as deadlock, not lost
+/// wakeup) with a trace.
+#[test]
+fn abba_deadlock_is_caught() {
+    let message = panic_message(|| {
+        Explorer::new().explore(|| {
+            let a = Arc::new(shim::Mutex::new(()));
+            let b = Arc::new(shim::Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _g1 = b2.lock();
+                let _g2 = a2.lock();
+            });
+            let _g1 = a.lock();
+            let _g2 = b.lock();
+            drop(_g2);
+            drop(_g1);
+            t.join();
+        });
+    });
+    assert!(
+        message.contains("deadlock"),
+        "unexpected failure: {message}"
+    );
+    assert!(
+        message.contains("schedule trace"),
+        "trace missing: {message}"
+    );
+}
+
+/// A timed wait with no notifier must take the quiescent-timeout
+/// transition, not be reported as a deadlock.
+#[test]
+fn wait_timeout_fires_at_quiescence() {
+    let exploration = Explorer::new().explore(|| {
+        let m = shim::Mutex::new(());
+        let cv = shim::Condvar::new();
+        let g = m.lock();
+        let (_g, timed_out) = cv.wait_timeout(g, Duration::from_millis(1));
+        assert!(timed_out, "no notifier exists, the wait must time out");
+    });
+    assert_eq!(exploration.pruned, 0);
+}
+
+/// wait_timeout_while with a notifier: correct handoff in every schedule.
+#[test]
+fn wait_timeout_while_observes_notify() {
+    Explorer::new().explore(|| {
+        let state = Arc::new((shim::Mutex::new(0u64), shim::Condvar::new()));
+        let state2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*state2;
+            *lock.lock() = 7;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*state;
+        let guard = lock.lock();
+        let (guard, timed_out) =
+            cv.wait_timeout_while(guard, Duration::from_millis(5), |v| *v == 0);
+        assert!(
+            !timed_out,
+            "the writer always runs, so the condition must be met"
+        );
+        assert_eq!(*guard, 7);
+        drop(guard);
+        t.join();
+    });
+}
+
+/// Random walks find the seeded lost update too, and report a scripted
+/// trace that replays.
+#[test]
+fn random_walks_find_seeded_bug() {
+    fn model() {
+        let a = Arc::new(shim::AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            let v = a2.load(Ordering::SeqCst);
+            a2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = a.load(Ordering::SeqCst);
+        a.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+    }
+    let message = panic_message(|| {
+        Explorer::new().random_walks(0xfeed_beef, 512, model);
+    });
+    assert!(
+        message.contains("lost update"),
+        "unexpected failure: {message}"
+    );
+    let trace = trace_of(&message);
+    let replayed = panic_message(move || {
+        Explorer::new().replay(&trace, model);
+    });
+    assert!(replayed.contains("lost update"));
+}
+
+/// Shims degrade to plain std primitives outside an execution.
+#[test]
+fn shims_work_without_an_execution() {
+    let m = Arc::new(shim::Mutex::new(0u64));
+    let cv = Arc::new(shim::Condvar::new());
+    let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+    let t = thread::spawn(move || {
+        *m2.lock() = 5;
+        cv2.notify_all();
+    });
+    let guard = m.lock();
+    let (guard, _) = cv.wait_timeout_while(guard, Duration::from_secs(5), |v| *v == 0);
+    assert_eq!(*guard, 5);
+    drop(guard);
+    t.join();
+
+    let a = shim::AtomicU64::new(1);
+    assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+}
+
+/// Three threads under the default preemption bound: exploration stays
+/// bounded and terminates.
+#[test]
+fn three_thread_exploration_terminates() {
+    let exploration = Explorer::new().max_schedules(100_000).explore(|| {
+        let m = Arc::new(shim::Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                thread::spawn(move || *m.lock() += 1)
+            })
+            .collect();
+        *m.lock() += 1;
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*m.lock(), 3);
+    });
+    assert!(exploration.schedules >= 3);
+}
